@@ -1,0 +1,122 @@
+//! Finite-difference gradient checking.
+//!
+//! Every backward rule in this crate is validated by comparing the analytic
+//! gradient against a central finite difference of the (deterministically
+//! rebuilt) forward pass. The checker is public so downstream crates can
+//! verify their composed modules (attention blocks, GRU cells, the full
+//! VSAN loss) the same way.
+
+use crate::{Graph, Var};
+use vsan_tensor::Tensor;
+
+/// Outcome of a single gradient check.
+#[derive(Debug)]
+pub struct GradCheckReport {
+    /// Largest absolute difference between analytic and numeric gradients.
+    pub max_abs_diff: f32,
+    /// Largest relative difference (normalized by magnitudes + 1e-4).
+    pub max_rel_diff: f32,
+    /// Total number of elements compared.
+    pub compared: usize,
+}
+
+/// Compare analytic gradients against central finite differences.
+///
+/// `build` must deterministically construct the scalar loss from the graph
+/// and the parameter [`Var`]s it is handed (params are registered with keys
+/// `0..params.len()`). Randomized ops (dropout) must use fixed masks.
+///
+/// Returns an error string describing the first offending element when any
+/// relative difference exceeds `tol`.
+pub fn check_gradients(
+    params: &[Tensor],
+    build: impl Fn(&mut Graph, &[Var]) -> Var,
+    eps: f32,
+    tol: f32,
+) -> Result<GradCheckReport, String> {
+    // Analytic pass.
+    let mut g = Graph::with_threads(1);
+    let vars: Vec<Var> = params.iter().enumerate().map(|(k, t)| g.param(t.clone(), k)).collect();
+    let loss = build(&mut g, &vars);
+    let grads = g.backward(loss).map_err(|e| format!("backward failed: {e}"))?;
+
+    let eval = |ps: &[Tensor]| -> f32 {
+        let mut g = Graph::with_threads(1);
+        let vars: Vec<Var> = ps.iter().enumerate().map(|(k, t)| g.param(t.clone(), k)).collect();
+        let loss = build(&mut g, &vars);
+        g.value(loss).data()[0]
+    };
+
+    let mut report = GradCheckReport { max_abs_diff: 0.0, max_rel_diff: 0.0, compared: 0 };
+    let mut work: Vec<Tensor> = params.to_vec();
+    for (k, p) in params.iter().enumerate() {
+        let analytic = grads
+            .param_grad(k)
+            .cloned()
+            .unwrap_or_else(|| Tensor::zeros(p.dims()));
+        for e in 0..p.numel() {
+            let orig = p.data()[e];
+            work[k].data_mut()[e] = orig + eps;
+            let up = eval(&work);
+            work[k].data_mut()[e] = orig - eps;
+            let down = eval(&work);
+            work[k].data_mut()[e] = orig;
+            let numeric = (up - down) / (2.0 * eps);
+            let a = analytic.data()[e];
+            let abs = (a - numeric).abs();
+            let rel = abs / (a.abs().max(numeric.abs()) + 1e-4);
+            report.max_abs_diff = report.max_abs_diff.max(abs);
+            report.max_rel_diff = report.max_rel_diff.max(rel);
+            report.compared += 1;
+            if rel > tol && abs > 10.0 * eps {
+                return Err(format!(
+                    "param {k} element {e}: analytic {a:.6} vs numeric {numeric:.6} \
+                     (abs {abs:.6}, rel {rel:.6})"
+                ));
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// Convenience wrapper with the default tolerances used throughout the
+/// workspace (`eps = 1e-2`, `tol = 2e-2` — f32 finite differences are noisy,
+/// so the epsilon is deliberately coarse).
+pub fn check_default(
+    params: &[Tensor],
+    build: impl Fn(&mut Graph, &[Var]) -> Var,
+) -> Result<GradCheckReport, String> {
+    check_gradients(params, build, 1e-2, 2e-2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_a_correct_gradient() {
+        let p = Tensor::from_vec(vec![0.5, -0.3], &[1, 2]).unwrap();
+        let ok = check_default(&[p], |g, vars| {
+            let s = g.mul(vars[0], vars[0]).unwrap();
+            g.sum_all(s)
+        });
+        assert!(ok.is_ok(), "{ok:?}");
+    }
+
+    #[test]
+    fn catches_a_wrong_gradient() {
+        // Sabotage: the analytic pass (first call) sees loss = sum(x²) but
+        // every numeric evaluation sees loss = sum(3x²), so the analytic
+        // gradient is off by 3× and the checker must reject it.
+        let p = Tensor::from_vec(vec![0.5, -0.3], &[1, 2]).unwrap();
+        let calls = std::cell::Cell::new(0usize);
+        let bad = check_default(&[p], |g, vars| {
+            let n = calls.get();
+            calls.set(n + 1);
+            let s = g.mul(vars[0], vars[0]).unwrap();
+            let s = if n == 0 { s } else { g.scale(s, 3.0) };
+            g.sum_all(s)
+        });
+        assert!(bad.is_err(), "{bad:?}");
+    }
+}

@@ -1,0 +1,865 @@
+//! The tape: forward builders and the reverse pass.
+
+use crate::op::Op;
+use crate::{GradError, Result};
+use std::collections::HashMap;
+use vsan_tensor::ops as tops;
+use vsan_tensor::ops::norm::LN_EPS;
+use vsan_tensor::{parallel, Shape, Tensor};
+
+/// A handle to a node on a [`Graph`]'s tape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Var(pub(crate) usize);
+
+struct Node {
+    value: Tensor,
+    op: Op,
+    /// `true` when any ancestor is a parameter — lets backward skip
+    /// constant subtrees.
+    needs_grad: bool,
+}
+
+/// A define-by-run tape. Build one per forward pass, call
+/// [`Graph::backward`] once, then read parameter gradients from the
+/// returned [`Gradients`].
+pub struct Graph {
+    nodes: Vec<Node>,
+    threads: usize,
+}
+
+impl Default for Graph {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Graph {
+    /// Empty tape using the machine's default parallelism for large matmuls.
+    pub fn new() -> Self {
+        Graph { nodes: Vec::with_capacity(256), threads: parallel::default_threads() }
+    }
+
+    /// Empty tape with an explicit worker-thread count.
+    pub fn with_threads(threads: usize) -> Self {
+        Graph { nodes: Vec::with_capacity(256), threads: threads.max(1) }
+    }
+
+    /// Number of nodes currently on the tape.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Forward value of a variable.
+    pub fn value(&self, v: Var) -> &Tensor {
+        &self.nodes[v.0].value
+    }
+
+    /// Op name of a variable's producing node (for debugging).
+    pub fn op_name(&self, v: Var) -> &'static str {
+        self.nodes[v.0].op.name()
+    }
+
+    fn push(&mut self, value: Tensor, op: Op, needs_grad: bool) -> Var {
+        self.nodes.push(Node { value, op, needs_grad });
+        Var(self.nodes.len() - 1)
+    }
+
+    fn needs(&self, ids: &[usize]) -> bool {
+        ids.iter().any(|&i| self.nodes[i].needs_grad)
+    }
+
+    // ---- inputs ---------------------------------------------------------
+
+    /// Insert a constant (gradient never flows into it).
+    pub fn constant(&mut self, t: Tensor) -> Var {
+        self.push(t, Op::Leaf { param_key: None }, false)
+    }
+
+    /// Insert a trainable parameter; its gradient is reported under `key`.
+    pub fn param(&mut self, t: Tensor, key: usize) -> Var {
+        self.push(t, Op::Leaf { param_key: Some(key) }, true)
+    }
+
+    // ---- elementwise ----------------------------------------------------
+
+    /// Elementwise sum.
+    pub fn add(&mut self, a: Var, b: Var) -> Result<Var> {
+        let v = tops::add(self.value(a), self.value(b))?;
+        Ok(self.push(v, Op::Add(a.0, b.0), self.needs(&[a.0, b.0])))
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&mut self, a: Var, b: Var) -> Result<Var> {
+        let v = tops::sub(self.value(a), self.value(b))?;
+        Ok(self.push(v, Op::Sub(a.0, b.0), self.needs(&[a.0, b.0])))
+    }
+
+    /// Elementwise product.
+    pub fn mul(&mut self, a: Var, b: Var) -> Result<Var> {
+        let v = tops::hadamard(self.value(a), self.value(b))?;
+        Ok(self.push(v, Op::Mul(a.0, b.0), self.needs(&[a.0, b.0])))
+    }
+
+    /// Elementwise affine map `scale·x + shift`.
+    pub fn affine(&mut self, x: Var, scale: f32, shift: f32) -> Var {
+        let v = self.value(x).map(|e| scale * e + shift);
+        let ng = self.nodes[x.0].needs_grad;
+        self.push(v, Op::Affine { x: x.0, scale, shift }, ng)
+    }
+
+    /// Scalar multiple `s·x`.
+    pub fn scale(&mut self, x: Var, s: f32) -> Var {
+        self.affine(x, s, 0.0)
+    }
+
+    /// Broadcast-add a `(cols,)` bias to every row of a rank-2 input.
+    pub fn add_row_broadcast(&mut self, x: Var, bias: Var) -> Result<Var> {
+        let v = tops::elementwise::add_row_broadcast(self.value(x), self.value(bias))?;
+        Ok(self.push(v, Op::AddRowBroadcast { x: x.0, bias: bias.0 }, self.needs(&[x.0, bias.0])))
+    }
+
+    // ---- linear algebra --------------------------------------------------
+
+    /// Dense matmul; automatically goes parallel for large problems.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Result<Var> {
+        let v = parallel::matmul_parallel(self.value(a), self.value(b), self.threads)?;
+        Ok(self.push(v, Op::MatMul(a.0, b.0), self.needs(&[a.0, b.0])))
+    }
+
+    /// `A · Bᵀ` without materializing the transpose (attention scores).
+    pub fn matmul_a_bt(&mut self, a: Var, b: Var) -> Result<Var> {
+        let v = tops::matmul_a_bt(self.value(a), self.value(b))?;
+        Ok(self.push(v, Op::MatMulABt(a.0, b.0), self.needs(&[a.0, b.0])))
+    }
+
+    /// Rank-2 transpose.
+    pub fn transpose(&mut self, x: Var) -> Result<Var> {
+        let v = self.value(x).transpose2()?;
+        let ng = self.nodes[x.0].needs_grad;
+        Ok(self.push(v, Op::Transpose(x.0), ng))
+    }
+
+    /// Shape reinterpretation.
+    pub fn reshape(&mut self, x: Var, dims: &[usize]) -> Result<Var> {
+        let old_dims = self.value(x).dims().to_vec();
+        let v = self.value(x).reshape(dims)?;
+        let ng = self.nodes[x.0].needs_grad;
+        Ok(self.push(v, Op::Reshape { x: x.0, old_dims }, ng))
+    }
+
+    // ---- activations -----------------------------------------------------
+
+    /// ReLU.
+    pub fn relu(&mut self, x: Var) -> Var {
+        let v = tops::elementwise::relu(self.value(x));
+        let ng = self.nodes[x.0].needs_grad;
+        self.push(v, Op::Relu(x.0), ng)
+    }
+
+    /// Sigmoid.
+    pub fn sigmoid(&mut self, x: Var) -> Var {
+        let v = tops::elementwise::sigmoid(self.value(x));
+        let ng = self.nodes[x.0].needs_grad;
+        self.push(v, Op::Sigmoid(x.0), ng)
+    }
+
+    /// Tanh.
+    pub fn tanh(&mut self, x: Var) -> Var {
+        let v = tops::elementwise::tanh(self.value(x));
+        let ng = self.nodes[x.0].needs_grad;
+        self.push(v, Op::Tanh(x.0), ng)
+    }
+
+    /// Elementwise exponential.
+    pub fn exp(&mut self, x: Var) -> Var {
+        let v = tops::elementwise::exp(self.value(x));
+        let ng = self.nodes[x.0].needs_grad;
+        self.push(v, Op::Exp(x.0), ng)
+    }
+
+    // ---- softmax ---------------------------------------------------------
+
+    /// Row-wise softmax of a rank-2 input.
+    pub fn softmax_rows(&mut self, x: Var) -> Result<Var> {
+        let v = tops::softmax_rows(self.value(x))?;
+        let ng = self.nodes[x.0].needs_grad;
+        Ok(self.push(v, Op::SoftmaxRows(x.0), ng))
+    }
+
+    /// Causal-masked softmax of a square score matrix (future positions get
+    /// exactly zero weight — the SASRec/VSAN attention constraint).
+    pub fn softmax_causal(&mut self, x: Var) -> Result<Var> {
+        let v = tops::softmax_rows_masked(self.value(x))?;
+        let ng = self.nodes[x.0].needs_grad;
+        Ok(self.push(v, Op::SoftmaxCausal(x.0), ng))
+    }
+
+    // ---- normalization ----------------------------------------------------
+
+    /// Fused LayerNorm over rows with learned `gamma`/`beta` (shape `(cols,)`).
+    pub fn layer_norm(&mut self, x: Var, gamma: Var, beta: Var) -> Result<Var> {
+        let (v, stats) = tops::layer_norm_rows(
+            self.value(x),
+            self.value(gamma).data(),
+            self.value(beta).data(),
+            LN_EPS,
+        )?;
+        let ng = self.needs(&[x.0, gamma.0, beta.0]);
+        Ok(self.push(v, Op::LayerNorm { x: x.0, gamma: gamma.0, beta: beta.0, stats }, ng))
+    }
+
+    // ---- structure --------------------------------------------------------
+
+    /// Gather rows from a rank-2 input; backward scatter-adds (this is the
+    /// embedding-lookup op when `x` is an embedding table parameter).
+    pub fn gather_rows(&mut self, x: Var, idx: &[usize]) -> Result<Var> {
+        let v = self.value(x).gather_rows(idx)?;
+        let ng = self.nodes[x.0].needs_grad;
+        Ok(self.push(v, Op::GatherRows { x: x.0, idx: idx.to_vec() }, ng))
+    }
+
+    /// Vertically stack rank-2 inputs with a shared column count.
+    pub fn concat_rows(&mut self, parts: &[Var]) -> Result<Var> {
+        if parts.is_empty() {
+            return Err(GradError::BadTargets("concat_rows of zero parts"));
+        }
+        let cols = self.value(parts[0]).shape().as_2d()?.1;
+        let mut data = Vec::new();
+        let mut rows = Vec::with_capacity(parts.len());
+        for &p in parts {
+            let (r, c) = self.value(p).shape().as_2d()?;
+            if c != cols {
+                return Err(GradError::Tensor(vsan_tensor::TensorError::ShapeMismatch {
+                    lhs: vec![cols],
+                    rhs: vec![c],
+                    op: "concat_rows",
+                }));
+            }
+            data.extend_from_slice(self.value(p).data());
+            rows.push(r);
+        }
+        let total: usize = rows.iter().sum();
+        let v = Tensor::from_vec(data, &[total, cols])?;
+        let ids: Vec<usize> = parts.iter().map(|p| p.0).collect();
+        let ng = self.needs(&ids);
+        Ok(self.push(v, Op::ConcatRows { parts: ids, rows }, ng))
+    }
+
+    /// Horizontally stack rank-2 inputs with a shared row count.
+    pub fn concat_cols(&mut self, parts: &[Var]) -> Result<Var> {
+        if parts.is_empty() {
+            return Err(GradError::BadTargets("concat_cols of zero parts"));
+        }
+        let rows = self.value(parts[0]).shape().as_2d()?.0;
+        let mut cols = Vec::with_capacity(parts.len());
+        for &p in parts {
+            let (r, c) = self.value(p).shape().as_2d()?;
+            if r != rows {
+                return Err(GradError::Tensor(vsan_tensor::TensorError::ShapeMismatch {
+                    lhs: vec![rows],
+                    rhs: vec![r],
+                    op: "concat_cols",
+                }));
+            }
+            cols.push(c);
+        }
+        let total: usize = cols.iter().sum();
+        let mut out = Tensor::zeros(&[rows, total]);
+        let mut col0 = 0usize;
+        for (&p, &c) in parts.iter().zip(cols.iter()) {
+            for r in 0..rows {
+                let src = &self.value(p).data()[r * c..(r + 1) * c];
+                out.data_mut()[r * total + col0..r * total + col0 + c].copy_from_slice(src);
+            }
+            col0 += c;
+        }
+        let ids: Vec<usize> = parts.iter().map(|p| p.0).collect();
+        let ng = self.needs(&ids);
+        Ok(self.push(out, Op::ConcatCols { parts: ids, cols }, ng))
+    }
+
+    /// Slice a contiguous column range `[lo, hi)` out of a rank-2 input.
+    ///
+    /// Composed from two transposes and a row gather (all with exact
+    /// backward rules), so gradients flow only into the selected columns.
+    /// Used by multi-head attention to split the model width into heads.
+    pub fn slice_cols(&mut self, x: Var, lo: usize, hi: usize) -> Result<Var> {
+        let (_, c) = self.value(x).shape().as_2d()?;
+        if lo >= hi || hi > c {
+            return Err(GradError::BadTargets("slice_cols range out of bounds"));
+        }
+        let t = self.transpose(x)?;
+        let idx: Vec<usize> = (lo..hi).collect();
+        let rows = self.gather_rows(t, &idx)?;
+        self.transpose(rows)
+    }
+
+    /// Inverted dropout with a caller-supplied mask whose entries are `0.0`
+    /// (dropped) or `1/(1-p)` (kept). Pass an all-`1/(1-p)`-free identity
+    /// mask — or skip the op — at evaluation time.
+    pub fn dropout(&mut self, x: Var, mask: Vec<f32>) -> Result<Var> {
+        if mask.len() != self.value(x).numel() {
+            return Err(GradError::BadTargets("dropout mask length mismatch"));
+        }
+        let mut v = self.value(x).clone();
+        for (o, &m) in v.data_mut().iter_mut().zip(&mask) {
+            *o *= m;
+        }
+        let ng = self.nodes[x.0].needs_grad;
+        Ok(self.push(v, Op::Dropout { x: x.0, mask }, ng))
+    }
+
+    /// Column-wise max over rows: `(r, c) → (c,)` (Caser's max-pool).
+    pub fn max_axis0(&mut self, x: Var) -> Result<Var> {
+        let (r, c) = self.value(x).shape().as_2d()?;
+        if r == 0 {
+            return Err(GradError::BadTargets("max_axis0 over zero rows"));
+        }
+        let mut out = Tensor::zeros(&[c]);
+        let mut argmax = vec![0usize; c];
+        for j in 0..c {
+            let mut best = f32::NEG_INFINITY;
+            for i in 0..r {
+                let v = self.value(x).get2(i, j);
+                if v > best {
+                    best = v;
+                    argmax[j] = i;
+                }
+            }
+            out.data_mut()[j] = best;
+        }
+        let ng = self.nodes[x.0].needs_grad;
+        Ok(self.push(out, Op::MaxAxis0 { x: x.0, argmax }, ng))
+    }
+
+    // ---- reductions / losses ----------------------------------------------
+
+    /// Sum of all elements → scalar.
+    pub fn sum_all(&mut self, x: Var) -> Var {
+        let v = Tensor::scalar(tops::sum_all(self.value(x)));
+        let ng = self.nodes[x.0].needs_grad;
+        self.push(v, Op::SumAll(x.0), ng)
+    }
+
+    /// Mean of all elements → scalar.
+    pub fn mean_all(&mut self, x: Var) -> Var {
+        let v = Tensor::scalar(tops::mean_all(self.value(x)));
+        let ng = self.nodes[x.0].needs_grad;
+        self.push(v, Op::MeanAll(x.0), ng)
+    }
+
+    /// Fused softmax cross-entropy with one target per row (Eq. 14).
+    ///
+    /// `targets[r] = usize::MAX` marks a masked/padding row, contributing
+    /// zero loss and zero gradient. The loss is averaged over unmasked rows.
+    pub fn ce_one_hot(&mut self, logits: Var, targets: &[usize]) -> Result<Var> {
+        let (r, c) = self.value(logits).shape().as_2d()?;
+        if targets.len() != r {
+            return Err(GradError::BadTargets("one target per logits row required"));
+        }
+        let active = targets.iter().filter(|&&t| t != usize::MAX).count();
+        let norm = active.max(1) as f32;
+        let mut probs = vec![0.0f32; r * c];
+        let mut loss = 0.0f64;
+        for i in 0..r {
+            let row = &self.value(logits).data()[i * c..(i + 1) * c];
+            let t = targets[i];
+            if t == usize::MAX {
+                continue;
+            }
+            if t >= c {
+                return Err(GradError::BadTargets("target index out of vocabulary"));
+            }
+            let max = row.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
+            let mut sum = 0.0f32;
+            let p_row = &mut probs[i * c..(i + 1) * c];
+            for (p, &x) in p_row.iter_mut().zip(row) {
+                *p = (x - max).exp();
+                sum += *p;
+            }
+            let inv = 1.0 / sum;
+            p_row.iter_mut().for_each(|p| *p *= inv);
+            loss -= (p_row[t].max(1e-30) as f64).ln();
+        }
+        let v = Tensor::scalar((loss / norm as f64) as f32);
+        let ng = self.nodes[logits.0].needs_grad;
+        Ok(self.push(v, Op::CeOneHot { logits: logits.0, targets: targets.to_vec(), probs, norm }, ng))
+    }
+
+    /// Fused multi-hot softmax cross-entropy for the next-`k` objective
+    /// (Eq. 18): per-row loss `-Σ_{i ∈ targets[r]} log softmax_r[i]`.
+    /// Empty target sets mark masked rows. Averaged over unmasked rows.
+    pub fn ce_multi_hot(&mut self, logits: Var, targets: &[Vec<usize>]) -> Result<Var> {
+        let (r, c) = self.value(logits).shape().as_2d()?;
+        if targets.len() != r {
+            return Err(GradError::BadTargets("one target set per logits row required"));
+        }
+        let active = targets.iter().filter(|t| !t.is_empty()).count();
+        let norm = active.max(1) as f32;
+        let mut probs = vec![0.0f32; r * c];
+        let mut loss = 0.0f64;
+        for i in 0..r {
+            if targets[i].is_empty() {
+                continue;
+            }
+            let row = &self.value(logits).data()[i * c..(i + 1) * c];
+            let max = row.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
+            let mut sum = 0.0f32;
+            let p_row = &mut probs[i * c..(i + 1) * c];
+            for (p, &x) in p_row.iter_mut().zip(row) {
+                *p = (x - max).exp();
+                sum += *p;
+            }
+            let inv = 1.0 / sum;
+            p_row.iter_mut().for_each(|p| *p *= inv);
+            for &t in &targets[i] {
+                if t >= c {
+                    return Err(GradError::BadTargets("multi-hot target out of vocabulary"));
+                }
+                loss -= (p_row[t].max(1e-30) as f64).ln();
+            }
+        }
+        let v = Tensor::scalar((loss / norm as f64) as f32);
+        let ng = self.nodes[logits.0].needs_grad;
+        Ok(self.push(
+            v,
+            Op::CeMultiHot { logits: logits.0, targets: targets.to_vec(), probs, norm },
+            ng,
+        ))
+    }
+
+    /// Fused KL divergence of `N(μ, exp(logvar))` from `N(0, I)` (Eq. 20):
+    /// `0.5 Σ_j (exp(lv_j) + μ_j² − 1 − lv_j)` per row, summed over rows with
+    /// `row_mask[r] = true`, averaged by the number of active rows.
+    pub fn kl_std_normal(&mut self, mu: Var, logvar: Var, row_mask: &[bool]) -> Result<Var> {
+        let (r, c) = self.value(mu).shape().as_2d()?;
+        let (r2, c2) = self.value(logvar).shape().as_2d()?;
+        if (r, c) != (r2, c2) || row_mask.len() != r {
+            return Err(GradError::BadTargets("kl operands/mask shape mismatch"));
+        }
+        let active = row_mask.iter().filter(|&&m| m).count();
+        let norm = active.max(1) as f32;
+        let mut loss = 0.0f64;
+        for i in 0..r {
+            if !row_mask[i] {
+                continue;
+            }
+            let mu_row = &self.value(mu).data()[i * c..(i + 1) * c];
+            let lv_row = &self.value(logvar).data()[i * c..(i + 1) * c];
+            for (&m, &lv) in mu_row.iter().zip(lv_row) {
+                loss += 0.5 * (lv.exp() + m * m - 1.0 - lv) as f64;
+            }
+        }
+        let v = Tensor::scalar((loss / norm as f64) as f32);
+        let ng = self.needs(&[mu.0, logvar.0]);
+        Ok(self.push(
+            v,
+            Op::KlStdNormal { mu: mu.0, logvar: logvar.0, row_mask: row_mask.to_vec(), norm },
+            ng,
+        ))
+    }
+
+    // ---- backward ----------------------------------------------------------
+
+    /// Reverse pass from a scalar loss. Returns per-parameter gradients.
+    pub fn backward(&self, loss: Var) -> Result<Gradients> {
+        if loss.0 >= self.nodes.len() {
+            return Err(GradError::UnknownVar(loss.0));
+        }
+        let loss_node = &self.nodes[loss.0];
+        if loss_node.value.numel() != 1 {
+            return Err(GradError::NonScalarLoss { shape: loss_node.value.dims().to_vec() });
+        }
+        let mut grads: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
+        grads[loss.0] = Some(Tensor::from_vec(vec![1.0], loss_node.value.dims())
+            .unwrap_or_else(|_| Tensor::scalar(1.0)));
+
+        for i in (0..=loss.0).rev() {
+            if !self.nodes[i].needs_grad {
+                continue;
+            }
+            let g = match grads[i].take() {
+                Some(g) => g,
+                None => continue,
+            };
+            self.backprop_node(i, &g, &mut grads)?;
+            // Re-store the gradient so callers can inspect intermediate grads.
+            grads[i] = Some(g);
+        }
+
+        let mut params = HashMap::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            if let Op::Leaf { param_key: Some(key) } = node.op {
+                if let Some(g) = grads[i].take() {
+                    // Accumulate if the same key was inserted multiple times.
+                    params
+                        .entry(key)
+                        .and_modify(|acc: &mut Tensor| {
+                            tops::add_scaled_into(acc, &g, 1.0).expect("same-shape param grads");
+                        })
+                        .or_insert(g);
+                }
+            }
+        }
+        Ok(Gradients { params })
+    }
+
+    fn accum(grads: &mut [Option<Tensor>], node: &Node, id: usize, delta: Tensor) -> Result<()> {
+        if !node.needs_grad {
+            return Ok(());
+        }
+        match &mut grads[id] {
+            Some(acc) => tops::add_scaled_into(acc, &delta, 1.0)?,
+            slot @ None => *slot = Some(delta),
+        }
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn backprop_node(&self, i: usize, g: &Tensor, grads: &mut Vec<Option<Tensor>>) -> Result<()> {
+        let node = &self.nodes[i];
+        match &node.op {
+            Op::Leaf { .. } => {}
+            Op::Add(a, b) => {
+                Self::accum(grads, &self.nodes[*a], *a, g.clone())?;
+                Self::accum(grads, &self.nodes[*b], *b, g.clone())?;
+            }
+            Op::Sub(a, b) => {
+                Self::accum(grads, &self.nodes[*a], *a, g.clone())?;
+                Self::accum(grads, &self.nodes[*b], *b, tops::scale(g, -1.0))?;
+            }
+            Op::Mul(a, b) => {
+                if self.nodes[*a].needs_grad {
+                    let da = tops::hadamard(g, &self.nodes[*b].value)?;
+                    Self::accum(grads, &self.nodes[*a], *a, da)?;
+                }
+                if self.nodes[*b].needs_grad {
+                    let db = tops::hadamard(g, &self.nodes[*a].value)?;
+                    Self::accum(grads, &self.nodes[*b], *b, db)?;
+                }
+            }
+            Op::Affine { x, scale, .. } => {
+                Self::accum(grads, &self.nodes[*x], *x, tops::scale(g, *scale))?;
+            }
+            Op::AddRowBroadcast { x, bias } => {
+                Self::accum(grads, &self.nodes[*x], *x, g.clone())?;
+                if self.nodes[*bias].needs_grad {
+                    Self::accum(grads, &self.nodes[*bias], *bias, tops::sum_axis0(g)?)?;
+                }
+            }
+            Op::MatMul(a, b) => {
+                if self.nodes[*a].needs_grad {
+                    let da = tops::matmul_a_bt(g, &self.nodes[*b].value)?;
+                    Self::accum(grads, &self.nodes[*a], *a, da)?;
+                }
+                if self.nodes[*b].needs_grad {
+                    let db = tops::matmul_at_b(&self.nodes[*a].value, g)?;
+                    Self::accum(grads, &self.nodes[*b], *b, db)?;
+                }
+            }
+            Op::MatMulABt(a, b) => {
+                // out = A·Bᵀ ⇒ dA = g·B, dB = gᵀ·A.
+                if self.nodes[*a].needs_grad {
+                    let da = parallel::matmul_parallel(g, &self.nodes[*b].value, self.threads)?;
+                    Self::accum(grads, &self.nodes[*a], *a, da)?;
+                }
+                if self.nodes[*b].needs_grad {
+                    let db = tops::matmul_at_b(g, &self.nodes[*a].value)?;
+                    Self::accum(grads, &self.nodes[*b], *b, db)?;
+                }
+            }
+            Op::Relu(x) => {
+                let mut dx = g.clone();
+                for (d, &inp) in dx.data_mut().iter_mut().zip(self.nodes[*x].value.data()) {
+                    if inp <= 0.0 {
+                        *d = 0.0;
+                    }
+                }
+                Self::accum(grads, &self.nodes[*x], *x, dx)?;
+            }
+            Op::Sigmoid(x) => {
+                let mut dx = g.clone();
+                for (d, &y) in dx.data_mut().iter_mut().zip(node.value.data()) {
+                    *d *= y * (1.0 - y);
+                }
+                Self::accum(grads, &self.nodes[*x], *x, dx)?;
+            }
+            Op::Tanh(x) => {
+                let mut dx = g.clone();
+                for (d, &y) in dx.data_mut().iter_mut().zip(node.value.data()) {
+                    *d *= 1.0 - y * y;
+                }
+                Self::accum(grads, &self.nodes[*x], *x, dx)?;
+            }
+            Op::Exp(x) => {
+                let dx = tops::hadamard(g, &node.value)?;
+                Self::accum(grads, &self.nodes[*x], *x, dx)?;
+            }
+            Op::SoftmaxRows(x) | Op::SoftmaxCausal(x) => {
+                // dx_row = y ⊙ (g − ⟨g, y⟩); masked entries have y = 0.
+                let y = &node.value;
+                let (r, c) = y.shape().as_2d()?;
+                let mut dx = Tensor::zeros(&[r, c]);
+                for row in 0..r {
+                    let y_row = &y.data()[row * c..(row + 1) * c];
+                    let g_row = &g.data()[row * c..(row + 1) * c];
+                    let dot: f32 = y_row.iter().zip(g_row).map(|(&a, &b)| a * b).sum();
+                    let d_row = &mut dx.data_mut()[row * c..(row + 1) * c];
+                    for j in 0..c {
+                        d_row[j] = y_row[j] * (g_row[j] - dot);
+                    }
+                }
+                Self::accum(grads, &self.nodes[*x], *x, dx)?;
+            }
+            Op::LayerNorm { x, gamma, beta, stats } => {
+                let xv = &self.nodes[*x].value;
+                let (r, c) = xv.shape().as_2d()?;
+                let gam = self.nodes[*gamma].value.data();
+                let cf = c as f32;
+                let mut dx = Tensor::zeros(&[r, c]);
+                let mut dgamma = Tensor::zeros(&[c]);
+                let mut dbeta = Tensor::zeros(&[c]);
+                for row in 0..r {
+                    let m = stats.mean[row];
+                    let is = stats.inv_std[row];
+                    let x_row = &xv.data()[row * c..(row + 1) * c];
+                    let g_row = &g.data()[row * c..(row + 1) * c];
+                    // x̂ and dŷ
+                    let mut sum_dxhat = 0.0f32;
+                    let mut sum_dxhat_xhat = 0.0f32;
+                    for j in 0..c {
+                        let xhat = (x_row[j] - m) * is;
+                        let dxhat = g_row[j] * gam[j];
+                        sum_dxhat += dxhat;
+                        sum_dxhat_xhat += dxhat * xhat;
+                        dgamma.data_mut()[j] += g_row[j] * xhat;
+                        dbeta.data_mut()[j] += g_row[j];
+                    }
+                    let d_row = &mut dx.data_mut()[row * c..(row + 1) * c];
+                    for j in 0..c {
+                        let xhat = (x_row[j] - m) * is;
+                        let dxhat = g_row[j] * gam[j];
+                        d_row[j] = (is / cf) * (cf * dxhat - sum_dxhat - xhat * sum_dxhat_xhat);
+                    }
+                }
+                Self::accum(grads, &self.nodes[*x], *x, dx)?;
+                Self::accum(grads, &self.nodes[*gamma], *gamma, dgamma)?;
+                Self::accum(grads, &self.nodes[*beta], *beta, dbeta)?;
+            }
+            Op::GatherRows { x, idx } => {
+                if self.nodes[*x].needs_grad {
+                    let src = &self.nodes[*x].value;
+                    let (_, c) = src.shape().as_2d()?;
+                    let mut dx = Tensor::zeros_like(src);
+                    for (out_row, &src_row) in idx.iter().enumerate() {
+                        let g_row = &g.data()[out_row * c..(out_row + 1) * c];
+                        let d_row = &mut dx.data_mut()[src_row * c..(src_row + 1) * c];
+                        for (d, &gv) in d_row.iter_mut().zip(g_row) {
+                            *d += gv;
+                        }
+                    }
+                    Self::accum(grads, &self.nodes[*x], *x, dx)?;
+                }
+            }
+            Op::ConcatRows { parts, rows } => {
+                let c = node.value.shape().as_2d()?.1;
+                let mut row0 = 0usize;
+                for (&p, &r) in parts.iter().zip(rows.iter()) {
+                    if self.nodes[p].needs_grad {
+                        let slice = Tensor::from_vec(
+                            g.data()[row0 * c..(row0 + r) * c].to_vec(),
+                            &[r, c],
+                        )?;
+                        Self::accum(grads, &self.nodes[p], p, slice)?;
+                    }
+                    row0 += r;
+                }
+            }
+            Op::ConcatCols { parts, cols } => {
+                let (r, total) = node.value.shape().as_2d()?;
+                let mut col0 = 0usize;
+                for (&p, &c) in parts.iter().zip(cols.iter()) {
+                    if self.nodes[p].needs_grad {
+                        let mut dp = Tensor::zeros(&[r, c]);
+                        for row in 0..r {
+                            let src = &g.data()[row * total + col0..row * total + col0 + c];
+                            dp.data_mut()[row * c..(row + 1) * c].copy_from_slice(src);
+                        }
+                        Self::accum(grads, &self.nodes[p], p, dp)?;
+                    }
+                    col0 += c;
+                }
+            }
+            Op::Reshape { x, old_dims } => {
+                let dx = g.reshape(old_dims)?;
+                Self::accum(grads, &self.nodes[*x], *x, dx)?;
+            }
+            Op::Transpose(x) => {
+                Self::accum(grads, &self.nodes[*x], *x, g.transpose2()?)?;
+            }
+            Op::Dropout { x, mask } => {
+                let mut dx = g.clone();
+                for (d, &m) in dx.data_mut().iter_mut().zip(mask) {
+                    *d *= m;
+                }
+                Self::accum(grads, &self.nodes[*x], *x, dx)?;
+            }
+            Op::MaxAxis0 { x, argmax } => {
+                let src = &self.nodes[*x].value;
+                let mut dx = Tensor::zeros_like(src);
+                let (_, c) = src.shape().as_2d()?;
+                for (j, &row) in argmax.iter().enumerate() {
+                    dx.data_mut()[row * c + j] += g.data()[j];
+                }
+                Self::accum(grads, &self.nodes[*x], *x, dx)?;
+            }
+            Op::SumAll(x) => {
+                let gs = g.data()[0];
+                let dx = Tensor::full(self.nodes[*x].value.dims(), gs);
+                Self::accum(grads, &self.nodes[*x], *x, dx)?;
+            }
+            Op::MeanAll(x) => {
+                let n = self.nodes[*x].value.numel() as f32;
+                let gs = g.data()[0] / n;
+                let dx = Tensor::full(self.nodes[*x].value.dims(), gs);
+                Self::accum(grads, &self.nodes[*x], *x, dx)?;
+            }
+            Op::CeOneHot { logits, targets, probs, norm } => {
+                if self.nodes[*logits].needs_grad {
+                    let lv = &self.nodes[*logits].value;
+                    let (r, c) = lv.shape().as_2d()?;
+                    let gs = g.data()[0] / norm;
+                    let mut dx = Tensor::zeros(&[r, c]);
+                    for row in 0..r {
+                        let t = targets[row];
+                        if t == usize::MAX {
+                            continue;
+                        }
+                        let p_row = &probs[row * c..(row + 1) * c];
+                        let d_row = &mut dx.data_mut()[row * c..(row + 1) * c];
+                        for j in 0..c {
+                            d_row[j] = gs * p_row[j];
+                        }
+                        d_row[t] -= gs;
+                    }
+                    Self::accum(grads, &self.nodes[*logits], *logits, dx)?;
+                }
+            }
+            Op::CeMultiHot { logits, targets, probs, norm } => {
+                if self.nodes[*logits].needs_grad {
+                    let lv = &self.nodes[*logits].value;
+                    let (r, c) = lv.shape().as_2d()?;
+                    let gs = g.data()[0] / norm;
+                    let mut dx = Tensor::zeros(&[r, c]);
+                    for row in 0..r {
+                        if targets[row].is_empty() {
+                            continue;
+                        }
+                        let kcount = targets[row].len() as f32;
+                        let p_row = &probs[row * c..(row + 1) * c];
+                        let d_row = &mut dx.data_mut()[row * c..(row + 1) * c];
+                        for j in 0..c {
+                            d_row[j] = gs * kcount * p_row[j];
+                        }
+                        for &t in &targets[row] {
+                            d_row[t] -= gs;
+                        }
+                    }
+                    Self::accum(grads, &self.nodes[*logits], *logits, dx)?;
+                }
+            }
+            Op::KlStdNormal { mu, logvar, row_mask, norm } => {
+                let gs = g.data()[0] / norm;
+                let (r, c) = self.nodes[*mu].value.shape().as_2d()?;
+                if self.nodes[*mu].needs_grad {
+                    let mut dmu = Tensor::zeros(&[r, c]);
+                    for row in 0..r {
+                        if !row_mask[row] {
+                            continue;
+                        }
+                        let mu_row = &self.nodes[*mu].value.data()[row * c..(row + 1) * c];
+                        let d_row = &mut dmu.data_mut()[row * c..(row + 1) * c];
+                        for (d, &m) in d_row.iter_mut().zip(mu_row) {
+                            *d = gs * m;
+                        }
+                    }
+                    Self::accum(grads, &self.nodes[*mu], *mu, dmu)?;
+                }
+                if self.nodes[*logvar].needs_grad {
+                    let mut dlv = Tensor::zeros(&[r, c]);
+                    for row in 0..r {
+                        if !row_mask[row] {
+                            continue;
+                        }
+                        let lv_row = &self.nodes[*logvar].value.data()[row * c..(row + 1) * c];
+                        let d_row = &mut dlv.data_mut()[row * c..(row + 1) * c];
+                        for (d, &lv) in d_row.iter_mut().zip(lv_row) {
+                            *d = gs * 0.5 * (lv.exp() - 1.0);
+                        }
+                    }
+                    Self::accum(grads, &self.nodes[*logvar], *logvar, dlv)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Parameter gradients produced by [`Graph::backward`].
+#[derive(Debug)]
+pub struct Gradients {
+    params: HashMap<usize, Tensor>,
+}
+
+impl Gradients {
+    /// Gradient for a parameter key, if it participated in the loss.
+    pub fn param_grad(&self, key: usize) -> Option<&Tensor> {
+        self.params.get(&key)
+    }
+
+    /// Take ownership of a parameter gradient.
+    pub fn take(&mut self, key: usize) -> Option<Tensor> {
+        self.params.remove(&key)
+    }
+
+    /// Iterate over `(key, grad)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&usize, &Tensor)> {
+        self.params.iter()
+    }
+
+    /// Number of parameters that received gradients.
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// `true` when no parameter received a gradient.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Global gradient L2 norm across all parameters.
+    pub fn global_norm(&self) -> f32 {
+        self.params.values().map(Tensor::sq_norm).sum::<f32>().sqrt()
+    }
+
+    /// Scale every gradient so the global norm does not exceed `max_norm`.
+    pub fn clip_global_norm(&mut self, max_norm: f32) {
+        let norm = self.global_norm();
+        if norm > max_norm && norm > 0.0 {
+            let s = max_norm / norm;
+            for g in self.params.values_mut() {
+                g.map_in_place(|x| x * s);
+            }
+        }
+    }
+}
+
+/// Convenience: build a graph shape from dims (used by downstream crates).
+pub fn shape(dims: &[usize]) -> Shape {
+    Shape::new(dims)
+}

@@ -1,0 +1,123 @@
+//! Property-based tests for the autograd engine.
+
+use proptest::prelude::*;
+use vsan_autograd::Graph;
+use vsan_tensor::Tensor;
+
+fn matrix(r: usize, c: usize) -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-3.0f32..3.0, r * c)
+        .prop_map(move |v| Tensor::from_vec(v, &[r, c]).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// d/dx sum(x ⊙ y) = y — exactly, for any operands.
+    #[test]
+    fn mul_gradient_is_the_other_operand(x in matrix(3, 4), y in matrix(3, 4)) {
+        let mut g = Graph::with_threads(1);
+        let xv = g.param(x, 0);
+        let yc = g.constant(y.clone());
+        let m = g.mul(xv, yc).unwrap();
+        let loss = g.sum_all(m);
+        let grads = g.backward(loss).unwrap();
+        prop_assert_eq!(grads.param_grad(0).unwrap().data(), y.data());
+    }
+
+    /// Linearity: grad of sum(s·x) is s everywhere.
+    #[test]
+    fn scale_gradient_is_constant(x in matrix(2, 5), s in -4.0f32..4.0) {
+        let mut g = Graph::with_threads(1);
+        let xv = g.param(x, 0);
+        let sc = g.scale(xv, s);
+        let loss = g.sum_all(sc);
+        let grads = g.backward(loss).unwrap();
+        for &v in grads.param_grad(0).unwrap().data() {
+            prop_assert!((v - s).abs() < 1e-6);
+        }
+    }
+
+    /// Gradient of a softmax row sums to ~0 (probability simplex is
+    /// shift-invariant, so any loss gradient through softmax has zero sum
+    /// per row).
+    #[test]
+    fn softmax_row_gradients_sum_to_zero(x in matrix(3, 6), w in matrix(3, 6)) {
+        let mut g = Graph::with_threads(1);
+        let xv = g.param(x, 0);
+        let wc = g.constant(w);
+        let s = g.softmax_rows(xv).unwrap();
+        let m = g.mul(s, wc).unwrap();
+        let loss = g.sum_all(m);
+        let grads = g.backward(loss).unwrap();
+        let dg = grads.param_grad(0).unwrap();
+        for r in 0..3 {
+            let row_sum: f32 = dg.row(r).iter().sum();
+            prop_assert!(row_sum.abs() < 1e-4, "row {} grad sum {}", r, row_sum);
+        }
+    }
+
+    /// CE gradient rows sum to ~0 (softmax-CE has the same simplex
+    /// structure: p − onehot sums to zero).
+    #[test]
+    fn ce_gradient_rows_sum_to_zero(x in matrix(4, 5)) {
+        let targets = vec![0usize, 2, 4, usize::MAX];
+        let mut g = Graph::with_threads(1);
+        let xv = g.param(x, 0);
+        let loss = g.ce_one_hot(xv, &targets).unwrap();
+        let grads = g.backward(loss).unwrap();
+        let dg = grads.param_grad(0).unwrap();
+        for r in 0..4 {
+            let row_sum: f32 = dg.row(r).iter().sum();
+            prop_assert!(row_sum.abs() < 1e-5);
+        }
+        // Masked row gets exactly zero gradient.
+        prop_assert!(dg.row(3).iter().all(|&v| v == 0.0));
+    }
+
+    /// KL of N(0, I) against N(0, I) is zero with zero gradient at the
+    /// stationary point.
+    #[test]
+    fn kl_is_zero_at_the_prior(r in 1usize..4, c in 1usize..6) {
+        let mu = Tensor::zeros(&[r, c]);
+        let logvar = Tensor::zeros(&[r, c]);
+        let mask = vec![true; r];
+        let mut g = Graph::with_threads(1);
+        let m = g.param(mu, 0);
+        let lv = g.param(logvar, 1);
+        let kl = g.kl_std_normal(m, lv, &mask).unwrap();
+        prop_assert!(g.value(kl).data()[0].abs() < 1e-7);
+        let grads = g.backward(kl).unwrap();
+        prop_assert!(grads.param_grad(0).unwrap().data().iter().all(|&v| v == 0.0));
+        prop_assert!(grads.param_grad(1).unwrap().data().iter().all(|&v| v.abs() < 1e-7));
+    }
+
+    /// KL is non-negative for arbitrary posteriors.
+    #[test]
+    fn kl_is_nonnegative(mu in matrix(3, 4), logvar in matrix(3, 4)) {
+        let mask = vec![true; 3];
+        let mut g = Graph::with_threads(1);
+        let m = g.constant(mu);
+        let lv = g.constant(logvar);
+        let kl = g.kl_std_normal(m, lv, &mask).unwrap();
+        prop_assert!(g.value(kl).data()[0] >= -1e-6);
+    }
+
+    /// Reshape/transpose round trips preserve gradients exactly.
+    #[test]
+    fn structural_ops_pass_gradients_through(x in matrix(3, 4)) {
+        let mut g = Graph::with_threads(1);
+        let xv = g.param(x.clone(), 0);
+        let r = g.reshape(xv, &[4, 3]).unwrap();
+        let t = g.transpose(r).unwrap(); // (3,4) again
+        let t2 = g.transpose(t).unwrap();
+        let back = g.reshape(t2, &[3, 4]).unwrap();
+        let m = g.mul(back, back).unwrap();
+        let loss = g.sum_all(m);
+        let grads = g.backward(loss).unwrap();
+        let dg = grads.param_grad(0).unwrap();
+        // d/dx sum(x²) = 2x.
+        for (d, &xv) in dg.data().iter().zip(x.data()) {
+            prop_assert!((d - 2.0 * xv).abs() < 1e-5);
+        }
+    }
+}

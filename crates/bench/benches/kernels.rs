@@ -1,0 +1,129 @@
+//! Kernel micro-benchmarks backing the design choices in DESIGN.md §5:
+//! parallel vs serial matmul, fused vs composed softmax cross-entropy,
+//! fused causal-mask softmax vs additive-mask softmax, and tape overhead
+//! vs raw kernels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vsan_autograd::Graph;
+use vsan_tensor::{init, ops, parallel, Tensor};
+
+fn bench_matmul_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul_parallel");
+    let mut rng = StdRng::seed_from_u64(1);
+    // The prediction-layer shape: (batch·seq, d) × (d, items).
+    let a = init::randn(&mut rng, &[512, 64], 0.0, 0.5);
+    let b = init::randn(&mut rng, &[64, 2048], 0.0, 0.5);
+    group.bench_function("serial", |bench| {
+        bench.iter(|| ops::matmul(&a, &b).unwrap());
+    });
+    for threads in [2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |bench, &t| {
+            bench.iter(|| parallel::matmul_parallel(&a, &b, t).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_fused_ce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fused_ce");
+    let mut rng = StdRng::seed_from_u64(2);
+    let logits = init::randn(&mut rng, &[256, 2048], 0.0, 1.0);
+    let targets: Vec<usize> = (0..256).map(|i| (i * 13) % 2048).collect();
+
+    group.bench_function("fused", |bench| {
+        bench.iter(|| {
+            let mut g = Graph::with_threads(1);
+            let l = g.param(logits.clone(), 0);
+            let loss = g.ce_one_hot(l, &targets).unwrap();
+            g.backward(loss).unwrap()
+        });
+    });
+    group.bench_function("composed_softmax_then_mask", |bench| {
+        // The unfused alternative: full softmax on the tape, a one-hot mask
+        // multiply, and a reduction — same gradient signal, ~2-3x the
+        // tensor traffic plus the generic softmax backward.
+        bench.iter(|| {
+            let mut g = Graph::with_threads(1);
+            let l = g.param(logits.clone(), 0);
+            let sm = g.softmax_rows(l).unwrap();
+            let mut mask = Tensor::zeros(&[256, 2048]);
+            for (r, &t) in targets.iter().enumerate() {
+                mask.set2(r, t, 1.0);
+            }
+            let m = g.constant(mask);
+            let picked = g.mul(sm, m).unwrap();
+            let s = g.sum_all(picked);
+            g.backward(s).unwrap()
+        });
+    });
+    group.finish();
+}
+
+fn bench_causal_mask(c: &mut Criterion) {
+    let mut group = c.benchmark_group("causal_mask");
+    let mut rng = StdRng::seed_from_u64(3);
+    let scores = init::randn(&mut rng, &[200, 200], 0.0, 1.0);
+    group.bench_function("fused_prefix_softmax", |bench| {
+        bench.iter(|| ops::softmax_rows_masked(&scores).unwrap());
+    });
+    group.bench_function("additive_neg_inf_mask", |bench| {
+        bench.iter(|| {
+            // The textbook alternative: add −1e9 above the diagonal, then a
+            // full-row softmax. Touches the whole matrix twice.
+            let mut masked = scores.clone();
+            for i in 0..200 {
+                for j in (i + 1)..200 {
+                    masked.set2(i, j, -1e9);
+                }
+            }
+            ops::softmax_rows(&masked).unwrap()
+        });
+    });
+    group.finish();
+}
+
+fn bench_tape_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tape_overhead");
+    let mut rng = StdRng::seed_from_u64(4);
+    let a = init::randn(&mut rng, &[128, 64], 0.0, 0.5);
+    let b = init::randn(&mut rng, &[64, 64], 0.0, 0.5);
+    group.bench_function("raw_kernels", |bench| {
+        bench.iter(|| {
+            let c1 = ops::matmul(&a, &b).unwrap();
+            let c2 = ops::elementwise::relu(&c1);
+            ops::sum_all(&c2)
+        });
+    });
+    group.bench_function("tape_forward_only", |bench| {
+        bench.iter(|| {
+            let mut g = Graph::with_threads(1);
+            let av = g.constant(a.clone());
+            let bv = g.constant(b.clone());
+            let c1 = g.matmul(av, bv).unwrap();
+            let c2 = g.relu(c1);
+            let s = g.sum_all(c2);
+            g.value(s).data()[0]
+        });
+    });
+    group.bench_function("tape_with_backward", |bench| {
+        bench.iter(|| {
+            let mut g = Graph::with_threads(1);
+            let av = g.param(a.clone(), 0);
+            let bv = g.param(b.clone(), 1);
+            let c1 = g.matmul(av, bv).unwrap();
+            let c2 = g.relu(c1);
+            let s = g.sum_all(c2);
+            g.backward(s).unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_matmul_parallel, bench_fused_ce, bench_causal_mask, bench_tape_overhead
+}
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Extension ablation: strong vs weak generalization (§V-A's protocol
+//! argument, quantified).
+//!
+//! The paper chooses strong generalization because "the same user can
+//! exist during both training and evaluation" under weak generalization,
+//! inflating scores. This binary trains the same VSAN under both splits
+//! and reports the inflation directly.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vsan_bench::{timed, Bench, ExpArgs};
+use vsan_core::Vsan;
+use vsan_data::split::Split;
+use vsan_data::Dataset;
+use vsan_eval::{evaluate_held_out, EvalConfig};
+
+fn main() {
+    let args = ExpArgs::from_env(1);
+    println!(
+        "== Ablation: strong vs weak generalization (extension; scale {:?}) ==",
+        args.scale
+    );
+    println!(
+        "{:<12} {:<8} {:>9} {:>9} {:>9}",
+        "Dataset", "split", "NDCG@10", "Rec@10", "Rec@20"
+    );
+    for name in args.datasets.names() {
+        let seed = args.seeds[0];
+        let bench = Bench::prepare(name, args.scale, seed);
+        let mut cfg = args.scale.vsan_config(name).with_seed(seed);
+        cfg.base.epochs = 2 * args.scale.grid_epochs();
+
+        // Strong generalization: the harness default.
+        let strong = timed("strong", || bench.train_vsan(&cfg));
+        let strong_r = bench.evaluate(&strong);
+
+        // Weak generalization: every user trains (held-out users truncated
+        // to their fold-in prefix), same evaluation views.
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED);
+        let weak_split = Split::weak_generalization(&bench.ds, bench.test_views.len(), 5, &mut rng);
+        let truncated = Split::weak_training_views(&bench.ds, &weak_split, 0.8);
+        let weak_ds = Dataset {
+            name: bench.ds.name.clone(),
+            num_items: bench.ds.num_items,
+            sequences: truncated,
+        };
+        let weak_views = Split::held_out_views(&bench.ds, &weak_split.test_users, 0.8);
+        let weak = timed("weak", || {
+            Vsan::train(&weak_ds, &weak_split.train_users, &cfg).expect("vsan weak")
+        });
+        let weak_r = evaluate_held_out(&weak, &weak_views, &EvalConfig::default());
+
+        for (label, r) in [("strong", &strong_r), ("weak", &weak_r)] {
+            println!(
+                "{:<12} {:<8} {:>9.3} {:>9.3} {:>9.3}",
+                name,
+                label,
+                r.get_pct("NDCG", 10).unwrap_or(f64::NAN),
+                r.get_pct("Recall", 10).unwrap_or(f64::NAN),
+                r.get_pct("Recall", 20).unwrap_or(f64::NAN)
+            );
+        }
+        let s = strong_r.get("NDCG", 10).unwrap_or(0.0);
+        let w = weak_r.get("NDCG", 10).unwrap_or(0.0);
+        if s > 0.0 {
+            println!(
+                "{name}: weak/strong NDCG@10 ratio = {:.2} (paper's §V-A caution: >1 means weak inflates)",
+                w / s
+            );
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Fig. 3 — performance under different next-`k` windows: VSAN vs SVAE,
+//! Recall@20 for k ∈ {1..6}. The paper finds k = 2 best for VSAN and
+//! k = 4 best for SVAE, with VSAN above SVAE at every k.
+
+use vsan_bench::{timed, Bench, ExpArgs};
+use vsan_eval::RunAggregate;
+use vsan_models::svae::SvaeConfig;
+use vsan_models::Svae;
+
+fn main() {
+    let args = ExpArgs::from_env(1);
+    let ks = [1usize, 2, 3, 4, 5, 6];
+    println!(
+        "== Fig. 3: next-k sweep, Recall@20 (scale {:?}, {} seed(s)) ==",
+        args.scale,
+        args.seeds.len()
+    );
+    for name in args.datasets.names() {
+        println!("\n--- dataset: {name} ---");
+        println!("{:>4} {:>10} {:>10}", "k", "VSAN", "SVAE");
+        let mut best = (0usize, f64::MIN, 0usize, f64::MIN); // (k_vsan, v, k_svae, v)
+        for &k in &ks {
+            let mut vsan_agg = RunAggregate::new();
+            let mut svae_agg = RunAggregate::new();
+            for &seed in &args.seeds {
+                let bench = Bench::prepare(name, args.scale, seed);
+                let mut vcfg = args.scale.vsan_config(name).with_seed(seed).with_next_k(k);
+                vcfg.base.epochs = args.scale.grid_epochs();
+                let vsan = timed(&format!("VSAN k={k}"), || bench.train_vsan(&vcfg));
+                vsan_agg.add(&bench.evaluate(&vsan));
+
+                let ncfg = args
+                    .scale
+                    .neural_config(name)
+                    .with_seed(seed)
+                    .with_epochs(args.scale.grid_epochs());
+                let mut scfg = SvaeConfig::for_dim(ncfg.dim);
+                scfg.next_k = k;
+                let svae = timed(&format!("SVAE k={k}"), || {
+                    Svae::train(&bench.ds, &bench.split.train_users, &ncfg, &scfg).expect("svae")
+                });
+                svae_agg.add(&bench.evaluate(&svae));
+            }
+            let v = vsan_agg.mean_pct("Recall", 20).unwrap_or(f64::NAN);
+            let s = svae_agg.mean_pct("Recall", 20).unwrap_or(f64::NAN);
+            if v > best.1 {
+                best.0 = k;
+                best.1 = v;
+            }
+            if s > best.3 {
+                best.2 = k;
+                best.3 = s;
+            }
+            println!("{k:>4} {v:>10.3} {s:>10.3}");
+        }
+        println!("best k: VSAN k={} ({:.3}%), SVAE k={} ({:.3}%)", best.0, best.1, best.2, best.3);
+    }
+}

@@ -1,0 +1,54 @@
+//! Fig. 4 — performance under different embedding dimensions d: VSAN vs
+//! SASRec, NDCG@10 for d across a sweep. The paper sweeps 10–400 and
+//! reports VSAN above SASRec throughout, with returns saturating (and
+//! eventually degrading) at large d.
+
+use vsan_bench::{timed, Bench, ExpArgs, Scale};
+use vsan_eval::RunAggregate;
+use vsan_models::SasRec;
+
+fn main() {
+    let args = ExpArgs::from_env(1);
+    // Paper sweeps 10..400; the repro sweep keeps the shape at CPU cost.
+    let dims: Vec<usize> = match args.scale {
+        Scale::Smoke => vec![8, 16, 32],
+        Scale::Repro => vec![10, 25, 50, 100, 150],
+        Scale::Paper => vec![10, 50, 100, 200, 300, 400],
+    };
+    println!(
+        "== Fig. 4: embedding-dimension sweep, NDCG@10 (scale {:?}, {} seed(s)) ==",
+        args.scale,
+        args.seeds.len()
+    );
+    for name in args.datasets.names() {
+        println!("\n--- dataset: {name} ---");
+        println!("{:>6} {:>10} {:>10}", "d", "VSAN", "SASRec");
+        for &d in &dims {
+            let mut vsan_agg = RunAggregate::new();
+            let mut sas_agg = RunAggregate::new();
+            for &seed in &args.seeds {
+                let bench = Bench::prepare(name, args.scale, seed);
+                let mut vcfg = args.scale.vsan_config(name).with_seed(seed);
+                vcfg.base = vcfg.base.with_dim(d).with_epochs(args.scale.grid_epochs());
+                let vsan = timed(&format!("VSAN d={d}"), || bench.train_vsan(&vcfg));
+                vsan_agg.add(&bench.evaluate(&vsan));
+
+                let ncfg = args
+                    .scale
+                    .neural_config(name)
+                    .with_seed(seed)
+                    .with_dim(d)
+                    .with_epochs(args.scale.grid_epochs());
+                let sas = timed(&format!("SASRec d={d}"), || {
+                    SasRec::train(&bench.ds, &bench.split.train_users, &ncfg).expect("sasrec")
+                });
+                sas_agg.add(&bench.evaluate(&sas));
+            }
+            println!(
+                "{d:>6} {:>10.3} {:>10.3}",
+                vsan_agg.mean_pct("NDCG", 10).unwrap_or(f64::NAN),
+                sas_agg.mean_pct("NDCG", 10).unwrap_or(f64::NAN)
+            );
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Fig. 5 — performance under different dropout rates: Recall@20 for
+//! rate ∈ {0.0, 0.1, …, 0.9}. The paper finds 0.5 best on Beauty, 0.2 on
+//! ML-1M, with a rise-then-(sharp-)fall shape.
+
+use vsan_bench::{timed, Bench, ExpArgs};
+use vsan_eval::RunAggregate;
+
+fn main() {
+    let args = ExpArgs::from_env(1);
+    let rates: Vec<f32> = (0..10).map(|i| i as f32 / 10.0).collect();
+    println!(
+        "== Fig. 5: dropout sweep, Recall@20 (scale {:?}, {} seed(s)) ==",
+        args.scale,
+        args.seeds.len()
+    );
+    for name in args.datasets.names() {
+        println!("\n--- dataset: {name} ---");
+        println!("{:>6} {:>10}", "rate", "VSAN");
+        let mut best = (0.0f32, f64::MIN);
+        for &rate in &rates {
+            let mut agg = RunAggregate::new();
+            for &seed in &args.seeds {
+                let bench = Bench::prepare(name, args.scale, seed);
+                let mut cfg = args.scale.vsan_config(name).with_seed(seed);
+                cfg.base = cfg.base.with_dropout(rate).with_epochs(args.scale.grid_epochs());
+                let model = timed(&format!("dropout={rate:.1}"), || bench.train_vsan(&cfg));
+                agg.add(&bench.evaluate(&model));
+            }
+            let v = agg.mean_pct("Recall", 20).unwrap_or(f64::NAN);
+            if v > best.1 {
+                best = (rate, v);
+            }
+            println!("{rate:>6.1} {v:>10.3}");
+        }
+        println!("best dropout: {:.1} (Recall@20 {:.3}%)", best.0, best.1);
+    }
+}

@@ -1,0 +1,58 @@
+//! Fig. 6 — influence of the β controlling the KL term: fixed
+//! β ∈ {0.0, 0.1, …, 0.9} against the paper's KL annealing (dotted line),
+//! NDCG@10. The paper reports annealing best on both datasets.
+
+use vsan_bench::{timed, Bench, ExpArgs};
+use vsan_eval::RunAggregate;
+use vsan_nn::BetaSchedule;
+
+fn main() {
+    let args = ExpArgs::from_env(1);
+    let betas: Vec<f32> = (0..10).map(|i| i as f32 / 10.0).collect();
+    println!(
+        "== Fig. 6: KL-weight sweep, NDCG@10 (scale {:?}, {} seed(s)) ==",
+        args.scale,
+        args.seeds.len()
+    );
+    for name in args.datasets.names() {
+        println!("\n--- dataset: {name} ---");
+        println!("{:>10} {:>10}", "beta", "VSAN");
+        let mut best_fixed = (0.0f32, f64::MIN);
+        for &beta in &betas {
+            let mut agg = RunAggregate::new();
+            for &seed in &args.seeds {
+                let bench = Bench::prepare(name, args.scale, seed);
+                let mut cfg = args
+                    .scale
+                    .vsan_config(name)
+                    .with_seed(seed)
+                    .with_beta(BetaSchedule::Fixed(beta));
+                cfg.base.epochs = args.scale.grid_epochs();
+                let model = timed(&format!("beta={beta:.1}"), || bench.train_vsan(&cfg));
+                agg.add(&bench.evaluate(&model));
+            }
+            let v = agg.mean_pct("NDCG", 10).unwrap_or(f64::NAN);
+            if v > best_fixed.1 {
+                best_fixed = (beta, v);
+            }
+            println!("{beta:>10.1} {v:>10.3}");
+        }
+        // Annealed reference (the dotted line in the paper's figure).
+        let mut agg = RunAggregate::new();
+        for &seed in &args.seeds {
+            let bench = Bench::prepare(name, args.scale, seed);
+            let mut cfg = args.scale.vsan_config(name).with_seed(seed); // default = annealing
+            cfg.base.epochs = args.scale.grid_epochs();
+            let model = timed("annealed", || bench.train_vsan(&cfg));
+            agg.add(&bench.evaluate(&model));
+        }
+        let annealed = agg.mean_pct("NDCG", 10).unwrap_or(f64::NAN);
+        println!("{:>10} {annealed:>10.3}", "annealed");
+        println!(
+            "best fixed beta: {:.1} ({:.3}%); annealing {}",
+            best_fixed.0,
+            best_fixed.1,
+            if annealed >= best_fixed.1 { "wins (paper shape holds)" } else { "loses at this scale" }
+        );
+    }
+}

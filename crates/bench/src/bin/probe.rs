@@ -1,0 +1,153 @@
+//! Diagnostic probe: train ONE model with explicit overrides and print its
+//! metrics plus the per-epoch loss curve. Used to calibrate the repro-scale
+//! training budgets recorded in EXPERIMENTS.md.
+//!
+//! ```text
+//! cargo run --release -p vsan-bench --bin probe -- \
+//!     --model sasrec --dataset beauty --scale repro --epochs 60 --lr 0.003
+//! ```
+
+use vsan_bench::{timed, Bench, ExpArgs, Scale};
+use vsan_core::Vsan;
+use vsan_models::caser::CaserConfig;
+use vsan_models::svae::SvaeConfig;
+use vsan_models::{Caser, Gru4Rec, SasRec, Svae};
+
+fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    let mut model = "vsan".to_string();
+    let mut epochs: Option<usize> = None;
+    let mut lr: Option<f32> = None;
+    let mut dim: Option<usize> = None;
+    let mut dropout: Option<f32> = None;
+    let mut k: Option<usize> = None;
+    let mut variant = "full".to_string();
+    let mut tie = false;
+    let mut i = 1;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--model" if i + 1 < argv.len() => {
+                model = argv[i + 1].to_ascii_lowercase();
+                i += 2;
+            }
+            "--epochs" if i + 1 < argv.len() => {
+                epochs = argv[i + 1].parse().ok();
+                i += 2;
+            }
+            "--lr" if i + 1 < argv.len() => {
+                lr = argv[i + 1].parse().ok();
+                i += 2;
+            }
+            "--dim" if i + 1 < argv.len() => {
+                dim = argv[i + 1].parse().ok();
+                i += 2;
+            }
+            "--dropout" if i + 1 < argv.len() => {
+                dropout = argv[i + 1].parse().ok();
+                i += 2;
+            }
+            "--k" if i + 1 < argv.len() => {
+                k = argv[i + 1].parse().ok();
+                i += 2;
+            }
+            "--variant" if i + 1 < argv.len() => {
+                variant = argv[i + 1].to_ascii_lowercase();
+                i += 2;
+            }
+            "--tie" => {
+                tie = true;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    let args = ExpArgs::from_env(1);
+    let dataset = args.datasets.names()[0];
+    let bench = Bench::prepare(dataset, args.scale, args.seeds[0]);
+    eprintln!(
+        "dataset {} users={} items={} train={}",
+        bench.name(),
+        bench.ds.num_users(),
+        bench.ds.num_items,
+        bench.split.train_users.len()
+    );
+
+    let mut ncfg = args.scale.neural_config(dataset).with_seed(args.seeds[0]);
+    if let Some(e) = epochs {
+        ncfg.epochs = e;
+    }
+    if let Some(l) = lr {
+        ncfg.lr = l;
+    }
+    if let Some(d) = dim {
+        ncfg = ncfg.with_dim(d);
+    }
+    if let Some(p) = dropout {
+        ncfg = ncfg.with_dropout(p);
+    }
+
+    let (losses, report) = match model.as_str() {
+        "sasrec" => {
+            let m = timed("train", || {
+                SasRec::train(&bench.ds, &bench.split.train_users, &ncfg).expect("train")
+            });
+            (m.train_losses.clone(), timed("eval", || bench.evaluate(&m)))
+        }
+        "gru4rec" => {
+            let m = timed("train", || {
+                Gru4Rec::train(&bench.ds, &bench.split.train_users, &ncfg).expect("train")
+            });
+            (m.train_losses.clone(), timed("eval", || bench.evaluate(&m)))
+        }
+        "caser" => {
+            let m = timed("train", || {
+                Caser::train(&bench.ds, &bench.split.train_users, &ncfg, &CaserConfig::default())
+                    .expect("train")
+            });
+            (m.train_losses.clone(), timed("eval", || bench.evaluate(&m)))
+        }
+        "svae" => {
+            let m = timed("train", || {
+                Svae::train(
+                    &bench.ds,
+                    &bench.split.train_users,
+                    &ncfg,
+                    &SvaeConfig::for_dim(ncfg.dim),
+                )
+                .expect("train")
+            });
+            (m.train_losses.clone(), timed("eval", || bench.evaluate(&m)))
+        }
+        "vsan" | _ => {
+            let mut vcfg = args.scale.vsan_config(dataset).with_seed(args.seeds[0]);
+            vcfg.base = ncfg.clone();
+            if let Some(k) = k {
+                vcfg = vcfg.with_next_k(k);
+            }
+            if variant == "z" {
+                vcfg = vcfg.vsan_z();
+            }
+            vcfg.tie_prediction = tie;
+            let m = timed("train", || Vsan::train(&bench.ds, &bench.split.train_users, &vcfg).expect("train"));
+            (m.train_losses.clone(), timed("eval", || bench.evaluate(&m)))
+        }
+    };
+
+    let show: Vec<String> = losses
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| i % (losses.len() / 12 + 1) == 0 || *i == losses.len() - 1)
+        .map(|(i, l)| format!("{i}:{l:.3}"))
+        .collect();
+    println!("loss curve: {}", show.join(" "));
+    println!(
+        "{model} @{:?}: NDCG@10 {:.3}% Recall@10 {:.3}% NDCG@20 {:.3}% Recall@20 {:.3}% Prec@10 {:.3}%",
+        args.scale,
+        report.get_pct("NDCG", 10).unwrap_or(f64::NAN),
+        report.get_pct("Recall", 10).unwrap_or(f64::NAN),
+        report.get_pct("NDCG", 20).unwrap_or(f64::NAN),
+        report.get_pct("Recall", 20).unwrap_or(f64::NAN),
+        report.get_pct("Precision", 10).unwrap_or(f64::NAN),
+    );
+    let _ = Scale::Smoke; // keep the import obviously used in all cfgs
+}

@@ -1,0 +1,29 @@
+//! Table II — dataset statistics. Verifies the simulator calibration
+//! against the paper's reported numbers (at `--scale paper` the targets
+//! are matched directly; at smaller scales proportions and the sparsity
+//! ordering are what matters).
+
+use vsan_bench::{Bench, ExpArgs};
+use vsan_data::stats::DatasetStats;
+
+fn main() {
+    let args = ExpArgs::from_env(1);
+    println!("== Table II: dataset statistics (scale {:?}) ==", args.scale);
+    println!(
+        "paper targets: Beauty 14 993 users / 12 069 items / 130 455 inter. / 99.93% sparse;"
+    );
+    println!("               ML-1M  6 031 users /  3 516 items / 571 519 inter. / 97.30% sparse");
+    println!();
+    for name in args.datasets.names() {
+        let bench = Bench::prepare(name, args.scale, args.seeds[0]);
+        let stats = DatasetStats::compute(&bench.ds);
+        println!("{}", stats.table_row(bench.name()));
+        println!(
+            "    held-out users: {} val / {} test; median len {}; max len {}",
+            bench.split.val_users.len(),
+            bench.split.test_users.len(),
+            stats.median_seq_len,
+            stats.max_seq_len
+        );
+    }
+}

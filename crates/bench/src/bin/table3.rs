@@ -1,0 +1,124 @@
+//! Table III — overall performance of all nine models on both simulated
+//! datasets: NDCG / Recall / Precision at 10 and 20 (in percent), averaged
+//! over seeds, with the improvement row of VSAN over the strongest
+//! baseline.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vsan_bench::{timed, Bench, ExpArgs};
+use vsan_core::Vsan;
+use vsan_eval::report::{table3_header, table3_row};
+use vsan_eval::{MetricsReport, RunAggregate};
+use vsan_models::bpr::BprConfig;
+use vsan_models::caser::CaserConfig;
+use vsan_models::fpmc::FpmcConfig;
+use vsan_models::svae::SvaeConfig;
+use vsan_models::transrec::TransRecConfig;
+use vsan_models::{Bpr, Caser, Fpmc, Gru4Rec, Pop, SasRec, Svae, TransRec};
+
+const MODELS: &[&str] =
+    &["POP", "BPR", "FPMC", "TransRec", "GRU4Rec", "Caser", "SVAE", "SASRec", "VSAN"];
+
+fn main() {
+    let args = ExpArgs::from_env(3);
+    println!("== Table III: overall comparison (scale {:?}, {} seed(s)) ==", args.scale, args.seeds.len());
+    for name in args.datasets.names() {
+        run_dataset(name, &args);
+    }
+}
+
+fn run_dataset(name: &str, args: &ExpArgs) {
+    println!("\n--- dataset: {name} ---");
+    let mut aggregates: Vec<RunAggregate> = MODELS.iter().map(|_| RunAggregate::new()).collect();
+
+    for &seed in &args.seeds {
+        let bench = Bench::prepare(name, args.scale, seed);
+        eprintln!(
+            "seed {seed}: {} users / {} items / {} train users",
+            bench.ds.num_users(),
+            bench.ds.num_items,
+            bench.split.train_users.len()
+        );
+        let reports = run_all_models(&bench, args, seed);
+        for (agg, report) in aggregates.iter_mut().zip(&reports) {
+            agg.add(report);
+        }
+    }
+
+    println!("{}", table3_header());
+    let mut rows: Vec<MetricsReport> = Vec::new();
+    for (model, agg) in MODELS.iter().zip(&aggregates) {
+        let mean = agg.to_report();
+        println!("{}", table3_row(model, &mean));
+        rows.push(mean);
+    }
+
+    // Improvement row: VSAN vs the best baseline per metric (paper's last row).
+    let vsan = rows.last().expect("vsan row");
+    print!("{:<10}", "Improv.%");
+    for (metric, n) in
+        [("NDCG", 10), ("NDCG", 20), ("Recall", 10), ("Recall", 20), ("Precision", 10), ("Precision", 20)]
+    {
+        let best_baseline = rows[..rows.len() - 1]
+            .iter()
+            .filter_map(|r| r.get(metric, n))
+            .fold(f64::MIN, f64::max);
+        let v = vsan.get(metric, n).unwrap_or(0.0);
+        let improv = if best_baseline > 0.0 { (v / best_baseline - 1.0) * 100.0 } else { 0.0 };
+        let w = if metric == "Precision" { 9 } else { 7 };
+        print!(" {improv:>w$.2}");
+    }
+    println!();
+}
+
+fn run_all_models(bench: &Bench, args: &ExpArgs, seed: u64) -> Vec<MetricsReport> {
+    let name = bench.name().to_string();
+    let ncfg = args.scale.neural_config(&name).with_seed(seed);
+    let vcfg = args.scale.vsan_config(&name).with_seed(seed);
+    let classic_epochs = match args.scale {
+        vsan_bench::Scale::Smoke => 5,
+        vsan_bench::Scale::Repro => 25,
+        vsan_bench::Scale::Paper => 60,
+    };
+    let ds = &bench.ds;
+    let train = &bench.split.train_users;
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let mut out = Vec::with_capacity(MODELS.len());
+
+    let pop = timed("POP", || Pop::train(ds, train));
+    out.push(bench.evaluate(&pop));
+
+    let bpr_cfg = BprConfig { dim: ncfg.dim, epochs: classic_epochs, lr: 0.05, reg: 0.01, seed };
+    let bpr = timed("BPR", || Bpr::train(ds, train, &bpr_cfg, &mut rng));
+    out.push(bench.evaluate(&bpr));
+
+    let fpmc_cfg = FpmcConfig { dim: ncfg.dim, epochs: classic_epochs, lr: 0.05, reg: 0.01, seed };
+    let fpmc = timed("FPMC", || Fpmc::train(ds, train, &fpmc_cfg, &mut rng));
+    out.push(bench.evaluate(&fpmc));
+
+    let tr_cfg = TransRecConfig { dim: ncfg.dim, epochs: classic_epochs, lr: 0.05, reg: 0.005, seed };
+    let transrec = timed("TransRec", || TransRec::train(ds, train, &tr_cfg, &mut rng));
+    out.push(bench.evaluate(&transrec));
+
+    let gru = timed("GRU4Rec", || Gru4Rec::train(ds, train, &ncfg).expect("gru4rec"));
+    out.push(bench.evaluate(&gru));
+
+    let caser = timed("Caser", || {
+        Caser::train(ds, train, &ncfg, &CaserConfig::default()).expect("caser")
+    });
+    out.push(bench.evaluate(&caser));
+
+    let svae = timed("SVAE", || {
+        Svae::train(ds, train, &ncfg, &SvaeConfig::for_dim(ncfg.dim)).expect("svae")
+    });
+    out.push(bench.evaluate(&svae));
+
+    let sasrec = timed("SASRec", || SasRec::train(ds, train, &ncfg).expect("sasrec"));
+    out.push(bench.evaluate(&sasrec));
+
+    let vsan = timed("VSAN", || Vsan::train(ds, train, &vcfg).expect("vsan"));
+    out.push(bench.evaluate(&vsan));
+
+    out
+}

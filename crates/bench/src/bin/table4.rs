@@ -1,0 +1,53 @@
+//! Table IV — Recall@20 over the (h₁, h₂) self-attention block grid
+//! (RQ2): h₁, h₂ ∈ {0, 1, 2, 3} on both datasets.
+
+use vsan_bench::{timed, Bench, ExpArgs};
+use vsan_eval::RunAggregate;
+
+fn main() {
+    let args = ExpArgs::from_env(1);
+    println!(
+        "== Table IV: Recall@20 over (h1, h2) blocks (scale {:?}, {} seed(s)) ==",
+        args.scale,
+        args.seeds.len()
+    );
+    for name in args.datasets.names() {
+        println!("\n--- dataset: {name} ---");
+        println!("{:>8} {:>8} {:>8} {:>8} {:>8}", "", "h1=0", "h1=1", "h1=2", "h1=3");
+        let mut grid = vec![vec![0.0f64; 4]; 4];
+        for h2 in 0..4usize {
+            for h1 in 0..4usize {
+                let mut agg = RunAggregate::new();
+                for &seed in &args.seeds {
+                    let bench = Bench::prepare(name, args.scale, seed);
+                    let mut cfg =
+                        args.scale.vsan_config(name).with_seed(seed).with_blocks(h1, h2);
+                    cfg.base.epochs = args.scale.grid_epochs();
+                    let model = timed(&format!("h1={h1} h2={h2}"), || bench.train_vsan(&cfg));
+                    agg.add(&bench.evaluate(&model));
+                }
+                grid[h2][h1] = agg.mean_pct("Recall", 20).unwrap_or(f64::NAN);
+            }
+            println!(
+                "{:>8} {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
+                format!("h2={h2}"),
+                grid[h2][0],
+                grid[h2][1],
+                grid[h2][2],
+                grid[h2][3]
+            );
+        }
+        // Locate the argmax cell, mirroring the paper's discussion.
+        let (mut bh1, mut bh2, mut best) = (0, 0, f64::MIN);
+        for (h2, row) in grid.iter().enumerate() {
+            for (h1, &v) in row.iter().enumerate() {
+                if v > best {
+                    best = v;
+                    bh1 = h1;
+                    bh2 = h2;
+                }
+            }
+        }
+        println!("best cell: (h1={bh1}, h2={bh2}) Recall@20 = {best:.3}%");
+    }
+}

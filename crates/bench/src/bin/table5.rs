@@ -1,0 +1,66 @@
+//! Table V — influence of the latent variable z (RQ3): VSAN vs VSAN-z
+//! (the variant that feeds the inference output directly into the
+//! generative layer), NDCG/Recall at 10 and 20.
+
+use vsan_bench::{timed, Bench, ExpArgs};
+use vsan_eval::RunAggregate;
+
+fn main() {
+    let args = ExpArgs::from_env(1);
+    println!(
+        "== Table V: latent-variable ablation (scale {:?}, {} seed(s)) ==",
+        args.scale,
+        args.seeds.len()
+    );
+    println!(
+        "{:<12} {:<10} {:>8} {:>8} {:>8} {:>8}",
+        "Dataset", "Method", "NDCG@10", "Rec@10", "NDCG@20", "Rec@20"
+    );
+    for name in args.datasets.names() {
+        let mut rows: Vec<(String, RunAggregate)> = Vec::new();
+        for variant in ["VSAN-z", "VSAN"] {
+            let mut agg = RunAggregate::new();
+            for &seed in &args.seeds {
+                let bench = Bench::prepare(name, args.scale, seed);
+                let mut cfg = args.scale.vsan_config(name).with_seed(seed);
+                cfg.base.epochs = 2 * args.scale.grid_epochs();
+                if variant == "VSAN-z" {
+                    cfg = cfg.vsan_z();
+                }
+                let model = timed(&format!("{name}/{variant}"), || bench.train_vsan(&cfg));
+                agg.add(&bench.evaluate(&model));
+            }
+            rows.push((variant.to_string(), agg));
+        }
+        for (variant, agg) in &rows {
+            println!(
+                "{:<12} {:<10} {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
+                name,
+                variant,
+                agg.mean_pct("NDCG", 10).unwrap_or(f64::NAN),
+                agg.mean_pct("Recall", 10).unwrap_or(f64::NAN),
+                agg.mean_pct("NDCG", 20).unwrap_or(f64::NAN),
+                agg.mean_pct("Recall", 20).unwrap_or(f64::NAN),
+            );
+        }
+        // Improvement row (paper prints VSAN's gain over VSAN-z).
+        let improv = |metric: &str, n: usize| -> f64 {
+            let z = rows[0].1.mean(metric, n).unwrap_or(0.0);
+            let full = rows[1].1.mean(metric, n).unwrap_or(0.0);
+            if z > 0.0 {
+                (full / z - 1.0) * 100.0
+            } else {
+                0.0
+            }
+        };
+        println!(
+            "{:<12} {:<10} {:>8.2} {:>8.2} {:>8.2} {:>8.2}",
+            name,
+            "Improv.%",
+            improv("NDCG", 10),
+            improv("Recall", 10),
+            improv("NDCG", 20),
+            improv("Recall", 20),
+        );
+    }
+}

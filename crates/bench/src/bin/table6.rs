@@ -1,0 +1,47 @@
+//! Table VI — influence of the point-wise feed-forward network (RQ3):
+//! VSAN vs VSAN-all-feed / VSAN-infer-feed / VSAN-gene-feed.
+
+use vsan_bench::{timed, Bench, ExpArgs};
+use vsan_core::VsanConfig;
+use vsan_eval::RunAggregate;
+
+fn main() {
+    let args = ExpArgs::from_env(1);
+    println!(
+        "== Table VI: point-wise FFN ablations (scale {:?}, {} seed(s)) ==",
+        args.scale,
+        args.seeds.len()
+    );
+    println!(
+        "{:<12} {:<16} {:>8} {:>8} {:>8} {:>8}",
+        "Dataset", "Method", "NDCG@10", "Rec@10", "NDCG@20", "Rec@20"
+    );
+    for name in args.datasets.names() {
+        let variants: Vec<(&str, Box<dyn Fn(VsanConfig) -> VsanConfig>)> = vec![
+            ("VSAN-all-feed", Box::new(VsanConfig::all_feed)),
+            ("VSAN-infer-feed", Box::new(VsanConfig::infer_feed)),
+            ("VSAN-gene-feed", Box::new(VsanConfig::gene_feed)),
+            ("VSAN", Box::new(|c| c)),
+        ];
+        for (variant, transform) in &variants {
+            let mut agg = RunAggregate::new();
+            for &seed in &args.seeds {
+                let bench = Bench::prepare(name, args.scale, seed);
+                let mut cfg = transform(args.scale.vsan_config(name).with_seed(seed));
+                cfg.base.epochs = 2 * args.scale.grid_epochs();
+                debug_assert_eq!(cfg.variant_name(), *variant);
+                let model = timed(&format!("{name}/{variant}"), || bench.train_vsan(&cfg));
+                agg.add(&bench.evaluate(&model));
+            }
+            println!(
+                "{:<12} {:<16} {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
+                name,
+                variant,
+                agg.mean_pct("NDCG", 10).unwrap_or(f64::NAN),
+                agg.mean_pct("Recall", 10).unwrap_or(f64::NAN),
+                agg.mean_pct("NDCG", 20).unwrap_or(f64::NAN),
+                agg.mean_pct("Recall", 20).unwrap_or(f64::NAN),
+            );
+        }
+    }
+}

@@ -1,0 +1,465 @@
+//! The trainable VSAN network.
+
+use crate::config::VsanConfig;
+use vsan_data::sequence::{next_k_example, pad_left, SeqExampleK};
+use vsan_data::Dataset;
+use vsan_eval::Scorer;
+use vsan_models::common::{position_indices, train_epochs};
+use vsan_models::Recommender;
+use vsan_nn::{Dropout, Embedding, Linear, ParamStore, SelfAttentionBlock};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vsan_autograd::{Graph, Result as AgResult, Var};
+use vsan_tensor::init;
+
+/// The Variational Self-Attention Network (Fig. 2).
+pub struct Vsan {
+    store: ParamStore,
+    item_emb: Embedding,
+    pos_emb: Embedding,
+    /// Inference self-attention blocks (`h₁` of them).
+    infer_blocks: Vec<SelfAttentionBlock>,
+    /// Variational heads (Eq. 12; log-variance parameterization).
+    mu_head: Linear,
+    logvar_head: Linear,
+    /// Generative self-attention blocks (`h₂` of them).
+    gene_blocks: Vec<SelfAttentionBlock>,
+    /// Prediction layer `W_g, b_g` (Eq. 19) — a separate output matrix,
+    /// not weight-tied, exactly as the paper writes it.
+    prediction: Linear,
+    cfg: VsanConfig,
+    vocab: usize,
+    /// Mean training loss (CE + β·KL) per epoch.
+    pub train_losses: Vec<f32>,
+}
+
+impl Vsan {
+    /// Build and train VSAN on the training users' sequences.
+    pub fn train(ds: &Dataset, train_users: &[usize], cfg: &VsanConfig) -> Result<Self, String> {
+        let mut model = Self::init(ds.vocab(), cfg);
+        let n = cfg.base.max_seq_len;
+        let examples: Vec<SeqExampleK> = train_users
+            .iter()
+            .filter_map(|&u| next_k_example(&ds.sequences[u], n, cfg.next_k))
+            .collect();
+        if examples.is_empty() {
+            return Ok(model);
+        }
+
+        // Proxy examples: train_epochs shuffles/batches indices for us.
+        let proxies: Vec<vsan_data::sequence::SeqExample> = (0..examples.len())
+            .map(|i| vsan_data::sequence::SeqExample { input: vec![i as u32], targets: vec![] })
+            .collect();
+
+        let item_emb = model.item_emb.clone();
+        let pos_emb = model.pos_emb.clone();
+        let infer_blocks = model.infer_blocks.clone();
+        let mu_head = model.mu_head.clone();
+        let logvar_head = model.logvar_head.clone();
+        let gene_blocks = model.gene_blocks.clone();
+        let prediction = model.prediction.clone();
+        let vcfg = cfg.clone();
+        let dropout = Dropout::new(cfg.base.dropout);
+
+        let losses = train_epochs(
+            &cfg.base,
+            &mut model.store,
+            &proxies,
+            |g, store, batch, rng, step| {
+                let b = batch.len();
+                let mut inputs = Vec::with_capacity(b * n);
+                let mut targets: Vec<Vec<usize>> = Vec::with_capacity(b * n);
+                for proxy in batch {
+                    let ex = &examples[proxy.input[0] as usize];
+                    inputs.extend(ex.input.iter().map(|&i| i as usize));
+                    targets.extend(ex.targets.iter().cloned());
+                }
+                let kl_mask: Vec<bool> = targets.iter().map(|t| !t.is_empty()).collect();
+
+                // Embedding layer (Eq. 4) + dropout. The table var is
+                // reused by the tied prediction path when enabled.
+                let table = store.var(g, item_emb.table);
+                let items = g.gather_rows(table, &inputs)?;
+                let pos = pos_emb.lookup(g, store, &position_indices(b, n))?;
+                let mut h = g.add(items, pos)?;
+                h = dropout.forward(g, rng, h, true)?;
+
+                // Inference self-attention layer (Eqs. 5–11).
+                for block in &infer_blocks {
+                    h = block.forward(g, store, h, b, n, &dropout, rng, true)?;
+                }
+
+                // Variational heads + latent variable layer (Eqs. 12–13).
+                let (z, kl) = if vcfg.use_latent {
+                    let mu = mu_head.forward(g, store, h)?;
+                    let logvar = logvar_head.forward(g, store, h)?;
+                    let half = g.scale(logvar, 0.5);
+                    let sigma = g.exp(half);
+                    let eps =
+                        g.constant(init::randn(rng, &[b * n, vcfg.base.dim], 0.0, 1.0));
+                    let noise = g.mul(sigma, eps)?;
+                    let z = g.add(mu, noise)?;
+                    let kl = g.kl_std_normal(mu, logvar, &kl_mask)?;
+                    (z, Some(kl))
+                } else {
+                    // VSAN-z: the inference output feeds the generative
+                    // layer directly (Table V).
+                    (h, None)
+                };
+
+                // Generative self-attention layer (Eqs. 15–17).
+                let mut gz = z;
+                for block in &gene_blocks {
+                    gz = block.forward(g, store, gz, b, n, &dropout, rng, true)?;
+                }
+
+                // Prediction layer + loss (Eqs. 18–20). Tied mode scores
+                // against the item embedding (extension flag, see config).
+                let logits = if vcfg.tie_prediction {
+                    g.matmul_a_bt(gz, table)?
+                } else {
+                    prediction.forward(g, store, gz)?
+                };
+                let ce = g.ce_multi_hot(logits, &targets)?;
+                match kl {
+                    Some(kl) => {
+                        let beta = vcfg.beta.beta(step);
+                        let weighted = g.scale(kl, beta);
+                        g.add(ce, weighted)
+                    }
+                    None => Ok(ce),
+                }
+            },
+            |store| {
+                item_emb.zero_padding(store);
+            },
+        )?;
+        model.train_losses = losses;
+        Ok(model)
+    }
+
+    /// Initialize an untrained model (exposed for checkpoint loading).
+    pub fn init(vocab: usize, cfg: &VsanConfig) -> Self {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(cfg.base.seed);
+        let d = cfg.base.dim;
+        let item_emb = Embedding::new(&mut store, &mut rng, "item_emb", vocab, d, true);
+        let pos_emb = Embedding::new(&mut store, &mut rng, "pos_emb", cfg.base.max_seq_len, d, false);
+        let infer_blocks = (0..cfg.h1)
+            .map(|i| SelfAttentionBlock::new(&mut store, &mut rng, &format!("infer{i}"), d, cfg.infer_ffn))
+            .collect();
+        let mu_head = Linear::new(&mut store, &mut rng, "mu_head", d, d, true);
+        let logvar_head = Linear::new(&mut store, &mut rng, "logvar_head", d, d, true);
+        // Start the posterior nearly deterministic (σ ≈ e⁻² ≈ 0.14): with
+        // Xavier init the head outputs log σ² ≈ 0, i.e. unit-variance noise
+        // that drowns the reparameterized signal before the decoder can
+        // learn anything — the encoder then collapses to the prior and the
+        // reconstruction loss never moves. Zero weights + a −4 bias give
+        // the μ path a clean channel first; KL and the data then negotiate
+        // σ upward. (Documented in DESIGN.md; the paper's Eq. 12 does not
+        // specify the head initialization.)
+        store.get_mut(logvar_head.w).fill(0.0);
+        if let Some(b) = logvar_head.b {
+            store.get_mut(b).fill(-4.0);
+        }
+        let gene_blocks = (0..cfg.h2)
+            .map(|i| SelfAttentionBlock::new(&mut store, &mut rng, &format!("gene{i}"), d, cfg.gene_ffn))
+            .collect();
+        let prediction = Linear::new(&mut store, &mut rng, "prediction", d, vocab, true);
+        Vsan {
+            store,
+            item_emb,
+            pos_emb,
+            infer_blocks,
+            mu_head,
+            logvar_head,
+            gene_blocks,
+            prediction,
+            cfg: cfg.clone(),
+            vocab,
+            train_losses: Vec::new(),
+        }
+    }
+
+    /// The configuration this model was built with.
+    pub fn config(&self) -> &VsanConfig {
+        &self.cfg
+    }
+
+    /// Total trainable scalars.
+    pub fn num_parameters(&self) -> usize {
+        self.store.num_scalars()
+    }
+
+    /// Borrow the parameter store (checkpointing).
+    pub fn params(&self) -> &ParamStore {
+        &self.store
+    }
+
+    /// Mutably borrow the parameter store (checkpoint restore).
+    pub fn params_mut(&mut self) -> &mut ParamStore {
+        &mut self.store
+    }
+
+    /// Evaluation forward pass to the inference posterior of every
+    /// position: returns `(graph, mu, logvar)` with dropout disabled.
+    pub(crate) fn forward_posterior(&self, fold_in: &[u32]) -> AgResult<(Graph, Var, Var)> {
+        let n = self.cfg.base.max_seq_len;
+        let input = pad_left(fold_in, n);
+        let mut g = Graph::with_threads(self.cfg.base.threads);
+        let mut rng = StdRng::seed_from_u64(0);
+        let dropout = Dropout::new(0.0);
+        let idx: Vec<usize> = input.iter().map(|&i| i as usize).collect();
+        let table = self.store.var(&mut g, self.item_emb.table);
+        let items = g.gather_rows(table, &idx)?;
+        let pos = self.pos_emb.lookup(&mut g, &self.store, &position_indices(1, n))?;
+        let mut h = g.add(items, pos)?;
+        for block in &self.infer_blocks {
+            h = block.forward(&mut g, &self.store, h, 1, n, &dropout, &mut rng, false)?;
+        }
+        let mu = self.mu_head.forward(&mut g, &self.store, h)?;
+        let logvar = self.logvar_head.forward(&mut g, &self.store, h)?;
+        Ok((g, mu, logvar))
+    }
+
+    /// Convenience: top-`n` recommendations for a history, excluding the
+    /// already-seen items (the evaluation protocol's view, packaged for
+    /// application code).
+    pub fn recommend(&self, history: &[u32], n: usize) -> Vec<u32> {
+        use std::collections::HashSet;
+        use vsan_eval::Scorer;
+        let scores = self.score_items(history);
+        let seen: HashSet<u32> = history.iter().copied().collect();
+        vsan_eval::top_n_excluding(&scores, n, &seen)
+    }
+
+    /// Decode a caller-supplied latent for the *last* position (earlier
+    /// positions keep their posterior means) into item probabilities.
+    /// Powers the Monte-Carlo scoring extension in [`crate::uncertainty`].
+    pub(crate) fn decode_latent_probs(
+        &self,
+        fold_in: &[u32],
+        z_last: &[f32],
+    ) -> Result<Vec<f32>, String> {
+        let n = self.cfg.base.max_seq_len;
+        let d = self.cfg.base.dim;
+        if z_last.len() != d {
+            return Err(format!("latent width {} != model dim {d}", z_last.len()));
+        }
+        let (g_post, mu, _) = self.forward_posterior(fold_in).map_err(|e| e.to_string())?;
+        let mut z_mat = g_post.value(mu).clone();
+        z_mat.row_mut(n - 1).copy_from_slice(z_last);
+        drop(g_post);
+
+        let mut g = Graph::with_threads(self.cfg.base.threads);
+        let mut rng = StdRng::seed_from_u64(0);
+        let dropout = Dropout::new(0.0);
+        let mut z = g.constant(z_mat);
+        for block in &self.gene_blocks {
+            z = block
+                .forward(&mut g, &self.store, z, 1, n, &dropout, &mut rng, false)
+                .map_err(|e| e.to_string())?;
+        }
+        let last = g.gather_rows(z, &[n - 1]).map_err(|e| e.to_string())?;
+        let logits = if self.cfg.tie_prediction {
+            let table = self.store.var(&mut g, self.item_emb.table);
+            g.matmul_a_bt(last, table).map_err(|e| e.to_string())?
+        } else {
+            self.prediction.forward(&mut g, &self.store, last).map_err(|e| e.to_string())?
+        };
+        let probs = g.softmax_rows(logits).map_err(|e| e.to_string())?;
+        Ok(g.value(probs).data().to_vec())
+    }
+
+    /// Full evaluation forward to last-position logits. At evaluation the
+    /// latent is the posterior mean `z = μ` (§IV-E, following Liang et al.).
+    fn forward_logits(&self, fold_in: &[u32]) -> AgResult<Vec<f32>> {
+        let n = self.cfg.base.max_seq_len;
+        let input = pad_left(fold_in, n);
+        let mut g = Graph::with_threads(self.cfg.base.threads);
+        let mut rng = StdRng::seed_from_u64(0);
+        let dropout = Dropout::new(0.0);
+        let idx: Vec<usize> = input.iter().map(|&i| i as usize).collect();
+        let table = self.store.var(&mut g, self.item_emb.table);
+        let items = g.gather_rows(table, &idx)?;
+        let pos = self.pos_emb.lookup(&mut g, &self.store, &position_indices(1, n))?;
+        let mut h = g.add(items, pos)?;
+        for block in &self.infer_blocks {
+            h = block.forward(&mut g, &self.store, h, 1, n, &dropout, &mut rng, false)?;
+        }
+        let mut z = if self.cfg.use_latent {
+            self.mu_head.forward(&mut g, &self.store, h)?
+        } else {
+            h
+        };
+        for block in &self.gene_blocks {
+            z = block.forward(&mut g, &self.store, z, 1, n, &dropout, &mut rng, false)?;
+        }
+        let last = g.gather_rows(z, &[n - 1])?;
+        let logits = if self.cfg.tie_prediction {
+            g.matmul_a_bt(last, table)?
+        } else {
+            self.prediction.forward(&mut g, &self.store, last)?
+        };
+        Ok(g.value(logits).data().to_vec())
+    }
+}
+
+impl Scorer for Vsan {
+    fn score_items(&self, fold_in: &[u32]) -> Vec<f32> {
+        self.forward_logits(fold_in).unwrap_or_else(|_| vec![0.0; self.vocab])
+    }
+    fn vocab(&self) -> usize {
+        self.vocab
+    }
+}
+
+impl Recommender for Vsan {
+    fn name(&self) -> &'static str {
+        "VSAN"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::VsanConfig;
+
+    fn chain_dataset(num_items: usize, users: usize, len: usize) -> Dataset {
+        let sequences = (0..users)
+            .map(|u| (0..len).map(|t| ((u + t) % num_items + 1) as u32).collect())
+            .collect();
+        Dataset { name: "chain".into(), num_items, sequences }
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        // Fixed β so the loss is comparable across epochs (under annealing
+        // the growing KL weight can mask the falling reconstruction term).
+        let ds = chain_dataset(8, 24, 10);
+        let users: Vec<usize> = (0..24).collect();
+        let mut cfg = VsanConfig::smoke().with_beta(vsan_nn::BetaSchedule::Fixed(0.05));
+        cfg.base = cfg.base.with_epochs(6);
+        let model = Vsan::train(&ds, &users, &cfg).unwrap();
+        assert!(model.train_losses.last().unwrap() < &model.train_losses[0]);
+    }
+
+    #[test]
+    fn learns_deterministic_chain() {
+        let ds = chain_dataset(6, 30, 12);
+        let users: Vec<usize> = (0..30).collect();
+        let mut cfg = VsanConfig::smoke();
+        cfg.base = cfg.base.with_epochs(40);
+        let model = Vsan::train(&ds, &users, &cfg).unwrap();
+        let scores = model.score_items(&[3, 4]);
+        let best = (1..=6).max_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap()).unwrap();
+        assert_eq!(best, 5, "scores {:?}", &scores[1..]);
+    }
+
+    #[test]
+    fn evaluation_is_deterministic_posterior_mean() {
+        let ds = chain_dataset(6, 12, 8);
+        let users: Vec<usize> = (0..12).collect();
+        let mut cfg = VsanConfig::smoke();
+        cfg.base = cfg.base.with_epochs(2);
+        let model = Vsan::train(&ds, &users, &cfg).unwrap();
+        assert_eq!(model.score_items(&[1, 2]), model.score_items(&[1, 2]));
+    }
+
+    #[test]
+    fn all_variants_train() {
+        let ds = chain_dataset(6, 16, 8);
+        let users: Vec<usize> = (0..16).collect();
+        let base = {
+            let mut c = VsanConfig::smoke();
+            c.base = c.base.with_epochs(2);
+            c
+        };
+        for cfg in [
+            base.clone(),
+            base.clone().vsan_z(),
+            base.clone().all_feed(),
+            base.clone().infer_feed(),
+            base.clone().gene_feed(),
+        ] {
+            let name = cfg.variant_name();
+            let model = Vsan::train(&ds, &users, &cfg).unwrap();
+            assert!(
+                model.train_losses.iter().all(|l| l.is_finite()),
+                "{name} produced non-finite losses"
+            );
+            assert!(model.score_items(&[1, 2]).iter().all(|s| s.is_finite()), "{name}");
+        }
+    }
+
+    #[test]
+    fn block_count_grid_trains_including_zeroes() {
+        let ds = chain_dataset(6, 12, 8);
+        let users: Vec<usize> = (0..12).collect();
+        for (h1, h2) in [(0, 0), (0, 1), (1, 0), (2, 1)] {
+            let mut cfg = VsanConfig::smoke().with_blocks(h1, h2);
+            cfg.base = cfg.base.with_epochs(1);
+            let model = Vsan::train(&ds, &users, &cfg).unwrap();
+            assert!(model.train_losses[0].is_finite(), "(h1,h2)=({h1},{h2})");
+        }
+    }
+
+    #[test]
+    fn next_k_grows_the_target_sets() {
+        let ds = chain_dataset(6, 12, 10);
+        let users: Vec<usize> = (0..12).collect();
+        for k in [1, 2, 3] {
+            let mut cfg = VsanConfig::smoke().with_next_k(k);
+            cfg.base = cfg.base.with_epochs(1);
+            let model = Vsan::train(&ds, &users, &cfg).unwrap();
+            assert!(model.train_losses[0].is_finite(), "k={k}");
+        }
+    }
+
+    #[test]
+    fn vsan_z_has_same_params_but_no_kl_path() {
+        // VSAN-z keeps the heads registered (same param count) but the
+        // latent path is bypassed, so the μ head receives no gradient.
+        let ds = chain_dataset(6, 12, 8);
+        let users: Vec<usize> = (0..12).collect();
+        let mut cfg = VsanConfig::smoke().vsan_z();
+        cfg.base = cfg.base.with_epochs(1);
+        let model = Vsan::train(&ds, &users, &cfg).unwrap();
+        assert!(model.num_parameters() > 0);
+        assert_eq!(model.config().variant_name(), "VSAN-z");
+    }
+
+    #[test]
+    fn recommend_excludes_history_and_bounds_n() {
+        let ds = chain_dataset(6, 16, 10);
+        let users: Vec<usize> = (0..16).collect();
+        let mut cfg = VsanConfig::smoke();
+        cfg.base = cfg.base.with_epochs(2);
+        let model = Vsan::train(&ds, &users, &cfg).unwrap();
+        let history = vec![1u32, 2, 3];
+        let recs = model.recommend(&history, 4);
+        assert!(recs.len() <= 4);
+        for r in &recs {
+            assert!(!history.contains(r), "recommended an already-seen item");
+            assert_ne!(*r, 0, "recommended the padding item");
+        }
+        // Asking for more than the catalogue returns everything unseen.
+        let all = model.recommend(&history, 100);
+        assert_eq!(all.len(), 6 - 3);
+    }
+
+    #[test]
+    fn checkpoint_round_trip_preserves_scores() {
+        let ds = chain_dataset(6, 12, 8);
+        let users: Vec<usize> = (0..12).collect();
+        let mut cfg = VsanConfig::smoke();
+        cfg.base = cfg.base.with_epochs(2);
+        let model = Vsan::train(&ds, &users, &cfg).unwrap();
+        let blob = model.params().save();
+        let mut restored = Vsan::init(model.vocab(), &cfg);
+        let count = restored.params_mut().load_values(blob).unwrap();
+        assert_eq!(count, restored.params().len());
+        assert_eq!(model.score_items(&[1, 2]), restored.score_items(&[1, 2]));
+    }
+}

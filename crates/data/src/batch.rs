@@ -1,0 +1,71 @@
+//! Epoch shuffling and mini-batching over user indices.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Shuffle `users` and split them into batches of at most `batch_size`.
+/// The final partial batch is kept (never dropped) so every training user
+/// is visited exactly once per epoch.
+pub fn epoch_batches<R: Rng + ?Sized>(
+    users: &[usize],
+    batch_size: usize,
+    rng: &mut R,
+) -> Vec<Vec<usize>> {
+    assert!(batch_size > 0, "batch_size must be positive");
+    let mut shuffled = users.to_vec();
+    shuffled.shuffle(rng);
+    shuffled.chunks(batch_size).map(<[usize]>::to_vec).collect()
+}
+
+/// Deterministic batching without shuffling (evaluation order).
+pub fn ordered_batches(users: &[usize], batch_size: usize) -> Vec<Vec<usize>> {
+    assert!(batch_size > 0, "batch_size must be positive");
+    users.chunks(batch_size).map(<[usize]>::to_vec).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn every_user_appears_exactly_once() {
+        let users: Vec<usize> = (0..103).collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        let batches = epoch_batches(&users, 16, &mut rng);
+        assert_eq!(batches.len(), 7); // 6 full + 1 partial of 7
+        assert_eq!(batches.last().unwrap().len(), 7);
+        let mut all: Vec<usize> = batches.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, users);
+    }
+
+    #[test]
+    fn shuffling_actually_shuffles() {
+        let users: Vec<usize> = (0..64).collect();
+        let mut rng = StdRng::seed_from_u64(2);
+        let batches = epoch_batches(&users, 64, &mut rng);
+        assert_ne!(batches[0], users, "statistically impossible identity shuffle");
+    }
+
+    #[test]
+    fn ordered_batches_preserve_order() {
+        let users = vec![5, 3, 9, 1];
+        let batches = ordered_batches(&users, 3);
+        assert_eq!(batches, vec![vec![5, 3, 9], vec![1]]);
+    }
+
+    #[test]
+    fn empty_input_gives_no_batches() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(epoch_batches(&[], 8, &mut rng).is_empty());
+        assert!(ordered_batches(&[], 8).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "batch_size")]
+    fn zero_batch_size_panics() {
+        ordered_batches(&[1], 0);
+    }
+}

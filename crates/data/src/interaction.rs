@@ -1,0 +1,130 @@
+//! Raw interaction events and the processed per-user sequence dataset.
+
+use serde::{Deserialize, Serialize};
+
+/// One explicit-feedback event: a user rated an item at a time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Interaction {
+    /// External user id (arbitrary, re-indexed during preprocessing).
+    pub user: u32,
+    /// External item id (arbitrary, re-indexed during preprocessing).
+    pub item: u32,
+    /// Explicit rating on a 1–5 scale (binarized at ≥ 4 in §V-A).
+    pub rating: f32,
+    /// Event time; only the relative order per user matters.
+    pub timestamp: i64,
+}
+
+/// An unprocessed event log plus a human-readable dataset name.
+#[derive(Debug, Clone, Default)]
+pub struct RawDataset {
+    /// Dataset label (e.g. `"Beauty-sim"`).
+    pub name: String,
+    /// Every recorded event, in arbitrary order.
+    pub interactions: Vec<Interaction>,
+}
+
+impl RawDataset {
+    /// Create an empty raw dataset.
+    pub fn new(name: impl Into<String>) -> Self {
+        RawDataset { name: name.into(), interactions: Vec::new() }
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.interactions.len()
+    }
+
+    /// `true` when no events are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.interactions.is_empty()
+    }
+}
+
+/// The processed dataset: per-user chronological item-id sequences.
+///
+/// Invariants established by [`crate::preprocess::Pipeline`]:
+///
+/// * user indices are contiguous `0..num_users`;
+/// * item ids are contiguous `1..=num_items` — **id 0 is the padding item**
+///   and never appears in a sequence;
+/// * each sequence is in strictly chronological order.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Dataset label carried through preprocessing.
+    pub name: String,
+    /// Number of distinct items (ids `1..=num_items`).
+    pub num_items: usize,
+    /// Per-user chronological item sequences, indexed by user id.
+    pub sequences: Vec<Vec<u32>>,
+}
+
+impl Dataset {
+    /// Number of users.
+    pub fn num_users(&self) -> usize {
+        self.sequences.len()
+    }
+
+    /// Total number of interactions across all users.
+    pub fn num_interactions(&self) -> usize {
+        self.sequences.iter().map(Vec::len).sum()
+    }
+
+    /// Vocabulary size for prediction layers: `num_items + 1` (padding id 0).
+    pub fn vocab(&self) -> usize {
+        self.num_items + 1
+    }
+
+    /// Validate the dataset invariants; returns a description of the first
+    /// violation. Used by tests and as a tripwire after preprocessing.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (u, seq) in self.sequences.iter().enumerate() {
+            for &item in seq {
+                if item == 0 {
+                    return Err(format!("user {u} contains the padding item 0"));
+                }
+                if item as usize > self.num_items {
+                    return Err(format!(
+                        "user {u} references item {item} > num_items {}",
+                        self.num_items
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_dataset_basics() {
+        let mut raw = RawDataset::new("t");
+        assert!(raw.is_empty());
+        raw.interactions.push(Interaction { user: 1, item: 2, rating: 5.0, timestamp: 10 });
+        assert_eq!(raw.len(), 1);
+    }
+
+    #[test]
+    fn dataset_counts() {
+        let ds = Dataset {
+            name: "t".into(),
+            num_items: 5,
+            sequences: vec![vec![1, 2, 3], vec![4, 5]],
+        };
+        assert_eq!(ds.num_users(), 2);
+        assert_eq!(ds.num_interactions(), 5);
+        assert_eq!(ds.vocab(), 6);
+        assert!(ds.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn invariants_catch_padding_and_range() {
+        let bad_pad = Dataset { name: "t".into(), num_items: 3, sequences: vec![vec![1, 0]] };
+        assert!(bad_pad.check_invariants().is_err());
+        let bad_range = Dataset { name: "t".into(), num_items: 3, sequences: vec![vec![4]] };
+        assert!(bad_range.check_invariants().is_err());
+    }
+}

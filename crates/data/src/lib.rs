@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! # vsan-data
+//!
+//! Datasets and evaluation protocol for the VSAN (ICDE 2021) reproduction:
+//!
+//! * [`interaction`] — raw `(user, item, rating, timestamp)` events and the
+//!   processed [`Dataset`] of per-user chronological item sequences.
+//! * [`preprocess`] — the paper's §V-A pipeline: binarize explicit ratings
+//!   (keep ≥ 4), k-core filtering, chronological ordering, contiguous
+//!   re-indexing with item id 0 reserved for padding.
+//! * [`split`] — strong-generalization user splits (train / validation /
+//!   test users; held-out users evaluated with an 80 % fold-in / 20 %
+//!   target partition of their history).
+//! * [`sequence`] — fixed-length left-padded training windows with
+//!   next-item (Eq. 14) and next-`k` (Eq. 18) targets.
+//! * [`batch`] — epoch shuffling and mini-batching.
+//! * [`synthetic`] — the latent-category Markov simulator that stands in
+//!   for the Amazon Beauty and MovieLens-1M dumps (offline substitution;
+//!   see DESIGN.md §2) plus calibrated [`synthetic::beauty`] and
+//!   [`synthetic::ml1m`] configurations.
+//! * [`stats`] — Table II statistics for calibration checks.
+//! * [`loader`] — CSV loader so real Amazon/MovieLens dumps can be dropped
+//!   in when available.
+
+pub mod batch;
+pub mod interaction;
+pub mod loader;
+pub mod preprocess;
+pub mod sequence;
+pub mod split;
+pub mod stats;
+pub mod synthetic;
+
+pub use interaction::{Dataset, Interaction, RawDataset};
+pub use split::{HeldOutUser, Split};

@@ -1,0 +1,175 @@
+//! The paper's §V-A preprocessing pipeline.
+//!
+//! "We apply the 'Beauty' category based on a 5-core version and filter out
+//! users who have interacted with less than five items. We binarize explicit
+//! data by discarding ratings of less than four. For the MovieLens, we …
+//! perform the same operations."
+
+use crate::interaction::{Dataset, Interaction, RawDataset};
+use std::collections::HashMap;
+
+/// Configurable preprocessing pipeline.
+#[derive(Debug, Clone, Copy)]
+pub struct Pipeline {
+    /// Keep only events with `rating >= min_rating` (paper: 4.0).
+    pub min_rating: f32,
+    /// Iterative k-core: repeatedly drop users and items with fewer than
+    /// `k_core` remaining events (paper: 5).
+    pub k_core: usize,
+}
+
+impl Default for Pipeline {
+    fn default() -> Self {
+        Pipeline { min_rating: 4.0, k_core: 5 }
+    }
+}
+
+impl Pipeline {
+    /// Run the full pipeline: binarize → k-core → chronological sort →
+    /// contiguous re-index (items from 1; user order arbitrary but stable).
+    pub fn run(&self, raw: &RawDataset) -> Dataset {
+        // 1. Binarize explicit feedback.
+        let mut events: Vec<Interaction> = raw
+            .interactions
+            .iter()
+            .copied()
+            .filter(|e| e.rating >= self.min_rating)
+            .collect();
+
+        // 2. Iterative k-core filtering to a joint fixed point.
+        loop {
+            let mut user_count: HashMap<u32, usize> = HashMap::new();
+            let mut item_count: HashMap<u32, usize> = HashMap::new();
+            for e in &events {
+                *user_count.entry(e.user).or_default() += 1;
+                *item_count.entry(e.item).or_default() += 1;
+            }
+            let before = events.len();
+            events.retain(|e| {
+                user_count[&e.user] >= self.k_core && item_count[&e.item] >= self.k_core
+            });
+            if events.len() == before {
+                break;
+            }
+        }
+
+        // 3. Group by user and sort chronologically (ties by item id for
+        //    determinism).
+        let mut by_user: HashMap<u32, Vec<Interaction>> = HashMap::new();
+        for e in events {
+            by_user.entry(e.user).or_default().push(e);
+        }
+        let mut users: Vec<u32> = by_user.keys().copied().collect();
+        users.sort_unstable();
+
+        // 4. Re-index items contiguously from 1 (0 = padding), in first-seen
+        //    order for determinism.
+        let mut item_map: HashMap<u32, u32> = HashMap::new();
+        let mut sequences = Vec::with_capacity(users.len());
+        for u in users {
+            let mut evs = by_user.remove(&u).expect("key from map");
+            evs.sort_by(|a, b| (a.timestamp, a.item).cmp(&(b.timestamp, b.item)));
+            let seq: Vec<u32> = evs
+                .iter()
+                .map(|e| {
+                    let next_id = item_map.len() as u32 + 1;
+                    *item_map.entry(e.item).or_insert(next_id)
+                })
+                .collect();
+            sequences.push(seq);
+        }
+
+        let ds = Dataset { name: raw.name.clone(), num_items: item_map.len(), sequences };
+        debug_assert!(ds.check_invariants().is_ok());
+        ds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(user: u32, item: u32, rating: f32, ts: i64) -> Interaction {
+        Interaction { user, item, rating, timestamp: ts }
+    }
+
+    fn raw(events: Vec<Interaction>) -> RawDataset {
+        RawDataset { name: "t".into(), interactions: events }
+    }
+
+    #[test]
+    fn binarization_drops_low_ratings() {
+        let p = Pipeline { min_rating: 4.0, k_core: 1 };
+        let ds = p.run(&raw(vec![
+            ev(1, 10, 5.0, 1),
+            ev(1, 11, 3.0, 2), // dropped
+            ev(1, 12, 4.0, 3),
+        ]));
+        assert_eq!(ds.num_interactions(), 2);
+    }
+
+    #[test]
+    fn k_core_is_iterative() {
+        // User 2 has 2 events; dropping them leaves item 20 with 1 event,
+        // which must then drop user 1's event on item 20 as well.
+        let p = Pipeline { min_rating: 0.0, k_core: 2 };
+        let ds = p.run(&raw(vec![
+            // user 1: 3 events
+            ev(1, 10, 5.0, 1),
+            ev(1, 11, 5.0, 2),
+            ev(1, 20, 5.0, 3),
+            // user 2: only 1 event → dropped, orphaning item 20
+            ev(2, 20, 5.0, 1),
+            // user 3 keeps items 10, 11 at count 2
+            ev(3, 10, 5.0, 1),
+            ev(3, 11, 5.0, 2),
+        ]));
+        // Final fixed point: users 1 & 3 with items 10, 11 each.
+        assert_eq!(ds.num_users(), 2);
+        assert_eq!(ds.num_items, 2);
+        assert_eq!(ds.num_interactions(), 4);
+    }
+
+    #[test]
+    fn sequences_are_chronological() {
+        let p = Pipeline { min_rating: 0.0, k_core: 1 };
+        let ds = p.run(&raw(vec![
+            ev(1, 30, 5.0, 300),
+            ev(1, 10, 5.0, 100),
+            ev(1, 20, 5.0, 200),
+        ]));
+        // First-seen re-indexing maps 10→1, 20→2, 30→3 in time order.
+        assert_eq!(ds.sequences[0], vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn item_ids_are_contiguous_from_one() {
+        let p = Pipeline { min_rating: 0.0, k_core: 1 };
+        let ds = p.run(&raw(vec![
+            ev(1, 1000, 5.0, 1),
+            ev(1, 5, 5.0, 2),
+            ev(2, 1000, 5.0, 1),
+            ev(2, 777, 5.0, 2),
+        ]));
+        assert!(ds.check_invariants().is_ok());
+        let max = ds.sequences.iter().flatten().copied().max().unwrap();
+        assert_eq!(max as usize, ds.num_items);
+        let min = ds.sequences.iter().flatten().copied().min().unwrap();
+        assert_eq!(min, 1);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_dataset() {
+        let p = Pipeline::default();
+        let ds = p.run(&raw(vec![]));
+        assert_eq!(ds.num_users(), 0);
+        assert_eq!(ds.num_items, 0);
+    }
+
+    #[test]
+    fn default_matches_paper() {
+        let p = Pipeline::default();
+        assert_eq!(p.min_rating, 4.0);
+        assert_eq!(p.k_core, 5);
+    }
+}

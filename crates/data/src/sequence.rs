@@ -1,0 +1,215 @@
+//! Fixed-length training windows (§IV-A).
+//!
+//! "For users whose sequence length is greater than n, we only select the
+//! nearest n items. For users whose sequence length is less than n, we
+//! repeatedly add the zero vector to the left side of the sequence."
+
+/// A next-item training example: input positions and per-position targets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeqExample {
+    /// Left-padded input of length `n` (0 = padding item).
+    pub input: Vec<u32>,
+    /// Per-position next-item target; `usize::MAX` marks padding positions
+    /// excluded from the loss.
+    pub targets: Vec<usize>,
+}
+
+/// A next-`k` training example (Eq. 18): per-position *sets* of the next
+/// `k` items; empty sets mark padding positions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeqExampleK {
+    /// Left-padded input of length `n`.
+    pub input: Vec<u32>,
+    /// Per-position multi-hot target sets.
+    pub targets: Vec<Vec<usize>>,
+}
+
+/// Left-pad (or left-truncate) `seq` to exactly `n` entries.
+pub fn pad_left(seq: &[u32], n: usize) -> Vec<u32> {
+    if seq.len() >= n {
+        seq[seq.len() - n..].to_vec()
+    } else {
+        let mut out = vec![0u32; n - seq.len()];
+        out.extend_from_slice(seq);
+        out
+    }
+}
+
+/// Build a next-item example from a full user history.
+///
+/// Input is the history with the last item removed (it has no observed
+/// successor as an input position); the target at position `t` is the item
+/// the user interacted with right after `input[t]`.
+pub fn next_item_example(seq: &[u32], n: usize) -> Option<SeqExample> {
+    if seq.len() < 2 {
+        return None;
+    }
+    let input = pad_left(&seq[..seq.len() - 1], n);
+    // Align targets: the window of inputs covers seq[start .. len-1], and
+    // each position's target is the following item.
+    let covered = (seq.len() - 1).min(n);
+    let start = (seq.len() - 1) - covered;
+    let mut targets = vec![usize::MAX; n];
+    for (w, t) in (n - covered..n).zip(start..seq.len() - 1) {
+        targets[w] = seq[t + 1] as usize;
+    }
+    Some(SeqExample { input, targets })
+}
+
+/// Build a next-`k` example (Eq. 18): position `t`'s target set is the next
+/// `min(k, remaining)` items.
+pub fn next_k_example(seq: &[u32], n: usize, k: usize) -> Option<SeqExampleK> {
+    if seq.len() < 2 || k == 0 {
+        return None;
+    }
+    let input = pad_left(&seq[..seq.len() - 1], n);
+    let covered = (seq.len() - 1).min(n);
+    let start = (seq.len() - 1) - covered;
+    let mut targets = vec![Vec::new(); n];
+    for (w, t) in (n - covered..n).zip(start..seq.len() - 1) {
+        let hi = (t + 1 + k).min(seq.len());
+        targets[w] = seq[t + 1..hi].iter().map(|&x| x as usize).collect();
+    }
+    Some(SeqExampleK { input, targets })
+}
+
+/// Sliding-window augmentation (extension; the common SASRec-repo trick):
+/// emit one next-item example per window end position, striding backwards
+/// from the sequence tail, up to `max_windows` examples. With
+/// `max_windows = 1` this is exactly [`next_item_example`].
+///
+/// Long ML-1M-like histories (100+ events) otherwise contribute a single
+/// window per epoch; augmentation multiplies the training signal without
+/// touching evaluation.
+pub fn sliding_window_examples(
+    seq: &[u32],
+    n: usize,
+    stride: usize,
+    max_windows: usize,
+) -> Vec<SeqExample> {
+    let stride = stride.max(1);
+    let mut out = Vec::new();
+    if seq.len() < 2 || max_windows == 0 {
+        return out;
+    }
+    let mut end = seq.len();
+    while out.len() < max_windows && end >= 2 {
+        if let Some(ex) = next_item_example(&seq[..end], n) {
+            out.push(ex);
+        }
+        if end < 2 + stride {
+            break;
+        }
+        end -= stride;
+    }
+    out
+}
+
+/// Per-position padding mask for a padded input: `true` where the position
+/// holds a real item.
+pub fn real_positions(input: &[u32]) -> Vec<bool> {
+    input.iter().map(|&x| x != 0).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pad_left_pads_and_truncates() {
+        assert_eq!(pad_left(&[1, 2], 4), vec![0, 0, 1, 2]);
+        assert_eq!(pad_left(&[1, 2, 3, 4, 5], 3), vec![3, 4, 5]);
+        assert_eq!(pad_left(&[7], 1), vec![7]);
+        assert_eq!(pad_left(&[], 2), vec![0, 0]);
+    }
+
+    #[test]
+    fn next_item_alignment_short_sequence() {
+        // History 10,20,30 → inputs (10,20) left-padded; targets follow.
+        let ex = next_item_example(&[10, 20, 30], 4).unwrap();
+        assert_eq!(ex.input, vec![0, 0, 10, 20]);
+        assert_eq!(ex.targets, vec![usize::MAX, usize::MAX, 20, 30]);
+    }
+
+    #[test]
+    fn next_item_alignment_truncated_sequence() {
+        // History longer than n: keep the *nearest* window.
+        let ex = next_item_example(&[1, 2, 3, 4, 5, 6], 3).unwrap();
+        assert_eq!(ex.input, vec![3, 4, 5]);
+        assert_eq!(ex.targets, vec![4, 5, 6]);
+    }
+
+    #[test]
+    fn next_item_rejects_singletons() {
+        assert!(next_item_example(&[1], 4).is_none());
+        assert!(next_item_example(&[], 4).is_none());
+    }
+
+    #[test]
+    fn next_k_builds_windows() {
+        let ex = next_k_example(&[1, 2, 3, 4], 3, 2).unwrap();
+        assert_eq!(ex.input, vec![1, 2, 3]);
+        // Position 0 (item 1): next two = {2,3}; position 1: {3,4}; last: {4}.
+        assert_eq!(ex.targets[0], vec![2, 3]);
+        assert_eq!(ex.targets[1], vec![3, 4]);
+        assert_eq!(ex.targets[2], vec![4]);
+    }
+
+    #[test]
+    fn next_k_equals_next_item_when_k_is_one() {
+        let seq = [5u32, 9, 2, 7, 3];
+        let a = next_item_example(&seq, 4).unwrap();
+        let b = next_k_example(&seq, 4, 1).unwrap();
+        assert_eq!(a.input, b.input);
+        for (t1, tk) in a.targets.iter().zip(&b.targets) {
+            if *t1 == usize::MAX {
+                assert!(tk.is_empty());
+            } else {
+                assert_eq!(tk, &vec![*t1]);
+            }
+        }
+    }
+
+    #[test]
+    fn next_k_padding_positions_have_empty_sets() {
+        let ex = next_k_example(&[8, 9], 4, 3).unwrap();
+        assert_eq!(ex.input, vec![0, 0, 0, 8]);
+        assert!(ex.targets[0].is_empty());
+        assert!(ex.targets[1].is_empty());
+        assert!(ex.targets[2].is_empty());
+        assert_eq!(ex.targets[3], vec![9]);
+    }
+
+    #[test]
+    fn real_positions_tracks_padding() {
+        assert_eq!(real_positions(&[0, 0, 3, 4]), vec![false, false, true, true]);
+    }
+
+    #[test]
+    fn sliding_windows_stride_backwards_from_the_tail() {
+        let seq: Vec<u32> = (1..=10).collect();
+        let windows = sliding_window_examples(&seq, 4, 2, 3);
+        assert_eq!(windows.len(), 3);
+        // First window is the full-tail example.
+        assert_eq!(windows[0], next_item_example(&seq, 4).unwrap());
+        // Second strides back by 2: history 1..=8.
+        assert_eq!(windows[1], next_item_example(&seq[..8], 4).unwrap());
+        assert_eq!(windows[2], next_item_example(&seq[..6], 4).unwrap());
+    }
+
+    #[test]
+    fn sliding_windows_respect_limits() {
+        let seq: Vec<u32> = (1..=5).collect();
+        // max_windows = 1 degenerates to the plain example.
+        let one = sliding_window_examples(&seq, 3, 1, 1);
+        assert_eq!(one, vec![next_item_example(&seq, 3).unwrap()]);
+        // Short sequences stop early instead of underflowing.
+        let many = sliding_window_examples(&seq, 3, 1, 100);
+        assert_eq!(many.len(), 4); // ends 5, 4, 3, 2
+        assert!(sliding_window_examples(&[7], 3, 1, 5).is_empty());
+        assert!(sliding_window_examples(&seq, 3, 1, 0).is_empty());
+        // Zero stride is clamped to 1 (no infinite loop).
+        let clamped = sliding_window_examples(&seq, 3, 0, 10);
+        assert_eq!(clamped.len(), 4);
+    }
+}

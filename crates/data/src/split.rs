@@ -1,0 +1,246 @@
+//! Strong-generalization splits (§V-A, following SVAE / Marlin).
+//!
+//! Users — not interactions — are partitioned into train / validation /
+//! test sets. Training uses the *full* histories of training users. Each
+//! held-out (validation or test) user contributes a *fold-in* prefix (the
+//! first 80 % of their chronological history, used to build their
+//! representation at evaluation time) and a *target* suffix (the remaining
+//! 20 %, the ground truth `T` for Precision/Recall/NDCG).
+
+use crate::interaction::Dataset;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A strong-generalization user split.
+#[derive(Debug, Clone)]
+pub struct Split {
+    /// User indices whose full histories train the model.
+    pub train_users: Vec<usize>,
+    /// Held-out users for hyper-parameter selection.
+    pub val_users: Vec<usize>,
+    /// Held-out users for final reporting.
+    pub test_users: Vec<usize>,
+}
+
+/// A held-out user's evaluation view.
+#[derive(Debug, Clone)]
+pub struct HeldOutUser {
+    /// Dataset user index.
+    pub user: usize,
+    /// First `fold_in_fraction` of the history (representation building).
+    pub fold_in: Vec<u32>,
+    /// Remaining items — the ground-truth target set `T`.
+    pub targets: Vec<u32>,
+}
+
+impl Split {
+    /// Sample a split with `held_out` users in each of validation and test
+    /// (the paper uses 1 200 for Beauty, 750 for ML-1M). Users with fewer
+    /// than `min_len` interactions are kept in training (they cannot yield
+    /// both a fold-in and a target under an 80/20 cut).
+    pub fn strong_generalization<R: Rng + ?Sized>(
+        ds: &Dataset,
+        held_out: usize,
+        min_len: usize,
+        rng: &mut R,
+    ) -> Split {
+        let mut eligible: Vec<usize> = (0..ds.num_users())
+            .filter(|&u| ds.sequences[u].len() >= min_len.max(2))
+            .collect();
+        eligible.shuffle(rng);
+        let held_out = held_out.min(eligible.len() / 3);
+        let val_users: Vec<usize> = eligible[..held_out].to_vec();
+        let test_users: Vec<usize> = eligible[held_out..2 * held_out].to_vec();
+        let held: std::collections::HashSet<usize> =
+            val_users.iter().chain(test_users.iter()).copied().collect();
+        let train_users: Vec<usize> =
+            (0..ds.num_users()).filter(|u| !held.contains(u)).collect();
+        Split { train_users, val_users, test_users }
+    }
+
+    /// Weak generalization (the protocol the paper argues *against* in
+    /// §V-A, provided for comparison experiments): every user appears in
+    /// training, and evaluation holds out the temporal tail of each
+    /// selected user's own sequence. Training should use
+    /// [`Split::weak_training_views`] to truncate the held-out users'
+    /// sequences so their targets stay unseen.
+    pub fn weak_generalization<R: Rng + ?Sized>(
+        ds: &Dataset,
+        held_out: usize,
+        min_len: usize,
+        rng: &mut R,
+    ) -> Split {
+        let mut eligible: Vec<usize> = (0..ds.num_users())
+            .filter(|&u| ds.sequences[u].len() >= min_len.max(2))
+            .collect();
+        eligible.shuffle(rng);
+        let held_out = held_out.min(eligible.len() / 2);
+        let val_users: Vec<usize> = eligible[..held_out].to_vec();
+        let test_users: Vec<usize> = eligible[held_out..2 * held_out].to_vec();
+        // Weak generalization: *all* users train (held-out ones truncated).
+        let train_users: Vec<usize> = (0..ds.num_users()).collect();
+        Split { train_users, val_users, test_users }
+    }
+
+    /// Training-time sequences under weak generalization: held-out users'
+    /// sequences are truncated to their fold-in prefix so the evaluation
+    /// targets never leak into training.
+    pub fn weak_training_views(
+        ds: &Dataset,
+        split: &Split,
+        fold_in_fraction: f32,
+    ) -> Vec<Vec<u32>> {
+        let held: std::collections::HashSet<usize> =
+            split.val_users.iter().chain(&split.test_users).copied().collect();
+        ds.sequences
+            .iter()
+            .enumerate()
+            .map(|(u, seq)| {
+                if held.contains(&u) && seq.len() >= 2 {
+                    let cut = ((seq.len() as f32 * fold_in_fraction).floor() as usize)
+                        .clamp(1, seq.len() - 1);
+                    seq[..cut].to_vec()
+                } else {
+                    seq.clone()
+                }
+            })
+            .collect()
+    }
+
+    /// Build the 80/20 fold-in/target views for a group of held-out users.
+    /// Users whose 20 % tail would be empty get exactly one target item.
+    pub fn held_out_views(ds: &Dataset, users: &[usize], fold_in_fraction: f32) -> Vec<HeldOutUser> {
+        users
+            .iter()
+            .map(|&u| {
+                let seq = &ds.sequences[u];
+                let cut = ((seq.len() as f32 * fold_in_fraction).floor() as usize)
+                    .clamp(1, seq.len() - 1);
+                HeldOutUser {
+                    user: u,
+                    fold_in: seq[..cut].to_vec(),
+                    targets: seq[cut..].to_vec(),
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn dataset(n_users: usize, len: usize) -> Dataset {
+        Dataset {
+            name: "t".into(),
+            num_items: 50,
+            sequences: (0..n_users)
+                .map(|u| (0..len).map(|i| ((u * 7 + i) % 50 + 1) as u32).collect())
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn split_is_a_partition() {
+        let ds = dataset(100, 10);
+        let mut rng = StdRng::seed_from_u64(1);
+        let split = Split::strong_generalization(&ds, 20, 5, &mut rng);
+        assert_eq!(split.val_users.len(), 20);
+        assert_eq!(split.test_users.len(), 20);
+        assert_eq!(split.train_users.len(), 60);
+        let mut all: Vec<usize> = split
+            .train_users
+            .iter()
+            .chain(&split.val_users)
+            .chain(&split.test_users)
+            .copied()
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn held_out_respects_cap() {
+        let ds = dataset(9, 10);
+        let mut rng = StdRng::seed_from_u64(2);
+        let split = Split::strong_generalization(&ds, 100, 5, &mut rng);
+        // Cap: at most a third each for val/test.
+        assert_eq!(split.val_users.len(), 3);
+        assert_eq!(split.test_users.len(), 3);
+        assert_eq!(split.train_users.len(), 3);
+    }
+
+    #[test]
+    fn short_users_stay_in_training() {
+        let mut ds = dataset(50, 10);
+        ds.sequences[0] = vec![1]; // too short to hold out
+        let mut rng = StdRng::seed_from_u64(3);
+        let split = Split::strong_generalization(&ds, 15, 5, &mut rng);
+        assert!(split.train_users.contains(&0));
+        assert!(!split.val_users.contains(&0));
+        assert!(!split.test_users.contains(&0));
+    }
+
+    #[test]
+    fn fold_in_is_a_chronological_prefix() {
+        let ds = dataset(10, 10);
+        let views = Split::held_out_views(&ds, &[3], 0.8);
+        assert_eq!(views.len(), 1);
+        let v = &views[0];
+        assert_eq!(v.fold_in.len(), 8);
+        assert_eq!(v.targets.len(), 2);
+        let full: Vec<u32> =
+            v.fold_in.iter().chain(v.targets.iter()).copied().collect();
+        assert_eq!(full, ds.sequences[3]);
+    }
+
+    #[test]
+    fn tiny_history_still_yields_one_target() {
+        let ds = Dataset { name: "t".into(), num_items: 5, sequences: vec![vec![1, 2]] };
+        let views = Split::held_out_views(&ds, &[0], 0.8);
+        assert_eq!(views[0].fold_in, vec![1]);
+        assert_eq!(views[0].targets, vec![2]);
+    }
+
+    #[test]
+    fn weak_generalization_trains_on_everyone() {
+        let ds = dataset(60, 10);
+        let mut rng = StdRng::seed_from_u64(9);
+        let split = Split::weak_generalization(&ds, 15, 5, &mut rng);
+        assert_eq!(split.train_users.len(), 60);
+        assert_eq!(split.val_users.len(), 15);
+        assert_eq!(split.test_users.len(), 15);
+        // Held-out users are also training users — that's the point.
+        assert!(split.test_users.iter().all(|u| split.train_users.contains(u)));
+    }
+
+    #[test]
+    fn weak_training_views_truncate_held_out_tails() {
+        let ds = dataset(30, 10);
+        let mut rng = StdRng::seed_from_u64(10);
+        let split = Split::weak_generalization(&ds, 8, 5, &mut rng);
+        let views = Split::weak_training_views(&ds, &split, 0.8);
+        assert_eq!(views.len(), 30);
+        let held: std::collections::HashSet<usize> =
+            split.val_users.iter().chain(&split.test_users).copied().collect();
+        for (u, seq) in views.iter().enumerate() {
+            if held.contains(&u) {
+                assert_eq!(seq.len(), 8, "held-out user keeps only the 80% prefix");
+                assert_eq!(seq[..], ds.sequences[u][..8]);
+            } else {
+                assert_eq!(seq, &ds.sequences[u]);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let ds = dataset(40, 8);
+        let a = Split::strong_generalization(&ds, 10, 5, &mut StdRng::seed_from_u64(7));
+        let b = Split::strong_generalization(&ds, 10, 5, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a.val_users, b.val_users);
+        assert_eq!(a.test_users, b.test_users);
+    }
+}

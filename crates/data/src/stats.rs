@@ -1,0 +1,91 @@
+//! Dataset statistics — the Table II columns, used to calibrate the
+//! simulators against the paper.
+
+use crate::interaction::Dataset;
+
+/// Summary statistics of a processed dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetStats {
+    /// Number of users.
+    pub users: usize,
+    /// Number of items.
+    pub items: usize,
+    /// Total interactions.
+    pub interactions: usize,
+    /// `1 − interactions / (users·items)`, as in Table II.
+    pub sparsity: f64,
+    /// Mean sequence length.
+    pub mean_seq_len: f64,
+    /// Median sequence length.
+    pub median_seq_len: usize,
+    /// Maximum sequence length.
+    pub max_seq_len: usize,
+}
+
+impl DatasetStats {
+    /// Compute statistics for a dataset.
+    pub fn compute(ds: &Dataset) -> Self {
+        let users = ds.num_users();
+        let items = ds.num_items;
+        let interactions = ds.num_interactions();
+        let denom = (users * items) as f64;
+        let sparsity = if denom > 0.0 { 1.0 - interactions as f64 / denom } else { 0.0 };
+        let mut lens: Vec<usize> = ds.sequences.iter().map(Vec::len).collect();
+        lens.sort_unstable();
+        let mean_seq_len = if users > 0 { interactions as f64 / users as f64 } else { 0.0 };
+        let median_seq_len = lens.get(users / 2).copied().unwrap_or(0);
+        let max_seq_len = lens.last().copied().unwrap_or(0);
+        DatasetStats { users, items, interactions, sparsity, mean_seq_len, median_seq_len, max_seq_len }
+    }
+
+    /// Render one Table II-style row.
+    pub fn table_row(&self, name: &str) -> String {
+        format!(
+            "{name:<14} users={:<7} items={:<7} interactions={:<8} sparsity={:.2}% mean_len={:.1}",
+            self.users,
+            self.items,
+            self.interactions,
+            self.sparsity * 100.0,
+            self.mean_seq_len
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_on_a_known_dataset() {
+        let ds = Dataset {
+            name: "t".into(),
+            num_items: 10,
+            sequences: vec![vec![1, 2, 3, 4], vec![5, 6]],
+        };
+        let s = DatasetStats::compute(&ds);
+        assert_eq!(s.users, 2);
+        assert_eq!(s.items, 10);
+        assert_eq!(s.interactions, 6);
+        assert!((s.sparsity - (1.0 - 6.0 / 20.0)).abs() < 1e-12);
+        assert!((s.mean_seq_len - 3.0).abs() < 1e-12);
+        assert_eq!(s.median_seq_len, 4);
+        assert_eq!(s.max_seq_len, 4);
+    }
+
+    #[test]
+    fn empty_dataset_is_not_a_division_by_zero() {
+        let ds = Dataset { name: "t".into(), num_items: 0, sequences: vec![] };
+        let s = DatasetStats::compute(&ds);
+        assert_eq!(s.sparsity, 0.0);
+        assert_eq!(s.mean_seq_len, 0.0);
+    }
+
+    #[test]
+    fn table_row_contains_key_numbers() {
+        let ds = Dataset { name: "t".into(), num_items: 4, sequences: vec![vec![1, 2]] };
+        let row = DatasetStats::compute(&ds).table_row("Tiny");
+        assert!(row.contains("Tiny"));
+        assert!(row.contains("users=1"));
+        assert!(row.contains("items=4"));
+    }
+}

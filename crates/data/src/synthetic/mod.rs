@@ -1,0 +1,350 @@
+//! The latent-category Markov user simulator.
+//!
+//! Real Amazon Beauty / MovieLens-1M dumps are not available offline, so
+//! this module generates raw event logs with the structural properties the
+//! paper's models exploit (see DESIGN.md §2 for the substitution argument):
+//!
+//! * **popularity skew** — item popularity follows a Zipf law (POP and the
+//!   popularity-sampled negatives depend on this);
+//! * **local sequential dependency** — within a category, items form a
+//!   Markov chain ("shampoo → conditioner → hair mask → hair oil", the
+//!   paper's own §V-A example), which FPMC/Caser/SASRec exploit;
+//! * **preference dynamics** — each user's category mixture drifts over
+//!   time, the "evolving tastes" that motivate sequential recommenders;
+//! * **preference uncertainty** — users hold a *mixture* of categories and
+//!   sometimes act out of distribution, the multi-modal behaviour VSAN's
+//!   latent Gaussian is designed to capture (Fig. 1);
+//! * **explicit ratings** — 1–5 stars biased by preference alignment, so
+//!   the ≥ 4 binarization path of §V-A is exercised end to end.
+//!
+//! Calibrated presets for the two datasets live in [`presets`].
+
+pub mod presets;
+
+pub use presets::{beauty, ml1m};
+
+use crate::interaction::{Interaction, RawDataset};
+use rand::Rng;
+
+/// Simulator parameters. See module docs for the generative story.
+#[derive(Debug, Clone)]
+pub struct SyntheticConfig {
+    /// Dataset label.
+    pub name: String,
+    /// Number of users to simulate.
+    pub num_users: usize,
+    /// Number of items in the catalogue.
+    pub num_items: usize,
+    /// Number of latent categories.
+    pub num_categories: usize,
+    /// Zipf exponent for within-category item popularity (≈ 1.0 for the
+    /// long-tailed e-commerce regime).
+    pub zipf_exponent: f64,
+    /// Probability a step continues the within-category Markov chain from
+    /// the user's previous item in that category.
+    pub markov_strength: f64,
+    /// Probability the user stays in the same category as the previous
+    /// step (local burstiness).
+    pub category_stickiness: f64,
+    /// Per-step probability that the user's category mixture drifts (one
+    /// preferred category is resampled).
+    pub drift_rate: f64,
+    /// Per-step probability of a fully random (out-of-preference) item.
+    pub noise: f64,
+    /// Mean raw sequence length (before rating binarization / k-core).
+    pub mean_seq_len: f64,
+    /// Dispersion of sequence lengths: lengths are drawn from a lognormal
+    /// with this σ (0 = constant length).
+    pub seq_len_sigma: f64,
+    /// How many categories a user prefers (2–3 is typical).
+    pub prefs_per_user: usize,
+    /// Rating boost for items inside the user's preferred categories.
+    pub alignment_boost: f32,
+}
+
+/// Static item-side world derived from a config: category assignment,
+/// within-category chain order, and popularity weights.
+#[derive(Debug, Clone)]
+pub struct Catalogue {
+    /// `category[i]` = latent category of item `i` (external ids `0..num_items`).
+    pub category: Vec<usize>,
+    /// Items of each category in chain order.
+    pub chains: Vec<Vec<u32>>,
+    /// Position of each item inside its category chain.
+    pub chain_pos: Vec<usize>,
+    /// Zipf sampling weights per category (cumulative, for fast sampling).
+    pub cum_weights: Vec<Vec<f64>>,
+    /// Per-item base quality (drives the rating model).
+    pub quality: Vec<f32>,
+}
+
+impl Catalogue {
+    /// Build the item world for a config.
+    pub fn build<R: Rng + ?Sized>(cfg: &SyntheticConfig, rng: &mut R) -> Self {
+        let nc = cfg.num_categories.max(1);
+        let mut category = vec![0usize; cfg.num_items];
+        let mut chains: Vec<Vec<u32>> = vec![Vec::new(); nc];
+        for i in 0..cfg.num_items {
+            let c = i % nc; // balanced categories
+            category[i] = c;
+            chains[c].push(i as u32);
+        }
+        let mut chain_pos = vec![0usize; cfg.num_items];
+        for chain in &chains {
+            for (pos, &item) in chain.iter().enumerate() {
+                chain_pos[item as usize] = pos;
+            }
+        }
+        // Zipf weights over chain positions, randomized by a per-category
+        // popularity permutation so the chain head is not always popular.
+        let mut cum_weights = Vec::with_capacity(nc);
+        for chain in &chains {
+            let m = chain.len();
+            let mut ranks: Vec<usize> = (0..m).collect();
+            // Fisher–Yates with the caller's RNG.
+            for i in (1..m).rev() {
+                let j = rng.gen_range(0..=i);
+                ranks.swap(i, j);
+            }
+            let mut cum = Vec::with_capacity(m);
+            let mut acc = 0.0f64;
+            for pos in 0..m {
+                let w = 1.0 / ((ranks[pos] + 1) as f64).powf(cfg.zipf_exponent);
+                acc += w;
+                cum.push(acc);
+            }
+            cum_weights.push(cum);
+        }
+        let quality: Vec<f32> = (0..cfg.num_items)
+            .map(|_| 3.6 + 0.5 * gaussian(rng))
+            .collect();
+        Catalogue { category, chains, chain_pos, cum_weights, quality }
+    }
+
+    /// Sample an item from a category by Zipf popularity.
+    pub fn sample_item<R: Rng + ?Sized>(&self, cat: usize, rng: &mut R) -> u32 {
+        let cum = &self.cum_weights[cat];
+        let total = *cum.last().expect("non-empty category");
+        let x = rng.gen::<f64>() * total;
+        let idx = cum.partition_point(|&c| c < x).min(cum.len() - 1);
+        self.chains[cat][idx]
+    }
+
+    /// Successor of an item in its category chain (wrapping ring).
+    pub fn successor(&self, item: u32) -> u32 {
+        let cat = self.category[item as usize];
+        let chain = &self.chains[cat];
+        let pos = self.chain_pos[item as usize];
+        chain[(pos + 1) % chain.len()]
+    }
+}
+
+/// Standard-normal sample via Box–Muller (f32).
+fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    ((-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()) as f32
+}
+
+/// Generate a raw event log from a config.
+pub fn generate<R: Rng + ?Sized>(cfg: &SyntheticConfig, rng: &mut R) -> RawDataset {
+    let catalogue = Catalogue::build(cfg, rng);
+    let nc = cfg.num_categories.max(1);
+    let mut raw = RawDataset::new(cfg.name.clone());
+    raw.interactions.reserve(cfg.num_users * cfg.mean_seq_len as usize);
+
+    for user in 0..cfg.num_users {
+        // Preferred category mixture.
+        let mut prefs: Vec<usize> =
+            (0..cfg.prefs_per_user.max(1)).map(|_| rng.gen_range(0..nc)).collect();
+        // Sequence length: lognormal around the configured mean.
+        let len = if cfg.seq_len_sigma > 0.0 {
+            let mu = cfg.mean_seq_len.ln() - cfg.seq_len_sigma * cfg.seq_len_sigma / 2.0;
+            (mu + cfg.seq_len_sigma * gaussian(rng) as f64).exp().round().max(2.0) as usize
+        } else {
+            cfg.mean_seq_len.round().max(2.0) as usize
+        };
+
+        let mut last_in_cat: Vec<Option<u32>> = vec![None; nc];
+        let mut current_cat = prefs[rng.gen_range(0..prefs.len())];
+        for step in 0..len {
+            // Preference drift.
+            if rng.gen::<f64>() < cfg.drift_rate {
+                let slot = rng.gen_range(0..prefs.len());
+                prefs[slot] = rng.gen_range(0..nc);
+            }
+            // Category choice.
+            if rng.gen::<f64>() >= cfg.category_stickiness {
+                current_cat = prefs[rng.gen_range(0..prefs.len())];
+            }
+            // Item choice.
+            let item = if rng.gen::<f64>() < cfg.noise {
+                rng.gen_range(0..cfg.num_items) as u32
+            } else if let (true, Some(prev)) =
+                (rng.gen::<f64>() < cfg.markov_strength, last_in_cat[current_cat])
+            {
+                catalogue.successor(prev)
+            } else {
+                catalogue.sample_item(current_cat, rng)
+            };
+            let item_cat = catalogue.category[item as usize];
+            last_in_cat[item_cat] = Some(item);
+
+            // Rating model: quality + alignment + noise, clamped to 1–5.
+            let aligned = prefs.contains(&item_cat);
+            let mut r = catalogue.quality[item as usize] + 0.6 * gaussian(rng);
+            if aligned {
+                r += cfg.alignment_boost;
+            }
+            let rating = r.clamp(1.0, 5.0).round();
+
+            raw.interactions.push(Interaction {
+                user: user as u32,
+                item,
+                rating,
+                timestamp: (user * 100_000 + step) as i64,
+            });
+        }
+    }
+    raw
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_cfg() -> SyntheticConfig {
+        SyntheticConfig {
+            name: "tiny".into(),
+            num_users: 50,
+            num_items: 40,
+            num_categories: 4,
+            zipf_exponent: 1.0,
+            markov_strength: 0.5,
+            category_stickiness: 0.7,
+            drift_rate: 0.05,
+            noise: 0.05,
+            mean_seq_len: 12.0,
+            seq_len_sigma: 0.3,
+            prefs_per_user: 2,
+            alignment_boost: 0.9,
+        }
+    }
+
+    #[test]
+    fn catalogue_chains_partition_items() {
+        let cfg = tiny_cfg();
+        let mut rng = StdRng::seed_from_u64(1);
+        let cat = Catalogue::build(&cfg, &mut rng);
+        let total: usize = cat.chains.iter().map(Vec::len).sum();
+        assert_eq!(total, cfg.num_items);
+        for (i, &c) in cat.category.iter().enumerate() {
+            assert!(cat.chains[c].contains(&(i as u32)));
+        }
+    }
+
+    #[test]
+    fn successor_stays_in_category_and_cycles() {
+        let cfg = tiny_cfg();
+        let mut rng = StdRng::seed_from_u64(2);
+        let cat = Catalogue::build(&cfg, &mut rng);
+        for item in 0..cfg.num_items as u32 {
+            let next = cat.successor(item);
+            assert_eq!(cat.category[item as usize], cat.category[next as usize]);
+            assert_ne!(item, next, "chains have ≥ 2 items here");
+        }
+        // Following the chain |category| times returns to the start.
+        let start = 0u32;
+        let clen = cat.chains[cat.category[0]].len();
+        let mut cur = start;
+        for _ in 0..clen {
+            cur = cat.successor(cur);
+        }
+        assert_eq!(cur, start);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let cfg = tiny_cfg();
+        let a = generate(&cfg, &mut StdRng::seed_from_u64(3));
+        let b = generate(&cfg, &mut StdRng::seed_from_u64(3));
+        assert_eq!(a.interactions.len(), b.interactions.len());
+        assert_eq!(a.interactions[..20], b.interactions[..20]);
+        let c = generate(&cfg, &mut StdRng::seed_from_u64(4));
+        assert_ne!(a.interactions[..20], c.interactions[..20]);
+    }
+
+    #[test]
+    fn timestamps_increase_within_user() {
+        let cfg = tiny_cfg();
+        let raw = generate(&cfg, &mut StdRng::seed_from_u64(5));
+        let mut last_ts: std::collections::HashMap<u32, i64> = Default::default();
+        for e in &raw.interactions {
+            if let Some(&prev) = last_ts.get(&e.user) {
+                assert!(e.timestamp > prev);
+            }
+            last_ts.insert(e.user, e.timestamp);
+        }
+    }
+
+    #[test]
+    fn ratings_are_valid_and_biased_by_alignment() {
+        let cfg = tiny_cfg();
+        let raw = generate(&cfg, &mut StdRng::seed_from_u64(6));
+        assert!(raw.interactions.iter().all(|e| (1.0..=5.0).contains(&e.rating)));
+        // A meaningful share survives the ≥4 binarization.
+        let kept = raw.interactions.iter().filter(|e| e.rating >= 4.0).count();
+        let frac = kept as f64 / raw.interactions.len() as f64;
+        assert!(frac > 0.3 && frac < 0.95, "binarization survival {frac}");
+    }
+
+    #[test]
+    fn popularity_is_skewed() {
+        let mut cfg = tiny_cfg();
+        cfg.num_users = 400;
+        let raw = generate(&cfg, &mut StdRng::seed_from_u64(7));
+        let mut counts = vec![0usize; cfg.num_items];
+        for e in &raw.interactions {
+            counts[e.item as usize] += 1;
+        }
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let top_decile: usize = counts[..cfg.num_items / 10].iter().sum();
+        let total: usize = counts.iter().sum();
+        let share = top_decile as f64 / total as f64;
+        assert!(share > 0.2, "top-10% items should dominate, share {share}");
+    }
+
+    #[test]
+    fn markov_structure_is_detectable() {
+        // With strong markov_strength and no noise, the empirical
+        // probability that consecutive same-category events follow the
+        // chain successor should be far above chance.
+        let mut cfg = tiny_cfg();
+        cfg.markov_strength = 0.9;
+        cfg.noise = 0.0;
+        cfg.drift_rate = 0.0;
+        cfg.category_stickiness = 1.0;
+        cfg.num_users = 200;
+        let mut rng = StdRng::seed_from_u64(8);
+        let cat = Catalogue::build(&cfg, &mut rng);
+        // Regenerate with the same seed so catalogue matches generation.
+        let mut rng = StdRng::seed_from_u64(8);
+        let raw = generate(&cfg, &mut rng);
+        let mut follows = 0usize;
+        let mut total = 0usize;
+        let mut prev: std::collections::HashMap<u32, u32> = Default::default();
+        for e in &raw.interactions {
+            if let Some(&p) = prev.get(&e.user) {
+                total += 1;
+                if cat.successor(p) == e.item {
+                    follows += 1;
+                }
+            }
+            prev.insert(e.user, e.item);
+        }
+        let rate = follows as f64 / total as f64;
+        assert!(rate > 0.5, "chain-follow rate {rate} should be far above 1/num_items");
+    }
+}

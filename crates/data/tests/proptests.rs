@@ -1,0 +1,113 @@
+//! Property-based tests for preprocessing, sequence windowing, and splits.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vsan_data::interaction::{Dataset, Interaction, RawDataset};
+use vsan_data::preprocess::Pipeline;
+use vsan_data::sequence::{next_item_example, next_k_example, pad_left};
+use vsan_data::split::Split;
+
+fn arbitrary_events() -> impl Strategy<Value = Vec<Interaction>> {
+    proptest::collection::vec(
+        (0u32..20, 0u32..30, 1u32..=5, 0i64..1000).prop_map(|(user, item, rating, timestamp)| {
+            Interaction { user, item, rating: rating as f32, timestamp }
+        }),
+        0..300,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn pipeline_always_yields_valid_datasets(events in arbitrary_events()) {
+        let raw = RawDataset { name: "prop".into(), interactions: events };
+        for k in [1usize, 2, 5] {
+            let ds = Pipeline { min_rating: 4.0, k_core: k }.run(&raw);
+            prop_assert!(ds.check_invariants().is_ok());
+            // k-core postcondition: every user has ≥ k events.
+            for seq in &ds.sequences {
+                prop_assert!(seq.len() >= k);
+            }
+        }
+    }
+
+    #[test]
+    fn binarization_never_keeps_low_ratings(events in arbitrary_events()) {
+        let kept_events = events.iter().filter(|e| e.rating >= 4.0).count();
+        let raw = RawDataset { name: "prop".into(), interactions: events };
+        let ds = Pipeline { min_rating: 4.0, k_core: 1 }.run(&raw);
+        prop_assert!(ds.num_interactions() <= kept_events);
+    }
+
+    #[test]
+    fn pad_left_always_returns_n(seq in proptest::collection::vec(1u32..50, 0..30), n in 1usize..20) {
+        let padded = pad_left(&seq, n);
+        prop_assert_eq!(padded.len(), n);
+        // The suffix of real items is preserved in order.
+        let keep = seq.len().min(n);
+        prop_assert_eq!(&padded[n - keep..], &seq[seq.len() - keep..]);
+        // Only the prefix may contain padding.
+        if keep < n {
+            prop_assert!(padded[..n - keep].iter().all(|&x| x == 0));
+        }
+    }
+
+    #[test]
+    fn next_item_targets_align_with_history(
+        seq in proptest::collection::vec(1u32..50, 2..25),
+        n in 2usize..20,
+    ) {
+        let ex = next_item_example(&seq, n).unwrap();
+        prop_assert_eq!(ex.input.len(), n);
+        prop_assert_eq!(ex.targets.len(), n);
+        for (pos, (&inp, &tgt)) in ex.input.iter().zip(&ex.targets).enumerate() {
+            if tgt == usize::MAX {
+                continue;
+            }
+            if inp != 0 {
+                // The target must be the item that follows `inp` somewhere
+                // in the original sequence at the matching offset.
+                let covered = (seq.len() - 1).min(n);
+                let start = (seq.len() - 1) - covered;
+                let t = start + (pos - (n - covered));
+                prop_assert_eq!(seq[t], inp);
+                prop_assert_eq!(seq[t + 1] as usize, tgt);
+            }
+        }
+    }
+
+    #[test]
+    fn next_k_sets_are_windows_of_the_future(
+        seq in proptest::collection::vec(1u32..50, 2..20),
+        k in 1usize..5,
+    ) {
+        let n = 8;
+        let ex = next_k_example(&seq, n, k).unwrap();
+        for targets in &ex.targets {
+            prop_assert!(targets.len() <= k);
+        }
+        // The last position always predicts at least the final item.
+        let last = ex.targets.last().unwrap();
+        prop_assert!(!last.is_empty());
+        prop_assert_eq!(last[0], *seq.last().unwrap() as usize);
+    }
+
+    #[test]
+    fn split_partitions_users(n_users in 3usize..60, held in 1usize..30) {
+        let ds = Dataset {
+            name: "prop".into(),
+            num_items: 10,
+            sequences: (0..n_users).map(|u| vec![(u % 10 + 1) as u32; 6]).collect(),
+        };
+        let mut rng = StdRng::seed_from_u64(held as u64);
+        let split = Split::strong_generalization(&ds, held, 3, &mut rng);
+        let mut all: Vec<usize> = split
+            .train_users.iter().chain(&split.val_users).chain(&split.test_users).copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        prop_assert_eq!(all.len(), n_users, "split must partition without overlap");
+        prop_assert_eq!(split.val_users.len(), split.test_users.len());
+    }
+}

@@ -1,0 +1,176 @@
+//! Beyond-accuracy metrics: catalogue coverage, recommendation diversity,
+//! and popularity bias. Not in the paper's tables, but standard companions
+//! when auditing a recommender — and they quantify a side effect the
+//! paper's Fig. 1 story implies: a model that captures preference
+//! *uncertainty* should spread its recommendations across more of the
+//! catalogue than a point-estimate model.
+
+use std::collections::HashMap;
+
+/// Aggregate beyond-accuracy statistics over many users' top-N lists.
+#[derive(Debug, Clone, Default)]
+pub struct DiversityStats {
+    item_counts: HashMap<u32, usize>,
+    lists: usize,
+    list_len_total: usize,
+}
+
+impl DiversityStats {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold in one user's recommendation list.
+    pub fn add_list(&mut self, recommended: &[u32]) {
+        for &item in recommended {
+            *self.item_counts.entry(item).or_default() += 1;
+        }
+        self.lists += 1;
+        self.list_len_total += recommended.len();
+    }
+
+    /// Number of lists folded in.
+    pub fn lists(&self) -> usize {
+        self.lists
+    }
+
+    /// Catalogue coverage: fraction of the catalogue (of size `num_items`)
+    /// that appeared in at least one list.
+    pub fn coverage(&self, num_items: usize) -> f64 {
+        if num_items == 0 {
+            return 0.0;
+        }
+        self.item_counts.len() as f64 / num_items as f64
+    }
+
+    /// Normalized Shannon entropy of the recommended-item distribution in
+    /// `[0, 1]`: 0 = every list identical, 1 = perfectly even spread over
+    /// the catalogue.
+    pub fn normalized_entropy(&self, num_items: usize) -> f64 {
+        let total: usize = self.item_counts.values().sum();
+        if total == 0 || num_items <= 1 {
+            return 0.0;
+        }
+        let h: f64 = self
+            .item_counts
+            .values()
+            .map(|&c| {
+                let p = c as f64 / total as f64;
+                -p * p.ln()
+            })
+            .sum();
+        h / (num_items as f64).ln()
+    }
+
+    /// Gini coefficient of recommendation exposure over the catalogue
+    /// (items never recommended count as zero exposure). 0 = perfectly
+    /// equal exposure, → 1 = all exposure on one item.
+    pub fn exposure_gini(&self, num_items: usize) -> f64 {
+        if num_items == 0 {
+            return 0.0;
+        }
+        let mut exposures = vec![0usize; num_items];
+        for (&item, &c) in &self.item_counts {
+            let idx = (item as usize).saturating_sub(1);
+            if idx < num_items {
+                exposures[idx] = c;
+            }
+        }
+        exposures.sort_unstable();
+        let total: usize = exposures.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let n = num_items as f64;
+        let mut weighted = 0.0f64;
+        for (i, &e) in exposures.iter().enumerate() {
+            weighted += (i as f64 + 1.0) * e as f64;
+        }
+        (2.0 * weighted) / (n * total as f64) - (n + 1.0) / n
+    }
+
+    /// Average popularity rank of recommended items, where `popularity`
+    /// maps item id → interaction count from the training split. Lower
+    /// values mean stronger popularity bias.
+    pub fn mean_popularity(&self, popularity: &[f32]) -> f64 {
+        let total: usize = self.item_counts.values().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let mut acc = 0.0f64;
+        for (&item, &c) in &self.item_counts {
+            let p = popularity.get(item as usize).copied().unwrap_or(0.0);
+            acc += p as f64 * c as f64;
+        }
+        acc / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coverage_counts_distinct_items() {
+        let mut s = DiversityStats::new();
+        s.add_list(&[1, 2, 3]);
+        s.add_list(&[3, 4]);
+        assert_eq!(s.lists(), 2);
+        assert!((s.coverage(10) - 0.4).abs() < 1e-12);
+        assert_eq!(s.coverage(0), 0.0);
+    }
+
+    #[test]
+    fn entropy_zero_for_identical_lists_high_for_spread() {
+        let mut same = DiversityStats::new();
+        for _ in 0..10 {
+            same.add_list(&[7]);
+        }
+        let mut spread = DiversityStats::new();
+        for i in 1..=10u32 {
+            spread.add_list(&[i]);
+        }
+        assert!(same.normalized_entropy(10) < 1e-9);
+        assert!(spread.normalized_entropy(10) > same.normalized_entropy(10));
+        assert!((spread.normalized_entropy(10) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gini_discriminates_concentration() {
+        let mut concentrated = DiversityStats::new();
+        for _ in 0..20 {
+            concentrated.add_list(&[1]);
+        }
+        let mut even = DiversityStats::new();
+        for i in 1..=20u32 {
+            even.add_list(&[i]);
+        }
+        let g_conc = concentrated.exposure_gini(20);
+        let g_even = even.exposure_gini(20);
+        assert!(g_conc > 0.9, "concentrated gini {g_conc}");
+        assert!(g_even < 0.05, "even gini {g_even}");
+    }
+
+    #[test]
+    fn popularity_bias_average() {
+        let mut s = DiversityStats::new();
+        s.add_list(&[1, 2]);
+        // popularity indexed by item id.
+        let pop = vec![0.0, 10.0, 2.0];
+        assert!((s.mean_popularity(&pop) - 6.0).abs() < 1e-12);
+        // Unknown item ids count as zero popularity.
+        let mut s2 = DiversityStats::new();
+        s2.add_list(&[99]);
+        assert_eq!(s2.mean_popularity(&pop), 0.0);
+    }
+
+    #[test]
+    fn empty_stats_are_zeroes() {
+        let s = DiversityStats::new();
+        assert_eq!(s.coverage(5), 0.0);
+        assert_eq!(s.normalized_entropy(5), 0.0);
+        assert_eq!(s.exposure_gini(5), 0.0);
+        assert_eq!(s.mean_popularity(&[1.0]), 0.0);
+    }
+}

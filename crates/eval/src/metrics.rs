@@ -1,0 +1,185 @@
+//! Ranking metrics (§V-C, Eqs. 21–22).
+
+use std::collections::HashSet;
+
+/// Precision@N: fraction of the top-N list that appears in the target set.
+pub fn precision_at_n(recommended: &[u32], targets: &HashSet<u32>, n: usize) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    let hits = recommended.iter().take(n).filter(|i| targets.contains(i)).count();
+    hits as f64 / n as f64
+}
+
+/// Recall@N: fraction of the target set covered by the top-N list.
+pub fn recall_at_n(recommended: &[u32], targets: &HashSet<u32>, n: usize) -> f64 {
+    if targets.is_empty() {
+        return 0.0;
+    }
+    let hits = recommended.iter().take(n).filter(|i| targets.contains(i)).count();
+    hits as f64 / targets.len() as f64
+}
+
+/// NDCG@N with binary relevance: DCG over the top-N normalized by the
+/// ideal DCG of `min(N, |T|)` leading hits (the SVAE definition the paper
+/// references).
+pub fn ndcg_at_n(recommended: &[u32], targets: &HashSet<u32>, n: usize) -> f64 {
+    if targets.is_empty() || n == 0 {
+        return 0.0;
+    }
+    let dcg: f64 = recommended
+        .iter()
+        .take(n)
+        .enumerate()
+        .filter(|(_, i)| targets.contains(i))
+        .map(|(rank, _)| 1.0 / ((rank + 2) as f64).log2())
+        .sum();
+    let ideal_hits = n.min(targets.len());
+    let idcg: f64 = (0..ideal_hits).map(|rank| 1.0 / ((rank + 2) as f64).log2()).sum();
+    dcg / idcg
+}
+
+/// Hit-rate@N: 1 if any target appears in the top-N, else 0.
+pub fn hit_rate_at_n(recommended: &[u32], targets: &HashSet<u32>, n: usize) -> f64 {
+    if recommended.iter().take(n).any(|i| targets.contains(i)) {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// Mean reciprocal rank of the first hit within the full recommended list
+/// (0 when nothing hits).
+pub fn mrr(recommended: &[u32], targets: &HashSet<u32>) -> f64 {
+    recommended
+        .iter()
+        .position(|i| targets.contains(i))
+        .map_or(0.0, |rank| 1.0 / (rank + 1) as f64)
+}
+
+/// All §V-C metrics for one user at one cutoff, bundled.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MetricSet {
+    /// Precision@N.
+    pub precision: f64,
+    /// Recall@N.
+    pub recall: f64,
+    /// NDCG@N.
+    pub ndcg: f64,
+    /// Hit-rate@N.
+    pub hit_rate: f64,
+}
+
+impl MetricSet {
+    /// Compute the bundle for a single user.
+    pub fn compute(recommended: &[u32], targets: &HashSet<u32>, n: usize) -> Self {
+        MetricSet {
+            precision: precision_at_n(recommended, targets, n),
+            recall: recall_at_n(recommended, targets, n),
+            ndcg: ndcg_at_n(recommended, targets, n),
+            hit_rate: hit_rate_at_n(recommended, targets, n),
+        }
+    }
+
+    /// Elementwise accumulate (for averaging across users).
+    pub fn add_assign(&mut self, other: &MetricSet) {
+        self.precision += other.precision;
+        self.recall += other.recall;
+        self.ndcg += other.ndcg;
+        self.hit_rate += other.hit_rate;
+    }
+
+    /// Elementwise divide (finish the average).
+    pub fn scale(&mut self, inv_n: f64) {
+        self.precision *= inv_n;
+        self.recall *= inv_n;
+        self.ndcg *= inv_n;
+        self.hit_rate *= inv_n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn targets(items: &[u32]) -> HashSet<u32> {
+        items.iter().copied().collect()
+    }
+
+    #[test]
+    fn precision_counts_hits_over_n() {
+        let rec = vec![1, 2, 3, 4, 5];
+        let t = targets(&[2, 5, 9]);
+        assert!((precision_at_n(&rec, &t, 5) - 0.4).abs() < 1e-12);
+        assert!((precision_at_n(&rec, &t, 2) - 0.5).abs() < 1e-12);
+        assert_eq!(precision_at_n(&rec, &t, 0), 0.0);
+    }
+
+    #[test]
+    fn recall_counts_hits_over_targets() {
+        let rec = vec![1, 2, 3];
+        let t = targets(&[2, 3, 7, 8]);
+        assert!((recall_at_n(&rec, &t, 3) - 0.5).abs() < 1e-12);
+        assert_eq!(recall_at_n(&rec, &targets(&[]), 3), 0.0);
+    }
+
+    #[test]
+    fn perfect_ranking_gives_ndcg_one() {
+        let t = targets(&[4, 7]);
+        let rec = vec![4, 7, 1, 2];
+        assert!((ndcg_at_n(&rec, &t, 4) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ndcg_rewards_early_hits() {
+        let t = targets(&[9]);
+        let early = ndcg_at_n(&[9, 1, 2, 3], &t, 4);
+        let late = ndcg_at_n(&[1, 2, 3, 9], &t, 4);
+        assert!(early > late);
+        assert!(late > 0.0);
+    }
+
+    #[test]
+    fn ndcg_caps_ideal_at_n() {
+        // 3 targets but N = 1: a single hit at rank 0 is ideal → NDCG = 1.
+        let t = targets(&[1, 2, 3]);
+        assert!((ndcg_at_n(&[1], &t, 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hit_rate_and_mrr() {
+        let t = targets(&[5]);
+        assert_eq!(hit_rate_at_n(&[1, 5, 2], &t, 3), 1.0);
+        assert_eq!(hit_rate_at_n(&[1, 5, 2], &t, 1), 0.0);
+        assert!((mrr(&[1, 5, 2], &t) - 0.5).abs() < 1e-12);
+        assert_eq!(mrr(&[1, 2, 3], &t), 0.0);
+    }
+
+    #[test]
+    fn metric_set_averages() {
+        let t = targets(&[1]);
+        let mut acc = MetricSet::default();
+        acc.add_assign(&MetricSet::compute(&[1, 2], &t, 2)); // perfect-ish
+        acc.add_assign(&MetricSet::compute(&[3, 4], &t, 2)); // total miss
+        acc.scale(0.5);
+        assert!((acc.recall - 0.5).abs() < 1e-12);
+        assert!((acc.hit_rate - 0.5).abs() < 1e-12);
+        assert!((acc.precision - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metrics_are_bounded() {
+        let rec: Vec<u32> = (0..20).collect();
+        let t = targets(&[0, 3, 19, 40]);
+        for n in [1, 5, 10, 20, 50] {
+            for v in [
+                precision_at_n(&rec, &t, n),
+                recall_at_n(&rec, &t, n),
+                ndcg_at_n(&rec, &t, n),
+                hit_rate_at_n(&rec, &t, n),
+            ] {
+                assert!((0.0..=1.0).contains(&v), "metric {v} out of range at n={n}");
+            }
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Metric reports and multi-seed aggregation.
+//!
+//! The paper reports every number "in percentage" as the average of five
+//! runs; [`RunAggregate`] reproduces that averaging with a standard
+//! deviation for error bars.
+
+use std::collections::BTreeMap;
+
+/// One evaluation run's metrics, keyed by `(metric name, cutoff N)`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsReport {
+    values: BTreeMap<(String, usize), f64>,
+    users: usize,
+}
+
+impl MetricsReport {
+    /// Empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Store a metric value (fractions in `[0, 1]`, not percentages).
+    pub fn set(&mut self, metric: &str, n: usize, value: f64) {
+        self.values.insert((metric.to_string(), n), value);
+    }
+
+    /// Read a metric value.
+    pub fn get(&self, metric: &str, n: usize) -> Option<f64> {
+        self.values.get(&(metric.to_string(), n)).copied()
+    }
+
+    /// Read a metric as a paper-style percentage.
+    pub fn get_pct(&self, metric: &str, n: usize) -> Option<f64> {
+        self.get(metric, n).map(|v| v * 100.0)
+    }
+
+    /// Number of held-out users actually evaluated.
+    pub fn users(&self) -> usize {
+        self.users
+    }
+
+    /// Record the evaluated-user count.
+    pub fn set_meta_users(&mut self, users: usize) {
+        self.users = users;
+    }
+
+    /// Iterate all `(metric, n, value)` entries.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, usize, f64)> {
+        self.values.iter().map(|((m, n), v)| (m.as_str(), *n, *v))
+    }
+}
+
+/// Aggregate over seeds: mean and standard deviation per metric.
+#[derive(Debug, Clone, Default)]
+pub struct RunAggregate {
+    sums: BTreeMap<(String, usize), (f64, f64, usize)>, // (Σx, Σx², count)
+}
+
+impl RunAggregate {
+    /// Empty aggregate.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold in one run.
+    pub fn add(&mut self, report: &MetricsReport) {
+        for (metric, n, v) in report.iter() {
+            let e = self.sums.entry((metric.to_string(), n)).or_insert((0.0, 0.0, 0));
+            e.0 += v;
+            e.1 += v * v;
+            e.2 += 1;
+        }
+    }
+
+    /// Number of runs folded in for a given metric.
+    pub fn runs(&self, metric: &str, n: usize) -> usize {
+        self.sums.get(&(metric.to_string(), n)).map_or(0, |e| e.2)
+    }
+
+    /// Mean of a metric across runs.
+    pub fn mean(&self, metric: &str, n: usize) -> Option<f64> {
+        self.sums.get(&(metric.to_string(), n)).map(|&(s, _, c)| s / c as f64)
+    }
+
+    /// Mean as a percentage (paper's unit).
+    pub fn mean_pct(&self, metric: &str, n: usize) -> Option<f64> {
+        self.mean(metric, n).map(|v| v * 100.0)
+    }
+
+    /// Sample standard deviation across runs (0 for a single run).
+    pub fn std(&self, metric: &str, n: usize) -> Option<f64> {
+        self.sums.get(&(metric.to_string(), n)).map(|&(s, s2, c)| {
+            if c < 2 {
+                0.0
+            } else {
+                let mean = s / c as f64;
+                ((s2 / c as f64 - mean * mean).max(0.0) * c as f64 / (c as f64 - 1.0)).sqrt()
+            }
+        })
+    }
+
+    /// Collapse to a mean [`MetricsReport`].
+    pub fn to_report(&self) -> MetricsReport {
+        let mut r = MetricsReport::new();
+        for ((m, n), &(s, _, c)) in &self.sums {
+            r.set(m, *n, s / c as f64);
+        }
+        r
+    }
+}
+
+/// Format a Table III-style row: NDCG/Recall/Precision at 10 and 20, in
+/// percent, for one model.
+pub fn table3_row(model: &str, report: &MetricsReport) -> String {
+    let g = |m: &str, n: usize| report.get_pct(m, n).unwrap_or(f64::NAN);
+    format!(
+        "{model:<10} {:>7.3} {:>7.3} {:>7.3} {:>7.3} {:>9.3} {:>9.3}",
+        g("NDCG", 10),
+        g("NDCG", 20),
+        g("Recall", 10),
+        g("Recall", 20),
+        g("Precision", 10),
+        g("Precision", 20),
+    )
+}
+
+/// Header matching [`table3_row`].
+pub fn table3_header() -> String {
+    format!(
+        "{:<10} {:>7} {:>7} {:>7} {:>7} {:>9} {:>9}",
+        "Model", "NDCG@10", "NDCG@20", "Rec@10", "Rec@20", "Prec@10", "Prec@20"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(v: f64) -> MetricsReport {
+        let mut r = MetricsReport::new();
+        r.set("NDCG", 10, v);
+        r.set("Recall", 20, v * 2.0);
+        r
+    }
+
+    #[test]
+    fn report_set_get_pct() {
+        let r = report(0.123);
+        assert_eq!(r.get("NDCG", 10), Some(0.123));
+        assert!((r.get_pct("NDCG", 10).unwrap() - 12.3).abs() < 1e-9);
+        assert_eq!(r.get("NDCG", 20), None);
+    }
+
+    #[test]
+    fn aggregate_mean_and_std() {
+        let mut agg = RunAggregate::new();
+        agg.add(&report(0.1));
+        agg.add(&report(0.2));
+        agg.add(&report(0.3));
+        assert_eq!(agg.runs("NDCG", 10), 3);
+        assert!((agg.mean("NDCG", 10).unwrap() - 0.2).abs() < 1e-12);
+        assert!((agg.std("NDCG", 10).unwrap() - 0.1).abs() < 1e-9);
+        assert!((agg.mean("Recall", 20).unwrap() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_run_std_is_zero() {
+        let mut agg = RunAggregate::new();
+        agg.add(&report(0.5));
+        assert_eq!(agg.std("NDCG", 10), Some(0.0));
+    }
+
+    #[test]
+    fn to_report_collapses_means() {
+        let mut agg = RunAggregate::new();
+        agg.add(&report(0.0));
+        agg.add(&report(1.0));
+        let r = agg.to_report();
+        assert!((r.get("NDCG", 10).unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_row_formats_all_six_columns() {
+        let mut r = MetricsReport::new();
+        for m in ["NDCG", "Recall", "Precision"] {
+            r.set(m, 10, 0.1);
+            r.set(m, 20, 0.2);
+        }
+        let row = table3_row("VSAN", &r);
+        assert!(row.starts_with("VSAN"));
+        assert_eq!(row.matches("10.000").count(), 3);
+        assert_eq!(row.matches("20.000").count(), 3);
+        assert!(table3_header().contains("NDCG@10"));
+    }
+}

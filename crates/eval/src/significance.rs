@@ -1,0 +1,124 @@
+//! Statistical significance for model comparisons.
+//!
+//! §V-D of the paper states the authors "conducted multiple experiments to
+//! ensure that the error of every experimental result is negligible". This
+//! module makes that check executable: a **paired bootstrap** over per-user
+//! metrics (the standard IR significance test) estimates the probability
+//! that model A's observed advantage over model B on the *same* held-out
+//! users would survive resampling.
+
+use rand::Rng;
+
+/// Result of a paired bootstrap comparison.
+#[derive(Debug, Clone, Copy)]
+pub struct BootstrapResult {
+    /// Mean per-user difference (A − B) on the original sample.
+    pub mean_diff: f64,
+    /// Fraction of bootstrap resamples where A's mean is **not** greater
+    /// than B's — a one-sided p-value for "A beats B".
+    pub p_value: f64,
+    /// Number of bootstrap resamples drawn.
+    pub resamples: usize,
+}
+
+impl BootstrapResult {
+    /// Conventional significance check at a given level (e.g. 0.05).
+    pub fn significant_at(&self, alpha: f64) -> bool {
+        self.mean_diff > 0.0 && self.p_value < alpha
+    }
+}
+
+/// Paired bootstrap over per-user metric values.
+///
+/// `a[i]` and `b[i]` must be the two models' metric values for the *same*
+/// user `i`. Returns an error string if the pairing is malformed.
+pub fn paired_bootstrap<R: Rng + ?Sized>(
+    a: &[f64],
+    b: &[f64],
+    resamples: usize,
+    rng: &mut R,
+) -> Result<BootstrapResult, String> {
+    if a.len() != b.len() {
+        return Err(format!("unpaired samples: {} vs {}", a.len(), b.len()));
+    }
+    if a.is_empty() {
+        return Err("no users to compare".into());
+    }
+    let n = a.len();
+    let diffs: Vec<f64> = a.iter().zip(b).map(|(&x, &y)| x - y).collect();
+    let mean_diff = diffs.iter().sum::<f64>() / n as f64;
+    let mut not_greater = 0usize;
+    for _ in 0..resamples {
+        let mut acc = 0.0f64;
+        for _ in 0..n {
+            acc += diffs[rng.gen_range(0..n)];
+        }
+        if acc / n as f64 <= 0.0 {
+            not_greater += 1;
+        }
+    }
+    Ok(BootstrapResult {
+        mean_diff,
+        p_value: (not_greater as f64 + 1.0) / (resamples as f64 + 1.0),
+        resamples,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn clear_advantage_is_significant() {
+        let a: Vec<f64> = (0..200).map(|i| 0.5 + 0.001 * (i % 7) as f64).collect();
+        let b: Vec<f64> = (0..200).map(|i| 0.3 + 0.001 * (i % 5) as f64).collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        let r = paired_bootstrap(&a, &b, 1000, &mut rng).unwrap();
+        assert!(r.mean_diff > 0.19);
+        assert!(r.p_value < 0.01, "p = {}", r.p_value);
+        assert!(r.significant_at(0.05));
+    }
+
+    #[test]
+    fn identical_models_are_not_significant() {
+        let a: Vec<f64> = (0..100).map(|i| (i % 10) as f64 / 10.0).collect();
+        let b = a.clone();
+        let mut rng = StdRng::seed_from_u64(2);
+        let r = paired_bootstrap(&a, &b, 500, &mut rng).unwrap();
+        assert_eq!(r.mean_diff, 0.0);
+        assert!(!r.significant_at(0.05));
+        // With zero diffs every resample mean is exactly 0 → p ≈ 1.
+        assert!(r.p_value > 0.9);
+    }
+
+    #[test]
+    fn noisy_tiny_advantage_is_uncertain() {
+        // Alternating ±1 with a +0.01 tilt: mean diff positive but the
+        // per-user variance dwarfs it at n = 20.
+        let a: Vec<f64> = (0..20).map(|i| if i % 2 == 0 { 1.0 } else { 0.0 }).collect();
+        let b: Vec<f64> = (0..20).map(|i| if i % 2 == 0 { 0.0 } else { 0.99 }).collect();
+        let mut rng = StdRng::seed_from_u64(3);
+        let r = paired_bootstrap(&a, &b, 2000, &mut rng).unwrap();
+        assert!(r.mean_diff > 0.0);
+        assert!(r.p_value > 0.05, "p = {} should be inconclusive", r.p_value);
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(paired_bootstrap(&[1.0], &[1.0, 2.0], 10, &mut rng).is_err());
+        assert!(paired_bootstrap(&[], &[], 10, &mut rng).is_err());
+    }
+
+    #[test]
+    fn p_value_is_a_probability() {
+        let a = vec![0.3; 50];
+        let b = vec![0.2; 50];
+        let mut rng = StdRng::seed_from_u64(5);
+        let r = paired_bootstrap(&a, &b, 100, &mut rng).unwrap();
+        assert!((0.0..=1.0).contains(&r.p_value));
+        assert_eq!(r.resamples, 100);
+    }
+}

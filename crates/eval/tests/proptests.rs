@@ -1,0 +1,96 @@
+//! Property-based tests for metrics and ranking invariants.
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+use vsan_eval::metrics::{hit_rate_at_n, ndcg_at_n, precision_at_n, recall_at_n};
+use vsan_eval::top_n_excluding;
+
+fn rec_and_targets() -> impl Strategy<Value = (Vec<u32>, HashSet<u32>)> {
+    (
+        // Recommendation lists are rankings: no duplicate items (NDCG > 1
+        // would otherwise be possible, which the ranker precludes).
+        proptest::collection::hash_set(1u32..60, 1..25),
+        proptest::collection::hash_set(1u32..60, 1..10),
+    )
+        .prop_map(|(rec, t)| (rec.into_iter().collect::<Vec<u32>>(), t))
+}
+
+proptest! {
+    #[test]
+    fn metrics_bounded_and_monotone_in_n((rec, t) in rec_and_targets()) {
+        let mut prev_recall = 0.0;
+        let mut prev_hr = 0.0;
+        for n in 1..=rec.len() + 3 {
+            let p = precision_at_n(&rec, &t, n);
+            let r = recall_at_n(&rec, &t, n);
+            let g = ndcg_at_n(&rec, &t, n);
+            let h = hit_rate_at_n(&rec, &t, n);
+            for v in [p, r, g, h] {
+                prop_assert!((0.0..=1.0 + 1e-12).contains(&v));
+            }
+            // Recall and hit-rate never decrease as the list grows.
+            prop_assert!(r + 1e-12 >= prev_recall);
+            prop_assert!(h + 1e-12 >= prev_hr);
+            prev_recall = r;
+            prev_hr = h;
+        }
+    }
+
+    #[test]
+    fn precision_recall_identity((rec, t) in rec_and_targets()) {
+        // n·P@n == |T|·R@n == #hits — the two metrics count the same set.
+        for n in [1usize, 5, 10] {
+            let hits_from_p = precision_at_n(&rec, &t, n) * n as f64;
+            let hits_from_r = recall_at_n(&rec, &t, n) * t.len() as f64;
+            prop_assert!((hits_from_p - hits_from_r).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn perfect_list_maximizes_ndcg(t in proptest::collection::hash_set(1u32..40, 1..8)) {
+        let mut perfect: Vec<u32> = t.iter().copied().collect();
+        perfect.sort_unstable();
+        let n = perfect.len();
+        prop_assert!((ndcg_at_n(&perfect, &t, n) - 1.0).abs() < 1e-12);
+        // Any list is ≤ the perfect list.
+        let arbitrary: Vec<u32> = (1..40).collect();
+        prop_assert!(ndcg_at_n(&arbitrary, &t, n) <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn top_n_output_is_sorted_unique_and_excludes(
+        scores in proptest::collection::vec(-5.0f32..5.0, 10..80),
+        n in 1usize..15,
+    ) {
+        let exclude: HashSet<u32> =
+            (0..scores.len() as u32).filter(|i| i % 5 == 0).collect();
+        let top = top_n_excluding(&scores, n, &exclude);
+        // No duplicates, no excluded, no padding item, sorted by score.
+        let uniq: HashSet<u32> = top.iter().copied().collect();
+        prop_assert_eq!(uniq.len(), top.len());
+        for &i in &top {
+            prop_assert!(i != 0);
+            prop_assert!(!exclude.contains(&i));
+        }
+        for w in top.windows(2) {
+            let (a, b) = (scores[w[0] as usize], scores[w[1] as usize]);
+            prop_assert!(a > b || (a == b && w[0] < w[1]));
+        }
+        prop_assert!(top.len() <= n);
+    }
+
+    #[test]
+    fn top_n_is_a_true_maximum(
+        scores in proptest::collection::vec(-5.0f32..5.0, 10..60),
+    ) {
+        let top = top_n_excluding(&scores, 3, &HashSet::new());
+        prop_assume!(!top.is_empty());
+        let worst_kept = scores[*top.last().unwrap() as usize];
+        // Every non-selected item scores at most the worst kept one.
+        for (i, &s) in scores.iter().enumerate().skip(1) {
+            if !top.contains(&(i as u32)) {
+                prop_assert!(s <= worst_kept + 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! Shared configuration and batch-assembly utilities for the neural
+//! baselines (GRU4Rec, Caser, SVAE, SASRec) and for `vsan-core`'s VSAN.
+
+use vsan_data::sequence::{next_item_example, SeqExample};
+use vsan_data::Dataset;
+
+/// Hyper-parameters shared by every neural sequence model in the
+/// workspace. Paper defaults (§V-D) are in [`NeuralConfig::paper`]; the
+/// scaled-down repro defaults in [`NeuralConfig::repro`].
+#[derive(Debug, Clone)]
+pub struct NeuralConfig {
+    /// Embedding / model width `d`.
+    pub dim: usize,
+    /// Maximum sequence length `n`.
+    pub max_seq_len: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Mini-batch size (users per step).
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Dropout rate.
+    pub dropout: f32,
+    /// Global-norm gradient clip (0 disables).
+    pub grad_clip: f32,
+    /// RNG seed for init, shuffling, dropout, and sampling.
+    pub seed: u64,
+    /// Worker threads for large matmuls.
+    pub threads: usize,
+}
+
+impl NeuralConfig {
+    /// Paper-scale configuration for a dataset name (§V-D): d = 200,
+    /// n = 50 (Beauty) / 200 (ML-1M), dropout 0.5 / 0.2, Adam 1e-3,
+    /// batch 128.
+    pub fn paper(dataset: &str) -> Self {
+        let beauty_like = dataset.to_ascii_lowercase().contains("beauty");
+        NeuralConfig {
+            dim: 200,
+            max_seq_len: if beauty_like { 50 } else { 200 },
+            epochs: 200,
+            batch_size: 128,
+            lr: 1e-3,
+            dropout: if beauty_like { 0.5 } else { 0.2 },
+            grad_clip: 5.0,
+            seed: 42,
+            threads: vsan_tensor::parallel::default_threads(),
+        }
+    }
+
+    /// CPU-friendly repro scale: same shape, smaller knobs. See DESIGN.md
+    /// §2 on the scale substitution.
+    pub fn repro(dataset: &str) -> Self {
+        let beauty_like = dataset.to_ascii_lowercase().contains("beauty");
+        NeuralConfig {
+            dim: 48,
+            max_seq_len: if beauty_like { 30 } else { 50 },
+            epochs: 48,
+            batch_size: 64,
+            lr: 3e-3,
+            dropout: if beauty_like { 0.5 } else { 0.2 },
+            grad_clip: 5.0,
+            seed: 42,
+            threads: vsan_tensor::parallel::default_threads(),
+        }
+    }
+
+    /// Tiny smoke-test configuration for unit tests and CI.
+    pub fn smoke() -> Self {
+        NeuralConfig {
+            dim: 16,
+            max_seq_len: 8,
+            epochs: 3,
+            batch_size: 16,
+            lr: 3e-3,
+            dropout: 0.1,
+            grad_clip: 5.0,
+            seed: 7,
+            threads: 1,
+        }
+    }
+
+    /// Builder-style seed override (for multi-seed experiment loops).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style dim override (Fig. 4 sweep).
+    pub fn with_dim(mut self, dim: usize) -> Self {
+        self.dim = dim;
+        self
+    }
+
+    /// Builder-style dropout override (Fig. 5 sweep).
+    pub fn with_dropout(mut self, dropout: f32) -> Self {
+        self.dropout = dropout;
+        self
+    }
+
+    /// Builder-style epoch override.
+    pub fn with_epochs(mut self, epochs: usize) -> Self {
+        self.epochs = epochs;
+        self
+    }
+}
+
+/// Run the shared Adam training loop over next-item examples.
+///
+/// `build_loss` constructs the scalar loss for one mini-batch on a fresh
+/// graph (receiving the epoch-global step for schedules such as KL
+/// annealing); `post_step` runs after each optimizer step (used to re-zero
+/// embedding padding rows). Returns per-epoch mean losses.
+///
+/// The loop carries a NaN tripwire: if any parameter goes non-finite the
+/// loop aborts with an error string instead of silently training garbage.
+pub fn train_epochs<F, P>(
+    cfg: &NeuralConfig,
+    store: &mut vsan_nn::ParamStore,
+    examples: &[SeqExample],
+    mut build_loss: F,
+    mut post_step: P,
+) -> Result<Vec<f32>, String>
+where
+    F: FnMut(
+        &mut vsan_autograd::Graph,
+        &vsan_nn::ParamStore,
+        &[&SeqExample],
+        &mut rand::rngs::StdRng,
+        u64,
+    ) -> vsan_autograd::Result<vsan_autograd::Var>,
+    P: FnMut(&mut vsan_nn::ParamStore),
+{
+    use rand::SeedableRng;
+    use vsan_nn::Optimizer;
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed);
+    let mut opt = vsan_nn::Adam::new(cfg.lr);
+    let mut losses = Vec::with_capacity(cfg.epochs);
+    let mut step: u64 = 0;
+    let indices: Vec<usize> = (0..examples.len()).collect();
+    for epoch in 0..cfg.epochs {
+        let batches = vsan_data::batch::epoch_batches(&indices, cfg.batch_size, &mut rng);
+        let mut epoch_loss = 0.0f64;
+        let mut batch_count = 0usize;
+        for batch in batches {
+            let refs: Vec<&SeqExample> = batch.iter().map(|&i| &examples[i]).collect();
+            let mut g = vsan_autograd::Graph::with_threads(cfg.threads);
+            let loss = build_loss(&mut g, store, &refs, &mut rng, step)
+                .map_err(|e| format!("epoch {epoch}: loss build failed: {e}"))?;
+            let loss_val = g.value(loss).data()[0];
+            if !loss_val.is_finite() {
+                return Err(format!("epoch {epoch} step {step}: non-finite loss {loss_val}"));
+            }
+            epoch_loss += loss_val as f64;
+            batch_count += 1;
+            let mut grads =
+                g.backward(loss).map_err(|e| format!("epoch {epoch}: backward failed: {e}"))?;
+            if cfg.grad_clip > 0.0 {
+                grads.clip_global_norm(cfg.grad_clip);
+            }
+            opt.step(store, &grads);
+            post_step(store);
+            step += 1;
+        }
+        if !store.all_finite() {
+            return Err(format!("epoch {epoch}: parameters went non-finite"));
+        }
+        losses.push(if batch_count > 0 { (epoch_loss / batch_count as f64) as f32 } else { 0.0 });
+    }
+    Ok(losses)
+}
+
+/// Build next-item training examples for a set of users (users too short
+/// to produce an example are skipped).
+pub fn examples_for_users(ds: &Dataset, users: &[usize], n: usize) -> Vec<SeqExample> {
+    users
+        .iter()
+        .filter_map(|&u| next_item_example(&ds.sequences[u], n))
+        .collect()
+}
+
+/// Flatten a batch of examples into `(input ids, targets)` suitable for an
+/// embedding gather over a `(batch·n)` index list and a fused CE loss.
+pub fn flatten_batch(examples: &[&SeqExample]) -> (Vec<usize>, Vec<usize>) {
+    let n = examples.first().map_or(0, |e| e.input.len());
+    let mut inputs = Vec::with_capacity(examples.len() * n);
+    let mut targets = Vec::with_capacity(examples.len() * n);
+    for ex in examples {
+        debug_assert_eq!(ex.input.len(), n, "ragged batch");
+        inputs.extend(ex.input.iter().map(|&i| i as usize));
+        targets.extend_from_slice(&ex.targets);
+    }
+    (inputs, targets)
+}
+
+/// Position indices `0..n` repeated per example — the lookup list for the
+/// learned positional embedding.
+pub fn position_indices(batch: usize, n: usize) -> Vec<usize> {
+    (0..batch).flat_map(|_| 0..n).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_dataset() -> Dataset {
+        Dataset {
+            name: "t".into(),
+            num_items: 9,
+            sequences: vec![vec![1, 2, 3, 4], vec![5], vec![6, 7, 8]],
+        }
+    }
+
+    #[test]
+    fn paper_config_tracks_dataset() {
+        let b = NeuralConfig::paper("Beauty-sim");
+        assert_eq!((b.dim, b.max_seq_len, b.dropout), (200, 50, 0.5));
+        let m = NeuralConfig::paper("ML-1M-sim");
+        assert_eq!((m.max_seq_len, m.dropout), (200, 0.2));
+        assert_eq!(m.lr, 1e-3);
+        assert_eq!(m.batch_size, 128);
+    }
+
+    #[test]
+    fn builders_override_fields() {
+        let c = NeuralConfig::smoke().with_seed(9).with_dim(32).with_dropout(0.7).with_epochs(1);
+        assert_eq!(c.seed, 9);
+        assert_eq!(c.dim, 32);
+        assert_eq!(c.dropout, 0.7);
+        assert_eq!(c.epochs, 1);
+    }
+
+    #[test]
+    fn examples_skip_short_users() {
+        let ds = tiny_dataset();
+        let ex = examples_for_users(&ds, &[0, 1, 2], 4);
+        assert_eq!(ex.len(), 2); // user 1 has a single interaction
+    }
+
+    #[test]
+    fn flatten_concatenates_in_order() {
+        let ds = tiny_dataset();
+        let ex = examples_for_users(&ds, &[0, 2], 3);
+        let refs: Vec<&_> = ex.iter().collect();
+        let (inputs, targets) = flatten_batch(&refs);
+        assert_eq!(inputs.len(), 6);
+        assert_eq!(targets.len(), 6);
+        // User 0 history 1,2,3,4 → inputs (1,2,3), targets (2,3,4).
+        assert_eq!(&inputs[..3], &[1, 2, 3]);
+        assert_eq!(&targets[..3], &[2, 3, 4]);
+        // User 2 history 6,7,8 → inputs (0,6,7), targets (MAX,7,8).
+        assert_eq!(&inputs[3..], &[0, 6, 7]);
+        assert_eq!(targets[3], usize::MAX);
+        assert_eq!(&targets[4..], &[7, 8]);
+    }
+
+    #[test]
+    fn positions_repeat_per_sample() {
+        assert_eq!(position_indices(2, 3), vec![0, 1, 2, 0, 1, 2]);
+        assert!(position_indices(0, 5).is_empty());
+    }
+}

@@ -1,0 +1,186 @@
+//! Item-kNN: cosine-similarity nearest-neighbour recommendation
+//! (Sarwar et al. 2001). Not in the paper's baseline set — included as a
+//! workspace extension because it is the classic strong-and-simple
+//! comparator for sparse e-commerce data, and it needs no training loop.
+//!
+//! Similarities come from item co-occurrence within training users'
+//! histories; each item keeps only its top-`k` neighbours (sparse lists),
+//! so memory stays `O(items · k)` even at paper scale. Scoring optionally
+//! weights the fold-in by recency (the last item counts most — the same
+//! intuition the paper cites for residual connections, §IV-B-2).
+
+use crate::traits::Recommender;
+use std::collections::HashMap;
+use vsan_data::Dataset;
+use vsan_eval::Scorer;
+
+/// Item-kNN hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct ItemKnnConfig {
+    /// Neighbours retained per item.
+    pub neighbors: usize,
+    /// Exponential recency decay per step back in the fold-in
+    /// (1.0 = no decay; 0.8 halves influence every ~3 items).
+    pub recency_decay: f32,
+}
+
+impl Default for ItemKnnConfig {
+    fn default() -> Self {
+        ItemKnnConfig { neighbors: 50, recency_decay: 0.9 }
+    }
+}
+
+/// Trained (well — counted) Item-kNN model.
+#[derive(Debug, Clone)]
+pub struct ItemKnn {
+    /// `neighbors[i]` = `(item, cosine)` pairs, highest-similarity first.
+    neighbors: Vec<Vec<(u32, f32)>>,
+    vocab: usize,
+    recency_decay: f32,
+}
+
+impl ItemKnn {
+    /// Build co-occurrence cosine similarities from the training users.
+    pub fn train(ds: &Dataset, train_users: &[usize], cfg: &ItemKnnConfig) -> Self {
+        let vocab = ds.vocab();
+        // Item frequencies and pairwise co-occurrence counts.
+        let mut freq = vec![0.0f32; vocab];
+        let mut cooc: HashMap<(u32, u32), f32> = HashMap::new();
+        for &u in train_users {
+            let seq = &ds.sequences[u];
+            // Deduplicate within a user so heavy repeaters don't dominate.
+            let mut items: Vec<u32> = seq.clone();
+            items.sort_unstable();
+            items.dedup();
+            for &i in &items {
+                freq[i as usize] += 1.0;
+            }
+            for (a_idx, &a) in items.iter().enumerate() {
+                for &b in &items[a_idx + 1..] {
+                    *cooc.entry((a, b)).or_default() += 1.0;
+                }
+            }
+        }
+        // Cosine: c(a,b) / sqrt(f(a) f(b)); keep top-k per item.
+        let mut sims: Vec<Vec<(u32, f32)>> = vec![Vec::new(); vocab];
+        for (&(a, b), &c) in &cooc {
+            let denom = (freq[a as usize] * freq[b as usize]).sqrt();
+            if denom > 0.0 {
+                let s = c / denom;
+                sims[a as usize].push((b, s));
+                sims[b as usize].push((a, s));
+            }
+        }
+        for list in &mut sims {
+            list.sort_by(|x, y| y.1.partial_cmp(&x.1).unwrap_or(std::cmp::Ordering::Equal));
+            list.truncate(cfg.neighbors);
+        }
+        ItemKnn { neighbors: sims, vocab, recency_decay: cfg.recency_decay }
+    }
+
+    /// Top neighbours of an item (for inspection).
+    pub fn neighbors_of(&self, item: u32) -> &[(u32, f32)] {
+        &self.neighbors[item as usize]
+    }
+}
+
+impl Scorer for ItemKnn {
+    fn score_items(&self, fold_in: &[u32]) -> Vec<f32> {
+        let mut scores = vec![0.0f32; self.vocab];
+        let mut weight = 1.0f32;
+        for &item in fold_in.iter().rev() {
+            if (item as usize) < self.vocab {
+                for &(nbr, sim) in &self.neighbors[item as usize] {
+                    scores[nbr as usize] += weight * sim;
+                }
+            }
+            weight *= self.recency_decay;
+        }
+        scores
+    }
+    fn vocab(&self) -> usize {
+        self.vocab
+    }
+}
+
+impl Recommender for ItemKnn {
+    fn name(&self) -> &'static str {
+        "ItemKNN"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two co-purchase communities.
+    fn community_dataset() -> Dataset {
+        let mut sequences = Vec::new();
+        for u in 0..40 {
+            let seq: Vec<u32> = if u % 2 == 0 {
+                vec![1, 2, 3, 4, 5]
+            } else {
+                vec![6, 7, 8, 9, 10]
+            };
+            sequences.push(seq);
+        }
+        Dataset { name: "c".into(), num_items: 10, sequences }
+    }
+
+    #[test]
+    fn neighbors_stay_within_community() {
+        let ds = community_dataset();
+        let users: Vec<usize> = (0..40).collect();
+        let model = ItemKnn::train(&ds, &users, &ItemKnnConfig::default());
+        for &(nbr, sim) in model.neighbors_of(1) {
+            assert!((2..=5).contains(&nbr), "item 1's neighbour {nbr} crosses communities");
+            assert!(sim > 0.9, "perfect co-occurrence should give cosine ≈ 1, got {sim}");
+        }
+        assert!(model.neighbors_of(6).iter().all(|&(n, _)| (7..=10).contains(&n)));
+    }
+
+    #[test]
+    fn scores_follow_the_fold_in_community() {
+        let ds = community_dataset();
+        let users: Vec<usize> = (0..40).collect();
+        let model = ItemKnn::train(&ds, &users, &ItemKnnConfig::default());
+        let scores = model.score_items(&[1, 2]);
+        let a: f32 = (3..=5).map(|i| scores[i]).sum();
+        let b: f32 = (6..=10).map(|i| scores[i]).sum();
+        assert!(a > b, "community A {a} must outscore B {b}");
+        assert_eq!(b, 0.0, "no cross-community similarity exists");
+    }
+
+    #[test]
+    fn neighbor_cap_is_respected() {
+        let ds = community_dataset();
+        let users: Vec<usize> = (0..40).collect();
+        let cfg = ItemKnnConfig { neighbors: 2, recency_decay: 1.0 };
+        let model = ItemKnn::train(&ds, &users, &cfg);
+        for item in 1..=10u32 {
+            assert!(model.neighbors_of(item).len() <= 2);
+        }
+    }
+
+    #[test]
+    fn recency_decay_prefers_recent_community() {
+        // Mixed history ending in community B: with decay, B items win.
+        let ds = community_dataset();
+        let users: Vec<usize> = (0..40).collect();
+        let cfg = ItemKnnConfig { neighbors: 10, recency_decay: 0.5 };
+        let model = ItemKnn::train(&ds, &users, &cfg);
+        let scores = model.score_items(&[1, 2, 6, 7]);
+        let best = (1..=10)
+            .max_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap())
+            .unwrap();
+        assert!((6..=10).contains(&best), "recent community should dominate, best {best}");
+    }
+
+    #[test]
+    fn empty_training_and_fold_in_are_safe() {
+        let ds = community_dataset();
+        let model = ItemKnn::train(&ds, &[], &ItemKnnConfig::default());
+        assert!(model.score_items(&[]).iter().all(|&s| s == 0.0));
+        assert!(model.score_items(&[3]).iter().all(|s| s.is_finite()));
+    }
+}

@@ -1,0 +1,84 @@
+//! POP: rank items by global popularity in the training split.
+
+use crate::traits::Recommender;
+use vsan_data::Dataset;
+use vsan_eval::Scorer;
+
+/// The popularity baseline: every user receives the same ranking, the
+/// items most frequently interacted with by training users.
+#[derive(Debug, Clone)]
+pub struct Pop {
+    counts: Vec<f32>,
+}
+
+impl Pop {
+    /// Count item frequencies over the training users' full histories.
+    pub fn train(ds: &Dataset, train_users: &[usize]) -> Self {
+        let mut counts = vec![0.0f32; ds.vocab()];
+        for &u in train_users {
+            for &item in &ds.sequences[u] {
+                counts[item as usize] += 1.0;
+            }
+        }
+        counts[0] = 0.0; // padding never recommended
+        Pop { counts }
+    }
+
+    /// Popularity count of an item.
+    pub fn count(&self, item: u32) -> f32 {
+        self.counts[item as usize]
+    }
+}
+
+impl Scorer for Pop {
+    fn score_items(&self, _fold_in: &[u32]) -> Vec<f32> {
+        self.counts.clone()
+    }
+    fn vocab(&self) -> usize {
+        self.counts.len()
+    }
+}
+
+impl Recommender for Pop {
+    fn name(&self) -> &'static str {
+        "POP"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ds() -> Dataset {
+        Dataset {
+            name: "t".into(),
+            num_items: 4,
+            sequences: vec![vec![1, 2, 1], vec![1, 3], vec![4, 4, 4, 4]],
+        }
+    }
+
+    #[test]
+    fn counts_only_training_users() {
+        let model = Pop::train(&ds(), &[0, 1]);
+        assert_eq!(model.count(1), 3.0);
+        assert_eq!(model.count(2), 1.0);
+        assert_eq!(model.count(3), 1.0);
+        assert_eq!(model.count(4), 0.0); // user 2 excluded
+    }
+
+    #[test]
+    fn scores_are_identical_for_all_users() {
+        let model = Pop::train(&ds(), &[0, 1, 2]);
+        assert_eq!(model.score_items(&[1, 2]), model.score_items(&[3]));
+        assert_eq!(model.vocab(), 5);
+    }
+
+    #[test]
+    fn most_popular_item_ranks_first() {
+        use std::collections::HashSet;
+        let model = Pop::train(&ds(), &[0, 1, 2]);
+        let top = vsan_eval::top_n_excluding(&model.score_items(&[]), 2, &HashSet::new());
+        assert_eq!(top[0], 4); // 4 appearances
+        assert_eq!(top[1], 1); // 3 appearances
+    }
+}

@@ -1,0 +1,39 @@
+//! Common model interface.
+
+use vsan_eval::Scorer;
+
+/// A trained recommender: a [`Scorer`] with a display name.
+///
+/// Everything needed by the Table III harness: train (model-specific
+/// constructors), then score held-out fold-ins.
+pub trait Recommender: Scorer {
+    /// Display name used in experiment tables.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Dummy;
+    impl Scorer for Dummy {
+        fn score_items(&self, _fold_in: &[u32]) -> Vec<f32> {
+            vec![0.0; 4]
+        }
+        fn vocab(&self) -> usize {
+            4
+        }
+    }
+    impl Recommender for Dummy {
+        fn name(&self) -> &'static str {
+            "Dummy"
+        }
+    }
+
+    #[test]
+    fn trait_objects_compose() {
+        let models: Vec<Box<dyn Recommender>> = vec![Box::new(Dummy)];
+        assert_eq!(models[0].name(), "Dummy");
+        assert_eq!(models[0].score_items(&[]).len(), 4);
+    }
+}

@@ -1,0 +1,376 @@
+//! The causal self-attention block (Eqs. 5–9 / 15–16 of the paper).
+//!
+//! One block is: scaled dot-product attention with the causal mask →
+//! residual connection + LayerNorm → point-wise two-layer feed-forward
+//! network with ReLU → residual connection + LayerNorm. The FFN (and its
+//! LayerNorm) can be disabled to build the paper's `VSAN-all-feed` /
+//! `VSAN-infer-feed` / `VSAN-gene-feed` ablations (Table VI).
+
+use crate::dropout::Dropout;
+use crate::layernorm::LayerNorm;
+use crate::linear::Linear;
+use crate::param::ParamStore;
+use rand::Rng;
+use vsan_autograd::{Graph, Result, Var};
+
+/// One self-attention block operating on `(batch·n, d)` flattened
+/// activations with per-sample causal attention.
+///
+/// The paper (like SASRec) uses single-head attention; [`Self::new_multi_head`]
+/// builds the Transformer-style multi-head extension (heads split the model
+/// width, attend independently, and are re-mixed by an output projection) —
+/// an extension evaluated in `vsan-bench`'s head-count ablation.
+#[derive(Debug, Clone)]
+pub struct SelfAttentionBlock {
+    wq: Linear,
+    wk: Linear,
+    wv: Linear,
+    /// Output projection, present only in multi-head mode.
+    wo: Option<Linear>,
+    ln1: LayerNorm,
+    ffn: Option<Ffn>,
+    dim: usize,
+    heads: usize,
+}
+
+/// The point-wise feed-forward sublayer (Eq. 8/16) with its LayerNorm.
+#[derive(Debug, Clone)]
+struct Ffn {
+    w1: Linear,
+    w2: Linear,
+    ln2: LayerNorm,
+}
+
+impl SelfAttentionBlock {
+    /// Register a block's parameters under `prefix`. `use_ffn = false`
+    /// builds the ablated block without the point-wise feed-forward network.
+    pub fn new<R: Rng + ?Sized>(
+        store: &mut ParamStore,
+        rng: &mut R,
+        prefix: &str,
+        dim: usize,
+        use_ffn: bool,
+    ) -> Self {
+        Self::new_multi_head(store, rng, prefix, dim, 1, use_ffn)
+    }
+
+    /// Register a multi-head block: `heads` must divide `dim`. With
+    /// `heads = 1` this is exactly the paper's block (no output
+    /// projection); with more heads a `W_O` projection re-mixes the
+    /// concatenated head outputs.
+    pub fn new_multi_head<R: Rng + ?Sized>(
+        store: &mut ParamStore,
+        rng: &mut R,
+        prefix: &str,
+        dim: usize,
+        heads: usize,
+        use_ffn: bool,
+    ) -> Self {
+        assert!(heads >= 1 && dim % heads == 0, "heads ({heads}) must divide dim ({dim})");
+        let wq = Linear::new(store, rng, &format!("{prefix}.wq"), dim, dim, false);
+        let wk = Linear::new(store, rng, &format!("{prefix}.wk"), dim, dim, false);
+        let wv = Linear::new(store, rng, &format!("{prefix}.wv"), dim, dim, false);
+        let wo = (heads > 1)
+            .then(|| Linear::new(store, rng, &format!("{prefix}.wo"), dim, dim, false));
+        let ln1 = LayerNorm::new(store, &format!("{prefix}.ln1"), dim);
+        let ffn = use_ffn.then(|| Ffn {
+            w1: Linear::new(store, rng, &format!("{prefix}.ffn1"), dim, dim, true),
+            w2: Linear::new(store, rng, &format!("{prefix}.ffn2"), dim, dim, true),
+            ln2: LayerNorm::new(store, &format!("{prefix}.ln2"), dim),
+        });
+        SelfAttentionBlock { wq, wk, wv, wo, ln1, ffn, dim, heads }
+    }
+
+    /// Model width.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of attention heads.
+    pub fn heads(&self) -> usize {
+        self.heads
+    }
+
+    /// `true` when the point-wise feed-forward sublayer is present.
+    pub fn has_ffn(&self) -> bool {
+        self.ffn.is_some()
+    }
+
+    /// Forward a flattened batch `(batch·seq_len, dim)`; attention runs
+    /// causally within each sample's `seq_len` window and never across
+    /// samples.
+    pub fn forward<R: Rng + ?Sized>(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        x: Var,
+        batch: usize,
+        seq_len: usize,
+        dropout: &Dropout,
+        rng: &mut R,
+        train: bool,
+    ) -> Result<Var> {
+        debug_assert_eq!(g.value(x).dims(), &[batch * seq_len, self.dim]);
+        // Project once over the whole flattened batch.
+        let q_flat = self.wq.forward(g, store, x)?;
+        let k_flat = self.wk.forward(g, store, x)?;
+        let v_flat = self.wv.forward(g, store, x)?;
+        let head_dim = self.dim / self.heads;
+        let scale = 1.0 / (head_dim as f32).sqrt();
+
+        // Per-sample causal attention (Eq. 5 with the j > i links removed),
+        // run independently per head on its slice of the width.
+        let mut outs = Vec::with_capacity(batch);
+        for b in 0..batch {
+            let idx: Vec<usize> = (b * seq_len..(b + 1) * seq_len).collect();
+            let q = g.gather_rows(q_flat, &idx)?;
+            let k = g.gather_rows(k_flat, &idx)?;
+            let v = g.gather_rows(v_flat, &idx)?;
+            if self.heads == 1 {
+                let scores = g.matmul_a_bt(q, k)?;
+                let scaled = g.scale(scores, scale);
+                let attn = g.softmax_causal(scaled)?;
+                outs.push(g.matmul(attn, v)?);
+            } else {
+                let mut head_outs = Vec::with_capacity(self.heads);
+                for h in 0..self.heads {
+                    let (lo, hi) = (h * head_dim, (h + 1) * head_dim);
+                    let qh = g.slice_cols(q, lo, hi)?;
+                    let kh = g.slice_cols(k, lo, hi)?;
+                    let vh = g.slice_cols(v, lo, hi)?;
+                    let scores = g.matmul_a_bt(qh, kh)?;
+                    let scaled = g.scale(scores, scale);
+                    let attn = g.softmax_causal(scaled)?;
+                    head_outs.push(g.matmul(attn, vh)?);
+                }
+                outs.push(g.concat_cols(&head_outs)?);
+            }
+        }
+        let mut d = g.concat_rows(&outs)?;
+        if let Some(wo) = &self.wo {
+            d = wo.forward(g, store, d)?;
+        }
+        let d = dropout.forward(g, rng, d, train)?;
+
+        // Residual + LayerNorm (Eq. 7).
+        let res1 = g.add(d, x)?;
+        let e = self.ln1.forward(g, store, res1)?;
+
+        // Point-wise FFN + residual + LayerNorm (Eqs. 8–9), if enabled.
+        match &self.ffn {
+            Some(ffn) => {
+                let h = ffn.w1.forward(g, store, e)?;
+                let h = g.relu(h);
+                let f = ffn.w2.forward(g, store, h)?;
+                let f = dropout.forward(g, rng, f, train)?;
+                let res2 = g.add(f, e)?;
+                ffn.ln2.forward(g, store, res2)
+            }
+            None => Ok(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use vsan_tensor::{init, Tensor};
+
+    fn setup(use_ffn: bool) -> (ParamStore, SelfAttentionBlock) {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let block = SelfAttentionBlock::new(&mut store, &mut rng, "san", 8, use_ffn);
+        (store, block)
+    }
+
+    #[test]
+    fn forward_preserves_shape() {
+        let (store, block) = setup(true);
+        let mut g = Graph::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let x = g.constant(init::randn(&mut rng, &[3 * 5, 8], 0.0, 1.0));
+        let drop = Dropout::new(0.0);
+        let y = block.forward(&mut g, &store, x, 3, 5, &drop, &mut rng, true).unwrap();
+        assert_eq!(g.value(y).dims(), &[15, 8]);
+        assert!(g.value(y).all_finite());
+    }
+
+    #[test]
+    fn causality_future_items_do_not_affect_past_positions() {
+        // Changing the *last* item of a sequence must not change the block
+        // output at earlier positions.
+        let (store, block) = setup(true);
+        let drop = Dropout::new(0.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let base = init::randn(&mut rng, &[4, 8], 0.0, 1.0);
+        let mut altered = base.clone();
+        for v in altered.row_mut(3) {
+            *v += 5.0;
+        }
+
+        let run = |input: Tensor| {
+            let mut g = Graph::new();
+            let mut rng = StdRng::seed_from_u64(4);
+            let x = g.constant(input);
+            let y = block.forward(&mut g, &store, x, 1, 4, &drop, &mut rng, false).unwrap();
+            g.value(y).clone()
+        };
+        let y0 = run(base);
+        let y1 = run(altered);
+        for pos in 0..3 {
+            for (a, b) in y0.row(pos).iter().zip(y1.row(pos)) {
+                assert!((a - b).abs() < 1e-5, "position {pos} leaked future information");
+            }
+        }
+        // The final position *should* change.
+        let diff: f32 = y0.row(3).iter().zip(y1.row(3)).map(|(a, b)| (a - b).abs()).sum();
+        assert!(diff > 1e-3);
+    }
+
+    #[test]
+    fn samples_in_a_batch_do_not_interact() {
+        let (store, block) = setup(true);
+        let drop = Dropout::new(0.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = init::randn(&mut rng, &[3, 8], 0.0, 1.0);
+        let b = init::randn(&mut rng, &[3, 8], 0.0, 1.0);
+        let c = init::randn(&mut rng, &[3, 8], 0.0, 1.0);
+
+        let run_batch = |parts: &[&Tensor]| {
+            let mut g = Graph::new();
+            let mut rng = StdRng::seed_from_u64(6);
+            let mut data = Vec::new();
+            for p in parts {
+                data.extend_from_slice(p.data());
+            }
+            let x = g.constant(Tensor::from_vec(data, &[parts.len() * 3, 8]).unwrap());
+            let y = block
+                .forward(&mut g, &store, x, parts.len(), 3, &drop, &mut rng, false)
+                .unwrap();
+            g.value(y).clone()
+        };
+        let with_b = run_batch(&[&a, &b]);
+        let with_c = run_batch(&[&a, &c]);
+        // Sample a's output is independent of its batch neighbour.
+        for r in 0..3 {
+            for (x, y) in with_b.row(r).iter().zip(with_c.row(r)) {
+                assert!((x - y).abs() < 1e-5, "cross-sample leakage at row {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn multi_head_preserves_shape_and_causality() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(21);
+        let block = SelfAttentionBlock::new_multi_head(&mut store, &mut rng, "mh", 8, 4, true);
+        assert_eq!(block.heads(), 4);
+        let drop = Dropout::new(0.0);
+        let base = init::randn(&mut rng, &[4, 8], 0.0, 1.0);
+        let mut altered = base.clone();
+        for v in altered.row_mut(3) {
+            *v += 5.0;
+        }
+        let run = |input: Tensor| {
+            let mut g = Graph::new();
+            let mut rng = StdRng::seed_from_u64(22);
+            let x = g.constant(input);
+            let y = block.forward(&mut g, &store, x, 1, 4, &drop, &mut rng, false).unwrap();
+            g.value(y).clone()
+        };
+        let y0 = run(base);
+        let y1 = run(altered);
+        assert_eq!(y0.dims(), &[4, 8]);
+        for pos in 0..3 {
+            for (a, b) in y0.row(pos).iter().zip(y1.row(pos)) {
+                assert!((a - b).abs() < 1e-5, "multi-head leaked future at {pos}");
+            }
+        }
+    }
+
+    #[test]
+    fn multi_head_gradients_reach_output_projection() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(23);
+        let block = SelfAttentionBlock::new_multi_head(&mut store, &mut rng, "mh", 6, 2, false);
+        let mut g = Graph::new();
+        let x = g.constant(init::randn(&mut rng, &[3, 6], 0.0, 0.5));
+        let drop = Dropout::new(0.0);
+        let mut rng2 = StdRng::seed_from_u64(24);
+        let y = block.forward(&mut g, &store, x, 1, 3, &drop, &mut rng2, false).unwrap();
+        let sq = g.mul(y, y).unwrap();
+        let loss = g.sum_all(sq);
+        let grads = g.backward(loss).unwrap();
+        for (id, name, _) in store.iter() {
+            assert!(grads.param_grad(id).is_some(), "no gradient for {name}");
+        }
+        assert!(store.id_of("mh.wo.w").is_some(), "multi-head must register W_O");
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn multi_head_rejects_indivisible_widths() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(25);
+        SelfAttentionBlock::new_multi_head(&mut store, &mut rng, "bad", 7, 2, false);
+    }
+
+    #[test]
+    fn no_ffn_block_registers_fewer_params() {
+        let (store_full, _) = setup(true);
+        let (store_slim, block) = setup(false);
+        assert!(!block.has_ffn());
+        assert!(store_slim.len() < store_full.len());
+    }
+
+    #[test]
+    fn gradcheck_through_whole_block() {
+        // End-to-end finite-difference check of the composed block (no FFN
+        // for speed; the FFN pieces are covered by linear/layernorm checks).
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        let block = SelfAttentionBlock::new(&mut store, &mut rng, "b", 4, false);
+        let x0 = init::randn(&mut rng, &[3, 4], 0.0, 0.5);
+        let drop = Dropout::new(0.0);
+
+        // Collect the block's params in id order as gradcheck inputs.
+        let params: Vec<Tensor> = store.iter().map(|(_, _, t)| t.clone()).collect();
+        let report = vsan_autograd::gradcheck::check_gradients(
+            &params,
+            |g, vars| {
+                // Rebuild a store-view: vars[i] corresponds to param id i.
+                // We inline the block's forward with these vars.
+                let x = g.constant(x0.clone());
+                let q = g.matmul(x, vars[0]).unwrap();
+                let k = g.matmul(x, vars[1]).unwrap();
+                let v = g.matmul(x, vars[2]).unwrap();
+                let s = g.matmul_a_bt(q, k).unwrap();
+                let s = g.scale(s, 0.5);
+                let a = g.softmax_causal(s).unwrap();
+                let d = g.matmul(a, v).unwrap();
+                let r = g.add(d, x).unwrap();
+                let e = g.layer_norm(r, vars[3], vars[4]).unwrap();
+                let sq = g.mul(e, e).unwrap();
+                g.sum_all(sq)
+            },
+            1e-2,
+            3e-2,
+        )
+        .unwrap();
+        assert!(report.compared > 0);
+
+        // And confirm the actual forward produces gradients for every param.
+        let mut g = Graph::new();
+        let mut rng2 = StdRng::seed_from_u64(8);
+        let x = g.constant(x0);
+        let y = block.forward(&mut g, &store, x, 1, 3, &drop, &mut rng2, false).unwrap();
+        let sq = g.mul(y, y).unwrap();
+        let loss = g.sum_all(sq);
+        let grads = g.backward(loss).unwrap();
+        for (id, name, _) in store.iter() {
+            assert!(grads.param_grad(id).is_some(), "no gradient for {name}");
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Gated recurrent unit (Cho et al. 2014) for the GRU4Rec and SVAE
+//! baselines.
+
+use crate::linear::Linear;
+use crate::param::ParamStore;
+use rand::Rng;
+use vsan_autograd::{Graph, Result, Var};
+use vsan_tensor::Tensor;
+
+/// A single GRU cell:
+///
+/// ```text
+/// z_t = σ(x_t·W_z + h_{t-1}·U_z + b_z)
+/// r_t = σ(x_t·W_r + h_{t-1}·U_r + b_r)
+/// h̃_t = tanh(x_t·W_h + (r_t ⊙ h_{t-1})·U_h + b_h)
+/// h_t = (1 − z_t) ⊙ h_{t-1} + z_t ⊙ h̃_t
+/// ```
+///
+/// Unrolled over time by the caller (define-by-run), which is exactly the
+/// "sequential nature of RNN" bottleneck the paper contrasts self-attention
+/// against (§I) — our complexity bench measures it.
+#[derive(Debug, Clone)]
+pub struct GruCell {
+    wz: Linear,
+    uz: Linear,
+    wr: Linear,
+    ur: Linear,
+    wh: Linear,
+    uh: Linear,
+    input_dim: usize,
+    hidden_dim: usize,
+}
+
+impl GruCell {
+    /// Register a GRU cell's parameters under `prefix`.
+    pub fn new<R: Rng + ?Sized>(
+        store: &mut ParamStore,
+        rng: &mut R,
+        prefix: &str,
+        input_dim: usize,
+        hidden_dim: usize,
+    ) -> Self {
+        let mk_in = |store: &mut ParamStore, rng: &mut R, name: &str, bias: bool| {
+            Linear::new(store, rng, &format!("{prefix}.{name}"), input_dim, hidden_dim, bias)
+        };
+        let mk_h = |store: &mut ParamStore, rng: &mut R, name: &str| {
+            Linear::new(store, rng, &format!("{prefix}.{name}"), hidden_dim, hidden_dim, false)
+        };
+        GruCell {
+            wz: mk_in(store, rng, "wz", true),
+            uz: mk_h(store, rng, "uz"),
+            wr: mk_in(store, rng, "wr", true),
+            ur: mk_h(store, rng, "ur"),
+            wh: mk_in(store, rng, "wh", true),
+            uh: mk_h(store, rng, "uh"),
+            input_dim,
+            hidden_dim,
+        }
+    }
+
+    /// Input width.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Hidden-state width.
+    pub fn hidden_dim(&self) -> usize {
+        self.hidden_dim
+    }
+
+    /// Initial all-zero hidden state for a batch.
+    pub fn zero_state(&self, g: &mut Graph, batch: usize) -> Var {
+        g.constant(Tensor::zeros(&[batch, self.hidden_dim]))
+    }
+
+    /// One recurrence step: `(x_t (batch, in), h_{t−1} (batch, hidden)) →
+    /// h_t (batch, hidden)`.
+    pub fn step(&self, g: &mut Graph, store: &ParamStore, x: Var, h_prev: Var) -> Result<Var> {
+        // Update gate.
+        let zx = self.wz.forward(g, store, x)?;
+        let zh = self.uz.forward(g, store, h_prev)?;
+        let z_pre = g.add(zx, zh)?;
+        let z = g.sigmoid(z_pre);
+        // Reset gate.
+        let rx = self.wr.forward(g, store, x)?;
+        let rh = self.ur.forward(g, store, h_prev)?;
+        let r_pre = g.add(rx, rh)?;
+        let r = g.sigmoid(r_pre);
+        // Candidate.
+        let hx = self.wh.forward(g, store, x)?;
+        let rh_prev = g.mul(r, h_prev)?;
+        let hh = self.uh.forward(g, store, rh_prev)?;
+        let cand_pre = g.add(hx, hh)?;
+        let cand = g.tanh(cand_pre);
+        // Interpolate: h = (1 − z) ⊙ h_prev + z ⊙ h̃.
+        let one_minus_z = g.affine(z, -1.0, 1.0);
+        let keep = g.mul(one_minus_z, h_prev)?;
+        let new = g.mul(z, cand)?;
+        g.add(keep, new)
+    }
+
+    /// Unroll over a sequence of per-timestep inputs, returning every
+    /// hidden state `h_1..h_T`.
+    pub fn unroll(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        xs: &[Var],
+        batch: usize,
+    ) -> Result<Vec<Var>> {
+        let mut h = self.zero_state(g, batch);
+        let mut states = Vec::with_capacity(xs.len());
+        for &x in xs {
+            h = self.step(g, store, x, h)?;
+            states.push(h);
+        }
+        Ok(states)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use vsan_tensor::init;
+
+    fn setup() -> (ParamStore, GruCell) {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let cell = GruCell::new(&mut store, &mut rng, "gru", 4, 6);
+        (store, cell)
+    }
+
+    #[test]
+    fn step_shape() {
+        let (store, cell) = setup();
+        let mut g = Graph::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let x = g.constant(init::randn(&mut rng, &[3, 4], 0.0, 1.0));
+        let h0 = cell.zero_state(&mut g, 3);
+        let h1 = cell.step(&mut g, &store, x, h0).unwrap();
+        assert_eq!(g.value(h1).dims(), &[3, 6]);
+        assert!(g.value(h1).all_finite());
+    }
+
+    #[test]
+    fn hidden_state_stays_bounded() {
+        // GRU hidden values are convex mixes of tanh outputs → within (−1, 1).
+        let (store, cell) = setup();
+        let mut g = Graph::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let xs: Vec<_> = (0..20)
+            .map(|_| g.constant(init::randn(&mut rng, &[2, 4], 0.0, 3.0)))
+            .collect();
+        let states = cell.unroll(&mut g, &store, &xs, 2).unwrap();
+        for h in states {
+            assert!(g.value(h).max_abs() <= 1.0 + 1e-5);
+        }
+    }
+
+    #[test]
+    fn unroll_is_step_composition() {
+        let (store, cell) = setup();
+        let mut rng = StdRng::seed_from_u64(4);
+        let x1 = init::randn(&mut rng, &[1, 4], 0.0, 1.0);
+        let x2 = init::randn(&mut rng, &[1, 4], 0.0, 1.0);
+
+        let mut g = Graph::new();
+        let v1 = g.constant(x1.clone());
+        let v2 = g.constant(x2.clone());
+        let states = cell.unroll(&mut g, &store, &[v1, v2], 1).unwrap();
+        let unrolled_last = g.value(states[1]).clone();
+
+        let mut g2 = Graph::new();
+        let v1 = g2.constant(x1);
+        let v2 = g2.constant(x2);
+        let h0 = cell.zero_state(&mut g2, 1);
+        let h1 = cell.step(&mut g2, &store, v1, h0).unwrap();
+        let h2 = cell.step(&mut g2, &store, v2, h1).unwrap();
+        assert_eq!(g2.value(h2).data(), unrolled_last.data());
+    }
+
+    #[test]
+    fn gradients_flow_through_time() {
+        let (store, cell) = setup();
+        let mut g = Graph::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        let xs: Vec<_> = (0..5)
+            .map(|_| g.constant(init::randn(&mut rng, &[2, 4], 0.0, 1.0)))
+            .collect();
+        let states = cell.unroll(&mut g, &store, &xs, 2).unwrap();
+        let last = *states.last().unwrap();
+        let sq = g.mul(last, last).unwrap();
+        let loss = g.sum_all(sq);
+        let grads = g.backward(loss).unwrap();
+        // Every weight matrix must receive gradient (b_z etc. included).
+        for (id, name, _) in store.iter() {
+            assert!(grads.param_grad(id).is_some(), "no gradient for {name}");
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Layer normalization with learned affine parameters (Ba et al. 2016).
+
+use crate::param::{ParamId, ParamStore};
+use vsan_autograd::{Graph, Result, Var};
+use vsan_tensor::Tensor;
+
+/// LayerNorm over the last dimension with learned `gamma` / `beta`.
+///
+/// Applied after both sub-layers of every self-attention block (Eqs. 7, 9,
+/// 16 in the paper).
+#[derive(Debug, Clone)]
+pub struct LayerNorm {
+    /// Scale parameter id, shape `(dim,)`, initialized to ones.
+    pub gamma: ParamId,
+    /// Shift parameter id, shape `(dim,)`, initialized to zeros.
+    pub beta: ParamId,
+    dim: usize,
+}
+
+impl LayerNorm {
+    /// Register a new LayerNorm's parameters under `prefix`.
+    pub fn new(store: &mut ParamStore, prefix: &str, dim: usize) -> Self {
+        let gamma = store.add(format!("{prefix}.gamma"), Tensor::ones(&[dim]));
+        let beta = store.add(format!("{prefix}.beta"), Tensor::zeros(&[dim]));
+        LayerNorm { gamma, beta, dim }
+    }
+
+    /// Normalized width.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Apply to a rank-2 activation `(rows, dim)`.
+    pub fn forward(&self, g: &mut Graph, store: &ParamStore, x: Var) -> Result<Var> {
+        let gamma = store.var(g, self.gamma);
+        let beta = store.var(g, self.beta);
+        g.layer_norm(x, gamma, beta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_layer_is_pure_normalization() {
+        let mut store = ParamStore::new();
+        let ln = LayerNorm::new(&mut store, "ln", 4);
+        let mut g = Graph::new();
+        let x = g.constant(Tensor::from_vec(vec![2.0, 4.0, 6.0, 8.0], &[1, 4]).unwrap());
+        let y = ln.forward(&mut g, &store, x).unwrap();
+        let row = g.value(y).row(0);
+        let mean: f32 = row.iter().sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradients_reach_gamma_and_beta() {
+        let mut store = ParamStore::new();
+        let ln = LayerNorm::new(&mut store, "ln", 3);
+        let mut g = Graph::new();
+        let x = g.constant(Tensor::from_vec(vec![1.0, 5.0, 2.0, -1.0, 0.0, 4.0], &[2, 3]).unwrap());
+        let y = ln.forward(&mut g, &store, x).unwrap();
+        let sq = g.mul(y, y).unwrap();
+        let loss = g.sum_all(sq);
+        let grads = g.backward(loss).unwrap();
+        assert!(grads.param_grad(ln.gamma).is_some());
+        assert!(grads.param_grad(ln.beta).is_some());
+    }
+
+    #[test]
+    fn two_layers_have_distinct_params() {
+        let mut store = ParamStore::new();
+        let a = LayerNorm::new(&mut store, "a", 2);
+        let b = LayerNorm::new(&mut store, "b", 2);
+        assert_ne!(a.gamma, b.gamma);
+        assert_ne!(a.beta, b.beta);
+        assert_eq!(store.len(), 4);
+    }
+}

@@ -1,0 +1,124 @@
+//! Affine projection layer.
+
+use crate::param::{ParamId, ParamStore};
+use rand::Rng;
+use vsan_autograd::{Graph, Result, Var};
+use vsan_tensor::init;
+
+/// A dense affine layer `y = x·W + b` with Xavier-initialized weights.
+///
+/// Used for the variational heads `μ_λ = l₁(G)`, `σ_λ = l₂(G)` (Eq. 12),
+/// the point-wise feed-forward sublayers (Eq. 8/16), and the prediction
+/// layer `W_g, b_g` (Eq. 19).
+#[derive(Debug, Clone)]
+pub struct Linear {
+    /// Weight parameter id, shape `(in_dim, out_dim)`.
+    pub w: ParamId,
+    /// Bias parameter id, shape `(out_dim,)`; `None` for bias-free layers.
+    pub b: Option<ParamId>,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl Linear {
+    /// Register a new layer's parameters under `prefix` (e.g. `"mu_head"`).
+    pub fn new<R: Rng + ?Sized>(
+        store: &mut ParamStore,
+        rng: &mut R,
+        prefix: &str,
+        in_dim: usize,
+        out_dim: usize,
+        bias: bool,
+    ) -> Self {
+        let w = store.add(format!("{prefix}.w"), init::xavier_uniform(rng, &[in_dim, out_dim]));
+        let b = bias.then(|| store.add(format!("{prefix}.b"), vsan_tensor::Tensor::zeros(&[out_dim])));
+        Linear { w, b, in_dim, out_dim }
+    }
+
+    /// Input width.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output width.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Apply to a rank-2 activation `(rows, in_dim) → (rows, out_dim)`.
+    pub fn forward(&self, g: &mut Graph, store: &ParamStore, x: Var) -> Result<Var> {
+        let w = store.var(g, self.w);
+        let mut y = g.matmul(x, w)?;
+        if let Some(b) = self.b {
+            let bias = store.var(g, b);
+            y = g.add_row_broadcast(y, bias)?;
+        }
+        Ok(y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use vsan_tensor::Tensor;
+
+    #[test]
+    fn forward_shape_and_bias() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let layer = Linear::new(&mut store, &mut rng, "l", 4, 3, true);
+        assert_eq!(layer.in_dim(), 4);
+        assert_eq!(layer.out_dim(), 3);
+        // Force known weights: W selects the first three input coordinates.
+        *store.get_mut(layer.w) = Tensor::from_vec(
+            vec![
+                1.0, 0.0, 0.0, //
+                0.0, 1.0, 0.0, //
+                0.0, 0.0, 1.0, //
+                0.0, 0.0, 0.0,
+            ],
+            &[4, 3],
+        )
+        .unwrap();
+        *store.get_mut(layer.b.unwrap()) = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap();
+        let mut g = Graph::new();
+        let x = g.constant(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 4]).unwrap());
+        let y = layer.forward(&mut g, &store, x).unwrap();
+        assert_eq!(g.value(y).dims(), &[1, 3]);
+        // W = first 3 rows of I₄ transposed → selects x[0..3]; plus bias.
+        assert_eq!(g.value(y).data(), &[2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn no_bias_variant_registers_one_param() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let layer = Linear::new(&mut store, &mut rng, "nb", 5, 2, false);
+        assert!(layer.b.is_none());
+        assert_eq!(store.len(), 1);
+        let mut g = Graph::new();
+        let x = g.constant(Tensor::zeros(&[3, 5]));
+        let y = layer.forward(&mut g, &store, x).unwrap();
+        assert_eq!(g.value(y).dims(), &[3, 2]);
+        assert!(g.value(y).data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn gradients_flow_to_both_params() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let layer = Linear::new(&mut store, &mut rng, "l", 3, 2, true);
+        let mut g = Graph::new();
+        let x = g.constant(Tensor::ones(&[4, 3]));
+        let y = layer.forward(&mut g, &store, x).unwrap();
+        let sq = g.mul(y, y).unwrap();
+        let loss = g.sum_all(sq);
+        let grads = g.backward(loss).unwrap();
+        assert!(grads.param_grad(layer.w).is_some());
+        assert!(grads.param_grad(layer.b.unwrap()).is_some());
+        assert_eq!(grads.param_grad(layer.w).unwrap().dims(), &[3, 2]);
+        assert_eq!(grads.param_grad(layer.b.unwrap()).unwrap().dims(), &[2]);
+    }
+}

@@ -1,0 +1,109 @@
+//! Learning-rate schedules.
+//!
+//! The paper trains at a constant 1e-3 (§V-D); these schedules are
+//! workspace extensions used by the longer repro runs (warmup stabilizes
+//! the first Adam steps on freshly initialized attention blocks; decay
+//! squeezes the last fractions of accuracy out of a fixed epoch budget).
+
+/// A schedule mapping the global step to a learning-rate multiplier on the
+/// optimizer's base rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LrSchedule {
+    /// The paper's setting: constant base rate.
+    Constant,
+    /// Linear warmup from 0 over `warmup_steps`, then constant.
+    Warmup {
+        /// Ramp length in steps.
+        warmup_steps: u64,
+    },
+    /// Linear warmup then inverse-square-root decay (Transformer-style).
+    WarmupInverseSqrt {
+        /// Ramp length in steps (also the decay pivot).
+        warmup_steps: u64,
+    },
+    /// Step decay: multiply by `factor` every `every` steps.
+    StepDecay {
+        /// Interval between decays.
+        every: u64,
+        /// Multiplicative factor per decay (in `(0, 1]`).
+        factor: f32,
+    },
+}
+
+impl LrSchedule {
+    /// Multiplier at a global step (apply as `base_lr * multiplier`).
+    pub fn multiplier(&self, step: u64) -> f32 {
+        match *self {
+            LrSchedule::Constant => 1.0,
+            LrSchedule::Warmup { warmup_steps } => {
+                if warmup_steps == 0 {
+                    1.0
+                } else {
+                    ((step + 1) as f32 / warmup_steps as f32).min(1.0)
+                }
+            }
+            LrSchedule::WarmupInverseSqrt { warmup_steps } => {
+                let w = warmup_steps.max(1) as f32;
+                let s = (step + 1) as f32;
+                (s / w).min((w / s).sqrt())
+            }
+            LrSchedule::StepDecay { every, factor } => {
+                if every == 0 {
+                    1.0
+                } else {
+                    factor.powi((step / every) as i32)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_one() {
+        assert_eq!(LrSchedule::Constant.multiplier(0), 1.0);
+        assert_eq!(LrSchedule::Constant.multiplier(1_000_000), 1.0);
+    }
+
+    #[test]
+    fn warmup_ramps_then_holds() {
+        let s = LrSchedule::Warmup { warmup_steps: 10 };
+        assert!(s.multiplier(0) > 0.0);
+        assert!(s.multiplier(4) < s.multiplier(8));
+        assert_eq!(s.multiplier(9), 1.0);
+        assert_eq!(s.multiplier(100), 1.0);
+    }
+
+    #[test]
+    fn inverse_sqrt_peaks_at_warmup() {
+        let s = LrSchedule::WarmupInverseSqrt { warmup_steps: 16 };
+        let peak = s.multiplier(15);
+        assert!((peak - 1.0).abs() < 1e-6);
+        assert!(s.multiplier(3) < peak);
+        assert!(s.multiplier(63) < peak);
+        // Decays like 1/sqrt: quadrupling steps halves the rate.
+        let at_w = s.multiplier(15);
+        let at_4w = s.multiplier(63);
+        assert!((at_4w / at_w - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn step_decay_is_geometric() {
+        let s = LrSchedule::StepDecay { every: 100, factor: 0.5 };
+        assert_eq!(s.multiplier(0), 1.0);
+        assert_eq!(s.multiplier(99), 1.0);
+        assert_eq!(s.multiplier(100), 0.5);
+        assert_eq!(s.multiplier(250), 0.25);
+    }
+
+    #[test]
+    fn degenerate_parameters_are_safe() {
+        assert_eq!(LrSchedule::Warmup { warmup_steps: 0 }.multiplier(5), 1.0);
+        assert_eq!(LrSchedule::StepDecay { every: 0, factor: 0.5 }.multiplier(5), 1.0);
+        let s = LrSchedule::WarmupInverseSqrt { warmup_steps: 0 };
+        assert!(s.multiplier(0).is_finite());
+    }
+}

@@ -1,0 +1,108 @@
+//! β schedules for the KL term of the ELBO (Eq. 20, §IV-E, Fig. 6).
+//!
+//! The paper uses KL annealing (Bowman et al. 2015): β starts at 0 so the
+//! inference network first learns to encode the sequence into `z`, then
+//! ramps up as training progresses. Fig. 6 compares annealing against
+//! fixed β ∈ {0, …, 0.9} and finds annealing best on both datasets.
+
+/// A schedule mapping the global training step to the KL weight β.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BetaSchedule {
+    /// Constant β for the whole run (the Fig. 6 sweep points).
+    Fixed(f32),
+    /// Linear ramp from 0 at step 0 to `max_beta` at `warmup_steps`,
+    /// constant afterwards (the paper's KL annealing).
+    LinearAnneal {
+        /// Steps over which β ramps from 0 to `max_beta`.
+        warmup_steps: u64,
+        /// Final KL weight.
+        max_beta: f32,
+    },
+    /// Cyclical annealing (Fu et al. 2019) — an extension hook: β ramps
+    /// 0 → `max_beta` over each cycle's first half and stays at `max_beta`
+    /// for the second half.
+    Cyclical {
+        /// Length of one cycle in steps.
+        period: u64,
+        /// Peak KL weight.
+        max_beta: f32,
+    },
+}
+
+impl BetaSchedule {
+    /// The paper's default: linear KL annealing to β = 1.
+    pub fn paper_default(warmup_steps: u64) -> Self {
+        BetaSchedule::LinearAnneal { warmup_steps, max_beta: 1.0 }
+    }
+
+    /// β at a given global step.
+    pub fn beta(&self, step: u64) -> f32 {
+        match *self {
+            BetaSchedule::Fixed(b) => b,
+            BetaSchedule::LinearAnneal { warmup_steps, max_beta } => {
+                if warmup_steps == 0 {
+                    max_beta
+                } else {
+                    max_beta * ((step as f32 / warmup_steps as f32).min(1.0))
+                }
+            }
+            BetaSchedule::Cyclical { period, max_beta } => {
+                if period == 0 {
+                    return max_beta;
+                }
+                let pos = (step % period) as f32 / period as f32;
+                max_beta * (2.0 * pos).min(1.0)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_is_constant() {
+        let s = BetaSchedule::Fixed(0.3);
+        assert_eq!(s.beta(0), 0.3);
+        assert_eq!(s.beta(10_000), 0.3);
+    }
+
+    #[test]
+    fn linear_anneal_ramps_then_saturates() {
+        let s = BetaSchedule::LinearAnneal { warmup_steps: 100, max_beta: 1.0 };
+        assert_eq!(s.beta(0), 0.0);
+        assert!((s.beta(50) - 0.5).abs() < 1e-6);
+        assert_eq!(s.beta(100), 1.0);
+        assert_eq!(s.beta(500), 1.0);
+    }
+
+    #[test]
+    fn linear_anneal_is_monotone() {
+        let s = BetaSchedule::paper_default(37);
+        let mut prev = -1.0f32;
+        for step in 0..200 {
+            let b = s.beta(step);
+            assert!(b >= prev);
+            assert!((0.0..=1.0).contains(&b));
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn zero_warmup_jumps_to_max() {
+        let s = BetaSchedule::LinearAnneal { warmup_steps: 0, max_beta: 0.8 };
+        assert_eq!(s.beta(0), 0.8);
+    }
+
+    #[test]
+    fn cyclical_repeats() {
+        let s = BetaSchedule::Cyclical { period: 100, max_beta: 1.0 };
+        assert_eq!(s.beta(0), 0.0);
+        assert!((s.beta(25) - 0.5).abs() < 1e-6);
+        assert_eq!(s.beta(50), 1.0);
+        assert_eq!(s.beta(75), 1.0); // plateau half
+        assert_eq!(s.beta(100), 0.0); // next cycle restarts
+        assert_eq!(s.beta(0), s.beta(200));
+    }
+}

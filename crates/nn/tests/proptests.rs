@@ -1,0 +1,139 @@
+//! Property-based tests for the NN layers.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vsan_autograd::Graph;
+use vsan_nn::{Adam, BetaSchedule, Dropout, GruCell, LayerNorm, Linear, Optimizer, ParamStore, Sgd};
+use vsan_tensor::{init, Tensor};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Linear layers are, well, linear: f(a·x) == a·f(x) for bias-free
+    /// layers.
+    #[test]
+    fn linear_layer_is_homogeneous(seed in 0u64..500, a in -3.0f32..3.0) {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let layer = Linear::new(&mut store, &mut rng, "l", 4, 3, false);
+        let x = init::randn(&mut rng, &[2, 4], 0.0, 1.0);
+
+        let run = |input: Tensor| {
+            let mut g = Graph::with_threads(1);
+            let xv = g.constant(input);
+            let y = layer.forward(&mut g, &store, xv).unwrap();
+            g.value(y).clone()
+        };
+        let fx = run(x.clone());
+        let fax = run(x.map(|v| a * v));
+        for (l, r) in fax.data().iter().zip(fx.data()) {
+            prop_assert!((l - a * r).abs() < 1e-3, "{} vs {}", l, a * r);
+        }
+    }
+
+    /// LayerNorm output is invariant to per-row shift and scale of the
+    /// input (for positive scales) when the affine params are identity.
+    #[test]
+    fn layernorm_is_shift_and_scale_invariant(
+        seed in 0u64..500,
+        shift in -10.0f32..10.0,
+        scale in 0.5f32..5.0,
+    ) {
+        let mut store = ParamStore::new();
+        let ln = LayerNorm::new(&mut store, "ln", 6);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = init::randn(&mut rng, &[3, 6], 0.0, 2.0);
+
+        let run = |input: Tensor| {
+            let mut g = Graph::with_threads(1);
+            let xv = g.constant(input);
+            let y = ln.forward(&mut g, &store, xv).unwrap();
+            g.value(y).clone()
+        };
+        let base = run(x.clone());
+        let transformed = run(x.map(|v| scale * v + shift));
+        for (a, b) in base.data().iter().zip(transformed.data()) {
+            prop_assert!((a - b).abs() < 2e-2, "{} vs {}", a, b);
+        }
+    }
+
+    /// GRU hidden state is always within (−1, 1) whatever the input.
+    #[test]
+    fn gru_state_is_bounded(seed in 0u64..500, steps in 1usize..10, amplitude in 0.1f32..8.0) {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cell = GruCell::new(&mut store, &mut rng, "g", 3, 5);
+        let mut g = Graph::with_threads(1);
+        let xs: Vec<_> = (0..steps)
+            .map(|_| g.constant(init::randn(&mut rng, &[2, 3], 0.0, amplitude)))
+            .collect();
+        let states = cell.unroll(&mut g, &store, &xs, 2).unwrap();
+        for h in states {
+            prop_assert!(g.value(h).max_abs() <= 1.0 + 1e-5);
+        }
+    }
+
+    /// Inverted dropout never changes the sign of surviving activations
+    /// and zeroes the rest.
+    #[test]
+    fn dropout_only_scales_or_zeroes(seed in 0u64..500, p in 0.05f32..0.9) {
+        let d = Dropout::new(p);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = init::randn(&mut rng, &[64], 0.0, 1.0);
+        let mut g = Graph::with_threads(1);
+        let xv = g.constant(x.clone());
+        let y = d.forward(&mut g, &mut rng, xv, true).unwrap();
+        let scale = 1.0 / (1.0 - p);
+        for (&orig, &out) in x.data().iter().zip(g.value(y).data()) {
+            prop_assert!(out == 0.0 || (out - orig * scale).abs() < 1e-5);
+        }
+    }
+
+    /// Both optimizers strictly reduce a convex quadratic from any start.
+    #[test]
+    fn optimizers_descend_quadratics(start in -20.0f32..20.0) {
+        prop_assume!(start.abs() > 0.5);
+        for use_adam in [false, true] {
+            let mut store = ParamStore::new();
+            let id = store.add("w", Tensor::from_vec(vec![start], &[1, 1]).unwrap());
+            let mut sgd;
+            let mut adam;
+            let opt: &mut dyn Optimizer = if use_adam {
+                adam = Adam::new(0.05);
+                &mut adam
+            } else {
+                sgd = Sgd::new(0.05);
+                &mut sgd
+            };
+            let loss_at = |store: &ParamStore| {
+                let w = store.get(id).data()[0];
+                w * w
+            };
+            let before = loss_at(&store);
+            for _ in 0..40 {
+                let mut g = Graph::with_threads(1);
+                let w = store.var(&mut g, id);
+                let sq = g.mul(w, w).unwrap();
+                let loss = g.sum_all(sq);
+                let grads = g.backward(loss).unwrap();
+                opt.step(&mut store, &grads);
+            }
+            prop_assert!(loss_at(&store) < before, "optimizer failed to descend");
+        }
+    }
+
+    /// β schedules stay within [0, max] and annealing is monotone.
+    #[test]
+    fn beta_schedules_are_well_behaved(warmup in 1u64..1000, max_beta in 0.0f32..2.0) {
+        let s = BetaSchedule::LinearAnneal { warmup_steps: warmup, max_beta };
+        let mut prev = -1.0f32;
+        for step in (0..warmup + 100).step_by((warmup as usize / 17).max(1)) {
+            let b = s.beta(step);
+            prop_assert!(b >= prev - 1e-6);
+            prop_assert!((0.0..=max_beta + 1e-6).contains(&b));
+            prev = b;
+        }
+        prop_assert!((s.beta(warmup * 10) - max_beta).abs() < 1e-6);
+    }
+}

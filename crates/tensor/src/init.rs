@@ -1,0 +1,112 @@
+//! Random tensor initializers.
+//!
+//! All initializers take a caller-supplied [`rand::Rng`] so every experiment
+//! in the workspace is reproducible from a single seed. Gaussian sampling is
+//! implemented with the Box–Muller transform (we avoid `rand_distr` to keep
+//! the dependency footprint at the offline-approved set).
+
+use crate::Tensor;
+use rand::Rng;
+
+/// Draw a standard-normal sample via the Box–Muller transform.
+///
+/// Uses the polar-free classic form: `sqrt(-2 ln u1) * cos(2π u2)`.
+pub fn sample_standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+    // Guard against log(0) by nudging u1 away from zero.
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    ((-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()) as f32
+}
+
+/// Tensor filled with `N(mean, std²)` samples.
+pub fn randn<R: Rng + ?Sized>(rng: &mut R, dims: &[usize], mean: f32, std: f32) -> Tensor {
+    let mut t = Tensor::zeros(dims);
+    for x in t.data_mut() {
+        *x = mean + std * sample_standard_normal(rng);
+    }
+    t
+}
+
+/// Tensor filled with `U(lo, hi)` samples.
+pub fn rand_uniform<R: Rng + ?Sized>(rng: &mut R, dims: &[usize], lo: f32, hi: f32) -> Tensor {
+    let mut t = Tensor::zeros(dims);
+    for x in t.data_mut() {
+        *x = rng.gen_range(lo..hi);
+    }
+    t
+}
+
+/// Xavier/Glorot-uniform initialization for a weight of shape
+/// `(fan_in, fan_out)` (or any rank ≥ 1; fan sizes come from the first and
+/// last dims).
+pub fn xavier_uniform<R: Rng + ?Sized>(rng: &mut R, dims: &[usize]) -> Tensor {
+    let fan_in = *dims.first().unwrap_or(&1) as f32;
+    let fan_out = *dims.last().unwrap_or(&1) as f32;
+    let bound = (6.0 / (fan_in + fan_out)).sqrt();
+    rand_uniform(rng, dims, -bound, bound)
+}
+
+/// Truncated-normal-ish init used for embeddings: `N(0, std²)` clamped to
+/// ±2 std, the common recipe for stable embedding tables.
+pub fn embedding_init<R: Rng + ?Sized>(rng: &mut R, dims: &[usize], std: f32) -> Tensor {
+    let mut t = randn(rng, dims, 0.0, std);
+    let lim = 2.0 * std;
+    t.map_in_place(|x| x.clamp(-lim, lim));
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn randn_has_roughly_correct_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = randn(&mut rng, &[10_000], 0.0, 1.0);
+        let mean: f32 = t.data().iter().sum::<f32>() / 10_000.0;
+        let var: f32 = t.data().iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / 10_000.0;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn randn_respects_mean_and_std() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let t = randn(&mut rng, &[20_000], 3.0, 0.5);
+        let mean: f32 = t.data().iter().sum::<f32>() / 20_000.0;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = rand_uniform(&mut rng, &[1000], -0.25, 0.75);
+        assert!(t.data().iter().all(|&x| (-0.25..0.75).contains(&x)));
+    }
+
+    #[test]
+    fn xavier_bound_matches_formula() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let t = xavier_uniform(&mut rng, &[30, 50]);
+        let bound = (6.0f32 / 80.0).sqrt();
+        assert!(t.data().iter().all(|&x| x.abs() <= bound));
+        // Should actually use most of the range.
+        assert!(t.max_abs() > bound * 0.8);
+    }
+
+    #[test]
+    fn embedding_init_clamps_tails() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let t = embedding_init(&mut rng, &[500, 16], 0.02);
+        assert!(t.data().iter().all(|&x| x.abs() <= 0.04 + 1e-6));
+    }
+
+    #[test]
+    fn same_seed_same_tensor() {
+        let a = randn(&mut StdRng::seed_from_u64(42), &[64], 0.0, 1.0);
+        let b = randn(&mut StdRng::seed_from_u64(42), &[64], 0.0, 1.0);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,198 @@
+//! Elementwise binary/unary kernels and fused accumulation helpers.
+
+use crate::{Result, Tensor, TensorError};
+
+fn check_same(a: &Tensor, b: &Tensor, op: &'static str) -> Result<()> {
+    if !a.shape().same_as(b.shape()) {
+        return Err(TensorError::ShapeMismatch {
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+            op,
+        });
+    }
+    Ok(())
+}
+
+/// Elementwise `a + b` (identical shapes).
+pub fn add(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    check_same(a, b, "add")?;
+    let mut out = a.clone();
+    for (o, &x) in out.data_mut().iter_mut().zip(b.data()) {
+        *o += x;
+    }
+    Ok(out)
+}
+
+/// Elementwise `a - b` (identical shapes).
+pub fn sub(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    check_same(a, b, "sub")?;
+    let mut out = a.clone();
+    for (o, &x) in out.data_mut().iter_mut().zip(b.data()) {
+        *o -= x;
+    }
+    Ok(out)
+}
+
+/// Elementwise product `a ⊙ b` (identical shapes).
+pub fn hadamard(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    check_same(a, b, "hadamard")?;
+    let mut out = a.clone();
+    for (o, &x) in out.data_mut().iter_mut().zip(b.data()) {
+        *o *= x;
+    }
+    Ok(out)
+}
+
+/// Scalar multiple `s · a`.
+pub fn scale(a: &Tensor, s: f32) -> Tensor {
+    a.map(|x| x * s)
+}
+
+/// In-place accumulation `dst += s · src` (identical shapes).
+///
+/// This is the hot path of the backward pass (gradient accumulation), so it
+/// avoids any allocation.
+pub fn add_scaled_into(dst: &mut Tensor, src: &Tensor, s: f32) -> Result<()> {
+    check_same(dst, src, "add_scaled_into")?;
+    for (d, &x) in dst.data_mut().iter_mut().zip(src.data()) {
+        *d += s * x;
+    }
+    Ok(())
+}
+
+/// `a + s·b` producing a new tensor (the classic axpy).
+pub fn axpy(a: &Tensor, b: &Tensor, s: f32) -> Result<Tensor> {
+    let mut out = a.clone();
+    add_scaled_into(&mut out, b, s)?;
+    Ok(out)
+}
+
+/// Broadcast-add a row vector `bias` (shape `(cols,)`) to every row of a
+/// rank-2 tensor.
+pub fn add_row_broadcast(a: &Tensor, bias: &Tensor) -> Result<Tensor> {
+    let (rows, cols) = a.shape().as_2d()?;
+    if bias.dims() != [cols] {
+        return Err(TensorError::ShapeMismatch {
+            lhs: a.dims().to_vec(),
+            rhs: bias.dims().to_vec(),
+            op: "add_row_broadcast",
+        });
+    }
+    let mut out = a.clone();
+    let b = bias.data();
+    for r in 0..rows {
+        let row = &mut out.data_mut()[r * cols..(r + 1) * cols];
+        for (o, &x) in row.iter_mut().zip(b) {
+            *o += x;
+        }
+    }
+    Ok(out)
+}
+
+/// ReLU activation.
+pub fn relu(a: &Tensor) -> Tensor {
+    a.map(|x| x.max(0.0))
+}
+
+/// Sigmoid activation (numerically stable two-branch form).
+pub fn sigmoid(a: &Tensor) -> Tensor {
+    a.map(stable_sigmoid)
+}
+
+/// Scalar stable sigmoid.
+#[inline]
+pub fn stable_sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Hyperbolic tangent activation.
+pub fn tanh(a: &Tensor) -> Tensor {
+    a.map(f32::tanh)
+}
+
+/// Elementwise exponential.
+pub fn exp(a: &Tensor) -> Tensor {
+    a.map(f32::exp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: &[f32]) -> Tensor {
+        Tensor::from_vec(v.to_vec(), &[v.len()]).unwrap()
+    }
+
+    #[test]
+    fn add_sub_hadamard() {
+        let a = t(&[1.0, 2.0, 3.0]);
+        let b = t(&[4.0, 5.0, 6.0]);
+        assert_eq!(add(&a, &b).unwrap().data(), &[5.0, 7.0, 9.0]);
+        assert_eq!(sub(&b, &a).unwrap().data(), &[3.0, 3.0, 3.0]);
+        assert_eq!(hadamard(&a, &b).unwrap().data(), &[4.0, 10.0, 18.0]);
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let a = t(&[1.0, 2.0]);
+        let b = t(&[1.0, 2.0, 3.0]);
+        assert!(add(&a, &b).is_err());
+        assert!(sub(&a, &b).is_err());
+        assert!(hadamard(&a, &b).is_err());
+        let mut d = a.clone();
+        assert!(add_scaled_into(&mut d, &b, 1.0).is_err());
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let a = t(&[1.0, 1.0]);
+        let b = t(&[2.0, 4.0]);
+        assert_eq!(axpy(&a, &b, 0.5).unwrap().data(), &[2.0, 3.0]);
+        let mut d = a.clone();
+        add_scaled_into(&mut d, &b, -1.0).unwrap();
+        assert_eq!(d.data(), &[-1.0, -3.0]);
+    }
+
+    #[test]
+    fn row_broadcast_adds_bias_to_every_row() {
+        let a = Tensor::from_vec(vec![0.0; 6], &[2, 3]).unwrap();
+        let bias = t(&[1.0, 2.0, 3.0]);
+        let out = add_row_broadcast(&a, &bias).unwrap();
+        assert_eq!(out.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(out.row(1), &[1.0, 2.0, 3.0]);
+        assert!(add_row_broadcast(&a, &t(&[1.0])).is_err());
+    }
+
+    #[test]
+    fn activations() {
+        let a = t(&[-1.0, 0.0, 2.0]);
+        assert_eq!(relu(&a).data(), &[0.0, 0.0, 2.0]);
+        let s = sigmoid(&a);
+        assert!((s.data()[1] - 0.5).abs() < 1e-6);
+        assert!(s.data()[0] < 0.5 && s.data()[2] > 0.5);
+        let th = tanh(&a);
+        assert!((th.data()[1]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sigmoid_is_stable_at_extremes() {
+        assert_eq!(stable_sigmoid(100.0), 1.0);
+        assert!(stable_sigmoid(-100.0) >= 0.0);
+        assert!(stable_sigmoid(-100.0) < 1e-20);
+        assert!(stable_sigmoid(-100.0).is_finite());
+    }
+
+    #[test]
+    fn scale_and_exp() {
+        let a = t(&[1.0, -2.0]);
+        assert_eq!(scale(&a, 3.0).data(), &[3.0, -6.0]);
+        let e = exp(&t(&[0.0, 1.0]));
+        assert!((e.data()[0] - 1.0).abs() < 1e-6);
+        assert!((e.data()[1] - std::f32::consts::E).abs() < 1e-5);
+    }
+}

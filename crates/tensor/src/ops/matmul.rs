@@ -1,0 +1,257 @@
+//! Matrix multiplication kernels.
+//!
+//! All kernels use the cache-friendly `i-k-j` loop order so the innermost
+//! loop walks both the output row and the `B` row contiguously — this
+//! autovectorizes well and is the difference between usable and unusable
+//! CPU training speed. The parallel front-end lives in [`crate::parallel`].
+
+use crate::{Result, Shape, Tensor, TensorError};
+
+/// Dense `C = A · B` for rank-2 operands `(m, k) × (k, n) → (m, n)`.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, k) = a.shape().as_2d()?;
+    let (kb, n) = b.shape().as_2d()?;
+    if k != kb {
+        return Err(TensorError::ShapeMismatch {
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+            op: "matmul",
+        });
+    }
+    let mut out = Tensor::zeros(&[m, n]);
+    matmul_into(a.data(), b.data(), out.data_mut(), m, k, n);
+    Ok(out)
+}
+
+/// Raw kernel: `c += a · b` over flat row-major buffers.
+///
+/// `c` must be zeroed (or hold a partial sum to accumulate into).
+pub fn matmul_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for (kk, &aik) in a_row.iter().enumerate() {
+            if aik == 0.0 {
+                continue; // padding rows are common in recommender batches
+            }
+            let b_row = &b[kk * n..(kk + 1) * n];
+            for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                *cv += aik * bv;
+            }
+        }
+    }
+}
+
+/// `C = Aᵀ · B` for `(k, m) × (k, n) → (m, n)` without materializing `Aᵀ`.
+///
+/// This is the gradient-of-weights shape (`dW = Xᵀ · dY`), hit every step.
+pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (k, m) = a.shape().as_2d()?;
+    let (kb, n) = b.shape().as_2d()?;
+    if k != kb {
+        return Err(TensorError::ShapeMismatch {
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+            op: "matmul_at_b",
+        });
+    }
+    let mut out = Tensor::zeros(&[m, n]);
+    let (ad, bd) = (a.data(), b.data());
+    let od = out.data_mut();
+    // Outer loop over the shared dim keeps both reads sequential.
+    for kk in 0..k {
+        let a_row = &ad[kk * m..(kk + 1) * m];
+        let b_row = &bd[kk * n..(kk + 1) * n];
+        for (i, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let o_row = &mut od[i * n..(i + 1) * n];
+            for (ov, &bv) in o_row.iter_mut().zip(b_row) {
+                *ov += av * bv;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// `C = A · Bᵀ` for `(m, k) × (n, k) → (m, n)` without materializing `Bᵀ`.
+///
+/// This is the attention-score shape (`Q · Kᵀ`) and the gradient-of-input
+/// shape (`dX = dY · Wᵀ`).
+pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, k) = a.shape().as_2d()?;
+    let (n, kb) = b.shape().as_2d()?;
+    if k != kb {
+        return Err(TensorError::ShapeMismatch {
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+            op: "matmul_a_bt",
+        });
+    }
+    let mut out = Tensor::zeros(&[m, n]);
+    let (ad, bd) = (a.data(), b.data());
+    let od = out.data_mut();
+    for i in 0..m {
+        let a_row = &ad[i * k..(i + 1) * k];
+        let o_row = &mut od[i * n..(i + 1) * n];
+        for (j, ov) in o_row.iter_mut().enumerate() {
+            let b_row = &bd[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in a_row.iter().zip(b_row) {
+                acc += av * bv;
+            }
+            *ov = acc;
+        }
+    }
+    Ok(out)
+}
+
+/// Batched matmul for rank-3 operands `(b, m, k) × (b, k, n) → (b, m, n)`.
+pub fn matmul3(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (ba, m, k) = a.shape().as_3d()?;
+    let (bb, kb, n) = b.shape().as_3d()?;
+    if ba != bb || k != kb {
+        return Err(TensorError::ShapeMismatch {
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+            op: "matmul3",
+        });
+    }
+    let mut out = Tensor::zeros(&[ba, m, n]);
+    for bi in 0..ba {
+        let a_sl = &a.data()[bi * m * k..(bi + 1) * m * k];
+        let b_sl = &b.data()[bi * k * n..(bi + 1) * k * n];
+        let o_sl = &mut out.data_mut()[bi * m * n..(bi + 1) * m * n];
+        matmul_into(a_sl, b_sl, o_sl, m, k, n);
+    }
+    Ok(out)
+}
+
+/// Matrix–vector product `(m, k) × (k,) → (m,)`.
+pub fn matvec(a: &Tensor, x: &Tensor) -> Result<Tensor> {
+    let (m, k) = a.shape().as_2d()?;
+    if x.dims() != [k] {
+        return Err(TensorError::ShapeMismatch {
+            lhs: a.dims().to_vec(),
+            rhs: x.dims().to_vec(),
+            op: "matvec",
+        });
+    }
+    let mut out = Tensor::zeros(&[m]);
+    for i in 0..m {
+        let row = &a.data()[i * k..(i + 1) * k];
+        out.data_mut()[i] = row.iter().zip(x.data()).map(|(&a, &b)| a * b).sum();
+    }
+    Ok(out)
+}
+
+/// Outer product `(m,) × (n,) → (m, n)`.
+pub fn outer(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    if a.rank() != 1 || b.rank() != 1 {
+        return Err(TensorError::RankMismatch { expected: 1, got: a.rank().max(b.rank()), op: "outer" });
+    }
+    let (m, n) = (a.numel(), b.numel());
+    let mut data = Vec::with_capacity(m * n);
+    for &av in a.data() {
+        for &bv in b.data() {
+            data.push(av * bv);
+        }
+    }
+    Ok(Tensor::from_vec(data, &[m, n]).expect("sized above"))
+}
+
+/// Dot product of two equal-length rank-1 tensors.
+pub fn dot(a: &Tensor, b: &Tensor) -> Result<f32> {
+    if !Shape::new(a.dims()).same_as(&Shape::new(b.dims())) || a.rank() != 1 {
+        return Err(TensorError::ShapeMismatch {
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+            op: "dot",
+        });
+    }
+    Ok(a.data().iter().zip(b.data()).map(|(&x, &y)| x * y).sum())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(v: Vec<f32>, r: usize, c: usize) -> Tensor {
+        Tensor::from_vec(v, &[r, c]).unwrap()
+    }
+
+    #[test]
+    fn matmul_small_known_result() {
+        let a = m(vec![1.0, 2.0, 3.0, 4.0], 2, 2);
+        let b = m(vec![5.0, 6.0, 7.0, 8.0], 2, 2);
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = m(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 2, 3);
+        let c = matmul(&a, &Tensor::eye(3)).unwrap();
+        assert_eq!(c, a);
+        let c = matmul(&Tensor::eye(2), &a).unwrap();
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn matmul_rejects_bad_inner_dim() {
+        let a = m(vec![0.0; 6], 2, 3);
+        let b = m(vec![0.0; 8], 2, 4);
+        assert!(matmul(&a, &b).is_err());
+    }
+
+    #[test]
+    fn transposed_variants_agree_with_explicit_transpose() {
+        let a = m(vec![1.0, -2.0, 0.5, 3.0, 4.0, -1.0], 3, 2);
+        let b = m(vec![2.0, 1.0, 0.0, -1.0, 1.5, 2.5], 3, 2);
+        // Aᵀ·B
+        let want = matmul(&a.transpose2().unwrap(), &b).unwrap();
+        let got = matmul_at_b(&a, &b).unwrap();
+        for (w, g) in want.data().iter().zip(got.data()) {
+            assert!((w - g).abs() < 1e-6);
+        }
+        // A·Bᵀ
+        let want = matmul(&a, &b.transpose2().unwrap()).unwrap();
+        let got = matmul_a_bt(&a, &b).unwrap();
+        for (w, g) in want.data().iter().zip(got.data()) {
+            assert!((w - g).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn matmul3_runs_per_batch() {
+        let a = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 2.0, 0.0, 0.0, 2.0], &[2, 2, 2]).unwrap();
+        let b = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 1.0, 2.0, 3.0, 4.0], &[2, 2, 2]).unwrap();
+        let c = matmul3(&a, &b).unwrap();
+        assert_eq!(&c.data()[..4], &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(&c.data()[4..], &[2.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn matvec_outer_dot() {
+        let a = m(vec![1.0, 2.0, 3.0, 4.0], 2, 2);
+        let x = Tensor::from_vec(vec![1.0, -1.0], &[2]).unwrap();
+        assert_eq!(matvec(&a, &x).unwrap().data(), &[-1.0, -1.0]);
+        let o = outer(&x, &x).unwrap();
+        assert_eq!(o.data(), &[1.0, -1.0, -1.0, 1.0]);
+        assert_eq!(dot(&x, &x).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn zero_skip_does_not_change_result() {
+        // Rows of zeros (padding) must produce zero rows, same as the naive kernel.
+        let a = m(vec![0.0, 0.0, 1.0, 2.0], 2, 2);
+        let b = m(vec![3.0, 4.0, 5.0, 6.0], 2, 2);
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.row(0), &[0.0, 0.0]);
+        assert_eq!(c.row(1), &[13.0, 16.0]);
+    }
+}

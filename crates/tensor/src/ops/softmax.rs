@@ -1,0 +1,149 @@
+//! Row-wise softmax kernels, including the causal-masked variant used by
+//! the self-attention layers (§IV-B of the paper: links between `Q_i` and
+//! `K_j` are prohibited for `j > i`).
+
+use crate::{Result, Tensor, TensorError};
+
+/// Numerically stable softmax over each row of a rank-2 tensor.
+pub fn softmax_rows(a: &Tensor) -> Result<Tensor> {
+    let (r, c) = a.shape().as_2d()?;
+    let mut out = a.clone();
+    for i in 0..r {
+        softmax_slice(&mut out.data_mut()[i * c..(i + 1) * c]);
+    }
+    Ok(out)
+}
+
+/// Stable softmax of a mutable slice in place.
+pub fn softmax_slice(row: &mut [f32]) {
+    let max = row.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
+    if !max.is_finite() {
+        // Entire row is -inf (fully masked): fall back to uniform to avoid NaN.
+        let u = 1.0 / row.len().max(1) as f32;
+        row.iter_mut().for_each(|x| *x = u);
+        return;
+    }
+    let mut sum = 0.0f32;
+    for x in row.iter_mut() {
+        *x = (*x - max).exp();
+        sum += *x;
+    }
+    let inv = 1.0 / sum;
+    row.iter_mut().for_each(|x| *x *= inv);
+}
+
+/// Stable log-softmax over each row of a rank-2 tensor.
+pub fn log_softmax_rows(a: &Tensor) -> Result<Tensor> {
+    let (r, c) = a.shape().as_2d()?;
+    let mut out = a.clone();
+    for i in 0..r {
+        let row = &mut out.data_mut()[i * c..(i + 1) * c];
+        let max = row.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
+        let lse = max + row.iter().map(|&x| (x - max).exp()).sum::<f32>().ln();
+        row.iter_mut().for_each(|x| *x -= lse);
+    }
+    Ok(out)
+}
+
+/// Causal-masked softmax for square score matrices.
+///
+/// Row `i` attends only to columns `j ≤ i`; masked entries come out exactly
+/// zero. This implements the attention constraint from SASRec that VSAN
+/// inherits in both its inference and generative self-attention layers.
+pub fn softmax_rows_masked(scores: &Tensor) -> Result<Tensor> {
+    let (r, c) = scores.shape().as_2d()?;
+    if r != c {
+        return Err(TensorError::ShapeMismatch {
+            lhs: scores.dims().to_vec(),
+            rhs: scores.dims().to_vec(),
+            op: "softmax_rows_masked (square required)",
+        });
+    }
+    let mut out = Tensor::zeros(&[r, c]);
+    for i in 0..r {
+        let src = &scores.data()[i * c..i * c + i + 1];
+        let max = src.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
+        let mut sum = 0.0f32;
+        let dst = &mut out.data_mut()[i * c..(i + 1) * c];
+        for j in 0..=i {
+            let e = (src[j] - max).exp();
+            dst[j] = e;
+            sum += e;
+        }
+        let inv = 1.0 / sum;
+        for v in dst[..=i].iter_mut() {
+            *v *= inv;
+        }
+        // dst[i+1..] stays zero: future positions carry no weight.
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_sum_to_one() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]).unwrap();
+        let s = softmax_rows(&a).unwrap();
+        for i in 0..2 {
+            let sum: f32 = s.row(i).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+        // Monotonic in the logits.
+        assert!(s.get2(0, 2) > s.get2(0, 1));
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]).unwrap();
+        let b = a.map(|x| x + 1000.0);
+        let sa = softmax_rows(&a).unwrap();
+        let sb = softmax_rows(&b).unwrap();
+        for (x, y) in sa.data().iter().zip(sb.data()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+        assert!(sb.all_finite());
+    }
+
+    #[test]
+    fn log_softmax_matches_log_of_softmax() {
+        let a = Tensor::from_vec(vec![0.5, -1.5, 2.0, 0.0], &[1, 4]).unwrap();
+        let ls = log_softmax_rows(&a).unwrap();
+        let s = softmax_rows(&a).unwrap();
+        for (l, p) in ls.data().iter().zip(s.data()) {
+            assert!((l.exp() - p).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn causal_mask_zeroes_future() {
+        let a = Tensor::from_vec(vec![5.0; 9], &[3, 3]).unwrap();
+        let s = softmax_rows_masked(&a).unwrap();
+        // Row 0 attends only to itself.
+        assert_eq!(s.row(0), &[1.0, 0.0, 0.0]);
+        // Row 1 splits between 0 and 1.
+        assert!((s.get2(1, 0) - 0.5).abs() < 1e-6);
+        assert_eq!(s.get2(1, 2), 0.0);
+        // Row 2 uniform over all three.
+        for j in 0..3 {
+            assert!((s.get2(2, j) - 1.0 / 3.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn causal_mask_requires_square() {
+        let a = Tensor::zeros(&[2, 3]);
+        assert!(softmax_rows_masked(&a).is_err());
+    }
+
+    #[test]
+    fn fully_masked_row_falls_back_to_uniform() {
+        let mut row = vec![f32::NEG_INFINITY; 4];
+        softmax_slice(&mut row);
+        for v in row {
+            assert!((v - 0.25).abs() < 1e-6);
+        }
+    }
+}

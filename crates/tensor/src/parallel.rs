@@ -1,0 +1,143 @@
+//! Data-parallel kernels built on `crossbeam::thread::scope`.
+//!
+//! The prediction layer of every sequential model in this workspace ends in
+//! a `(rows, d) × (d, N_items)` matmul with `N_items` in the thousands —
+//! by far the dominant cost. Splitting output rows across threads is
+//! embarrassingly parallel and gives near-linear speedups (measured in
+//! `vsan-bench`'s `matmul_parallel` bench).
+
+use crate::ops::matmul::matmul_into;
+use crate::{Result, Tensor, TensorError};
+
+/// Number of worker threads to use: the machine's available parallelism,
+/// clamped to `[1, 16]`.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(16)
+}
+
+/// Parallel dense `C = A · B` for rank-2 operands, splitting rows of `A`
+/// across `threads` workers. Falls back to the serial kernel when the
+/// problem is too small to amortize thread spawn cost.
+pub fn matmul_parallel(a: &Tensor, b: &Tensor, threads: usize) -> Result<Tensor> {
+    let (m, k) = a.shape().as_2d()?;
+    let (kb, n) = b.shape().as_2d()?;
+    if k != kb {
+        return Err(TensorError::ShapeMismatch {
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+            op: "matmul_parallel",
+        });
+    }
+    let threads = threads.max(1).min(m.max(1));
+    // Below ~2 MFLOP the spawn overhead dominates; stay serial.
+    if threads == 1 || m * k * n < 1_000_000 {
+        return crate::ops::matmul(a, b);
+    }
+    let mut out = Tensor::zeros(&[m, n]);
+    let chunk_rows = m.div_ceil(threads);
+    let (ad, bd) = (a.data(), b.data());
+    {
+        let od = out.data_mut();
+        let mut chunks: Vec<&mut [f32]> = od.chunks_mut(chunk_rows * n).collect();
+        crossbeam::thread::scope(|s| {
+            for (ci, c_chunk) in chunks.iter_mut().enumerate() {
+                let row0 = ci * chunk_rows;
+                let rows = c_chunk.len() / n;
+                let a_chunk = &ad[row0 * k..(row0 + rows) * k];
+                s.spawn(move |_| {
+                    matmul_into(a_chunk, bd, c_chunk, rows, k, n);
+                });
+            }
+        })
+        .expect("worker thread panicked in matmul_parallel");
+    }
+    Ok(out)
+}
+
+/// Run `f(i)` for every `i in 0..len` across `threads` workers, writing into
+/// equal chunks of `out`. The closure receives `(global_index, &mut item)`.
+///
+/// Used for per-row post-processing (e.g. softmax over huge logit rows).
+pub fn for_each_chunk_parallel<T: Send>(
+    out: &mut [T],
+    threads: usize,
+    f: impl Fn(usize, &mut T) + Sync,
+) {
+    let threads = threads.max(1);
+    if threads == 1 || out.len() < 2 {
+        for (i, item) in out.iter_mut().enumerate() {
+            f(i, item);
+        }
+        return;
+    }
+    let chunk = out.len().div_ceil(threads);
+    crossbeam::thread::scope(|s| {
+        for (ci, ch) in out.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            s.spawn(move |_| {
+                for (j, item) in ch.iter_mut().enumerate() {
+                    f(ci * chunk + j, item);
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked in for_each_chunk_parallel");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn parallel_matches_serial() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = init::randn(&mut rng, &[64, 48], 0.0, 1.0);
+        let b = init::randn(&mut rng, &[48, 96], 0.0, 1.0);
+        let serial = crate::ops::matmul(&a, &b).unwrap();
+        for threads in [1, 2, 4, 7] {
+            let par = matmul_parallel(&a, &b, threads).unwrap();
+            for (s, p) in serial.data().iter().zip(par.data()) {
+                assert!((s - p).abs() < 1e-4, "thread count {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_handles_large_inputs() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = init::randn(&mut rng, &[300, 64], 0.0, 0.1);
+        let b = init::randn(&mut rng, &[64, 400], 0.0, 0.1);
+        let serial = crate::ops::matmul(&a, &b).unwrap();
+        let par = matmul_parallel(&a, &b, default_threads()).unwrap();
+        let mut max_diff = 0.0f32;
+        for (s, p) in serial.data().iter().zip(par.data()) {
+            max_diff = max_diff.max((s - p).abs());
+        }
+        assert!(max_diff < 1e-4, "max diff {max_diff}");
+    }
+
+    #[test]
+    fn parallel_rejects_bad_shapes() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 2]);
+        assert!(matmul_parallel(&a, &b, 2).is_err());
+    }
+
+    #[test]
+    fn for_each_chunk_visits_every_index() {
+        let mut out = vec![0usize; 37];
+        for_each_chunk_parallel(&mut out, 4, |i, slot| *slot = i * 2);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * 2);
+        }
+    }
+
+    #[test]
+    fn default_threads_is_sane() {
+        let t = default_threads();
+        assert!((1..=16).contains(&t));
+    }
+}

@@ -1,0 +1,126 @@
+//! Compact binary tensor serialization via [`bytes`].
+//!
+//! Used by the checkpointing layer in `vsan-nn` to persist model parameters
+//! between training and evaluation binaries. The format is deliberately
+//! trivial:
+//!
+//! ```text
+//! magic  u32  = 0x5653_414E  ("VSAN")
+//! rank   u32
+//! dims   u64 × rank
+//! data   f32 × numel        (little-endian)
+//! ```
+
+use crate::{Result, Tensor, TensorError};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Format magic: ASCII "VSAN".
+pub const MAGIC: u32 = 0x5653_414E;
+
+/// Encode a tensor into a fresh byte buffer.
+pub fn encode(t: &Tensor) -> Bytes {
+    let mut buf = BytesMut::with_capacity(8 + t.rank() * 8 + t.numel() * 4);
+    encode_into(t, &mut buf);
+    buf.freeze()
+}
+
+/// Encode a tensor, appending to an existing buffer (for multi-tensor
+/// checkpoint files).
+pub fn encode_into(t: &Tensor, buf: &mut BytesMut) {
+    buf.put_u32_le(MAGIC);
+    buf.put_u32_le(t.rank() as u32);
+    for &d in t.dims() {
+        buf.put_u64_le(d as u64);
+    }
+    for &v in t.data() {
+        buf.put_f32_le(v);
+    }
+}
+
+/// Decode one tensor from the front of `buf`, advancing it.
+pub fn decode(buf: &mut impl Buf) -> Result<Tensor> {
+    if buf.remaining() < 8 {
+        return Err(TensorError::Decode("buffer too short for header"));
+    }
+    let magic = buf.get_u32_le();
+    if magic != MAGIC {
+        return Err(TensorError::Decode("bad magic"));
+    }
+    let rank = buf.get_u32_le() as usize;
+    if rank > 8 {
+        return Err(TensorError::Decode("implausible rank"));
+    }
+    if buf.remaining() < rank * 8 {
+        return Err(TensorError::Decode("buffer too short for dims"));
+    }
+    let mut dims = Vec::with_capacity(rank);
+    for _ in 0..rank {
+        dims.push(buf.get_u64_le() as usize);
+    }
+    let numel: usize = dims.iter().product::<usize>().max(if rank == 0 { 1 } else { 0 });
+    let numel = if rank == 0 { 1 } else { numel };
+    if buf.remaining() < numel * 4 {
+        return Err(TensorError::Decode("buffer too short for data"));
+    }
+    let mut data = Vec::with_capacity(numel);
+    for _ in 0..numel {
+        data.push(buf.get_f32_le());
+    }
+    Tensor::from_vec(data, &dims)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_preserves_tensor() {
+        let t = Tensor::from_vec(vec![1.5, -2.25, 0.0, 3.75, 9.125, -0.5], &[2, 3]).unwrap();
+        let enc = encode(&t);
+        let mut buf = enc.clone();
+        let back = decode(&mut buf).unwrap();
+        assert_eq!(back, t);
+        assert_eq!(buf.remaining(), 0);
+    }
+
+    #[test]
+    fn round_trip_scalar() {
+        let t = Tensor::scalar(42.5);
+        let mut buf = encode(&t);
+        let back = decode(&mut buf).unwrap();
+        assert_eq!(back.numel(), 1);
+        assert_eq!(back.data()[0], 42.5);
+    }
+
+    #[test]
+    fn multiple_tensors_in_one_buffer() {
+        let a = Tensor::ones(&[3]);
+        let b = Tensor::full(&[2, 2], 7.0);
+        let mut buf = BytesMut::new();
+        encode_into(&a, &mut buf);
+        encode_into(&b, &mut buf);
+        let mut bytes = buf.freeze();
+        assert_eq!(decode(&mut bytes).unwrap(), a);
+        assert_eq!(decode(&mut bytes).unwrap(), b);
+    }
+
+    #[test]
+    fn corrupt_inputs_are_rejected() {
+        // Too short.
+        let mut short = Bytes::from_static(&[1, 2, 3]);
+        assert!(decode(&mut short).is_err());
+        // Bad magic.
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(0xDEAD_BEEF);
+        buf.put_u32_le(1);
+        buf.put_u64_le(1);
+        buf.put_f32_le(1.0);
+        let mut bytes = buf.freeze();
+        assert!(decode(&mut bytes).is_err());
+        // Truncated data.
+        let t = Tensor::ones(&[10]);
+        let enc = encode(&t);
+        let mut truncated = enc.slice(..enc.len() - 4);
+        assert!(decode(&mut truncated).is_err());
+    }
+}

@@ -1,0 +1,197 @@
+//! Shapes, strides, and index arithmetic for row-major dense tensors.
+
+use crate::{Result, TensorError};
+
+/// A tensor shape: an ordered list of dimension sizes (row-major).
+///
+/// Rank 0 (scalar) through rank 4 are exercised throughout the workspace;
+/// higher ranks work but are untested in anger.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Build a shape from a slice of dimension sizes.
+    pub fn new(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+
+    /// The scalar (rank-0) shape.
+    pub fn scalar() -> Self {
+        Shape(Vec::new())
+    }
+
+    /// Dimension sizes as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of elements (product of dims; 1 for a scalar).
+    pub fn numel(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Size of dimension `i`. Panics if `i >= rank`.
+    pub fn dim(&self, i: usize) -> usize {
+        self.0[i]
+    }
+
+    /// Row-major strides: `strides[i]` is the linear-index step for a unit
+    /// move along dimension `i`.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.rank()];
+        for i in (0..self.rank().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.0[i + 1];
+        }
+        strides
+    }
+
+    /// Convert a multi-dimensional index to a linear offset, validating
+    /// bounds.
+    pub fn offset(&self, index: &[usize]) -> Result<usize> {
+        if index.len() != self.rank() {
+            return Err(TensorError::OutOfBounds {
+                index: index.to_vec(),
+                shape: self.0.clone(),
+            });
+        }
+        let mut off = 0usize;
+        let strides = self.strides();
+        for (i, (&ix, &dim)) in index.iter().zip(self.0.iter()).enumerate() {
+            if ix >= dim {
+                return Err(TensorError::OutOfBounds {
+                    index: index.to_vec(),
+                    shape: self.0.clone(),
+                });
+            }
+            off += ix * strides[i];
+        }
+        Ok(off)
+    }
+
+    /// `true` if the two shapes are elementwise-compatible (identical).
+    pub fn same_as(&self, other: &Shape) -> bool {
+        self.0 == other.0
+    }
+
+    /// Interpret this shape as `(rows, cols)` for a rank-2 tensor.
+    pub fn as_2d(&self) -> Result<(usize, usize)> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch { expected: 2, got: self.rank(), op: "as_2d" });
+        }
+        Ok((self.0[0], self.0[1]))
+    }
+
+    /// Interpret this shape as `(batch, rows, cols)` for a rank-3 tensor.
+    pub fn as_3d(&self) -> Result<(usize, usize, usize)> {
+        if self.rank() != 3 {
+            return Err(TensorError::RankMismatch { expected: 3, got: self.rank(), op: "as_3d" });
+        }
+        Ok((self.0[0], self.0[1], self.0[2]))
+    }
+
+    /// Collapse all leading dimensions into one, producing `(prod, last)`.
+    ///
+    /// Useful for treating a `(b, n, d)` activation as `(b*n, d)` rows.
+    pub fn collapse_leading(&self) -> Result<(usize, usize)> {
+        if self.rank() == 0 {
+            return Err(TensorError::RankMismatch { expected: 1, got: 0, op: "collapse_leading" });
+        }
+        let last = *self.0.last().expect("rank >= 1");
+        let lead: usize = self.0[..self.rank() - 1].iter().product();
+        Ok((lead.max(1), last))
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+}
+
+impl std::fmt::Display for Shape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "(")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_row_major() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+        assert_eq!(s.numel(), 24);
+        assert_eq!(s.rank(), 3);
+    }
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::scalar();
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.numel(), 1);
+        assert_eq!(s.offset(&[]).unwrap(), 0);
+    }
+
+    #[test]
+    fn offset_round_trip() {
+        let s = Shape::new(&[3, 5]);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..3 {
+            for j in 0..5 {
+                let off = s.offset(&[i, j]).unwrap();
+                assert!(off < 15);
+                assert!(seen.insert(off), "offsets must be unique");
+            }
+        }
+    }
+
+    #[test]
+    fn offset_rejects_out_of_bounds() {
+        let s = Shape::new(&[2, 2]);
+        assert!(s.offset(&[2, 0]).is_err());
+        assert!(s.offset(&[0, 2]).is_err());
+        assert!(s.offset(&[0]).is_err());
+        assert!(s.offset(&[0, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn as_2d_and_3d() {
+        assert_eq!(Shape::new(&[4, 7]).as_2d().unwrap(), (4, 7));
+        assert!(Shape::new(&[4]).as_2d().is_err());
+        assert_eq!(Shape::new(&[2, 4, 7]).as_3d().unwrap(), (2, 4, 7));
+        assert!(Shape::new(&[2, 4]).as_3d().is_err());
+    }
+
+    #[test]
+    fn collapse_leading_folds_batch_dims() {
+        assert_eq!(Shape::new(&[2, 3, 4]).collapse_leading().unwrap(), (6, 4));
+        assert_eq!(Shape::new(&[5]).collapse_leading().unwrap(), (1, 5));
+        assert!(Shape::scalar().collapse_leading().is_err());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Shape::new(&[2, 3]).to_string(), "(2, 3)");
+        assert_eq!(Shape::scalar().to_string(), "()");
+    }
+}

@@ -1,0 +1,72 @@
+//! Quickstart: simulate a small dataset, train VSAN, and print
+//! recommendations for one held-out user.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use std::collections::HashSet;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vsan_repro::prelude::*;
+
+fn main() {
+    // 1. Simulate a small Beauty-like dataset and run the paper's
+    //    preprocessing (binarize ratings ≥ 4, 5-core filter).
+    let sim = synthetic::beauty(0.03);
+    let mut rng = StdRng::seed_from_u64(7);
+    let raw = synthetic::generate(&sim, &mut rng);
+    let ds = Pipeline::default().run(&raw);
+    println!(
+        "dataset: {} users, {} items, {} interactions",
+        ds.num_users(),
+        ds.num_items,
+        ds.num_interactions()
+    );
+
+    // 2. Strong-generalization split: held-out users are never trained on.
+    let split = Split::strong_generalization(&ds, 40, 5, &mut rng);
+    println!(
+        "split: {} train / {} val / {} test users",
+        split.train_users.len(),
+        split.val_users.len(),
+        split.test_users.len()
+    );
+
+    // 3. Train VSAN (repro-scale config, shortened for the quickstart).
+    let mut cfg = VsanConfig::repro("beauty");
+    cfg.base = cfg.base.with_epochs(8);
+    let model = Vsan::train(&ds, &split.train_users, &cfg).expect("training failed");
+    println!(
+        "trained VSAN ({} parameters), final loss {:.3}",
+        model.num_parameters(),
+        model.train_losses.last().copied().unwrap_or(f32::NAN)
+    );
+
+    // 4. Evaluate on the held-out test users (80% fold-in / 20% targets).
+    let views = Split::held_out_views(&ds, &split.test_users, 0.8);
+    let report = evaluate_held_out(&model, &views, &EvalConfig::default());
+    println!(
+        "test metrics: NDCG@10 {:.2}%  Recall@10 {:.2}%  Precision@10 {:.2}%",
+        report.get_pct("NDCG", 10).unwrap(),
+        report.get_pct("Recall", 10).unwrap(),
+        report.get_pct("Precision", 10).unwrap(),
+    );
+
+    // 5. Recommend for the first held-out user.
+    let user = &views[0];
+    let scores = model.score_items(&user.fold_in);
+    let seen: HashSet<u32> = user.fold_in.iter().copied().collect();
+    let top = vsan_eval::top_n_excluding(&scores, 10, &seen);
+    println!("\nuser {} history (last 5): {:?}", user.user, last5(&user.fold_in));
+    println!("ground-truth future: {:?}", user.targets);
+    println!("VSAN top-10: {top:?}");
+    let hits: Vec<u32> =
+        top.iter().copied().filter(|i| user.targets.contains(i)).collect();
+    println!("hits in top-10: {hits:?}");
+}
+
+fn last5(seq: &[u32]) -> &[u32] {
+    &seq[seq.len().saturating_sub(5)..]
+}

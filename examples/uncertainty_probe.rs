@@ -1,0 +1,84 @@
+//! Measuring the Fig. 1 story: does VSAN's posterior variance actually
+//! track preference uncertainty?
+//!
+//! We construct two populations of synthetic users — *focused* users who
+//! shop a single category and *eclectic* users who alternate between two
+//! distant categories (the `u` of Fig. 1) — train a VSAN, and compare the
+//! learned posterior spread `σ` for the two groups. The paper's claim
+//! predicts larger σ for the eclectic group.
+//!
+//! ```text
+//! cargo run --release --example uncertainty_probe
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vsan_repro::prelude::*;
+
+fn main() {
+    // Hand-built dataset: items 1..=20 belong to category A, 21..=40 to
+    // category B. Focused users walk one category's chain; eclectic users
+    // bounce between both.
+    let num_items = 40u32;
+    let mut sequences: Vec<Vec<u32>> = Vec::new();
+    let mut rng = StdRng::seed_from_u64(3);
+    use rand::Rng;
+    for u in 0..240 {
+        let mut seq = Vec::with_capacity(12);
+        if u % 2 == 0 {
+            // Focused: deterministic walk within one category.
+            let base = if rng.gen::<bool>() { 0 } else { 20 };
+            let start = rng.gen_range(0..20);
+            for t in 0..12 {
+                seq.push(base as u32 + ((start + t) % 20) as u32 + 1);
+            }
+        } else {
+            // Eclectic: alternates categories with random entry points.
+            for t in 0..12 {
+                let base = if t % 2 == 0 { 0 } else { 20 };
+                seq.push(base as u32 + rng.gen_range(0..20) as u32 + 1);
+            }
+        }
+        sequences.push(seq);
+    }
+    let ds = Dataset { name: "probe".into(), num_items: num_items as usize, sequences };
+    ds.check_invariants().expect("valid dataset");
+
+    let train_users: Vec<usize> = (0..200).collect();
+    let mut cfg = VsanConfig::repro("probe-dataset");
+    cfg.base = cfg.base.with_epochs(12);
+    cfg.base.max_seq_len = 12;
+    let model = Vsan::train(&ds, &train_users, &cfg).expect("training failed");
+
+    // Probe the posterior for the 40 held-out users (20 per group).
+    let mut focused_sigma = Vec::new();
+    let mut eclectic_sigma = Vec::new();
+    for u in 200..240 {
+        let stats = model.posterior(&ds.sequences[u]).expect("posterior");
+        if u % 2 == 0 {
+            focused_sigma.push(stats.mean_sigma());
+        } else {
+            eclectic_sigma.push(stats.mean_sigma());
+        }
+    }
+    let mean = |v: &[f32]| v.iter().sum::<f32>() / v.len() as f32;
+    let (f, e) = (mean(&focused_sigma), mean(&eclectic_sigma));
+    println!("mean posterior sigma — focused users:  {f:.4}");
+    println!("mean posterior sigma — eclectic users: {e:.4}");
+    println!("ratio eclectic/focused: {:.3}", e / f);
+    if e > f {
+        println!("=> the posterior is wider for multi-modal preferences, as Fig. 1 argues");
+    } else {
+        println!("=> no separation at this scale — try more epochs or users");
+    }
+
+    // Bonus: show that σ shrinks as evidence accumulates (more fold-in
+    // items → less uncertainty about the user).
+    let long = &ds.sequences[200];
+    print!("sigma vs history length:");
+    for len in [2usize, 4, 8, 12] {
+        let stats = model.posterior(&long[..len]).expect("posterior");
+        print!("  {len} items → {:.4}", stats.mean_sigma());
+    }
+    println!();
+}

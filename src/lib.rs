@@ -1,0 +1,51 @@
+#![warn(missing_docs)]
+
+//! # vsan-repro
+//!
+//! Umbrella crate for the reproduction of *"Variational Self-attention
+//! Network for Sequential Recommendation"* (Zhao et al., ICDE 2021).
+//!
+//! This crate re-exports the whole workspace under one roof so the
+//! `examples/` and the cross-crate integration tests have a single import
+//! surface. The substance lives in the member crates:
+//!
+//! * [`tensor`] / [`autograd`] / [`nn`] — the from-scratch deep-learning
+//!   substrate (dense f32 tensors, reverse-mode tape, layers/optimizers).
+//! * [`data`] — preprocessing, strong-generalization splits, and the
+//!   synthetic Beauty/ML-1M simulators.
+//! * [`eval`] — Precision/Recall/NDCG and the held-out protocol.
+//! * [`models`] — the eight baselines of Table III.
+//! * [`core`] — VSAN itself (the paper's contribution) and its ablations.
+//!
+//! See README.md for a quickstart and DESIGN.md for the system inventory.
+
+pub use vsan_autograd as autograd;
+pub use vsan_core as core;
+pub use vsan_data as data;
+pub use vsan_eval as eval;
+pub use vsan_models as models;
+pub use vsan_nn as nn;
+pub use vsan_tensor as tensor;
+
+/// Convenience prelude for examples and downstream users.
+pub mod prelude {
+    pub use vsan_core::{Vsan, VsanConfig};
+    pub use vsan_data::preprocess::Pipeline;
+    pub use vsan_data::split::Split;
+    pub use vsan_data::synthetic;
+    pub use vsan_data::{Dataset, HeldOutUser};
+    pub use vsan_eval::{evaluate_held_out, EvalConfig, Scorer};
+    pub use vsan_models::{NeuralConfig, Recommender};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_exports_compile() {
+        use crate::prelude::*;
+        let cfg = VsanConfig::smoke();
+        assert_eq!(cfg.variant_name(), "VSAN");
+        let _pipeline = Pipeline::default();
+        let _eval = EvalConfig::default();
+    }
+}

@@ -1,0 +1,115 @@
+//! Cross-crate integration tests: simulator → preprocessing → split →
+//! training → evaluation, exercising the whole workspace the way the
+//! experiment binaries do.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vsan_repro::prelude::*;
+use vsan_repro::models::{Pop, SasRec};
+
+/// One shared small-but-real environment for the expensive tests.
+fn environment() -> (Dataset, Split) {
+    let mut sim = synthetic::beauty(0.02);
+    sim.markov_strength = 0.6;
+    let mut rng = StdRng::seed_from_u64(99);
+    let raw = synthetic::generate(&sim, &mut rng);
+    let ds = Pipeline::default().run(&raw);
+    let split = Split::strong_generalization(&ds, 30, 5, &mut rng);
+    (ds, split)
+}
+
+#[test]
+fn pipeline_produces_valid_dataset_and_split() {
+    let (ds, split) = environment();
+    ds.check_invariants().unwrap();
+    assert!(ds.num_users() > 50);
+    assert!(ds.num_items > 20);
+    // Partition property.
+    let total = split.train_users.len() + split.val_users.len() + split.test_users.len();
+    assert_eq!(total, ds.num_users());
+    // Held-out users are genuinely excluded from training.
+    for u in split.test_users.iter().chain(&split.val_users) {
+        assert!(!split.train_users.contains(u));
+    }
+}
+
+#[test]
+fn fold_in_views_respect_chronology_and_visibility() {
+    let (ds, split) = environment();
+    let views = Split::held_out_views(&ds, &split.test_users, 0.8);
+    for v in &views {
+        // Fold-in ++ targets reconstructs the original sequence.
+        let rebuilt: Vec<u32> = v.fold_in.iter().chain(&v.targets).copied().collect();
+        assert_eq!(rebuilt, ds.sequences[v.user]);
+        assert!(!v.fold_in.is_empty());
+        assert!(!v.targets.is_empty());
+        // Roughly an 80/20 cut.
+        let frac = v.fold_in.len() as f64 / rebuilt.len() as f64;
+        assert!((0.5..1.0).contains(&frac), "fold-in fraction {frac}");
+    }
+}
+
+#[test]
+fn vsan_beats_popularity_on_sequential_data() {
+    // The central qualitative claim at smallest scale: on data with strong
+    // sequential structure, the sequential model must beat POP, which
+    // ignores order entirely.
+    let (ds, split) = environment();
+    let views = Split::held_out_views(&ds, &split.test_users, 0.8);
+    let cfg_eval = EvalConfig::default();
+
+    let pop = Pop::train(&ds, &split.train_users);
+    let pop_report = evaluate_held_out(&pop, &views, &cfg_eval);
+
+    let mut cfg = VsanConfig::repro("beauty");
+    cfg.base = cfg.base.with_epochs(10);
+    let vsan = Vsan::train(&ds, &split.train_users, &cfg).unwrap();
+    let vsan_report = evaluate_held_out(&vsan, &views, &cfg_eval);
+
+    let pop_recall = pop_report.get("Recall", 20).unwrap();
+    let vsan_recall = vsan_report.get("Recall", 20).unwrap();
+    assert!(
+        vsan_recall > pop_recall,
+        "VSAN Recall@20 {vsan_recall:.4} must beat POP {pop_recall:.4}"
+    );
+}
+
+#[test]
+fn vsan_and_sasrec_are_comparable_scorers() {
+    // Both attention models must produce full-vocab, finite, non-constant
+    // score vectors for arbitrary held-out histories.
+    let (ds, split) = environment();
+    let mut ncfg = NeuralConfig::repro("beauty").with_epochs(2);
+    ncfg.dim = 16;
+    let sasrec = SasRec::train(&ds, &split.train_users, &ncfg).unwrap();
+    let mut vcfg = VsanConfig::repro("beauty");
+    vcfg.base = ncfg.clone();
+    let vsan = Vsan::train(&ds, &split.train_users, &vcfg).unwrap();
+
+    let views = Split::held_out_views(&ds, &split.test_users, 0.8);
+    for v in views.iter().take(5) {
+        for scores in [sasrec.score_items(&v.fold_in), vsan.score_items(&v.fold_in)] {
+            assert_eq!(scores.len(), ds.vocab());
+            assert!(scores.iter().all(|s| s.is_finite()));
+            let min = scores.iter().cloned().fold(f32::MAX, f32::min);
+            let max = scores.iter().cloned().fold(f32::MIN, f32::max);
+            assert!(max > min, "degenerate constant scores");
+        }
+    }
+}
+
+#[test]
+fn metrics_report_is_self_consistent() {
+    let (ds, split) = environment();
+    let pop = Pop::train(&ds, &split.train_users);
+    let views = Split::held_out_views(&ds, &split.test_users, 0.8);
+    let report = evaluate_held_out(&pop, &views, &EvalConfig::default());
+    // Recall@20 ≥ Recall@10 (monotone in the cutoff), same for NDCG-ish.
+    assert!(report.get("Recall", 20).unwrap() >= report.get("Recall", 10).unwrap());
+    assert!(report.get("HR", 20).unwrap() >= report.get("HR", 10).unwrap());
+    // All metrics in [0, 1].
+    for (_, _, v) in report.iter() {
+        assert!((0.0..=1.0).contains(&v));
+    }
+    assert_eq!(report.users(), views.len());
+}

@@ -1,0 +1,116 @@
+//! Reproducibility and robustness integration tests: seeds, checkpoints,
+//! and degenerate inputs across the full stack.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vsan_repro::prelude::*;
+use vsan_repro::models::Pop;
+
+fn small_ds(seed: u64) -> Dataset {
+    let sim = synthetic::beauty(0.015);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let raw = synthetic::generate(&sim, &mut rng);
+    Pipeline::default().run(&raw)
+}
+
+#[test]
+fn same_seed_same_model_same_metrics() {
+    let ds = small_ds(1);
+    let mut rng = StdRng::seed_from_u64(5);
+    let split = Split::strong_generalization(&ds, 15, 5, &mut rng);
+    let views = Split::held_out_views(&ds, &split.test_users, 0.8);
+
+    let train = |seed: u64| {
+        let mut cfg = VsanConfig::repro("beauty").with_seed(seed);
+        cfg.base = cfg.base.with_epochs(3);
+        cfg.base.dim = 16;
+        let m = Vsan::train(&ds, &split.train_users, &cfg).unwrap();
+        evaluate_held_out(&m, &views, &EvalConfig::default())
+    };
+    let a = train(123);
+    let b = train(123);
+    assert_eq!(a, b, "identical seeds must give identical metrics");
+    let c = train(456);
+    assert_ne!(a, c, "different seeds should differ (else nothing is random)");
+}
+
+#[test]
+fn different_simulator_seeds_give_different_data_same_statistics() {
+    let a = small_ds(10);
+    let b = small_ds(20);
+    assert_ne!(a.sequences, b.sequences);
+    // Same generator → comparable magnitudes.
+    let sa = vsan_repro::data::stats::DatasetStats::compute(&a);
+    let sb = vsan_repro::data::stats::DatasetStats::compute(&b);
+    let ratio = sa.interactions as f64 / sb.interactions.max(1) as f64;
+    assert!((0.5..2.0).contains(&ratio), "interaction counts differ wildly: {ratio}");
+}
+
+#[test]
+fn checkpoint_survives_disk_round_trip() {
+    let ds = small_ds(3);
+    let mut rng = StdRng::seed_from_u64(3);
+    let split = Split::strong_generalization(&ds, 10, 5, &mut rng);
+    let mut cfg = VsanConfig::repro("beauty");
+    cfg.base = cfg.base.with_epochs(2);
+    cfg.base.dim = 16;
+    let model = Vsan::train(&ds, &split.train_users, &cfg).unwrap();
+
+    let path = std::env::temp_dir().join(format!("vsan_it_{}.bin", std::process::id()));
+    std::fs::write(&path, model.params().save()).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    let mut restored = Vsan::init(ds.vocab(), &cfg);
+    restored.params_mut().load_values(bytes::Bytes::from(bytes)).unwrap();
+    let probe: Vec<u32> = ds.sequences[split.test_users[0]].clone();
+    assert_eq!(model.score_items(&probe), restored.score_items(&probe));
+}
+
+#[test]
+fn models_tolerate_degenerate_fold_ins() {
+    let ds = small_ds(4);
+    let mut rng = StdRng::seed_from_u64(4);
+    let split = Split::strong_generalization(&ds, 10, 5, &mut rng);
+    let mut cfg = VsanConfig::repro("beauty");
+    cfg.base = cfg.base.with_epochs(1);
+    cfg.base.dim = 16;
+    let vsan = Vsan::train(&ds, &split.train_users, &cfg).unwrap();
+    let pop = Pop::train(&ds, &split.train_users);
+
+    let max_item = ds.num_items as u32;
+    let cases: Vec<Vec<u32>> = vec![
+        vec![],                                   // empty history
+        vec![1],                                  // single item
+        vec![max_item],                           // boundary item id
+        (1..=max_item.min(500)).collect(),        // very long history
+        vec![1; 100],                             // pathological repetition
+    ];
+    for fold_in in &cases {
+        for scores in [vsan.score_items(fold_in), pop.score_items(fold_in)] {
+            assert_eq!(scores.len(), ds.vocab());
+            assert!(
+                scores.iter().all(|s| s.is_finite()),
+                "non-finite score for fold-in of len {}",
+                fold_in.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn posterior_uncertainty_is_exposed_end_to_end() {
+    let ds = small_ds(6);
+    let mut rng = StdRng::seed_from_u64(6);
+    let split = Split::strong_generalization(&ds, 10, 5, &mut rng);
+    let mut cfg = VsanConfig::repro("beauty");
+    cfg.base = cfg.base.with_epochs(2);
+    cfg.base.dim = 16;
+    let model = Vsan::train(&ds, &split.train_users, &cfg).unwrap();
+    let views = Split::held_out_views(&ds, &split.test_users, 0.8);
+    for v in views.iter().take(3) {
+        let stats = model.posterior(&v.fold_in).unwrap();
+        assert!(stats.sigma.iter().all(|&s| s > 0.0 && s.is_finite()));
+        assert!(stats.mu.iter().all(|m| m.is_finite()));
+    }
+}
