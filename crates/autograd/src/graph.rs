@@ -322,13 +322,13 @@ impl Graph {
         }
         let mut out = Tensor::zeros(&[c]);
         let mut argmax = vec![0usize; c];
-        for j in 0..c {
+        for (j, am) in argmax.iter_mut().enumerate() {
             let mut best = f32::NEG_INFINITY;
             for i in 0..r {
                 let v = self.value(x).get2(i, j);
                 if v > best {
                     best = v;
-                    argmax[j] = i;
+                    *am = i;
                 }
             }
             out.data_mut()[j] = best;
@@ -445,8 +445,8 @@ impl Graph {
         let active = row_mask.iter().filter(|&&m| m).count();
         let norm = active.max(1) as f32;
         let mut loss = 0.0f64;
-        for i in 0..r {
-            if !row_mask[i] {
+        for (i, &keep) in row_mask.iter().enumerate() {
+            if !keep {
                 continue;
             }
             let mu_row = &self.value(mu).data()[i * c..(i + 1) * c];
@@ -521,7 +521,7 @@ impl Graph {
     }
 
     #[allow(clippy::too_many_lines)]
-    fn backprop_node(&self, i: usize, g: &Tensor, grads: &mut Vec<Option<Tensor>>) -> Result<()> {
+    fn backprop_node(&self, i: usize, g: &Tensor, grads: &mut [Option<Tensor>]) -> Result<()> {
         let node = &self.nodes[i];
         match &node.op {
             Op::Leaf { .. } => {}
@@ -778,8 +778,8 @@ impl Graph {
                 let (r, c) = self.nodes[*mu].value.shape().as_2d()?;
                 if self.nodes[*mu].needs_grad {
                     let mut dmu = Tensor::zeros(&[r, c]);
-                    for row in 0..r {
-                        if !row_mask[row] {
+                    for (row, &keep) in row_mask.iter().enumerate().take(r) {
+                        if !keep {
                             continue;
                         }
                         let mu_row = &self.nodes[*mu].value.data()[row * c..(row + 1) * c];
@@ -792,8 +792,8 @@ impl Graph {
                 }
                 if self.nodes[*logvar].needs_grad {
                     let mut dlv = Tensor::zeros(&[r, c]);
-                    for row in 0..r {
-                        if !row_mask[row] {
+                    for (row, &keep) in row_mask.iter().enumerate().take(r) {
+                        if !keep {
                             continue;
                         }
                         let lv_row = &self.nodes[*logvar].value.data()[row * c..(row + 1) * c];

@@ -75,18 +75,18 @@ fn grad_matmul_a_bt() {
 #[test]
 fn grad_activations() {
     let a = randt(10, &[2, 6]);
-    check_default(&[a.clone()], |g, v| {
+    check_default(std::slice::from_ref(&a), |g, v| {
         let y = g.relu(v[0]);
         g.sum_all(y)
     })
     .unwrap();
-    check_default(&[a.clone()], |g, v| {
+    check_default(std::slice::from_ref(&a), |g, v| {
         let y = g.sigmoid(v[0]);
         let y = g.mul(y, y).unwrap();
         g.sum_all(y)
     })
     .unwrap();
-    check_default(&[a.clone()], |g, v| {
+    check_default(std::slice::from_ref(&a), |g, v| {
         let y = g.tanh(v[0]);
         g.sum_all(y)
     })

@@ -118,7 +118,7 @@ fn main() {
             });
             (m.train_losses.clone(), timed("eval", || bench.evaluate(&m)))
         }
-        "vsan" | _ => {
+        _ => {
             let mut vcfg = args.scale.vsan_config(dataset).with_seed(args.seeds[0]);
             vcfg.base = ncfg.clone();
             if let Some(k) = k {

@@ -1,0 +1,58 @@
+//! Online-serving throughput benchmark (`results/BENCH_serve.json`).
+//!
+//! Times a repeat-traffic request stream through the `vsan-serve`
+//! engine against a sequential uncached `Vsan::recommend` loop on the
+//! same model and workload, then writes the JSON report. Accepts
+//! `--requests N` and `--unique N` to scale the stream.
+
+use vsan_bench::serve_bench::{run_serve_bench, ServeBenchConfig};
+
+fn main() {
+    let mut cfg = ServeBenchConfig::default();
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--requests" if i + 1 < args.len() => {
+                cfg.requests = args[i + 1].parse().unwrap_or(cfg.requests);
+                i += 2;
+            }
+            "--unique" if i + 1 < args.len() => {
+                cfg.unique_histories = args[i + 1].parse().unwrap_or(cfg.unique_histories);
+                i += 2;
+            }
+            other => {
+                eprintln!("ignoring unknown argument {other:?}");
+                i += 1;
+            }
+        }
+    }
+
+    eprintln!(
+        "serve_bench: {} requests over {} unique histories (k={}, burst={}, max_batch={})",
+        cfg.requests, cfg.unique_histories, cfg.k, cfg.burst, cfg.max_batch
+    );
+    let report = run_serve_bench(cfg);
+    println!(
+        "sequential: {:>8.1} req/s  ({:.3}s)\n\
+         engine:     {:>8.1} req/s  ({:.3}s)\n\
+         speedup:    {:>8.2}x   cache {}/{} hit/miss, mean batch {:.1}, match={}",
+        report.sequential_rps,
+        report.sequential_seconds,
+        report.engine_rps,
+        report.engine_seconds,
+        report.speedup,
+        report.cache_hits,
+        report.cache_misses,
+        report.mean_batch_size,
+        report.results_match,
+    );
+    assert!(report.results_match, "engine rankings diverged from Vsan::recommend");
+    match report.write_json("BENCH_serve.json") {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("failed to write report: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -15,8 +15,8 @@ fn main() {
         println!("\n--- dataset: {name} ---");
         println!("{:>8} {:>8} {:>8} {:>8} {:>8}", "", "h1=0", "h1=1", "h1=2", "h1=3");
         let mut grid = vec![vec![0.0f64; 4]; 4];
-        for h2 in 0..4usize {
-            for h1 in 0..4usize {
+        for (h2, grid_row) in grid.iter_mut().enumerate() {
+            for (h1, cell) in grid_row.iter_mut().enumerate() {
                 let mut agg = RunAggregate::new();
                 for &seed in &args.seeds {
                     let bench = Bench::prepare(name, args.scale, seed);
@@ -26,15 +26,15 @@ fn main() {
                     let model = timed(&format!("h1={h1} h2={h2}"), || bench.train_vsan(&cfg));
                     agg.add(&bench.evaluate(&model));
                 }
-                grid[h2][h1] = agg.mean_pct("Recall", 20).unwrap_or(f64::NAN);
+                *cell = agg.mean_pct("Recall", 20).unwrap_or(f64::NAN);
             }
             println!(
                 "{:>8} {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
                 format!("h2={h2}"),
-                grid[h2][0],
-                grid[h2][1],
-                grid[h2][2],
-                grid[h2][3]
+                grid_row[0],
+                grid_row[1],
+                grid_row[2],
+                grid_row[3]
             );
         }
         // Locate the argmax cell, mirroring the paper's discussion.

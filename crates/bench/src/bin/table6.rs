@@ -16,8 +16,9 @@ fn main() {
         "{:<12} {:<16} {:>8} {:>8} {:>8} {:>8}",
         "Dataset", "Method", "NDCG@10", "Rec@10", "NDCG@20", "Rec@20"
     );
+    type Variant<'a> = (&'a str, Box<dyn Fn(VsanConfig) -> VsanConfig>);
     for name in args.datasets.names() {
-        let variants: Vec<(&str, Box<dyn Fn(VsanConfig) -> VsanConfig>)> = vec![
+        let variants: Vec<Variant> = vec![
             ("VSAN-all-feed", Box::new(VsanConfig::all_feed)),
             ("VSAN-infer-feed", Box::new(VsanConfig::infer_feed)),
             ("VSAN-gene-feed", Box::new(VsanConfig::gene_feed)),

@@ -14,11 +14,14 @@
 //! | `fig4` | Fig. 4 — embedding-dimension sweep, VSAN vs SASRec |
 //! | `fig5` | Fig. 5 — dropout sweep |
 //! | `fig6` | Fig. 6 — fixed β sweep vs KL annealing |
+//! | `serve_bench` | not in the paper: `vsan-serve` engine throughput vs a sequential loop |
 //!
 //! Every binary accepts `--scale smoke|repro|paper` (default `repro`),
 //! `--seeds N` (default 1 for grids, 3 for Table III), and `--dataset
 //! beauty|ml1m|both`. Criterion micro-benches for the §IV-F complexity
 //! claims live in `benches/`.
+
+pub mod serve_bench;
 
 use std::time::Instant;
 

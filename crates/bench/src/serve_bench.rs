@@ -1,0 +1,278 @@
+//! Online-serving throughput benchmark: the `vsan-serve` engine
+//! (micro-batching + sequence cache) against a sequential
+//! one-request-at-a-time `Vsan::recommend` loop on the same workload.
+//!
+//! The workload models repeat traffic: `requests` lookups drawn from
+//! `unique_histories` distinct user histories, shuffled, submitted in
+//! bursts (an online service sees overlapping in-flight requests, not a
+//! closed loop). Repeat lookups hit the engine's sequence cache and
+//! unique ones share batched forwards, which is where the speedup
+//! comes from; the sequential baseline pays a full batch-of-one
+//! forward per request.
+//!
+//! Both sides produce rankings on the identical model, and the report
+//! records whether they matched element-for-element — a speedup from a
+//! wrong answer would be meaningless.
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use vsan_core::{Vsan, VsanConfig};
+use vsan_data::Dataset;
+use vsan_serve::{Engine, EngineConfig};
+
+/// Workload and engine knobs for [`run_serve_bench`].
+#[derive(Debug, Clone)]
+pub struct ServeBenchConfig {
+    /// Catalogue size of the synthetic training set.
+    pub num_items: usize,
+    /// Users in the synthetic training set.
+    pub num_users: usize,
+    /// Interactions per training user.
+    pub seq_len: usize,
+    /// Model width `d` (a toy-sized model makes a single forward so
+    /// cheap that batching has nothing to amortize; the default is a
+    /// realistically sized serving model).
+    pub dim: usize,
+    /// Model attention window `n`.
+    pub max_seq_len: usize,
+    /// Training epochs (the bench measures inference; 1–2 is plenty).
+    pub epochs: usize,
+    /// Total lookups in the request stream.
+    pub requests: usize,
+    /// Distinct histories the stream draws from (repeat factor =
+    /// `requests / unique_histories`).
+    pub unique_histories: usize,
+    /// Top-k size per request.
+    pub k: usize,
+    /// Requests submitted before the client waits for replies.
+    pub burst: usize,
+    /// Engine `max_batch`.
+    pub max_batch: usize,
+    /// Engine `batch_deadline`.
+    pub batch_deadline: Duration,
+    /// RNG seed for the dataset and the stream shuffle.
+    pub seed: u64,
+}
+
+impl Default for ServeBenchConfig {
+    fn default() -> Self {
+        ServeBenchConfig {
+            num_items: 1000,
+            num_users: 48,
+            seq_len: 60,
+            dim: 96,
+            max_seq_len: 48,
+            epochs: 2,
+            requests: 320,
+            unique_histories: 40,
+            k: 10,
+            burst: 32,
+            max_batch: 32,
+            batch_deadline: Duration::from_micros(200),
+            seed: 42,
+        }
+    }
+}
+
+impl ServeBenchConfig {
+    /// Sub-second configuration for the test suite.
+    pub fn smoke() -> Self {
+        ServeBenchConfig {
+            num_items: 30,
+            num_users: 16,
+            seq_len: 12,
+            dim: 16,
+            max_seq_len: 8,
+            epochs: 1,
+            requests: 120,
+            unique_histories: 24,
+            k: 5,
+            ..Self::default()
+        }
+    }
+}
+
+/// Measured results of one benchmark run.
+#[derive(Debug, Clone)]
+pub struct ServeBenchReport {
+    /// Configuration the run used.
+    pub config: ServeBenchConfig,
+    /// Wall-clock seconds for the sequential `Vsan::recommend` loop.
+    pub sequential_seconds: f64,
+    /// Wall-clock seconds for the engine serving the same stream.
+    pub engine_seconds: f64,
+    /// `sequential_seconds / engine_seconds`.
+    pub speedup: f64,
+    /// Sequential throughput, requests per second.
+    pub sequential_rps: f64,
+    /// Engine throughput, requests per second.
+    pub engine_rps: f64,
+    /// Engine cache hits over the stream.
+    pub cache_hits: u64,
+    /// Engine cache misses over the stream.
+    pub cache_misses: u64,
+    /// Mean requests per dispatched batch.
+    pub mean_batch_size: f64,
+    /// Mean request latency through the engine, microseconds.
+    pub mean_latency_us: f64,
+    /// Whether every engine ranking equalled the sequential ranking.
+    pub results_match: bool,
+}
+
+/// Train a small VSAN, then time the same shuffled repeat-traffic
+/// stream through (a) a sequential uncached `recommend` loop and
+/// (b) the serving engine, and compare.
+pub fn run_serve_bench(cfg: ServeBenchConfig) -> ServeBenchReport {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    // Synthetic training set: random walks over the catalogue.
+    let sequences: Vec<Vec<u32>> = (0..cfg.num_users)
+        .map(|_| {
+            (0..cfg.seq_len).map(|_| rng.gen_range(1..=cfg.num_items as u32)).collect()
+        })
+        .collect();
+    let ds = Dataset { name: "serve-bench".into(), num_items: cfg.num_items, sequences };
+    let train_users: Vec<usize> = (0..cfg.num_users).collect();
+    let mut model_cfg = VsanConfig::smoke();
+    model_cfg.base.dim = cfg.dim;
+    model_cfg.base.max_seq_len = cfg.max_seq_len;
+    model_cfg.base.epochs = cfg.epochs;
+    let model = Vsan::train(&ds, &train_users, &model_cfg).expect("bench training");
+
+    // Distinct query histories (2..=seq_len items), then a shuffled
+    // stream with `requests / unique_histories` lookups of each.
+    let histories: Vec<Vec<u32>> = (0..cfg.unique_histories)
+        .map(|_| {
+            let len = rng.gen_range(2..=cfg.seq_len);
+            (0..len).map(|_| rng.gen_range(1..=cfg.num_items as u32)).collect()
+        })
+        .collect();
+    let mut stream: Vec<usize> = (0..cfg.requests).map(|i| i % cfg.unique_histories).collect();
+    stream.shuffle(&mut rng);
+
+    // Warm the code paths once so neither side pays first-touch costs.
+    let _ = model.recommend(&histories[0], cfg.k);
+
+    // (a) Sequential baseline: one uncached batch-of-one forward per
+    // request — what an embedder without vsan-serve would write.
+    let t0 = Instant::now();
+    let sequential: Vec<Vec<u32>> =
+        stream.iter().map(|&i| model.recommend(&histories[i], cfg.k)).collect();
+    let sequential_seconds = t0.elapsed().as_secs_f64();
+
+    // (b) The engine, bursty submission.
+    let engine = Engine::start(
+        model,
+        EngineConfig::default()
+            .with_max_batch(cfg.max_batch)
+            .with_batch_deadline(cfg.batch_deadline)
+            .with_workers(1)
+            .with_cache_capacity(cfg.unique_histories * 2),
+    );
+    let t1 = Instant::now();
+    let mut served: Vec<Vec<u32>> = Vec::with_capacity(stream.len());
+    for burst in stream.chunks(cfg.burst.max(1)) {
+        let tickets: Vec<_> =
+            burst.iter().map(|&i| engine.submit(&histories[i], cfg.k)).collect();
+        for ticket in tickets {
+            served.push(ticket.wait().expect("engine reply"));
+        }
+    }
+    let engine_seconds = t1.elapsed().as_secs_f64();
+    let metrics = engine.shutdown();
+
+    let results_match = served == sequential;
+    ServeBenchReport {
+        speedup: sequential_seconds / engine_seconds.max(1e-12),
+        sequential_rps: cfg.requests as f64 / sequential_seconds.max(1e-12),
+        engine_rps: cfg.requests as f64 / engine_seconds.max(1e-12),
+        sequential_seconds,
+        engine_seconds,
+        cache_hits: metrics.cache_hits,
+        cache_misses: metrics.cache_misses,
+        mean_batch_size: metrics.mean_batch_size(),
+        mean_latency_us: metrics.mean_latency_us(),
+        results_match,
+        config: cfg,
+    }
+}
+
+impl ServeBenchReport {
+    /// Serialize as a JSON object (hand-rolled: the workspace has no
+    /// JSON dependency and the schema is flat).
+    pub fn to_json(&self) -> String {
+        let c = &self.config;
+        format!(
+            "{{\n  \"benchmark\": \"vsan-serve engine vs sequential recommend loop\",\n  \
+               \"requests\": {},\n  \"unique_histories\": {},\n  \"k\": {},\n  \
+               \"burst\": {},\n  \"max_batch\": {},\n  \"batch_deadline_us\": {},\n  \
+               \"num_items\": {},\n  \"seed\": {},\n  \
+               \"sequential_seconds\": {:.6},\n  \"engine_seconds\": {:.6},\n  \
+               \"speedup\": {:.3},\n  \
+               \"sequential_rps\": {:.1},\n  \"engine_rps\": {:.1},\n  \
+               \"cache_hits\": {},\n  \"cache_misses\": {},\n  \
+               \"mean_batch_size\": {:.2},\n  \"mean_latency_us\": {:.1},\n  \
+               \"results_match\": {}\n}}\n",
+            c.requests,
+            c.unique_histories,
+            c.k,
+            c.burst,
+            c.max_batch,
+            c.batch_deadline.as_micros(),
+            c.num_items,
+            c.seed,
+            self.sequential_seconds,
+            self.engine_seconds,
+            self.speedup,
+            self.sequential_rps,
+            self.engine_rps,
+            self.cache_hits,
+            self.cache_misses,
+            self.mean_batch_size,
+            self.mean_latency_us,
+            self.results_match,
+        )
+    }
+
+    /// Write the JSON report into the workspace `results/` directory.
+    pub fn write_json(&self, file_name: &str) -> std::io::Result<PathBuf> {
+        let path = results_dir().join(file_name);
+        std::fs::create_dir_all(results_dir())?;
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
+/// The workspace-level `results/` directory (next to the root Cargo.toml).
+pub fn results_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Smoke invocation of the full benchmark (≈1–2 s): the engine must
+    /// return the sequential loop's exact rankings and beat it. The
+    /// committed `results/BENCH_serve.json` comes from the `serve_bench`
+    /// binary's default (larger) workload, which clears 3×; under a
+    /// test harness sharing one core we assert a conservative floor.
+    #[test]
+    fn smoke_run_writes_report_and_beats_sequential() {
+        let report = run_serve_bench(ServeBenchConfig::smoke());
+        assert!(report.results_match, "engine rankings must equal Vsan::recommend");
+        assert!(report.cache_hits > 0, "repeat traffic must hit the cache: {report:?}");
+        assert!(
+            report.speedup >= 1.2,
+            "batching + caching must beat the sequential loop: {report:?}"
+        );
+        let path = report.write_json("BENCH_serve_smoke.json").expect("write report");
+        let written = std::fs::read_to_string(path).unwrap();
+        assert!(written.contains("\"results_match\": true"));
+        assert!(written.contains("\"speedup\""));
+    }
+}

@@ -226,12 +226,50 @@ impl Vsan {
     /// Convenience: top-`n` recommendations for a history, excluding the
     /// already-seen items (the evaluation protocol's view, packaged for
     /// application code).
+    ///
+    /// Ranks with heap-based partial selection directly over the raw
+    /// prediction logits: Eq. 19's softmax is rank-monotonic, so skipping
+    /// it changes nothing about the ordering while avoiding a full-vocab
+    /// exp/normalize per request (verified against the softmax-and-sort
+    /// reference in the tests below).
     pub fn recommend(&self, history: &[u32], n: usize) -> Vec<u32> {
+        self.recommend_batch(&[history], n).pop().unwrap_or_default()
+    }
+
+    /// Batched [`Self::recommend`]: one evaluation forward for `b`
+    /// histories. Identical results to calling `recommend` per history
+    /// (same kernels over the same rows, batched along the row axis);
+    /// the batching amortizes graph construction and per-op dispatch and
+    /// is the compute path of the `vsan-serve` micro-batcher.
+    pub fn recommend_batch(&self, histories: &[&[u32]], n: usize) -> Vec<Vec<u32>> {
         use std::collections::HashSet;
-        use vsan_eval::Scorer;
-        let scores = self.score_items(history);
-        let seen: HashSet<u32> = history.iter().copied().collect();
-        vsan_eval::top_n_excluding(&scores, n, &seen)
+        self.score_items_batch(histories)
+            .into_iter()
+            .zip(histories)
+            .map(|(scores, history)| {
+                let seen: HashSet<u32> = history.iter().copied().collect();
+                vsan_eval::top_n_excluding(&scores, n, &seen)
+            })
+            .collect()
+    }
+
+    /// Batched [`vsan_eval::Scorer::score_items`]: last-position logits
+    /// for each history, one row per history. Falls back to all-zero rows
+    /// on an internal graph error, mirroring `score_items`.
+    pub fn score_items_batch(&self, fold_ins: &[&[u32]]) -> Vec<Vec<f32>> {
+        match self.forward_logits_batch(fold_ins) {
+            Ok(rows) => rows,
+            Err(_) => vec![vec![0.0; self.vocab]; fold_ins.len()],
+        }
+    }
+
+    /// The fold-in window the model actually reads: the last
+    /// `max_seq_len` items of a history. Histories equal on this window
+    /// produce identical scores — the key equivalence behind the
+    /// `vsan-serve` sequence cache.
+    pub fn fold_in_window<'h>(&self, history: &'h [u32]) -> &'h [u32] {
+        let n = self.cfg.base.max_seq_len;
+        &history[history.len().saturating_sub(n)..]
     }
 
     /// Decode a caller-supplied latent for the *last* position (earlier
@@ -275,18 +313,38 @@ impl Vsan {
     /// Full evaluation forward to last-position logits. At evaluation the
     /// latent is the posterior mean `z = μ` (§IV-E, following Liang et al.).
     fn forward_logits(&self, fold_in: &[u32]) -> AgResult<Vec<f32>> {
+        Ok(self.forward_logits_batch(&[fold_in])?.pop().unwrap_or_default())
+    }
+
+    /// Batched evaluation forward: `b` left-padded fold-in windows run as
+    /// one `(b·n, d)` pass through both attention stacks, predicting only
+    /// the `b` last positions. Evaluation mode throughout: dropout off,
+    /// latent `z = μ_λ` (no sampling), exactly as the single-request path.
+    ///
+    /// Every kernel in the stack (matmul, layer norm, masked softmax)
+    /// operates row-wise with a fixed per-row accumulation order, so each
+    /// history's logits are bit-identical to its `b = 1` forward — the
+    /// invariant the serving engine's determinism guarantee rests on
+    /// (asserted by `batched_forward_matches_sequential`).
+    fn forward_logits_batch(&self, fold_ins: &[&[u32]]) -> AgResult<Vec<Vec<f32>>> {
+        let b = fold_ins.len();
+        if b == 0 {
+            return Ok(Vec::new());
+        }
         let n = self.cfg.base.max_seq_len;
-        let input = pad_left(fold_in, n);
         let mut g = Graph::with_threads(self.cfg.base.threads);
         let mut rng = StdRng::seed_from_u64(0);
         let dropout = Dropout::new(0.0);
-        let idx: Vec<usize> = input.iter().map(|&i| i as usize).collect();
+        let mut idx: Vec<usize> = Vec::with_capacity(b * n);
+        for fold_in in fold_ins {
+            idx.extend(pad_left(fold_in, n).iter().map(|&i| i as usize));
+        }
         let table = self.store.var(&mut g, self.item_emb.table);
         let items = g.gather_rows(table, &idx)?;
-        let pos = self.pos_emb.lookup(&mut g, &self.store, &position_indices(1, n))?;
+        let pos = self.pos_emb.lookup(&mut g, &self.store, &position_indices(b, n))?;
         let mut h = g.add(items, pos)?;
         for block in &self.infer_blocks {
-            h = block.forward(&mut g, &self.store, h, 1, n, &dropout, &mut rng, false)?;
+            h = block.forward(&mut g, &self.store, h, b, n, &dropout, &mut rng, false)?;
         }
         let mut z = if self.cfg.use_latent {
             self.mu_head.forward(&mut g, &self.store, h)?
@@ -294,15 +352,17 @@ impl Vsan {
             h
         };
         for block in &self.gene_blocks {
-            z = block.forward(&mut g, &self.store, z, 1, n, &dropout, &mut rng, false)?;
+            z = block.forward(&mut g, &self.store, z, b, n, &dropout, &mut rng, false)?;
         }
-        let last = g.gather_rows(z, &[n - 1])?;
+        let last_rows: Vec<usize> = (0..b).map(|i| i * n + n - 1).collect();
+        let last = g.gather_rows(z, &last_rows)?;
         let logits = if self.cfg.tie_prediction {
             g.matmul_a_bt(last, table)?
         } else {
             self.prediction.forward(&mut g, &self.store, last)?
         };
-        Ok(g.value(logits).data().to_vec())
+        let flat = g.value(logits).data();
+        Ok(flat.chunks(self.vocab).map(<[f32]>::to_vec).collect())
     }
 }
 
@@ -447,6 +507,80 @@ mod tests {
         // Asking for more than the catalogue returns everything unseen.
         let all = model.recommend(&history, 100);
         assert_eq!(all.len(), 6 - 3);
+    }
+
+    #[test]
+    fn heap_top_k_matches_softmax_sort_reference() {
+        // `recommend` ranks by heap-based partial selection over raw
+        // logits. The reference path — full softmax over the vocabulary,
+        // then a complete sort — is what Eq. 19 literally writes; softmax
+        // is rank-monotonic, so the two must agree exactly.
+        let ds = chain_dataset(8, 20, 10);
+        let users: Vec<usize> = (0..20).collect();
+        let mut cfg = VsanConfig::smoke();
+        cfg.base = cfg.base.with_epochs(3);
+        let model = Vsan::train(&ds, &users, &cfg).unwrap();
+        for history in [vec![1u32, 2], vec![3, 4, 5], vec![7]] {
+            for k in [1, 3, 6] {
+                let fast = model.recommend(&history, k);
+
+                // Reference: softmax + full stable sort + exclusion.
+                let logits = model.score_items(&history);
+                let max = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+                let exps: Vec<f32> = logits.iter().map(|l| (l - max).exp()).collect();
+                let z: f32 = exps.iter().sum();
+                let probs: Vec<f32> = exps.iter().map(|e| e / z).collect();
+                let mut ids: Vec<u32> = (1..probs.len() as u32)
+                    .filter(|i| !history.contains(i))
+                    .collect();
+                ids.sort_by(|&a, &b| {
+                    probs[b as usize]
+                        .partial_cmp(&probs[a as usize])
+                        .unwrap()
+                        .then_with(|| a.cmp(&b))
+                });
+                ids.truncate(k);
+                assert_eq!(fast, ids, "history {history:?} k {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_forward_matches_sequential() {
+        let ds = chain_dataset(7, 24, 10);
+        let users: Vec<usize> = (0..24).collect();
+        let mut cfg = VsanConfig::smoke();
+        cfg.base = cfg.base.with_epochs(2);
+        let model = Vsan::train(&ds, &users, &cfg).unwrap();
+        let histories: Vec<Vec<u32>> =
+            vec![vec![1, 2, 3], vec![4], vec![5, 6, 7, 1, 2, 3, 4, 5, 6, 7], vec![2, 4]];
+        let refs: Vec<&[u32]> = histories.iter().map(Vec::as_slice).collect();
+
+        let batched = model.score_items_batch(&refs);
+        assert_eq!(batched.len(), histories.len());
+        for (h, row) in histories.iter().zip(&batched) {
+            assert_eq!(row, &model.score_items(h), "scores must be bit-identical");
+        }
+
+        let recs = model.recommend_batch(&refs, 3);
+        for (h, rec) in histories.iter().zip(&recs) {
+            assert_eq!(rec, &model.recommend(h, 3));
+        }
+        assert!(model.recommend_batch(&[], 3).is_empty());
+    }
+
+    #[test]
+    fn fold_in_window_is_the_model_view() {
+        let cfg = VsanConfig::smoke(); // max_seq_len = 8
+        let model = Vsan::init(10, &cfg);
+        let long: Vec<u32> = (1..=20).map(|i| (i % 9 + 1) as u32).collect();
+        let window = model.fold_in_window(&long);
+        assert_eq!(window.len(), 8);
+        assert_eq!(window, &long[12..]);
+        // Scores depend only on the window.
+        assert_eq!(model.score_items(&long), model.score_items(window));
+        let short = [3u32, 4];
+        assert_eq!(model.fold_in_window(&short), &short);
     }
 
     #[test]

@@ -1,9 +1,7 @@
 //! Raw interaction events and the processed per-user sequence dataset.
 
-use serde::{Deserialize, Serialize};
-
 /// One explicit-feedback event: a user rated an item at a time.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Interaction {
     /// External user id (arbitrary, re-indexed during preprocessing).
     pub user: u32,
@@ -49,7 +47,7 @@ impl RawDataset {
 /// * item ids are contiguous `1..=num_items` — **id 0 is the padding item**
 ///   and never appears in a sequence;
 /// * each sequence is in strictly chronological order.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Dataset {
     /// Dataset label carried through preprocessing.
     pub name: String,

@@ -68,7 +68,7 @@ impl Pipeline {
         let mut sequences = Vec::with_capacity(users.len());
         for u in users {
             let mut evs = by_user.remove(&u).expect("key from map");
-            evs.sort_by(|a, b| (a.timestamp, a.item).cmp(&(b.timestamp, b.item)));
+            evs.sort_by_key(|e| (e.timestamp, e.item));
             let seq: Vec<u32> = evs
                 .iter()
                 .map(|e| {

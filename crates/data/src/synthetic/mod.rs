@@ -84,9 +84,9 @@ impl Catalogue {
         let nc = cfg.num_categories.max(1);
         let mut category = vec![0usize; cfg.num_items];
         let mut chains: Vec<Vec<u32>> = vec![Vec::new(); nc];
-        for i in 0..cfg.num_items {
+        for (i, cat) in category.iter_mut().enumerate() {
             let c = i % nc; // balanced categories
-            category[i] = c;
+            *cat = c;
             chains[c].push(i as u32);
         }
         let mut chain_pos = vec![0usize; cfg.num_items];
@@ -108,8 +108,8 @@ impl Catalogue {
             }
             let mut cum = Vec::with_capacity(m);
             let mut acc = 0.0f64;
-            for pos in 0..m {
-                let w = 1.0 / ((ranks[pos] + 1) as f64).powf(cfg.zipf_exponent);
+            for &rank in &ranks {
+                let w = 1.0 / ((rank + 1) as f64).powf(cfg.zipf_exponent);
                 acc += w;
                 cum.push(acc);
             }

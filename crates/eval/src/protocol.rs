@@ -225,8 +225,8 @@ mod tests {
         impl Scorer for A {
             fn score_items(&self, _f: &[u32]) -> Vec<f32> {
                 let mut s = vec![0.0; 10];
-                for i in 2..=6 {
-                    s[i] = 10.0 - i as f32;
+                for (i, si) in s.iter_mut().enumerate().take(7).skip(2) {
+                    *si = 10.0 - i as f32;
                 }
                 s
             }

@@ -122,10 +122,10 @@ impl TransRec {
         // per-user vectors absorbed during training).
         if !train_users.is_empty() {
             let inv = 1.0 / train_users.len() as f32;
-            for k in 0..d {
+            for (k, tg) in t_global.iter_mut().enumerate().take(d) {
                 let mean_k: f32 =
                     (0..train_users.len()).map(|s| t_user.get2(s, k)).sum::<f32>() * inv;
-                t_global[k] += mean_k;
+                *tg += mean_k;
             }
         }
         TransRec { gamma, beta, t_global, dim: cfg.dim }
@@ -209,8 +209,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let model = TransRec::train(&ds, &users, &cfg, &mut rng);
         let scores = model.score_items(&[]);
-        for item in 1..=6usize {
-            assert!((scores[item] - model.beta[item]).abs() < 1e-6);
+        for (score, beta) in scores.iter().zip(&model.beta).take(7).skip(1) {
+            assert!((score - beta).abs() < 1e-6);
         }
     }
 

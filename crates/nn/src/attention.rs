@@ -66,7 +66,7 @@ impl SelfAttentionBlock {
         heads: usize,
         use_ffn: bool,
     ) -> Self {
-        assert!(heads >= 1 && dim % heads == 0, "heads ({heads}) must divide dim ({dim})");
+        assert!(heads >= 1 && dim.is_multiple_of(heads), "heads ({heads}) must divide dim ({dim})");
         let wq = Linear::new(store, rng, &format!("{prefix}.wq"), dim, dim, false);
         let wk = Linear::new(store, rng, &format!("{prefix}.wk"), dim, dim, false);
         let wv = Linear::new(store, rng, &format!("{prefix}.wv"), dim, dim, false);
@@ -99,6 +99,7 @@ impl SelfAttentionBlock {
     /// Forward a flattened batch `(batch·seq_len, dim)`; attention runs
     /// causally within each sample's `seq_len` window and never across
     /// samples.
+    #[allow(clippy::too_many_arguments)]
     pub fn forward<R: Rng + ?Sized>(
         &self,
         g: &mut Graph,

@@ -48,11 +48,7 @@ impl LrSchedule {
                 (s / w).min((w / s).sqrt())
             }
             LrSchedule::StepDecay { every, factor } => {
-                if every == 0 {
-                    1.0
-                } else {
-                    factor.powi((step / every) as i32)
-                }
+                step.checked_div(every).map_or(1.0, |q| factor.powi(q as i32))
             }
         }
     }

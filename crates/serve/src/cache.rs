@@ -1,0 +1,251 @@
+//! LRU cache from fold-in windows to logit rows.
+//!
+//! Keys are the model's *fold-in window* — the last `max_seq_len` items
+//! of a history — because that window is all the forward pass reads:
+//! two histories sharing a window produce bit-identical logits. Values
+//! are `Arc<Vec<f32>>` so a hit hands out the row without copying the
+//! vocabulary-sized buffer.
+//!
+//! O(1) get/insert/remove via a hash map into a slab of doubly linked
+//! nodes; the list head is the most recently used entry.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+const NIL: usize = usize::MAX;
+
+struct Node {
+    key: Vec<u32>,
+    value: Arc<Vec<f32>>,
+    prev: usize,
+    next: usize,
+}
+
+/// A fixed-capacity least-recently-used map from item-id windows to
+/// cached logits. Not internally synchronized — the engine wraps it in
+/// a `Mutex`.
+pub struct SequenceCache {
+    map: HashMap<Vec<u32>, usize>,
+    slab: Vec<Node>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    capacity: usize,
+}
+
+impl SequenceCache {
+    /// Create a cache holding at most `capacity` windows. A capacity of
+    /// `0` is valid and caches nothing.
+    pub fn new(capacity: usize) -> Self {
+        SequenceCache {
+            map: HashMap::with_capacity(capacity.min(4096)),
+            slab: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    /// Number of cached windows.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Maximum number of windows the cache holds.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Look up a window, marking it most recently used on a hit.
+    pub fn get(&mut self, key: &[u32]) -> Option<Arc<Vec<f32>>> {
+        let &idx = self.map.get(key)?;
+        self.detach(idx);
+        self.attach_front(idx);
+        Some(Arc::clone(&self.slab[idx].value))
+    }
+
+    /// Insert (or refresh) a window, evicting the least recently used
+    /// entry if the cache is full.
+    pub fn insert(&mut self, key: Vec<u32>, value: Arc<Vec<f32>>) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(&idx) = self.map.get(&key) {
+            self.slab[idx].value = value;
+            self.detach(idx);
+            self.attach_front(idx);
+            return;
+        }
+        if self.map.len() >= self.capacity {
+            let lru = self.tail;
+            debug_assert_ne!(lru, NIL);
+            self.detach(lru);
+            let key = std::mem::take(&mut self.slab[lru].key);
+            self.map.remove(&key);
+            self.free.push(lru);
+        }
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.slab[i] = Node { key: key.clone(), value, prev: NIL, next: NIL };
+                i
+            }
+            None => {
+                self.slab.push(Node { key: key.clone(), value, prev: NIL, next: NIL });
+                self.slab.len() - 1
+            }
+        };
+        self.map.insert(key, idx);
+        self.attach_front(idx);
+    }
+
+    /// Drop a window from the cache; returns `true` if it was present.
+    /// This is the invalidation hook: when a user records a new
+    /// interaction, their cached window is stale and must be evicted.
+    pub fn remove(&mut self, key: &[u32]) -> bool {
+        match self.map.remove(key) {
+            Some(idx) => {
+                self.detach(idx);
+                self.slab[idx].key = Vec::new();
+                self.slab[idx].value = Arc::new(Vec::new());
+                self.free.push(idx);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn detach(&mut self, idx: usize) {
+        let (prev, next) = (self.slab[idx].prev, self.slab[idx].next);
+        match prev {
+            NIL => {
+                if self.head == idx {
+                    self.head = next;
+                }
+            }
+            p => self.slab[p].next = next,
+        }
+        match next {
+            NIL => {
+                if self.tail == idx {
+                    self.tail = prev;
+                }
+            }
+            n => self.slab[n].prev = prev,
+        }
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = NIL;
+    }
+
+    fn attach_front(&mut self, idx: usize) {
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+}
+
+impl std::fmt::Debug for SequenceCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SequenceCache")
+            .field("len", &self.len())
+            .field("capacity", &self.capacity)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(v: f32) -> Arc<Vec<f32>> {
+        Arc::new(vec![v])
+    }
+
+    #[test]
+    fn hit_and_miss() {
+        let mut c = SequenceCache::new(4);
+        assert!(c.get(&[1, 2]).is_none());
+        c.insert(vec![1, 2], row(1.0));
+        assert_eq!(c.get(&[1, 2]).unwrap()[0], 1.0);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = SequenceCache::new(2);
+        c.insert(vec![1], row(1.0));
+        c.insert(vec![2], row(2.0));
+        c.get(&[1]); // touch: [1] is now MRU, [2] is LRU
+        c.insert(vec![3], row(3.0));
+        assert!(c.get(&[2]).is_none(), "LRU entry must be evicted");
+        assert!(c.get(&[1]).is_some());
+        assert!(c.get(&[3]).is_some());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn insert_refreshes_existing_key() {
+        let mut c = SequenceCache::new(2);
+        c.insert(vec![1], row(1.0));
+        c.insert(vec![2], row(2.0));
+        c.insert(vec![1], row(10.0)); // refresh value and recency
+        c.insert(vec![3], row(3.0)); // evicts [2], not [1]
+        assert_eq!(c.get(&[1]).unwrap()[0], 10.0);
+        assert!(c.get(&[2]).is_none());
+    }
+
+    #[test]
+    fn remove_invalidates() {
+        let mut c = SequenceCache::new(2);
+        c.insert(vec![1], row(1.0));
+        assert!(c.remove(&[1]));
+        assert!(!c.remove(&[1]));
+        assert!(c.get(&[1]).is_none());
+        // Freed slot is reused without breaking the list.
+        c.insert(vec![2], row(2.0));
+        c.insert(vec![3], row(3.0));
+        c.insert(vec![4], row(4.0));
+        assert_eq!(c.len(), 2);
+        assert!(c.get(&[3]).is_some());
+        assert!(c.get(&[4]).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let mut c = SequenceCache::new(0);
+        c.insert(vec![1], row(1.0));
+        assert!(c.get(&[1]).is_none());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn empty_window_is_a_valid_key() {
+        let mut c = SequenceCache::new(2);
+        c.insert(Vec::new(), row(0.5));
+        assert_eq!(c.get(&[]).unwrap()[0], 0.5);
+    }
+
+    #[test]
+    fn churn_keeps_map_and_list_consistent() {
+        let mut c = SequenceCache::new(8);
+        for round in 0u32..100 {
+            c.insert(vec![round % 13], row(round as f32));
+            if round % 3 == 0 {
+                c.remove(&[round % 7]);
+            }
+            c.get(&[round % 5]);
+            assert!(c.len() <= 8);
+        }
+    }
+}

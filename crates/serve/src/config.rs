@@ -1,0 +1,86 @@
+//! Engine tuning knobs.
+
+use std::time::Duration;
+
+/// Configuration for [`crate::Engine`].
+///
+/// The two batching knobs trade latency for throughput: a batch is
+/// dispatched as soon as it holds `max_batch` requests (throughput
+/// bound) or `batch_deadline` after its first request arrived (latency
+/// bound). Under load batches fill before the deadline; a lone request
+/// waits at most one deadline.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Dispatch a batch once it holds this many requests.
+    pub max_batch: usize,
+    /// Dispatch a partially filled batch this long after its first
+    /// request arrived.
+    pub batch_deadline: Duration,
+    /// Worker threads running the batched forward.
+    pub workers: usize,
+    /// LRU capacity in distinct fold-in windows; `0` disables caching.
+    pub cache_capacity: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            max_batch: 32,
+            batch_deadline: Duration::from_millis(2),
+            workers: std::thread::available_parallelism().map_or(1, |n| n.get().min(4)),
+            cache_capacity: 1024,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Builder: set [`Self::max_batch`] (clamped to at least 1).
+    pub fn with_max_batch(mut self, n: usize) -> Self {
+        self.max_batch = n.max(1);
+        self
+    }
+
+    /// Builder: set [`Self::batch_deadline`].
+    pub fn with_batch_deadline(mut self, d: Duration) -> Self {
+        self.batch_deadline = d;
+        self
+    }
+
+    /// Builder: set [`Self::workers`] (clamped to at least 1).
+    pub fn with_workers(mut self, n: usize) -> Self {
+        self.workers = n.max(1);
+        self
+    }
+
+    /// Builder: set [`Self::cache_capacity`] (`0` disables the cache).
+    pub fn with_cache_capacity(mut self, n: usize) -> Self {
+        self.cache_capacity = n;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let cfg = EngineConfig::default();
+        assert!(cfg.max_batch >= 1);
+        assert!(cfg.workers >= 1);
+        assert!(cfg.batch_deadline > Duration::ZERO);
+    }
+
+    #[test]
+    fn builders_clamp() {
+        let cfg = EngineConfig::default()
+            .with_max_batch(0)
+            .with_workers(0)
+            .with_batch_deadline(Duration::from_micros(500))
+            .with_cache_capacity(0);
+        assert_eq!(cfg.max_batch, 1);
+        assert_eq!(cfg.workers, 1);
+        assert_eq!(cfg.batch_deadline, Duration::from_micros(500));
+        assert_eq!(cfg.cache_capacity, 0);
+    }
+}

@@ -1,0 +1,367 @@
+//! The engine: request queue → micro-batcher → worker pool, with a
+//! cache short-circuit on the submit path.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use vsan_core::Vsan;
+
+use crate::cache::SequenceCache;
+use crate::config::EngineConfig;
+use crate::metrics::{Metrics, MetricsSnapshot};
+
+/// Failure modes of the serving path. The forward pass itself cannot
+/// fail (scoring falls back to zeros on internal graph errors, exactly
+/// like [`vsan_eval::Scorer::score_items`]), so these are lifecycle
+/// errors only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeError {
+    /// The engine is shutting down and no longer accepts requests.
+    ShuttingDown,
+    /// The worker serving this request disappeared before replying
+    /// (only possible if a worker thread panicked).
+    WorkerLost,
+    /// The ticket's response was already taken by an earlier `poll`.
+    ResponseTaken,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::ShuttingDown => write!(f, "engine is shutting down"),
+            ServeError::WorkerLost => write!(f, "worker exited before replying"),
+            ServeError::ResponseTaken => write!(f, "response already taken"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+type Reply = Result<Vec<u32>, ServeError>;
+
+/// One queued recommendation request.
+struct Request {
+    history: Vec<u32>,
+    k: usize,
+    enqueued: Instant,
+    reply: Sender<Reply>,
+}
+
+/// Handle to an in-flight (or already answered) request.
+///
+/// Obtained from [`Engine::submit`]; redeem it with [`Ticket::wait`]
+/// (blocking) or [`Ticket::poll`] (non-blocking).
+pub struct Ticket(TicketState);
+
+enum TicketState {
+    /// Answered at submit time (cache hit or shutdown rejection);
+    /// `None` once the response has been taken.
+    Ready(Option<Reply>),
+    Pending(Receiver<Reply>),
+}
+
+impl Ticket {
+    fn ready(reply: Reply) -> Self {
+        Ticket(TicketState::Ready(Some(reply)))
+    }
+
+    /// Block until the response arrives.
+    pub fn wait(self) -> Reply {
+        match self.0 {
+            TicketState::Ready(Some(reply)) => reply,
+            TicketState::Ready(None) => Err(ServeError::ResponseTaken),
+            TicketState::Pending(rx) => rx.recv().unwrap_or(Err(ServeError::WorkerLost)),
+        }
+    }
+
+    /// Non-blocking check: `Some(response)` exactly once when it is
+    /// available, `None` while the request is still in flight.
+    pub fn poll(&mut self) -> Option<Reply> {
+        let out = match &mut self.0 {
+            TicketState::Ready(slot) => slot.take(),
+            TicketState::Pending(rx) => match rx.try_recv() {
+                Ok(reply) => Some(reply),
+                Err(TryRecvError::Empty) => None,
+                Err(TryRecvError::Disconnected) => Some(Err(ServeError::WorkerLost)),
+            },
+        };
+        if out.is_some() {
+            self.0 = TicketState::Ready(None);
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for Ticket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = match &self.0 {
+            TicketState::Ready(Some(_)) => "ready",
+            TicketState::Ready(None) => "taken",
+            TicketState::Pending(_) => "pending",
+        };
+        f.debug_tuple("Ticket").field(&state).finish()
+    }
+}
+
+/// State shared between the caller-facing handle, the batcher, and the
+/// workers.
+struct Inner {
+    model: Vsan,
+    cache: Mutex<SequenceCache>,
+    cache_enabled: bool,
+    metrics: Metrics,
+}
+
+/// The serving engine. See the crate docs for the architecture; create
+/// one with [`Engine::start`], stop it with [`Engine::shutdown`] (or
+/// just drop it — both drain the queue before joining the threads).
+pub struct Engine {
+    inner: Arc<Inner>,
+    req_tx: Option<Sender<Request>>,
+    batcher: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Engine {
+    /// Spawn the batcher and worker threads around a trained model.
+    pub fn start(model: Vsan, cfg: EngineConfig) -> Self {
+        let (max_batch, workers) = (cfg.max_batch.max(1), cfg.workers.max(1));
+        let inner = Arc::new(Inner {
+            model,
+            cache: Mutex::new(SequenceCache::new(cfg.cache_capacity)),
+            cache_enabled: cfg.cache_capacity > 0,
+            metrics: Metrics::default(),
+        });
+
+        let (req_tx, req_rx) = channel::unbounded::<Request>();
+        let (batch_tx, batch_rx) = channel::unbounded::<Vec<Request>>();
+
+        let batcher = {
+            let inner = Arc::clone(&inner);
+            let deadline = cfg.batch_deadline;
+            std::thread::Builder::new()
+                .name("vsan-serve-batcher".into())
+                .spawn(move || batcher_loop(&req_rx, &batch_tx, &inner, max_batch, deadline))
+                .expect("spawn batcher thread")
+        };
+
+        let workers = (0..workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                let batch_rx = batch_rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("vsan-serve-worker-{i}"))
+                    .spawn(move || {
+                        while let Ok(batch) = batch_rx.recv() {
+                            process_batch(&inner, batch);
+                        }
+                    })
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        // `batch_rx` clones live in the workers; the original dropped
+        // here. Workers exit when the batcher drops `batch_tx`.
+
+        Engine { inner, req_tx: Some(req_tx), batcher: Some(batcher), workers }
+    }
+
+    /// Enqueue a request for the top `k` items after `history`.
+    ///
+    /// Returns immediately: on a cache hit the ticket is already
+    /// resolved; otherwise the request rides the next micro-batch.
+    pub fn submit(&self, history: &[u32], k: usize) -> Ticket {
+        let metrics = &self.inner.metrics;
+        metrics.requests.fetch_add(1, Ordering::Relaxed);
+        let start = Instant::now();
+
+        if self.inner.cache_enabled {
+            let window = self.inner.model.fold_in_window(history);
+            let hit = self.inner.cache.lock().expect("cache lock").get(window);
+            if let Some(logits) = hit {
+                metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+                let recs = rank(&logits, history, k);
+                metrics.record_latency(start.elapsed());
+                return Ticket::ready(Ok(recs));
+            }
+        }
+        metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+
+        let Some(req_tx) = &self.req_tx else {
+            return Ticket::ready(Err(ServeError::ShuttingDown));
+        };
+        let (reply_tx, reply_rx) = channel::unbounded();
+        let req =
+            Request { history: history.to_vec(), k, enqueued: start, reply: reply_tx };
+        match req_tx.send(req) {
+            Ok(()) => Ticket(TicketState::Pending(reply_rx)),
+            Err(_) => Ticket::ready(Err(ServeError::ShuttingDown)),
+        }
+    }
+
+    /// Blocking recommendation: [`Engine::submit`] + [`Ticket::wait`].
+    pub fn recommend(&self, history: &[u32], k: usize) -> Reply {
+        self.submit(history, k).wait()
+    }
+
+    /// Evict the cache entry for this user's history, if present.
+    ///
+    /// Call this when the user records a new interaction: the cached
+    /// logits for their old window are stale. (The *extended* history
+    /// keys a different window, so it would miss anyway — eviction
+    /// reclaims the dead entry and keeps semantics obvious.)
+    pub fn invalidate(&self, history: &[u32]) -> bool {
+        let window = self.inner.model.fold_in_window(history);
+        self.inner.cache.lock().expect("cache lock").remove(window)
+    }
+
+    /// Current counter values.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.inner.metrics.snapshot()
+    }
+
+    /// The model being served.
+    pub fn model(&self) -> &Vsan {
+        &self.inner.model
+    }
+
+    /// Graceful shutdown: stop accepting requests, flush every queued
+    /// request through the workers, join all threads, and return the
+    /// final counters. Tickets issued before the call still resolve.
+    pub fn shutdown(mut self) -> MetricsSnapshot {
+        self.close();
+        self.inner.metrics.snapshot()
+    }
+
+    fn close(&mut self) {
+        // Dropping the request sender disconnects the batcher's
+        // receiver *after* it drains what was already queued, so every
+        // accepted request is still batched and answered.
+        drop(self.req_tx.take());
+        if let Some(handle) = self.batcher.take() {
+            let _ = handle.join();
+        }
+        // The batcher dropped `batch_tx` on exit; workers drain the
+        // batch queue and stop.
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("running", &self.req_tx.is_some())
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+/// Coalesce queued requests into batches. A batch opens with the first
+/// request to arrive and is flushed when it reaches `max_batch`, when
+/// `deadline` has elapsed since it opened, or when the engine
+/// disconnects the queue (shutdown) — whichever comes first.
+fn batcher_loop(
+    req_rx: &Receiver<Request>,
+    batch_tx: &Sender<Vec<Request>>,
+    inner: &Inner,
+    max_batch: usize,
+    deadline: Duration,
+) {
+    loop {
+        let first = match req_rx.recv() {
+            Ok(req) => req,
+            Err(_) => return, // disconnected with an empty queue
+        };
+        let mut batch = vec![first];
+        // The deadline counts from when the first request was
+        // *enqueued*, not when the batcher picked it up, so queue wait
+        // time is charged against the latency budget.
+        let due = batch[0].enqueued + deadline;
+        let mut disconnected = false;
+        let flush_counter: &AtomicU64 = loop {
+            if batch.len() >= max_batch {
+                break &inner.metrics.flush_full;
+            }
+            let now = Instant::now();
+            if now >= due {
+                break &inner.metrics.flush_deadline;
+            }
+            match req_rx.recv_timeout(due - now) {
+                Ok(req) => batch.push(req),
+                Err(RecvTimeoutError::Timeout) => break &inner.metrics.flush_deadline,
+                Err(RecvTimeoutError::Disconnected) => {
+                    disconnected = true;
+                    break &inner.metrics.flush_shutdown;
+                }
+            }
+        };
+        flush_counter.fetch_add(1, Ordering::Relaxed);
+        inner.metrics.batches.fetch_add(1, Ordering::Relaxed);
+        inner.metrics.batched_requests.fetch_add(batch.len() as u64, Ordering::Relaxed);
+        if batch_tx.send(batch).is_err() || disconnected {
+            // Disconnected implies the queue already drained: the
+            // receiver only reports disconnection once empty.
+            return;
+        }
+    }
+}
+
+/// Score one batch and reply to every request in it. Identical windows
+/// within the batch are deduplicated and forwarded once; the forward is
+/// deterministic, so shared logits are exactly what separate forwards
+/// would produce.
+fn process_batch(inner: &Inner, batch: Vec<Request>) {
+    let mut windows: Vec<Vec<u32>> = Vec::new();
+    let mut index: HashMap<Vec<u32>, usize> = HashMap::new();
+    let mut which: Vec<usize> = Vec::with_capacity(batch.len());
+    for req in &batch {
+        let window = inner.model.fold_in_window(&req.history);
+        let idx = match index.get(window) {
+            Some(&i) => i,
+            None => {
+                let i = windows.len();
+                windows.push(window.to_vec());
+                index.insert(window.to_vec(), i);
+                i
+            }
+        };
+        which.push(idx);
+    }
+
+    let refs: Vec<&[u32]> = windows.iter().map(Vec::as_slice).collect();
+    let rows: Vec<Arc<Vec<f32>>> =
+        inner.model.score_items_batch(&refs).into_iter().map(Arc::new).collect();
+
+    if inner.cache_enabled {
+        let mut cache = inner.cache.lock().expect("cache lock");
+        for (window, row) in windows.into_iter().zip(&rows) {
+            cache.insert(window, Arc::clone(row));
+        }
+    }
+
+    for (req, idx) in batch.into_iter().zip(which) {
+        let recs = rank(&rows[idx], &req.history, req.k);
+        inner.metrics.record_latency(req.enqueued.elapsed());
+        // A dropped ticket is fine; the logits are already cached.
+        let _ = req.reply.send(Ok(recs));
+    }
+}
+
+/// Top-k by heap-based partial selection over raw logits, excluding the
+/// full history — the exact ranking rule of [`Vsan::recommend`]
+/// (softmax is strictly increasing, so it never reorders).
+fn rank(logits: &[f32], history: &[u32], k: usize) -> Vec<u32> {
+    let seen: HashSet<u32> = history.iter().copied().collect();
+    vsan_eval::top_n_excluding(logits, k, &seen)
+}

@@ -1,0 +1,50 @@
+//! `vsan-serve` — embedded online inference engine for VSAN.
+//!
+//! Turns a trained [`vsan_core::Vsan`] into a shared, thread-safe
+//! recommendation service:
+//!
+//! * **Request queue** — callers submit `(history, k)` requests over a
+//!   crossbeam MPMC channel from any thread.
+//! * **Micro-batcher** — a dedicated thread coalesces queued requests
+//!   into batches, flushing when [`EngineConfig::max_batch`] requests
+//!   have accumulated or [`EngineConfig::batch_deadline`] has elapsed
+//!   since the batch was opened, whichever comes first.
+//! * **Worker pool** — workers run the batched evaluation-mode forward
+//!   (`z = μ_λ`, no sampling, dropout off) via
+//!   [`vsan_core::Vsan::score_items_batch`] and rank the top-k by
+//!   partial selection over raw logits (softmax is rank-monotonic, so
+//!   it is skipped entirely).
+//! * **Sequence cache** — an LRU keyed on the model's fold-in window
+//!   (the last `max_seq_len` items of the history) memoizes logits;
+//!   hits answer without touching the queue.
+//!
+//! Results are deterministic and bit-identical to
+//! [`vsan_core::Vsan::recommend`] for the same history, cache hit or
+//! miss — the batched forward uses row-wise kernels with a fixed
+//! per-row accumulation order, and the cache stores the same logits a
+//! fresh forward would produce.
+//!
+//! ```no_run
+//! use vsan_serve::{Engine, EngineConfig};
+//! # let model: vsan_core::Vsan = unimplemented!();
+//! let engine = Engine::start(model, EngineConfig::default());
+//! // Blocking call:
+//! let recs = engine.recommend(&[3, 1, 4], 10).unwrap();
+//! // Submit/poll style:
+//! let ticket = engine.submit(&[3, 1, 4], 10);
+//! let recs = ticket.wait().unwrap();
+//! let stats = engine.shutdown(); // drains the queue, joins threads
+//! # let _ = (recs, stats);
+//! ```
+
+#![warn(missing_docs)]
+
+mod cache;
+mod config;
+mod engine;
+mod metrics;
+
+pub use cache::SequenceCache;
+pub use config::EngineConfig;
+pub use engine::{Engine, ServeError, Ticket};
+pub use metrics::MetricsSnapshot;

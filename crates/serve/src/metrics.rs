@@ -1,0 +1,127 @@
+//! Engine counters: lock-free atomics updated on the hot path, read as
+//! a consistent-enough [`MetricsSnapshot`] at any time.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Relaxed ordering everywhere: counters are monotonic telemetry, not
+/// synchronization — the channel send/recv on the request path already
+/// provides the happens-before edges the engine relies on.
+const ORD: Ordering = Ordering::Relaxed;
+
+#[derive(Debug, Default)]
+pub(crate) struct Metrics {
+    pub requests: AtomicU64,
+    pub cache_hits: AtomicU64,
+    pub cache_misses: AtomicU64,
+    pub batches: AtomicU64,
+    pub batched_requests: AtomicU64,
+    pub flush_full: AtomicU64,
+    pub flush_deadline: AtomicU64,
+    pub flush_shutdown: AtomicU64,
+    pub latency_us_sum: AtomicU64,
+    pub latency_us_max: AtomicU64,
+}
+
+impl Metrics {
+    pub fn record_latency(&self, elapsed: Duration) {
+        let us = elapsed.as_micros().min(u128::from(u64::MAX)) as u64;
+        self.latency_us_sum.fetch_add(us, ORD);
+        self.latency_us_max.fetch_max(us, ORD);
+    }
+
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            requests: self.requests.load(ORD),
+            cache_hits: self.cache_hits.load(ORD),
+            cache_misses: self.cache_misses.load(ORD),
+            batches: self.batches.load(ORD),
+            batched_requests: self.batched_requests.load(ORD),
+            flush_full: self.flush_full.load(ORD),
+            flush_deadline: self.flush_deadline.load(ORD),
+            flush_shutdown: self.flush_shutdown.load(ORD),
+            latency_us_sum: self.latency_us_sum.load(ORD),
+            latency_us_max: self.latency_us_max.load(ORD),
+        }
+    }
+}
+
+/// Point-in-time view of the engine counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Requests accepted via `submit`/`recommend`.
+    pub requests: u64,
+    /// Requests answered directly from the sequence cache.
+    pub cache_hits: u64,
+    /// Requests that missed the cache and were enqueued.
+    pub cache_misses: u64,
+    /// Batches dispatched to the worker pool.
+    pub batches: u64,
+    /// Requests carried by those batches (`batched_requests / batches`
+    /// is the mean batch size).
+    pub batched_requests: u64,
+    /// Batches flushed because they reached `max_batch`.
+    pub flush_full: u64,
+    /// Batches flushed because `batch_deadline` expired.
+    pub flush_deadline: u64,
+    /// Batches flushed while draining the queue at shutdown.
+    pub flush_shutdown: u64,
+    /// Sum of request latencies (submit → reply) in microseconds.
+    pub latency_us_sum: u64,
+    /// Maximum single-request latency in microseconds.
+    pub latency_us_max: u64,
+}
+
+impl MetricsSnapshot {
+    /// Mean requests per dispatched batch (0.0 before the first batch).
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batched_requests as f64 / self.batches as f64
+        }
+    }
+
+    /// Fraction of requests answered from the cache (0.0 when idle).
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.requests as f64
+        }
+    }
+
+    /// Mean request latency in microseconds (0.0 when idle).
+    pub fn mean_latency_us(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.latency_us_sum as f64 / self.requests as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_rates() {
+        let m = Metrics::default();
+        assert_eq!(m.snapshot().mean_batch_size(), 0.0);
+        assert_eq!(m.snapshot().cache_hit_rate(), 0.0);
+        assert_eq!(m.snapshot().mean_latency_us(), 0.0);
+
+        m.requests.store(10, ORD);
+        m.cache_hits.store(4, ORD);
+        m.batches.store(2, ORD);
+        m.batched_requests.store(6, ORD);
+        m.record_latency(Duration::from_micros(100));
+        m.record_latency(Duration::from_micros(300));
+        let s = m.snapshot();
+        assert_eq!(s.mean_batch_size(), 3.0);
+        assert_eq!(s.cache_hit_rate(), 0.4);
+        assert_eq!(s.latency_us_max, 300);
+        assert_eq!(s.latency_us_sum, 400);
+    }
+}

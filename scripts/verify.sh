@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Full offline verification gate: release build, workspace tests, and
+# clippy with warnings denied. Everything resolves against the vendored
+# shims in shims/, so --offline always works.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --offline"
+cargo build --workspace --release --offline
+
+echo "==> cargo test -q --offline"
+cargo test --workspace -q --offline
+
+echo "==> cargo clippy --offline -- -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> verify OK"

@@ -1,0 +1,305 @@
+//! Offline drop-in shim for the subset of the `bytes` 1.x API this
+//! workspace uses (checkpoint serialization in `vsan-tensor` /
+//! `vsan-nn`).
+//!
+//! [`Bytes`] is a cheaply-cloneable read view over shared storage with a
+//! consuming cursor (reading advances the view, exactly like upstream);
+//! [`BytesMut`] is an append-only builder that freezes into [`Bytes`].
+//! Reads are O(1) per element — the cursor moves over shared storage, no
+//! front-drain copies.
+
+#![warn(missing_docs)]
+
+use std::ops::{Bound, RangeBounds};
+use std::sync::Arc;
+
+/// Cheaply-cloneable immutable byte buffer with a read cursor.
+#[derive(Clone)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        Bytes::from(Vec::new())
+    }
+
+    /// Wrap a static byte slice (copies, unlike upstream — size is tiny
+    /// at every call site in this workspace).
+    pub fn from_static(s: &'static [u8]) -> Self {
+        Bytes::from(s.to_vec())
+    }
+
+    /// Remaining length in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// `true` when no bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The remaining bytes as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+
+    /// Sub-view of the remaining bytes (shares storage).
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let lo = match range.start_bound() {
+            Bound::Included(&i) => i,
+            Bound::Excluded(&i) => i + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&i) => i + 1,
+            Bound::Excluded(&i) => i,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(lo <= hi && hi <= self.len(), "slice out of bounds");
+        Bytes { data: Arc::clone(&self.data), start: self.start + lo, end: self.start + hi }
+    }
+
+    /// Copy the remaining bytes into a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Bytes { data: Arc::new(v), start: 0, end }
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes({} bytes)", self.len())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for Bytes {}
+
+/// Growable byte buffer for serialization; freeze into [`Bytes`].
+#[derive(Default, Debug, Clone)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// Empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut { data: Vec::with_capacity(cap) }
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Convert into an immutable [`Bytes`] without copying.
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// Read cursor over a byte source (mirrors `bytes::Buf`).
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// View of the unread bytes.
+    fn chunk(&self) -> &[u8];
+
+    /// Advance the cursor by `n` bytes.
+    fn advance(&mut self, n: usize);
+
+    /// Read a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        b.copy_from_slice(&self.chunk()[..4]);
+        self.advance(4);
+        u32::from_le_bytes(b)
+    }
+
+    /// Read a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&self.chunk()[..8]);
+        self.advance(8);
+        u64::from_le_bytes(b)
+    }
+
+    /// Read a little-endian `f32`.
+    fn get_f32_le(&mut self) -> f32 {
+        f32::from_bits(self.get_u32_le())
+    }
+
+    /// Split off the next `n` bytes as an owned [`Bytes`].
+    fn copy_to_bytes(&mut self, n: usize) -> Bytes {
+        let out = Bytes::from(self.chunk()[..n].to_vec());
+        self.advance(n);
+        out
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self.as_slice()
+    }
+
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance past end of Bytes");
+        self.start += n;
+    }
+
+    fn copy_to_bytes(&mut self, n: usize) -> Bytes {
+        assert!(n <= self.len(), "copy_to_bytes past end");
+        let out = self.slice(..n);
+        self.start += n;
+        out
+    }
+}
+
+impl<B: Buf + ?Sized> Buf for &mut B {
+    fn remaining(&self) -> usize {
+        (**self).remaining()
+    }
+    fn chunk(&self) -> &[u8] {
+        (**self).chunk()
+    }
+    fn advance(&mut self, n: usize) {
+        (**self).advance(n)
+    }
+    fn copy_to_bytes(&mut self, n: usize) -> Bytes {
+        (**self).copy_to_bytes(n)
+    }
+}
+
+/// Append-style writer (mirrors `bytes::BufMut`).
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, s: &[u8]);
+
+    /// Append a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `f32`.
+    fn put_f32_le(&mut self, v: f32) {
+        self.put_slice(&v.to_bits().to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, s: &[u8]) {
+        self.data.extend_from_slice(s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let mut w = BytesMut::new();
+        w.put_u32_le(0xDEAD_BEEF);
+        w.put_u64_le(42);
+        w.put_f32_le(1.5);
+        w.put_slice(b"abc");
+        let mut r = w.freeze();
+        assert_eq!(r.remaining(), 4 + 8 + 4 + 3);
+        assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64_le(), 42);
+        assert_eq!(r.get_f32_le(), 1.5);
+        assert_eq!(r.copy_to_bytes(3).as_slice(), b"abc");
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn clone_is_independent_cursor() {
+        let mut w = BytesMut::new();
+        w.put_u32_le(7);
+        w.put_u32_le(9);
+        let a = w.freeze();
+        let mut b = a.clone();
+        assert_eq!(b.get_u32_le(), 7);
+        assert_eq!(b.get_u32_le(), 9);
+        assert_eq!(a.len(), 8, "clone consumption must not affect the original");
+    }
+
+    #[test]
+    fn slice_shares_and_bounds() {
+        let b = Bytes::from(vec![1, 2, 3, 4, 5]);
+        assert_eq!(b.slice(1..4).as_slice(), &[2, 3, 4]);
+        assert_eq!(b.slice(..b.len() - 2).as_slice(), &[1, 2, 3]);
+        assert_eq!(b.slice(..).len(), 5);
+    }
+
+    #[test]
+    fn buf_for_mut_ref_advances_underlying() {
+        let mut b = Bytes::from(vec![1, 0, 0, 0, 2, 0, 0, 0]);
+        fn read_one(buf: &mut impl Buf) -> u32 {
+            buf.get_u32_le()
+        }
+        assert_eq!(read_one(&mut b), 1);
+        assert_eq!(read_one(&mut b), 2);
+        assert_eq!(b.remaining(), 0);
+    }
+}

@@ -1,0 +1,254 @@
+//! Offline drop-in shim for the subset of the `criterion` API this
+//! workspace's benchmarks use.
+//!
+//! Upstream criterion does warm-up, outlier rejection, and statistical
+//! reporting; this shim keeps the same source-level API
+//! (`criterion_group!` / `criterion_main!` / `benchmark_group` /
+//! `bench_function` / `bench_with_input` / `Bencher::iter`) but measures
+//! with a simple median-of-samples timer and prints one line per
+//! benchmark. Good enough to compare kernels on one machine, which is all
+//! DESIGN.md uses the numbers for.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark runner configuration and entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up budget per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+
+    /// Run a single stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let name = id.to_string();
+        run_one(self, &name, f);
+        self
+    }
+}
+
+/// Composite benchmark identifier (`group/function/param`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Identifier from a function name and a displayed parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { label: format!("{}/{}", function_name.into(), parameter) }
+    }
+}
+
+/// A named set of benchmarks sharing the runner's configuration.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmark a closure under `id` within this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let name = format!("{}/{}", self.name, id);
+        run_one(self.criterion, &name, f);
+        self
+    }
+
+    /// Benchmark a closure that receives an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.name, id.label);
+        run_one(self.criterion, &name, |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (upstream flushes reports; here a no-op).
+    pub fn finish(self) {}
+}
+
+/// Timer handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time repeated executions of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(cfg: &Criterion, name: &str, mut f: F) {
+    // Warm-up: run single iterations until the warm-up budget is spent,
+    // which also yields a per-iteration time estimate.
+    let warm_start = Instant::now();
+    let mut warm_iters = 0u64;
+    let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+    while warm_start.elapsed() < cfg.warm_up_time || warm_iters == 0 {
+        f(&mut b);
+        warm_iters += 1;
+        if warm_iters >= 1_000_000 {
+            break;
+        }
+    }
+    let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+
+    // Choose an iteration count per sample so all samples fit the budget.
+    let budget = cfg.measurement_time.as_secs_f64();
+    let iters_per_sample =
+        ((budget / cfg.sample_size as f64 / per_iter.max(1e-9)).floor() as u64).clamp(1, 1 << 24);
+
+    let mut samples = Vec::with_capacity(cfg.sample_size);
+    for _ in 0..cfg.sample_size {
+        let mut bench = Bencher { iters: iters_per_sample, elapsed: Duration::ZERO };
+        f(&mut bench);
+        samples.push(bench.elapsed.as_secs_f64() / iters_per_sample as f64);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = samples[samples.len() / 2];
+    let (lo, hi) = (samples[0], samples[samples.len() - 1]);
+    println!(
+        "{name:<50} median {:>12} (min {}, max {}, {} samples × {} iters)",
+        fmt_time(median),
+        fmt_time(lo),
+        fmt_time(hi),
+        samples.len(),
+        iters_per_sample,
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// Declare a benchmark group: either `criterion_group!(name, fn1, fn2)`
+/// or the long form with a `config = …` expression.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),* $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $( $target(&mut criterion); )*
+        }
+    };
+    ($name:ident, $($target:path),* $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),*
+        }
+    };
+}
+
+/// Entry point running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),* $(,)?) => {
+        fn main() {
+            $( $group(); )*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim_smoke");
+        group.bench_function("sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+        });
+        group.bench_with_input(BenchmarkId::new("scaled", 3), &3u64, |b, &k| {
+            b.iter(|| (0..100u64).map(|x| x * k).sum::<u64>());
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn runner_executes_benchmarks() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5));
+        sample_bench(&mut c);
+    }
+
+    #[test]
+    fn black_box_is_identity() {
+        assert_eq!(black_box(41) + 1, 42);
+    }
+
+    // Short form: compile-checked only (default config takes ~1 s/bench).
+    #[allow(dead_code)]
+    mod short_form {
+        criterion_group!(plain_group, super::sample_bench);
+    }
+
+    criterion_group! {
+        name = configured_group;
+        config = Criterion::default().sample_size(2).measurement_time(Duration::from_millis(10)).warm_up_time(Duration::from_millis(2));
+        targets = sample_bench
+    }
+
+    #[test]
+    fn groups_compile_and_run() {
+        configured_group();
+    }
+}

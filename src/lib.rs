@@ -16,6 +16,8 @@
 //! * [`eval`] — Precision/Recall/NDCG and the held-out protocol.
 //! * [`models`] — the eight baselines of Table III.
 //! * [`core`] — VSAN itself (the paper's contribution) and its ablations.
+//! * [`serve`] — the embedded online inference engine (micro-batching,
+//!   top-k partial selection, user-sequence LRU cache).
 //!
 //! See README.md for a quickstart and DESIGN.md for the system inventory.
 
@@ -25,6 +27,7 @@ pub use vsan_data as data;
 pub use vsan_eval as eval;
 pub use vsan_models as models;
 pub use vsan_nn as nn;
+pub use vsan_serve as serve;
 pub use vsan_tensor as tensor;
 
 /// Convenience prelude for examples and downstream users.
@@ -36,6 +39,7 @@ pub mod prelude {
     pub use vsan_data::{Dataset, HeldOutUser};
     pub use vsan_eval::{evaluate_held_out, EvalConfig, Scorer};
     pub use vsan_models::{NeuralConfig, Recommender};
+    pub use vsan_serve::{Engine, EngineConfig, MetricsSnapshot, ServeError, Ticket};
 }
 
 #[cfg(test)]
