@@ -811,12 +811,58 @@ impl Graph {
 }
 
 /// Parameter gradients produced by [`Graph::backward`].
-#[derive(Debug)]
+#[derive(Debug, Default)]
 pub struct Gradients {
     params: HashMap<usize, Tensor>,
 }
 
 impl Gradients {
+    /// An empty gradient set (identity element for [`Gradients::merge_sum`]).
+    pub fn empty() -> Self {
+        Gradients { params: HashMap::new() }
+    }
+
+    /// Add `other`'s gradients into `self`, key by key.
+    ///
+    /// Keys present in both are summed elementwise; keys only in `other`
+    /// are moved in. Elementwise addition makes the result independent of
+    /// map iteration order, so the merge is deterministic.
+    pub fn merge_sum(&mut self, other: Gradients) {
+        for (k, t) in other.params {
+            match self.params.entry(k) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    tops::add_scaled_into(e.get_mut(), &t, 1.0)
+                        .expect("merged gradients must share parameter shapes");
+                }
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert(t);
+                }
+            }
+        }
+    }
+
+    /// Reduce per-shard gradients with a fixed-order pairwise tree sum.
+    ///
+    /// Adjacent pairs are merged repeatedly — `((g0+g1)+(g2+g3))+…` — so
+    /// the floating-point summation tree depends only on `parts.len()`,
+    /// never on how many worker threads produced the parts. This is the
+    /// reduction step of the deterministic data-parallel trainer.
+    pub fn tree_reduce(parts: Vec<Gradients>) -> Gradients {
+        let mut level: Vec<Gradients> = parts;
+        while level.len() > 1 {
+            let mut next = Vec::with_capacity(level.len().div_ceil(2));
+            let mut it = level.into_iter();
+            while let Some(mut left) = it.next() {
+                if let Some(right) = it.next() {
+                    left.merge_sum(right);
+                }
+                next.push(left);
+            }
+            level = next;
+        }
+        level.pop().unwrap_or_default()
+    }
+
     /// Gradient for a parameter key, if it participated in the loss.
     pub fn param_grad(&self, key: usize) -> Option<&Tensor> {
         self.params.get(&key)
@@ -843,8 +889,15 @@ impl Gradients {
     }
 
     /// Global gradient L2 norm across all parameters.
+    ///
+    /// Summed in ascending parameter-key order: `HashMap` iteration order
+    /// varies between instances, and f32 addition is not associative, so a
+    /// map-order sum would make `clip_global_norm` (and thus the whole
+    /// training trajectory) differ between bit-identical runs.
     pub fn global_norm(&self) -> f32 {
-        self.params.values().map(Tensor::sq_norm).sum::<f32>().sqrt()
+        let mut keys: Vec<usize> = self.params.keys().copied().collect();
+        keys.sort_unstable();
+        keys.iter().map(|k| self.params[k].sq_norm()).sum::<f32>().sqrt()
     }
 
     /// Scale every gradient so the global norm does not exceed `max_norm`.

@@ -284,6 +284,78 @@ fn grad_composed_reparameterized_elbo() {
 }
 
 #[test]
+fn grad_full_vsan_loss_end_to_end() {
+    // The complete VSAN training objective in miniature, one op graph from
+    // embedded inputs to the β-weighted ELBO: causal self-attention with
+    // residual + LayerNorm (inference layer, Eqs. 5–9), μ/log σ² heads with
+    // reparameterized z = μ + σ·ε under a frozen ε (Eqs. 11–13), a second
+    // causal attention stack over z (generative layer, Eqs. 15–16), next-k
+    // multi-hot cross-entropy (Eq. 18) plus β · masked diagonal-Gaussian KL
+    // (Eq. 20). Individual-op checks above can all pass while a composed
+    // backward rule mis-accumulates through the reused μ/log σ² nodes; this
+    // pins the exact composition `Vsan::train` differentiates.
+    let n = 4; // sequence length
+    let d = 4; // model width
+    let vocab = 6;
+    let x = randt(40, &[n, d]);
+    let wq = randt(41, &[d, d]);
+    let wk = randt(42, &[d, d]);
+    let wv = randt(43, &[d, d]);
+    let gamma = init::rand_uniform(&mut StdRng::seed_from_u64(44), &[d], 0.5, 1.5);
+    let beta_ln = randt(45, &[d]);
+    let w_mu = randt(46, &[d, d]);
+    let w_lv = randt(47, &[d, d]);
+    let gq = randt(48, &[d, d]);
+    let gk = randt(49, &[d, d]);
+    let gv = randt(50, &[d, d]);
+    let w_out = randt(51, &[d, vocab]);
+    let eps = randt(52, &[n, d]);
+    // Next-k targets with an empty (padding) row, plus a masked KL row.
+    let targets = vec![vec![1usize, 4], vec![], vec![0, 2], vec![5]];
+    let kl_mask = vec![true, false, true, true];
+    let beta = 0.37f32;
+
+    let params = [x, wq, wk, wv, gamma, beta_ln, w_mu, w_lv, gq, gk, gv, w_out];
+    check_default(&params, |g, v| {
+        let scale = 1.0 / (d as f32).sqrt();
+        // Inference self-attention block.
+        let q = g.matmul(v[0], v[1]).unwrap();
+        let k = g.matmul(v[0], v[2]).unwrap();
+        let val = g.matmul(v[0], v[3]).unwrap();
+        let scores = g.matmul_a_bt(q, k).unwrap();
+        let scaled = g.scale(scores, scale);
+        let attn = g.softmax_causal(scaled).unwrap();
+        let ctx = g.matmul(attn, val).unwrap();
+        let res = g.add(ctx, v[0]).unwrap();
+        let h = g.layer_norm(res, v[4], v[5]).unwrap();
+        // Variational heads + reparameterization with frozen ε.
+        let mu = g.matmul(h, v[6]).unwrap();
+        let logvar = g.matmul(h, v[7]).unwrap();
+        let half_lv = g.scale(logvar, 0.5);
+        let sigma = g.exp(half_lv);
+        let e = g.constant(eps.clone());
+        let noise = g.mul(sigma, e).unwrap();
+        let z = g.add(mu, noise).unwrap();
+        // Generative self-attention block over z.
+        let q2 = g.matmul(z, v[8]).unwrap();
+        let k2 = g.matmul(z, v[9]).unwrap();
+        let v2 = g.matmul(z, v[10]).unwrap();
+        let scores2 = g.matmul_a_bt(q2, k2).unwrap();
+        let scaled2 = g.scale(scores2, scale);
+        let attn2 = g.softmax_causal(scaled2).unwrap();
+        let ctx2 = g.matmul(attn2, v2).unwrap();
+        let gen = g.add(ctx2, z).unwrap();
+        // Prediction + β-weighted ELBO.
+        let logits = g.matmul(gen, v[11]).unwrap();
+        let ce = g.ce_multi_hot(logits, &targets).unwrap();
+        let kl = g.kl_std_normal(mu, logvar, &kl_mask).unwrap();
+        let kl_scaled = g.scale(kl, beta);
+        g.add(ce, kl_scaled).unwrap()
+    })
+    .unwrap();
+}
+
+#[test]
 fn constants_receive_no_gradient() {
     let a = randt(39, &[2, 2]);
     let mut g = Graph::new();

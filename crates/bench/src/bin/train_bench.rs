@@ -1,0 +1,60 @@
+//! Training-scaling benchmark (`results/BENCH_train.json`).
+//!
+//! Trains the same VSAN once per thread count through the deterministic
+//! data-parallel executor, verifies the runs are bit-identical, and
+//! writes the timing report. Accepts `--epochs N`, `--users N`, and
+//! `--threads 1,2,4,8` to scale the sweep.
+
+use vsan_bench::train_bench::{run_train_bench, TrainBenchConfig};
+
+fn main() {
+    let mut cfg = TrainBenchConfig::default();
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--epochs" if i + 1 < args.len() => {
+                cfg.epochs = args[i + 1].parse().unwrap_or(cfg.epochs);
+                i += 2;
+            }
+            "--users" if i + 1 < args.len() => {
+                cfg.num_users = args[i + 1].parse().unwrap_or(cfg.num_users);
+                i += 2;
+            }
+            "--threads" if i + 1 < args.len() => {
+                let counts: Vec<usize> =
+                    args[i + 1].split(',').filter_map(|t| t.trim().parse().ok()).collect();
+                if !counts.is_empty() {
+                    cfg.thread_counts = counts;
+                }
+                i += 2;
+            }
+            other => {
+                eprintln!("ignoring unknown argument {other:?}");
+                i += 1;
+            }
+        }
+    }
+
+    eprintln!(
+        "train_bench: {} users × {} epochs, d={}, batch {}, threads {:?}",
+        cfg.num_users, cfg.epochs, cfg.dim, cfg.batch_size, cfg.thread_counts
+    );
+    let report = run_train_bench(cfg);
+    println!("available_parallelism: {}", report.available_parallelism);
+    for t in &report.timings {
+        println!(
+            "threads {:>3}: {:>7.3}s/epoch  speedup {:>5.2}x",
+            t.threads, t.epoch_seconds, t.speedup_vs_serial
+        );
+    }
+    println!("bitwise_match: {}", report.bitwise_match);
+    assert!(report.bitwise_match, "thread counts produced diverging parameters");
+    match report.write_json("BENCH_train.json") {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("failed to write report: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -22,6 +22,7 @@
 //! claims live in `benches/`.
 
 pub mod serve_bench;
+pub mod train_bench;
 
 use std::time::Instant;
 

@@ -1,0 +1,244 @@
+//! Training-throughput benchmark for the deterministic data-parallel
+//! executor (`results/BENCH_train.json`).
+//!
+//! Trains the same VSAN on the same synthetic dataset once per thread
+//! count and reports epoch wall-clock alongside the speedup over the
+//! serial (`threads = 1`) run. Because the executor's contract is
+//! bit-identical parameters for every thread count, the report also
+//! carries a `bitwise_match` gate computed from the full parameter set —
+//! a speedup from diverging numerics would be meaningless, exactly like
+//! `serve_bench`'s `results_match`.
+//!
+//! The report records `available_parallelism` so readers can interpret
+//! the scaling column: with fewer physical cores than worker threads the
+//! extra threads time-slice one core and the speedup honestly saturates
+//! at the hardware, not at the thread count.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vsan_core::{Vsan, VsanConfig};
+use vsan_data::Dataset;
+
+use crate::serve_bench::results_dir;
+
+/// Workload knobs for [`run_train_bench`].
+#[derive(Debug, Clone)]
+pub struct TrainBenchConfig {
+    /// Catalogue size of the synthetic training set.
+    pub num_items: usize,
+    /// Users in the synthetic training set.
+    pub num_users: usize,
+    /// Interactions per training user.
+    pub seq_len: usize,
+    /// Model width `d`.
+    pub dim: usize,
+    /// Model attention window `n`.
+    pub max_seq_len: usize,
+    /// Training epochs per thread count.
+    pub epochs: usize,
+    /// Mini-batch size (shards of 8 are carved out of each batch).
+    pub batch_size: usize,
+    /// Thread counts to sweep; the first entry is the serial baseline.
+    pub thread_counts: Vec<usize>,
+    /// RNG seed for the dataset and training.
+    pub seed: u64,
+}
+
+impl Default for TrainBenchConfig {
+    fn default() -> Self {
+        TrainBenchConfig {
+            num_items: 200,
+            num_users: 128,
+            seq_len: 30,
+            dim: 48,
+            max_seq_len: 24,
+            epochs: 2,
+            batch_size: 32,
+            thread_counts: vec![1, 2, 4, 8],
+            seed: 42,
+        }
+    }
+}
+
+impl TrainBenchConfig {
+    /// Sub-second configuration for the test suite.
+    pub fn smoke() -> Self {
+        TrainBenchConfig {
+            num_items: 30,
+            num_users: 24,
+            seq_len: 12,
+            dim: 16,
+            max_seq_len: 8,
+            epochs: 1,
+            batch_size: 16,
+            thread_counts: vec![1, 2, 4],
+            ..Self::default()
+        }
+    }
+}
+
+/// One thread-count's measurement within a [`TrainBenchReport`].
+#[derive(Debug, Clone)]
+pub struct ThreadTiming {
+    /// Worker threads used.
+    pub threads: usize,
+    /// Wall-clock seconds for the whole training run.
+    pub total_seconds: f64,
+    /// `total_seconds / epochs`.
+    pub epoch_seconds: f64,
+    /// Serial epoch time divided by this epoch time.
+    pub speedup_vs_serial: f64,
+}
+
+/// Measured results of one benchmark run.
+#[derive(Debug, Clone)]
+pub struct TrainBenchReport {
+    /// Configuration the run used.
+    pub config: TrainBenchConfig,
+    /// Per-thread-count timings, in `config.thread_counts` order.
+    pub timings: Vec<ThreadTiming>,
+    /// Whether every run produced bit-identical parameters and per-epoch
+    /// losses to the serial baseline.
+    pub bitwise_match: bool,
+    /// `std::thread::available_parallelism()` on the benchmarking host —
+    /// the hardware ceiling for any honest speedup figure.
+    pub available_parallelism: usize,
+}
+
+/// Bit-pattern fingerprint of a trained model: per-epoch losses plus
+/// every parameter tensor.
+type Fingerprint = (Vec<u32>, Vec<Vec<u32>>);
+
+fn fingerprint(model: &Vsan) -> Fingerprint {
+    let losses = model.train_losses.iter().map(|l| l.to_bits()).collect();
+    let params = model
+        .params()
+        .iter()
+        .map(|(_, _, t)| t.data().iter().map(|x| x.to_bits()).collect())
+        .collect();
+    (losses, params)
+}
+
+/// Train the same model once per thread count, timing each run and
+/// verifying the cross-thread bit-identity contract.
+pub fn run_train_bench(cfg: TrainBenchConfig) -> TrainBenchReport {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let sequences: Vec<Vec<u32>> = (0..cfg.num_users)
+        .map(|_| (0..cfg.seq_len).map(|_| rng.gen_range(1..=cfg.num_items as u32)).collect())
+        .collect();
+    let ds = Dataset { name: "train-bench".into(), num_items: cfg.num_items, sequences };
+    let train_users: Vec<usize> = (0..cfg.num_users).collect();
+
+    let mut model_cfg = VsanConfig::smoke().with_seed(cfg.seed);
+    model_cfg.base.dim = cfg.dim;
+    model_cfg.base.max_seq_len = cfg.max_seq_len;
+    model_cfg.base.epochs = cfg.epochs;
+    model_cfg.base.batch_size = cfg.batch_size;
+
+    // Warm the code paths (allocator, page faults) outside the timings.
+    {
+        let mut warm = model_cfg.clone();
+        warm.base.epochs = 1;
+        let _ = Vsan::train(&ds, &train_users[..cfg.batch_size.min(train_users.len())], &warm);
+    }
+
+    let mut baseline: Option<(f64, Fingerprint)> = None;
+    let mut bitwise_match = true;
+    let mut timings = Vec::with_capacity(cfg.thread_counts.len());
+    for &threads in &cfg.thread_counts {
+        let run_cfg = model_cfg.clone().with_threads(threads);
+        let t0 = Instant::now();
+        let model = Vsan::train(&ds, &train_users, &run_cfg).expect("bench training");
+        let total_seconds = t0.elapsed().as_secs_f64();
+        let epoch_seconds = total_seconds / cfg.epochs.max(1) as f64;
+        let fp = fingerprint(&model);
+        let (serial_epoch_seconds, serial_fp) =
+            baseline.get_or_insert_with(|| (epoch_seconds, fp.clone()));
+        if fp != *serial_fp {
+            bitwise_match = false;
+        }
+        timings.push(ThreadTiming {
+            threads,
+            total_seconds,
+            epoch_seconds,
+            speedup_vs_serial: *serial_epoch_seconds / epoch_seconds.max(1e-12),
+        });
+    }
+
+    TrainBenchReport {
+        config: cfg,
+        timings,
+        bitwise_match,
+        available_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
+    }
+}
+
+impl TrainBenchReport {
+    /// Serialize as a JSON object (hand-rolled: the workspace has no
+    /// JSON dependency and the schema is flat plus one array).
+    pub fn to_json(&self) -> String {
+        let c = &self.config;
+        let rows: Vec<String> = self
+            .timings
+            .iter()
+            .map(|t| {
+                format!(
+                    "    {{\"threads\": {}, \"total_seconds\": {:.6}, \
+                     \"epoch_seconds\": {:.6}, \"speedup_vs_serial\": {:.3}}}",
+                    t.threads, t.total_seconds, t.epoch_seconds, t.speedup_vs_serial
+                )
+            })
+            .collect();
+        format!(
+            "{{\n  \"benchmark\": \"deterministic data-parallel training executor\",\n  \
+               \"num_items\": {},\n  \"num_users\": {},\n  \"seq_len\": {},\n  \
+               \"dim\": {},\n  \"max_seq_len\": {},\n  \"epochs\": {},\n  \
+               \"batch_size\": {},\n  \"seed\": {},\n  \
+               \"available_parallelism\": {},\n  \
+               \"bitwise_match\": {},\n  \"timings\": [\n{}\n  ]\n}}\n",
+            c.num_items,
+            c.num_users,
+            c.seq_len,
+            c.dim,
+            c.max_seq_len,
+            c.epochs,
+            c.batch_size,
+            c.seed,
+            self.available_parallelism,
+            self.bitwise_match,
+            rows.join(",\n"),
+        )
+    }
+
+    /// Write the JSON report into the workspace `results/` directory.
+    pub fn write_json(&self, file_name: &str) -> std::io::Result<std::path::PathBuf> {
+        let path = results_dir().join(file_name);
+        std::fs::create_dir_all(results_dir())?;
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Smoke invocation of the full benchmark: every thread count must
+    /// reproduce the serial run bit-for-bit. No speedup floor is asserted
+    /// here — under a test harness the counts time-slice whatever cores
+    /// the host grants (often one), and the determinism contract is the
+    /// part that can regress silently.
+    #[test]
+    fn smoke_run_is_bitwise_identical_across_thread_counts() {
+        let report = run_train_bench(TrainBenchConfig::smoke());
+        assert!(report.bitwise_match, "thread counts diverged: {report:?}");
+        assert_eq!(report.timings.len(), 3);
+        assert!(report.timings.iter().all(|t| t.total_seconds > 0.0));
+        let path = report.write_json("BENCH_train_smoke.json").expect("write report");
+        let written = std::fs::read_to_string(path).unwrap();
+        assert!(written.contains("\"bitwise_match\": true"));
+        assert!(written.contains("\"available_parallelism\""));
+    }
+}

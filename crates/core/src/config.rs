@@ -143,6 +143,14 @@ impl VsanConfig {
         self
     }
 
+    /// Builder: set the worker-thread count for the data-parallel trainer.
+    /// Trained parameters are bit-identical for every value; `1` runs the
+    /// shard schedule inline (§IV-F parallel-scaling claims; DESIGN.md §7).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.base = self.base.with_threads(threads);
+        self
+    }
+
     /// Human-readable variant label for experiment tables.
     pub fn variant_name(&self) -> &'static str {
         match (self.use_latent, self.infer_ffn, self.gene_ffn) {

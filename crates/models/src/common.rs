@@ -103,14 +103,31 @@ impl NeuralConfig {
         self.epochs = epochs;
         self
     }
+
+    /// Builder-style worker-thread override for the data-parallel trainer
+    /// (`1` runs the shard schedule inline; any value yields the same bits).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
 }
 
 /// Run the shared Adam training loop over next-item examples.
 ///
-/// `build_loss` constructs the scalar loss for one mini-batch on a fresh
-/// graph (receiving the epoch-global step for schedules such as KL
-/// annealing); `post_step` runs after each optimizer step (used to re-zero
-/// embedding padding rows). Returns per-epoch mean losses.
+/// `build_loss` constructs the scalar *mean* loss for one shard of a
+/// mini-batch on a fresh graph (receiving the epoch-global step for
+/// schedules such as KL annealing); `post_step` runs after each optimizer
+/// step (used to re-zero embedding padding rows). Returns per-epoch mean
+/// losses.
+///
+/// Batches are executed by the deterministic data-parallel executor
+/// ([`vsan_nn::DataParallel`]): each batch is split into fixed-size shards,
+/// `build_loss` runs once per shard on its own graph with a private RNG
+/// stream derived from `(cfg.seed, step, shard)`, and shard gradients are
+/// reduced in a fixed-order pairwise tree. The trained parameters are
+/// therefore **bit-identical for every `cfg.threads` value** — `threads = 1`
+/// runs the same shard schedule inline. `build_loss` must be `Fn + Sync`
+/// (pure in the store and shard; all randomness through the supplied RNG).
 ///
 /// The loop carries a NaN tripwire: if any parameter goes non-finite the
 /// loop aborts with an error string instead of silently training garbage.
@@ -118,24 +135,29 @@ pub fn train_epochs<F, P>(
     cfg: &NeuralConfig,
     store: &mut vsan_nn::ParamStore,
     examples: &[SeqExample],
-    mut build_loss: F,
+    build_loss: F,
     mut post_step: P,
 ) -> Result<Vec<f32>, String>
 where
-    F: FnMut(
-        &mut vsan_autograd::Graph,
-        &vsan_nn::ParamStore,
-        &[&SeqExample],
-        &mut rand::rngs::StdRng,
-        u64,
-    ) -> vsan_autograd::Result<vsan_autograd::Var>,
+    F: Fn(
+            &mut vsan_autograd::Graph,
+            &vsan_nn::ParamStore,
+            &[&SeqExample],
+            &mut rand::rngs::StdRng,
+            u64,
+        ) -> vsan_autograd::Result<vsan_autograd::Var>
+        + Sync,
     P: FnMut(&mut vsan_nn::ParamStore),
 {
     use rand::SeedableRng;
+    use vsan_nn::data_parallel::batch_seed;
     use vsan_nn::Optimizer;
 
+    // The driver RNG only shuffles epochs now; per-shard randomness comes
+    // from seeds derived per (step, shard), so it is thread-count-invariant.
     let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed);
     let mut opt = vsan_nn::Adam::new(cfg.lr);
+    let executor = vsan_nn::DataParallel::new(cfg.threads);
     let mut losses = Vec::with_capacity(cfg.epochs);
     let mut step: u64 = 0;
     let indices: Vec<usize> = (0..examples.len()).collect();
@@ -145,17 +167,19 @@ where
         let mut batch_count = 0usize;
         for batch in batches {
             let refs: Vec<&SeqExample> = batch.iter().map(|&i| &examples[i]).collect();
-            let mut g = vsan_autograd::Graph::with_threads(cfg.threads);
-            let loss = build_loss(&mut g, store, &refs, &mut rng, step)
-                .map_err(|e| format!("epoch {epoch}: loss build failed: {e}"))?;
-            let loss_val = g.value(loss).data()[0];
+            let (loss_val, mut grads) = {
+                let shared: &vsan_nn::ParamStore = store;
+                executor
+                    .run(&refs, batch_seed(cfg.seed, step), |g, shard, shard_rng| {
+                        build_loss(g, shared, shard, shard_rng, step)
+                    })
+                    .map_err(|e| format!("epoch {epoch} step {step}: {e}"))?
+            };
             if !loss_val.is_finite() {
                 return Err(format!("epoch {epoch} step {step}: non-finite loss {loss_val}"));
             }
             epoch_loss += loss_val as f64;
             batch_count += 1;
-            let mut grads =
-                g.backward(loss).map_err(|e| format!("epoch {epoch}: backward failed: {e}"))?;
             if cfg.grad_clip > 0.0 {
                 grads.clip_global_norm(cfg.grad_clip);
             }

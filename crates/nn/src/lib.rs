@@ -25,11 +25,16 @@
 //! ## Training machinery
 //!
 //! * [`param::ParamStore`] — named parameters with binary checkpointing.
+//! * [`data_parallel::DataParallel`] — deterministic data-parallel batch
+//!   executor: fixed-size shards, one autograd graph per shard, and a
+//!   fixed-order pairwise tree reduction so training is bit-identical
+//!   across thread counts.
 //! * [`optim::Adam`] / [`optim::Sgd`] — the optimizers used in §V-D.
 //! * [`schedule::BetaSchedule`] — fixed-β and KL-annealing schedules for
 //!   the ELBO (Fig. 6).
 
 pub mod attention;
+pub mod data_parallel;
 pub mod dropout;
 pub mod embedding;
 pub mod gru;
@@ -41,6 +46,7 @@ pub mod param;
 pub mod schedule;
 
 pub use attention::SelfAttentionBlock;
+pub use data_parallel::DataParallel;
 pub use dropout::Dropout;
 pub use embedding::Embedding;
 pub use gru::GruCell;

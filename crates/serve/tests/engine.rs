@@ -152,6 +152,79 @@ fn invalidate_evicts_the_users_window() {
 }
 
 #[test]
+fn invalidate_during_in_flight_tickets_is_safe_and_exact() {
+    // Submit on a long deadline so the request sits in the batcher queue,
+    // invalidate the same window while the ticket is in flight, and keep
+    // polling a second ticket throughout. Neither ticket may deadlock,
+    // lose its reply, or return anything but the offline answer.
+    let engine = Engine::start(
+        trained_model(),
+        EngineConfig::default()
+            // Large max_batch + a deadline flush: both submits are queued
+            // (in flight) for ~the full deadline, giving the invalidation
+            // below a guaranteed window to race against.
+            .with_max_batch(64)
+            .with_batch_deadline(Duration::from_millis(150))
+            .with_workers(1),
+    );
+    let history = [2u32, 4, 6];
+    let expected = engine.model().recommend(&history, 4);
+
+    let waited = engine.submit(&history, 4);
+    let mut polled = engine.submit(&history, 4);
+    // The window cannot be cached yet — both requests are still in flight.
+    assert!(!engine.invalidate(&history), "nothing cached while in flight");
+    let reply = loop {
+        engine.invalidate(&history); // racing eviction must stay harmless
+        if let Some(reply) = polled.poll() {
+            break reply;
+        }
+        std::thread::yield_now();
+    };
+    assert_eq!(reply.unwrap(), expected, "polled ticket must match Vsan::recommend");
+    assert_eq!(waited.wait().unwrap(), expected, "waited ticket must match Vsan::recommend");
+
+    // Post-flight: the reply was (re)cached after the racing evictions
+    // settled, or it wasn't — either way a fresh request re-misses or
+    // hits with the exact offline answer.
+    assert_eq!(engine.recommend(&history, 4).unwrap(), expected);
+    assert!(engine.invalidate(&history), "settled entry evicts exactly once");
+    assert!(!engine.invalidate(&history));
+    let m = engine.shutdown();
+    assert!(m.requests >= 3);
+}
+
+#[test]
+fn engine_from_parallel_trained_model_matches_offline_recommend() {
+    // Train the backing model through the data-parallel executor (threads
+    // > 1, > batch size) and serve from it: the engine must agree with
+    // Vsan::recommend bit-for-bit on rankings, and — because training is
+    // thread-count invariant — with an engine built from a serially
+    // trained twin.
+    let num_items = 8;
+    let users = 12;
+    let sequences = (0..users)
+        .map(|u| (0..10).map(|t| ((u + t) % num_items + 1) as u32).collect())
+        .collect();
+    let ds = Dataset { name: "serve-par".into(), num_items, sequences };
+    let train_users: Vec<usize> = (0..users).collect();
+    let mut cfg = VsanConfig::smoke();
+    cfg.base.epochs = 2;
+
+    let serial = Vsan::train(&ds, &train_users, &cfg.clone().with_threads(1)).unwrap();
+    let parallel = Vsan::train(&ds, &train_users, &cfg.clone().with_threads(16)).unwrap();
+
+    let engine = Engine::start(parallel, EngineConfig::default());
+    let long: Vec<u32> = (0..20).map(|t| t % 8 + 1).collect();
+    for history in [&[1u32, 2, 3][..], &[7][..], &long, &[]] {
+        let served = engine.recommend(history, 5).unwrap();
+        assert_eq!(served, engine.model().recommend(history, 5), "engine vs its own model");
+        assert_eq!(served, serial.recommend(history, 5), "parallel vs serial training");
+    }
+    engine.shutdown();
+}
+
+#[test]
 fn cache_can_be_disabled() {
     let engine = Engine::start(trained_model(), EngineConfig::default().with_cache_capacity(0));
     let a = engine.recommend(&[1, 2], 4).unwrap();

@@ -1,9 +1,20 @@
 //! Property-based tests for the tensor substrate.
 
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use vsan_tensor::ops;
+use vsan_tensor::parallel::matmul_parallel;
 use vsan_tensor::serialize;
-use vsan_tensor::Tensor;
+use vsan_tensor::{init, Tensor};
+
+fn seeded_randn(seed: u64, dims: &[usize]) -> Tensor {
+    init::randn(&mut StdRng::seed_from_u64(seed), dims, 0.0, 1.0)
+}
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.data().iter().map(|x| x.to_bits()).collect()
+}
 
 fn small_matrix() -> impl Strategy<Value = Tensor> {
     (1usize..6, 1usize..6).prop_flat_map(|(r, c)| {
@@ -110,6 +121,46 @@ proptest! {
         }
     }
 
+    // ---- matmul_parallel ≡ matmul, bit for bit -------------------------
+    //
+    // The parallel kernel partitions output rows; each row is produced by
+    // the same i-k-j inner loop as the serial kernel, so the contract is
+    // exact bitwise equality (not tolerance) for any shape × thread count.
+
+    #[test]
+    fn matmul_parallel_matches_serial_below_threshold(
+        m in 1usize..9,
+        k in 1usize..9,
+        n in 1usize..9,
+        threads in 1usize..17,
+        seed in 0u64..1_000_000,
+    ) {
+        // m·k·n < 1e6 here, so this pins the serial-fallback branch.
+        let a = seeded_randn(seed, &[m, k]);
+        let b = seeded_randn(seed ^ 0xab54_a98c, &[k, n]);
+        let serial = ops::matmul(&a, &b).unwrap();
+        let par = matmul_parallel(&a, &b, threads).unwrap();
+        prop_assert_eq!(bits(&par), bits(&serial));
+    }
+
+    #[test]
+    fn matmul_parallel_matches_serial_above_threshold(
+        m in 1usize..7,
+        k in 2usize..17,
+        threads in 2usize..17,
+        extra in 1usize..512,
+        seed in 0u64..1_000_000,
+    ) {
+        // Pick n so m·k·n ≥ 1e6: the genuinely threaded branch. Small m
+        // with threads up to 16 also covers the m < threads clamp.
+        let n = 1_000_000usize.div_ceil(m * k) + extra;
+        let a = seeded_randn(seed, &[m, k]);
+        let b = seeded_randn(seed ^ 0x5151_f00d, &[k, n]);
+        let serial = ops::matmul(&a, &b).unwrap();
+        let par = matmul_parallel(&a, &b, threads).unwrap();
+        prop_assert_eq!(bits(&par), bits(&serial));
+    }
+
     #[test]
     fn layer_norm_output_is_normalized(a in small_matrix()) {
         let c = a.dims()[1];
@@ -120,5 +171,19 @@ proptest! {
             let m: f32 = row.iter().sum::<f32>() / c as f32;
             prop_assert!(m.abs() < 1e-3);
         }
+    }
+}
+
+#[test]
+fn matmul_parallel_thread_sweep_is_bitwise_stable() {
+    // One fixed threshold-crossing shape across the full thread sweep,
+    // including counts exceeding the row count (clamped internally).
+    let (m, k, n) = (6, 24, 7_000); // m·k·n ≈ 1.0e6 ≥ threshold
+    let a = seeded_randn(11, &[m, k]);
+    let b = seeded_randn(12, &[k, n]);
+    let baseline = bits(&ops::matmul(&a, &b).unwrap());
+    for threads in [1, 2, 3, 4, 5, 8, 16] {
+        let par = matmul_parallel(&a, &b, threads).unwrap();
+        assert_eq!(bits(&par), baseline, "diverged at threads={threads}");
     }
 }

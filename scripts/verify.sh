@@ -1,15 +1,29 @@
 #!/usr/bin/env bash
-# Full offline verification gate: release build, workspace tests, and
-# clippy with warnings denied. Everything resolves against the vendored
-# shims in shims/, so --offline always works.
+# Full offline verification gate: release build, workspace tests, the
+# serial/parallel training-equivalence matrix, and clippy with warnings
+# denied. Everything resolves against the vendored shims in shims/, so
+# --offline always works.
+#
+# PROPTEST_CASES is pinned so property-test coverage is identical across
+# CI runs (the proptest shim reads it, matching upstream's env override).
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+PROPTEST_CASES="${PROPTEST_CASES:-64}"
+export PROPTEST_CASES
 
 echo "==> cargo build --release --offline"
 cargo build --workspace --release --offline
 
-echo "==> cargo test -q --offline"
+echo "==> cargo test -q --offline (PROPTEST_CASES=${PROPTEST_CASES})"
 cargo test --workspace -q --offline
+
+# Threads-matrix smoke: re-run the data-parallel equivalence suite under
+# an explicit serial + even + beyond-batch-size matrix so CI exercises
+# both the inline path (threads=1) and genuinely pooled paths even if the
+# suite's default matrix changes.
+echo "==> equivalence matrix (VSAN_THREADS_MATRIX=1,2,8)"
+VSAN_THREADS_MATRIX=1,2,8 cargo test -q --offline -p vsan-core --test parallel_train
 
 echo "==> cargo clippy --offline -- -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings

@@ -218,7 +218,10 @@ pub mod test_runner {
 
     /// How many cases each property runs. Upstream defaults to 256; this
     /// shim defaults to 64 to keep the offline suite fast while still
-    /// exercising the properties broadly.
+    /// exercising the properties broadly. Like upstream, the
+    /// `PROPTEST_CASES` environment variable overrides the default (CI
+    /// pins it so runs are comparable); an explicit
+    /// [`ProptestConfig::with_cases`] always wins over the environment.
     #[derive(Debug, Clone)]
     pub struct ProptestConfig {
         /// Number of sampled cases per property.
@@ -227,7 +230,11 @@ pub mod test_runner {
 
     impl Default for ProptestConfig {
         fn default() -> Self {
-            ProptestConfig { cases: 64 }
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.trim().parse().ok())
+                .unwrap_or(64);
+            ProptestConfig { cases }
         }
     }
 
