@@ -77,7 +77,9 @@ impl HeadedSasRec {
                     h = block.forward(g, store, h, b, n, &dropout, rng, true)?;
                 }
                 let logits = g.matmul_a_bt(h, table)?;
-                g.ce_one_hot(logits, &targets)
+                let loss = g.ce_one_hot(logits, &targets)?;
+                let ce = g.value(loss).data()[0];
+                Ok((loss, vsan_nn::ShardStats::ce_only(ce)))
             },
             |store| item_emb.zero_padding(store),
         )?;

@@ -1,0 +1,142 @@
+//! Instrumented end-to-end smoke pass for the observability layer
+//! (`scripts/verify.sh` runs this).
+//!
+//! Trains a tiny VSAN with a JSONL observer attached, serves a small
+//! request stream through an instrumented engine, writes both telemetry
+//! streams under `results/`, then re-reads and validates them: every
+//! line must parse as JSON, the training stream must open with a
+//! run-header and carry per-epoch CE/KL/β records, and the serving
+//! stream must carry the engine metrics registry and span records.
+//! Exits non-zero on any violation.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vsan_bench::serve_bench::results_dir;
+use vsan_core::{Vsan, VsanConfig};
+use vsan_data::Dataset;
+use vsan_obs::{parse, EventSink, FileSink, JsonlTrainObserver, ObserverHandle, Tracer};
+use vsan_serve::{Engine, EngineConfig};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("obs_smoke: FAIL: {msg}");
+    std::process::exit(1);
+}
+
+/// Parse every line of a JSONL file, failing the run on the first
+/// malformed record; returns the per-line `"type"` values.
+fn validate_jsonl(path: &std::path::Path) -> Vec<String> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(&format!("cannot read {}: {e}", path.display())));
+    let mut types = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let v = parse(line).unwrap_or_else(|e| {
+            fail(&format!("{}:{}: malformed record: {e}", path.display(), i + 1))
+        });
+        let ty = v
+            .get("type")
+            .and_then(|t| t.as_str())
+            .unwrap_or_else(|| fail(&format!("{}:{}: record has no type", path.display(), i + 1)));
+        types.push(ty.to_string());
+    }
+    if types.is_empty() {
+        fail(&format!("{}: zero telemetry events", path.display()));
+    }
+    types
+}
+
+fn main() {
+    let results = results_dir();
+    std::fs::create_dir_all(&results).unwrap_or_else(|e| fail(&format!("mkdir results: {e}")));
+    let train_path = results.join("obs_smoke_train.jsonl");
+    let serve_path = results.join("obs_smoke_serve.jsonl");
+
+    // Synthetic workload (same shape as the benches).
+    let mut rng = StdRng::seed_from_u64(7);
+    let num_items = 40usize;
+    let sequences: Vec<Vec<u32>> =
+        (0..24).map(|_| (0..12).map(|_| rng.gen_range(1..=num_items as u32)).collect()).collect();
+    let ds = Dataset { name: "obs-smoke".into(), num_items, sequences };
+    let train_users: Vec<usize> = (0..ds.sequences.len()).collect();
+
+    // --- Instrumented training: JSONL observer + spans. ---
+    let tracer = Tracer::new();
+    {
+        let sink = Arc::new(
+            FileSink::create(&train_path).unwrap_or_else(|e| fail(&format!("train sink: {e}"))),
+        );
+        let cfg = VsanConfig::smoke()
+            .with_observer(ObserverHandle::new(Arc::new(JsonlTrainObserver::new(sink.clone()))));
+        let _train_span = tracer.span("train");
+        let model = {
+            let _span = tracer.span("vsan_train");
+            Vsan::train(&ds, &train_users, &cfg).unwrap_or_else(|e| fail(&format!("train: {e}")))
+        };
+        drop(_train_span);
+        tracer.export_jsonl(sink.as_ref());
+        sink.flush();
+
+        // --- Instrumented serving: engine registry + spans. ---
+        let serve_sink =
+            FileSink::create(&serve_path).unwrap_or_else(|e| fail(&format!("serve sink: {e}")));
+        let serve_tracer = Tracer::new();
+        let engine = Engine::start(model, EngineConfig::default().with_workers(1));
+        {
+            let _span = serve_tracer.span("serve_stream");
+            let histories: Vec<Vec<u32>> = (0..8)
+                .map(|_| (0..6).map(|_| rng.gen_range(1..=num_items as u32)).collect())
+                .collect();
+            for round in 0..3 {
+                let _round_span = serve_tracer.span(&format!("round{round}"));
+                for h in &histories {
+                    if engine.recommend(h, 5).is_err() {
+                        fail("engine rejected a request");
+                    }
+                }
+            }
+        }
+        engine.export_metrics(&serve_sink);
+        let stats = engine.shutdown_stats();
+        if stats.latency_us.count == 0 {
+            fail("engine recorded no latency samples");
+        }
+        if stats.snapshot.cache_hits == 0 {
+            fail("repeat traffic produced no cache hits");
+        }
+        serve_tracer.export_jsonl(&serve_sink);
+        serve_sink.flush();
+    }
+
+    // --- Validate both streams. ---
+    let train_types = validate_jsonl(&train_path);
+    if train_types.first().map(String::as_str) != Some("run_header") {
+        fail("training stream must open with a run_header record");
+    }
+    let epochs = train_types.iter().filter(|t| *t == "epoch").count();
+    if epochs == 0 {
+        fail("training stream carries no epoch records");
+    }
+    if !train_types.iter().any(|t| t == "run_end") {
+        fail("training stream has no run_end record");
+    }
+    if !train_types.iter().any(|t| t == "span") {
+        fail("training stream has no span records");
+    }
+    let serve_types = validate_jsonl(&serve_path);
+    if !serve_types.iter().any(|t| t == "serve_metrics") {
+        fail("serving stream has no serve_metrics record");
+    }
+    if !serve_types.iter().any(|t| t == "span") {
+        fail("serving stream has no span records");
+    }
+
+    eprintln!(
+        "obs_smoke: OK ({} train events, {} epochs; {} serve events) -> {}, {}",
+        train_types.len(),
+        epochs,
+        serve_types.len(),
+        train_path.display(),
+        serve_path.display()
+    );
+}

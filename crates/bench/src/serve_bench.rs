@@ -22,7 +22,7 @@ use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use vsan_core::{Vsan, VsanConfig};
 use vsan_data::Dataset;
-use vsan_serve::{Engine, EngineConfig};
+use vsan_serve::{Engine, EngineConfig, ServeStats};
 
 /// Workload and engine knobs for [`run_serve_bench`].
 #[derive(Debug, Clone)]
@@ -121,6 +121,9 @@ pub struct ServeBenchReport {
     pub mean_latency_us: f64,
     /// Whether every engine ranking equalled the sequential ranking.
     pub results_match: bool,
+    /// Full engine telemetry at shutdown: queue-wait / compute /
+    /// end-to-end latency distributions and batch-fill occupancy.
+    pub stats: ServeStats,
 }
 
 /// Train a small VSAN, then time the same shuffled repeat-traffic
@@ -183,7 +186,8 @@ pub fn run_serve_bench(cfg: ServeBenchConfig) -> ServeBenchReport {
         }
     }
     let engine_seconds = t1.elapsed().as_secs_f64();
-    let metrics = engine.shutdown();
+    let stats = engine.shutdown_stats();
+    let metrics = stats.snapshot;
 
     let results_match = served == sequential;
     ServeBenchReport {
@@ -197,6 +201,7 @@ pub fn run_serve_bench(cfg: ServeBenchConfig) -> ServeBenchReport {
         mean_batch_size: metrics.mean_batch_size(),
         mean_latency_us: metrics.mean_latency_us(),
         results_match,
+        stats,
         config: cfg,
     }
 }
@@ -216,6 +221,8 @@ impl ServeBenchReport {
                \"sequential_rps\": {:.1},\n  \"engine_rps\": {:.1},\n  \
                \"cache_hits\": {},\n  \"cache_misses\": {},\n  \
                \"mean_batch_size\": {:.2},\n  \"mean_latency_us\": {:.1},\n  \
+               \"mean_batch_fill_pct\": {:.1},\n  \
+               \"queue_wait_us\": {},\n  \"compute_us\": {},\n  \"latency_us\": {},\n  \
                \"results_match\": {}\n}}\n",
             c.requests,
             c.unique_histories,
@@ -234,6 +241,10 @@ impl ServeBenchReport {
             self.cache_misses,
             self.mean_batch_size,
             self.mean_latency_us,
+            self.stats.mean_batch_fill_pct(),
+            self.stats.queue_wait_us.summary_json(),
+            self.stats.compute_us.summary_json(),
+            self.stats.latency_us.summary_json(),
             self.results_match,
         )
     }
@@ -270,9 +281,20 @@ mod tests {
             report.speedup >= 1.2,
             "batching + caching must beat the sequential loop: {report:?}"
         );
+        // Telemetry invariants: every request records compute and
+        // end-to-end latency; only cache misses record queue wait.
+        let stats = &report.stats;
+        let requests = report.config.requests as u64;
+        assert_eq!(stats.latency_us.count, requests);
+        assert_eq!(stats.compute_us.count, requests);
+        assert_eq!(stats.queue_wait_us.count, report.cache_misses);
+        assert_eq!(stats.batch_fill_pct.count, stats.snapshot.batches);
+        assert_eq!(stats.queue_depth, 0, "queue must be drained at shutdown");
+        assert!(stats.latency_us.percentile(0.99) >= stats.latency_us.percentile(0.50));
         let path = report.write_json("BENCH_serve_smoke.json").expect("write report");
         let written = std::fs::read_to_string(path).unwrap();
         assert!(written.contains("\"results_match\": true"));
         assert!(written.contains("\"speedup\""));
+        assert!(written.contains("\"queue_wait_us\""));
     }
 }

@@ -14,12 +14,14 @@
 //! extra threads time-slice one core and the speedup honestly saturates
 //! at the hardware, not at the thread count.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use vsan_core::{Vsan, VsanConfig};
 use vsan_data::Dataset;
+use vsan_obs::{CollectingObserver, EpochRecord, ObserverHandle};
 
 use crate::serve_bench::results_dir;
 
@@ -105,6 +107,11 @@ pub struct TrainBenchReport {
     /// `std::thread::available_parallelism()` on the benchmarking host —
     /// the hardware ceiling for any honest speedup figure.
     pub available_parallelism: usize,
+    /// Per-epoch telemetry of the serial baseline run (loss with its
+    /// CE/KL split, β, gradient norms) — every other thread count
+    /// produced the identical series, which `bitwise_match` verifies
+    /// through the trained parameters.
+    pub epoch_series: Vec<EpochRecord>,
 }
 
 /// Bit-pattern fingerprint of a trained model: per-epoch losses plus
@@ -147,8 +154,16 @@ pub fn run_train_bench(cfg: TrainBenchConfig) -> TrainBenchReport {
     let mut baseline: Option<(f64, Fingerprint)> = None;
     let mut bitwise_match = true;
     let mut timings = Vec::with_capacity(cfg.thread_counts.len());
+    let mut epoch_series = Vec::new();
     for &threads in &cfg.thread_counts {
-        let run_cfg = model_cfg.clone().with_threads(threads);
+        // Every timed run trains *with an observer attached*, so the
+        // bitwise gate below also verifies that observing a run does
+        // not change the trained bits (DESIGN.md §8).
+        let collector = Arc::new(CollectingObserver::new());
+        let run_cfg = model_cfg
+            .clone()
+            .with_threads(threads)
+            .with_observer(ObserverHandle::new(collector.clone()));
         let t0 = Instant::now();
         let model = Vsan::train(&ds, &train_users, &run_cfg).expect("bench training");
         let total_seconds = t0.elapsed().as_secs_f64();
@@ -158,6 +173,9 @@ pub fn run_train_bench(cfg: TrainBenchConfig) -> TrainBenchReport {
             baseline.get_or_insert_with(|| (epoch_seconds, fp.clone()));
         if fp != *serial_fp {
             bitwise_match = false;
+        }
+        if epoch_series.is_empty() {
+            epoch_series = collector.records();
         }
         timings.push(ThreadTiming {
             threads,
@@ -172,6 +190,7 @@ pub fn run_train_bench(cfg: TrainBenchConfig) -> TrainBenchReport {
         timings,
         bitwise_match,
         available_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        epoch_series,
     }
 }
 
@@ -191,13 +210,16 @@ impl TrainBenchReport {
                 )
             })
             .collect();
+        let epochs: Vec<String> =
+            self.epoch_series.iter().map(|r| format!("    {}", r.to_json())).collect();
         format!(
             "{{\n  \"benchmark\": \"deterministic data-parallel training executor\",\n  \
                \"num_items\": {},\n  \"num_users\": {},\n  \"seq_len\": {},\n  \
                \"dim\": {},\n  \"max_seq_len\": {},\n  \"epochs\": {},\n  \
                \"batch_size\": {},\n  \"seed\": {},\n  \
                \"available_parallelism\": {},\n  \
-               \"bitwise_match\": {},\n  \"timings\": [\n{}\n  ]\n}}\n",
+               \"bitwise_match\": {},\n  \"timings\": [\n{}\n  ],\n  \
+               \"epoch_series\": [\n{}\n  ]\n}}\n",
             c.num_items,
             c.num_users,
             c.seq_len,
@@ -209,6 +231,7 @@ impl TrainBenchReport {
             self.available_parallelism,
             self.bitwise_match,
             rows.join(",\n"),
+            epochs.join(",\n"),
         )
     }
 
@@ -236,9 +259,17 @@ mod tests {
         assert!(report.bitwise_match, "thread counts diverged: {report:?}");
         assert_eq!(report.timings.len(), 3);
         assert!(report.timings.iter().all(|t| t.total_seconds > 0.0));
+        // The observed runs carried telemetry: one record per epoch,
+        // with finite loss components.
+        assert_eq!(report.epoch_series.len(), report.config.epochs);
+        for r in &report.epoch_series {
+            assert!(r.loss.is_finite() && r.ce.is_finite() && r.kl.is_finite());
+            assert!(r.shards > 0);
+        }
         let path = report.write_json("BENCH_train_smoke.json").expect("write report");
         let written = std::fs::read_to_string(path).unwrap();
         assert!(written.contains("\"bitwise_match\": true"));
         assert!(written.contains("\"available_parallelism\""));
+        assert!(written.contains("\"epoch_series\""));
     }
 }

@@ -151,6 +151,13 @@ impl VsanConfig {
         self
     }
 
+    /// Builder: attach a training observer (telemetry only; the trained
+    /// parameters are bit-identical with or without one, DESIGN.md §8).
+    pub fn with_observer(mut self, observer: vsan_models::ObserverHandle) -> Self {
+        self.base = self.base.with_observer(observer);
+        self
+    }
+
     /// Human-readable variant label for experiment tables.
     pub fn variant_name(&self) -> &'static str {
         match (self.use_latent, self.infer_ffn, self.gene_ffn) {

@@ -126,9 +126,18 @@ impl Vsan {
                     Some(kl) => {
                         let beta = vcfg.beta.beta(step);
                         let weighted = g.scale(kl, beta);
-                        g.add(ce, weighted)
+                        let loss = g.add(ce, weighted)?;
+                        let stats = vsan_nn::ShardStats {
+                            ce: g.value(ce).data()[0],
+                            kl: g.value(kl).data()[0],
+                            beta,
+                        };
+                        Ok((loss, stats))
                     }
-                    None => Ok(ce),
+                    None => {
+                        let ce_val = g.value(ce).data()[0];
+                        Ok((ce, vsan_nn::ShardStats::ce_only(ce_val)))
+                    }
                 }
             },
             |store| {

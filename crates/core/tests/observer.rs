@@ -1,0 +1,143 @@
+//! Integration tests for training telemetry on the real VSAN trainer:
+//! the JSONL stream of an instrumented run is well-formed and carries
+//! the loss decomposition, and observing a run never changes the
+//! trained bits (DESIGN.md §8).
+
+use std::sync::Arc;
+
+use vsan_core::{Vsan, VsanConfig};
+use vsan_data::Dataset;
+use vsan_obs::{parse, CollectingObserver, JsonlTrainObserver, MemorySink, ObserverHandle};
+
+fn chain_dataset(num_items: usize, users: usize, len: usize) -> Dataset {
+    let sequences = (0..users)
+        .map(|u| (0..len + u % 3).map(|t| ((u + t) % num_items + 1) as u32).collect())
+        .collect();
+    Dataset { name: "chain".into(), num_items, sequences }
+}
+
+fn train_with(cfg: &VsanConfig, observer: ObserverHandle) -> Vsan {
+    let ds = chain_dataset(10, 22, 9);
+    let users: Vec<usize> = (0..ds.sequences.len()).collect();
+    Vsan::train(&ds, &users, &cfg.clone().with_observer(observer)).unwrap()
+}
+
+#[test]
+fn instrumented_run_emits_wellformed_monotone_jsonl() {
+    let cfg = VsanConfig::smoke();
+    let mut two_epoch = cfg.clone();
+    two_epoch.base = two_epoch.base.with_epochs(2);
+
+    let sink = MemorySink::new();
+    let observer = ObserverHandle::new(Arc::new(JsonlTrainObserver::new(Arc::new(sink.clone()))));
+    let model = train_with(&two_epoch, observer);
+    assert_eq!(model.train_losses.len(), 2);
+
+    let lines = sink.lines();
+    // run_header + 2 epochs + run_end.
+    assert_eq!(lines.len(), 4, "unexpected stream: {lines:#?}");
+    let records: Vec<_> =
+        lines.iter().map(|l| parse(l).unwrap_or_else(|e| panic!("bad JSONL {l:?}: {e}"))).collect();
+
+    let header = &records[0];
+    assert_eq!(header.get("type").unwrap().as_str(), Some("run_header"));
+    assert_eq!(header.get("seed").unwrap().as_u64(), Some(two_epoch.base.seed));
+    let config = header.get("config").unwrap();
+    assert_eq!(config.get("epochs").unwrap().as_u64(), Some(2));
+    assert_eq!(config.get("dim").unwrap().as_u64(), Some(two_epoch.base.dim as u64));
+
+    let mut prev_epoch: Option<u64> = None;
+    let mut prev_steps = 0u64;
+    for rec in &records[1..3] {
+        assert_eq!(rec.get("type").unwrap().as_str(), Some("epoch"));
+        let epoch = rec.get("epoch").unwrap().as_u64().unwrap();
+        assert_eq!(epoch, prev_epoch.map_or(0, |p| p + 1), "epochs must be consecutive");
+        prev_epoch = Some(epoch);
+        let steps = rec.get("steps").unwrap().as_u64().unwrap();
+        assert!(steps > prev_steps, "step counter must be strictly increasing");
+        prev_steps = steps;
+        // Finite loss decomposition with a live latent path.
+        for key in ["loss", "ce", "kl", "beta", "grad_norm_pre", "grad_norm_post"] {
+            let v = rec.get(key).unwrap().as_f64().unwrap();
+            assert!(v.is_finite(), "{key} must be finite, got {v}");
+        }
+        assert!(rec.get("kl").unwrap().as_f64().unwrap() > 0.0, "latent VSAN must report KL");
+        assert!(rec.get("shards").unwrap().as_u64().unwrap() > 0);
+    }
+    assert_eq!(records[3].get("type").unwrap().as_str(), Some("run_end"));
+}
+
+#[test]
+fn epoch_beta_follows_the_annealing_schedule() {
+    let mut cfg = VsanConfig::smoke();
+    cfg.base = cfg.base.with_epochs(3);
+
+    let collector = Arc::new(CollectingObserver::new());
+    let _ = train_with(&cfg, ObserverHandle::new(collector.clone()));
+
+    let records = collector.records();
+    assert_eq!(records.len(), 3);
+    let mut last_beta = -1.0f32;
+    for rec in &records {
+        // The recorded β is the schedule's value at the epoch's final
+        // optimizer step (steps counts completed steps, so the last
+        // step index is steps - 1).
+        let expected = cfg.beta.beta(rec.steps - 1);
+        assert_eq!(rec.beta, expected, "epoch {}: β diverged from schedule", rec.epoch);
+        // LinearAnneal within warmup: β is non-decreasing across epochs.
+        assert!(rec.beta >= last_beta, "annealing β must not decrease");
+        last_beta = rec.beta;
+    }
+}
+
+#[test]
+fn observed_training_is_bit_identical_across_thread_counts() {
+    // The acceptance gate: telemetry attached, threads=1 vs threads=4
+    // must still produce bit-identical trained parameters.
+    let mut cfg = VsanConfig::smoke();
+    cfg.base = cfg.base.with_epochs(2);
+
+    let fingerprint = |threads: usize| {
+        let collector = Arc::new(CollectingObserver::new());
+        let model = train_with(
+            &cfg.clone().with_threads(threads),
+            ObserverHandle::new(collector.clone()),
+        );
+        let bits: Vec<Vec<u32>> = model
+            .params()
+            .iter()
+            .map(|(_, _, t)| t.data().iter().map(|x| x.to_bits()).collect())
+            .collect();
+        (bits, collector.records())
+    };
+
+    let (serial_bits, serial_records) = fingerprint(1);
+    let (parallel_bits, parallel_records) = fingerprint(4);
+    assert_eq!(serial_bits, parallel_bits, "observer broke cross-thread bit-identity");
+    // The telemetry itself (minus wall-clock) is thread-invariant too:
+    // ce/kl/β come out of the same deterministic tree reduction.
+    assert_eq!(serial_records.len(), parallel_records.len());
+    for (s, p) in serial_records.iter().zip(&parallel_records) {
+        assert_eq!(s.loss.to_bits(), p.loss.to_bits());
+        assert_eq!(s.ce.to_bits(), p.ce.to_bits());
+        assert_eq!(s.kl.to_bits(), p.kl.to_bits());
+        assert_eq!(s.beta.to_bits(), p.beta.to_bits());
+        assert_eq!(s.steps, p.steps);
+        assert_eq!(s.shards, p.shards);
+    }
+}
+
+#[test]
+fn unobserved_training_matches_observed_training() {
+    // Attaching an observer must not change the trained bits relative
+    // to a plain run either.
+    let mut cfg = VsanConfig::smoke();
+    cfg.base = cfg.base.with_epochs(2);
+
+    let plain = train_with(&cfg, ObserverHandle::none());
+    let observed = train_with(&cfg, ObserverHandle::new(Arc::new(CollectingObserver::new())));
+    let bits = |m: &Vsan| -> Vec<Vec<u32>> {
+        m.params().iter().map(|(_, _, t)| t.data().iter().map(|x| x.to_bits()).collect()).collect()
+    };
+    assert_eq!(bits(&plain), bits(&observed), "observer changed the trained parameters");
+}

@@ -139,7 +139,9 @@ impl Caser {
                 let feats =
                     caser_features(g, store, emb, b, l_, &h_banks, v_bank, &fc)?;
                 let logits = out.forward(g, store, feats)?;
-                g.ce_one_hot(logits, &targets)
+                let loss = g.ce_one_hot(logits, &targets)?;
+                let ce = g.value(loss).data()[0];
+                Ok((loss, vsan_nn::ShardStats::ce_only(ce)))
             },
             |store| {
                 item_emb.zero_padding(store);

@@ -3,6 +3,7 @@
 
 use vsan_data::sequence::{next_item_example, SeqExample};
 use vsan_data::Dataset;
+use vsan_obs::{EpochRecord, ObserverHandle, TrainRunInfo};
 
 /// Hyper-parameters shared by every neural sequence model in the
 /// workspace. Paper defaults (§V-D) are in [`NeuralConfig::paper`]; the
@@ -27,6 +28,10 @@ pub struct NeuralConfig {
     pub seed: u64,
     /// Worker threads for large matmuls.
     pub threads: usize,
+    /// Optional training-telemetry receiver. Observers see copies of
+    /// values the loop computed anyway, so attaching one never changes
+    /// the trained bits (DESIGN.md §8).
+    pub observer: ObserverHandle,
 }
 
 impl NeuralConfig {
@@ -45,6 +50,7 @@ impl NeuralConfig {
             grad_clip: 5.0,
             seed: 42,
             threads: vsan_tensor::parallel::default_threads(),
+            observer: ObserverHandle::none(),
         }
     }
 
@@ -62,6 +68,7 @@ impl NeuralConfig {
             grad_clip: 5.0,
             seed: 42,
             threads: vsan_tensor::parallel::default_threads(),
+            observer: ObserverHandle::none(),
         }
     }
 
@@ -77,6 +84,7 @@ impl NeuralConfig {
             grad_clip: 5.0,
             seed: 7,
             threads: 1,
+            observer: ObserverHandle::none(),
         }
     }
 
@@ -110,15 +118,24 @@ impl NeuralConfig {
         self.threads = threads.max(1);
         self
     }
+
+    /// Builder-style observer attachment (telemetry only — the trained
+    /// parameters are bit-identical with or without one).
+    pub fn with_observer(mut self, observer: ObserverHandle) -> Self {
+        self.observer = observer;
+        self
+    }
 }
 
 /// Run the shared Adam training loop over next-item examples.
 ///
 /// `build_loss` constructs the scalar *mean* loss for one shard of a
 /// mini-batch on a fresh graph (receiving the epoch-global step for
-/// schedules such as KL annealing); `post_step` runs after each optimizer
-/// step (used to re-zero embedding padding rows). Returns per-epoch mean
-/// losses.
+/// schedules such as KL annealing) together with the shard's
+/// [`vsan_nn::ShardStats`] loss decomposition (CE, KL, β — models
+/// without a latent path report [`vsan_nn::ShardStats::ce_only`]);
+/// `post_step` runs after each optimizer step (used to re-zero embedding
+/// padding rows). Returns per-epoch mean losses.
 ///
 /// Batches are executed by the deterministic data-parallel executor
 /// ([`vsan_nn::DataParallel`]): each batch is split into fixed-size shards,
@@ -131,6 +148,13 @@ impl NeuralConfig {
 ///
 /// The loop carries a NaN tripwire: if any parameter goes non-finite the
 /// loop aborts with an error string instead of silently training garbage.
+///
+/// When `cfg.observer` is attached the loop additionally emits one
+/// [`TrainRunInfo`] header, one [`EpochRecord`] per epoch (mean loss with
+/// its CE/KL split, the β of the epoch's last step, mean pre-/post-clip
+/// gradient global norms, shard count, and wall-clock), and a final
+/// run-end callback. All observed quantities are read-only copies; the
+/// update path is identical whether or not an observer is attached.
 pub fn train_epochs<F, P>(
     cfg: &NeuralConfig,
     store: &mut vsan_nn::ParamStore,
@@ -145,13 +169,27 @@ where
             &[&SeqExample],
             &mut rand::rngs::StdRng,
             u64,
-        ) -> vsan_autograd::Result<vsan_autograd::Var>
+        ) -> vsan_autograd::Result<(vsan_autograd::Var, vsan_nn::ShardStats)>
         + Sync,
     P: FnMut(&mut vsan_nn::ParamStore),
 {
     use rand::SeedableRng;
     use vsan_nn::data_parallel::batch_seed;
     use vsan_nn::Optimizer;
+
+    let observer = cfg.observer.clone();
+    observer.on_train_start(&TrainRunInfo {
+        seed: cfg.seed,
+        threads: cfg.threads.max(1),
+        epochs: cfg.epochs,
+        batch_size: cfg.batch_size,
+        lr: cfg.lr,
+        dim: cfg.dim,
+        max_seq_len: cfg.max_seq_len,
+        dropout: cfg.dropout,
+        grad_clip: cfg.grad_clip,
+        examples: examples.len(),
+    });
 
     // The driver RNG only shuffles epochs now; per-shard randomness comes
     // from seeds derived per (step, shard), so it is thread-count-invariant.
@@ -162,15 +200,22 @@ where
     let mut step: u64 = 0;
     let indices: Vec<usize> = (0..examples.len()).collect();
     for epoch in 0..cfg.epochs {
+        let epoch_start = std::time::Instant::now();
         let batches = vsan_data::batch::epoch_batches(&indices, cfg.batch_size, &mut rng);
         let mut epoch_loss = 0.0f64;
+        let mut epoch_ce = 0.0f64;
+        let mut epoch_kl = 0.0f64;
+        let mut last_beta = 0.0f32;
+        let mut norm_pre = 0.0f64;
+        let mut norm_post = 0.0f64;
+        let mut epoch_shards = 0usize;
         let mut batch_count = 0usize;
         for batch in batches {
             let refs: Vec<&SeqExample> = batch.iter().map(|&i| &examples[i]).collect();
-            let (loss_val, mut grads) = {
+            let (loss_val, stats, mut grads) = {
                 let shared: &vsan_nn::ParamStore = store;
                 executor
-                    .run(&refs, batch_seed(cfg.seed, step), |g, shard, shard_rng| {
+                    .run_observed(&refs, batch_seed(cfg.seed, step), |g, shard, shard_rng| {
                         build_loss(g, shared, shard, shard_rng, step)
                     })
                     .map_err(|e| format!("epoch {epoch} step {step}: {e}"))?
@@ -179,9 +224,20 @@ where
                 return Err(format!("epoch {epoch} step {step}: non-finite loss {loss_val}"));
             }
             epoch_loss += loss_val as f64;
+            epoch_ce += stats.ce as f64;
+            epoch_kl += stats.kl as f64;
+            last_beta = stats.beta;
+            epoch_shards += refs.len().div_ceil(vsan_nn::data_parallel::DEFAULT_SHARD_SIZE);
             batch_count += 1;
+            if observer.is_attached() {
+                // Telemetry-only extra pass; the norm is not fed back.
+                norm_pre += f64::from(grads.global_norm());
+            }
             if cfg.grad_clip > 0.0 {
                 grads.clip_global_norm(cfg.grad_clip);
+            }
+            if observer.is_attached() {
+                norm_post += f64::from(grads.global_norm());
             }
             opt.step(store, &grads);
             post_step(store);
@@ -190,8 +246,25 @@ where
         if !store.all_finite() {
             return Err(format!("epoch {epoch}: parameters went non-finite"));
         }
-        losses.push(if batch_count > 0 { (epoch_loss / batch_count as f64) as f32 } else { 0.0 });
+        let denom = batch_count.max(1) as f64;
+        let mean_loss = if batch_count > 0 { (epoch_loss / denom) as f32 } else { 0.0 };
+        losses.push(mean_loss);
+        if observer.is_attached() {
+            observer.on_epoch(&EpochRecord {
+                epoch,
+                loss: mean_loss,
+                ce: (epoch_ce / denom) as f32,
+                kl: (epoch_kl / denom) as f32,
+                beta: last_beta,
+                grad_norm_pre: (norm_pre / denom) as f32,
+                grad_norm_post: (norm_post / denom) as f32,
+                shards: epoch_shards,
+                steps: step,
+                wall_ms: epoch_start.elapsed().as_secs_f64() * 1e3,
+            });
+        }
     }
+    observer.on_train_end(cfg.epochs);
     Ok(losses)
 }
 

@@ -82,7 +82,9 @@ impl Gru4Rec {
                     }
                 }
                 let logits = out.forward(g, store, h_all)?;
-                g.ce_one_hot(logits, &reordered)
+                let loss = g.ce_one_hot(logits, &reordered)?;
+                let ce = g.value(loss).data()[0];
+                Ok((loss, vsan_nn::ShardStats::ce_only(ce)))
             },
             |store| {
                 item_emb.zero_padding(store);

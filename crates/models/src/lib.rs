@@ -48,6 +48,11 @@ pub mod traits;
 pub use bpr::Bpr;
 pub use caser::Caser;
 pub use common::NeuralConfig;
+// Telemetry types callers need to attach observers to a config.
+pub use vsan_obs::{
+    CollectingObserver, EpochRecord, JsonlTrainObserver, ObserverHandle, TrainObserver,
+    TrainRunInfo,
+};
 pub use fpmc::Fpmc;
 pub use gru4rec::Gru4Rec;
 pub use itemknn::ItemKnn;

@@ -92,7 +92,9 @@ impl SasRec {
                 }
                 // Weight-tied logits: (B·n, d) × (vocab, d)ᵀ.
                 let logits = g.matmul_a_bt(h, table)?;
-                g.ce_one_hot(logits, &targets)
+                let loss = g.ce_one_hot(logits, &targets)?;
+                let ce = g.value(loss).data()[0];
+                Ok((loss, vsan_nn::ShardStats::ce_only(ce)))
             },
             |store| {
                 item_emb.zero_padding(store);

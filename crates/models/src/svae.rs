@@ -160,7 +160,13 @@ impl Svae {
                 let kl = g.kl_std_normal(mu, logvar, &mask)?;
                 let beta = beta_sched.beta(step);
                 let kl_scaled = g.scale(kl, beta);
-                g.add(ce, kl_scaled)
+                let loss = g.add(ce, kl_scaled)?;
+                let stats = vsan_nn::ShardStats {
+                    ce: g.value(ce).data()[0],
+                    kl: g.value(kl).data()[0],
+                    beta,
+                };
+                Ok((loss, stats))
             },
             |store| {
                 item_emb.zero_padding(store);

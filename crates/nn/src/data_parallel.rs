@@ -64,8 +64,32 @@ pub fn tree_sum(values: &[f32]) -> f32 {
     }
 }
 
+/// Telemetry a shard's loss build reports alongside the loss node:
+/// the loss decomposition the observability layer records per epoch.
+/// Values are read off the (eager) graph — pure output, never an input
+/// to the computation, so they cannot perturb determinism.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ShardStats {
+    /// Mean cross-entropy component of the shard loss.
+    pub ce: f32,
+    /// Mean KL component (0 for models without a latent path).
+    pub kl: f32,
+    /// KL weight β at this step (0 for models without a schedule).
+    pub beta: f32,
+}
+
+impl ShardStats {
+    /// Stats for a pure-CE loss: the whole loss is the CE component.
+    pub fn ce_only(ce: f32) -> Self {
+        ShardStats { ce, kl: 0.0, beta: 0.0 }
+    }
+}
+
 /// The per-shard product: weighted loss value plus weighted gradients.
 type ShardResult = Result<(f32, Gradients), String>;
+
+/// `run_observed`'s per-shard product: weighted loss, stats, gradients.
+type ObservedShardResult = Result<(f32, ShardStats, Gradients), String>;
 
 /// Deterministic data-parallel batch executor.
 ///
@@ -121,27 +145,48 @@ impl DataParallel {
         T: Sync,
         F: Fn(&mut Graph, &[T], &mut StdRng) -> vsan_autograd::Result<Var> + Sync,
     {
+        self.run_observed(items, batch_seed, |g, shard, rng| {
+            build(g, shard, rng).map(|loss| (loss, ShardStats::default()))
+        })
+        .map(|(loss, _, grads)| (loss, grads))
+    }
+
+    /// [`Self::run`] with per-shard telemetry: `build` additionally
+    /// returns a [`ShardStats`] whose `ce`/`kl` components are weighted
+    /// and tree-reduced exactly like the loss (so the batch-level stats
+    /// are the batch means), while `beta` — identical across shards of a
+    /// step by construction — is taken from shard 0. The loss and
+    /// gradients are computed on the identical path as [`Self::run`],
+    /// so observing a run cannot change its bits.
+    pub fn run_observed<T, F>(&self, items: &[T], batch_seed: u64, build: F) -> ObservedShardResult
+    where
+        T: Sync,
+        F: Fn(&mut Graph, &[T], &mut StdRng) -> vsan_autograd::Result<(Var, ShardStats)> + Sync,
+    {
         if items.is_empty() {
-            return Ok((0.0, Gradients::empty()));
+            return Ok((0.0, ShardStats::default(), Gradients::empty()));
         }
         let shards: Vec<&[T]> = items.chunks(self.shard_size).collect();
         let batch_len = items.len() as f32;
 
-        let run_shard = |shard_id: usize, shard: &[T]| -> ShardResult {
+        let run_shard = |shard_id: usize, shard: &[T]| -> ObservedShardResult {
             let mut g = Graph::with_threads(1);
             let mut rng = StdRng::seed_from_u64(shard_seed(batch_seed, shard_id));
-            let loss = build(&mut g, shard, &mut rng)
+            let (loss, stats) = build(&mut g, shard, &mut rng)
                 .map_err(|e| format!("shard {shard_id}: loss build failed: {e}"))?;
-            let weighted = g.scale(loss, shard.len() as f32 / batch_len);
+            let weight = shard.len() as f32 / batch_len;
+            let weighted = g.scale(loss, weight);
             let loss_val = g.value(weighted).data()[0];
             let grads = g
                 .backward(weighted)
                 .map_err(|e| format!("shard {shard_id}: backward failed: {e}"))?;
-            Ok((loss_val, grads))
+            let weighted_stats =
+                ShardStats { ce: stats.ce * weight, kl: stats.kl * weight, beta: stats.beta };
+            Ok((loss_val, weighted_stats, grads))
         };
 
         let workers = self.threads.min(shards.len());
-        let mut slots: Vec<Option<ShardResult>> = Vec::with_capacity(shards.len());
+        let mut slots: Vec<Option<ObservedShardResult>> = Vec::with_capacity(shards.len());
         slots.resize_with(shards.len(), || None);
 
         if workers <= 1 {
@@ -155,7 +200,7 @@ impl DataParallel {
             // assigns *which* shard a worker computes; no float ever
             // crosses a thread boundary except inside a finished slot.
             let cursor = AtomicUsize::new(0);
-            let produced: Vec<(usize, ShardResult)> = crossbeam::thread::scope(|s| {
+            let produced: Vec<(usize, ObservedShardResult)> = crossbeam::thread::scope(|s| {
                 let handles: Vec<_> = (0..workers)
                     .map(|_| {
                         let cursor = &cursor;
@@ -187,13 +232,22 @@ impl DataParallel {
 
         // Surface the first error in shard order (deterministic too).
         let mut losses = Vec::with_capacity(shards.len());
+        let mut ces = Vec::with_capacity(shards.len());
+        let mut kls = Vec::with_capacity(shards.len());
+        let mut beta = 0.0f32;
         let mut parts = Vec::with_capacity(shards.len());
-        for slot in slots {
-            let (loss, grads) = slot.expect("every shard produces a result")?;
+        for (shard_id, slot) in slots.into_iter().enumerate() {
+            let (loss, stats, grads) = slot.expect("every shard produces a result")?;
             losses.push(loss);
+            ces.push(stats.ce);
+            kls.push(stats.kl);
+            if shard_id == 0 {
+                beta = stats.beta;
+            }
             parts.push(grads);
         }
-        Ok((tree_sum(&losses), Gradients::tree_reduce(parts)))
+        let stats = ShardStats { ce: tree_sum(&ces), kl: tree_sum(&kls), beta };
+        Ok((tree_sum(&losses), stats, Gradients::tree_reduce(parts)))
     }
 }
 

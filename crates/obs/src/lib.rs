@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+
+//! # vsan-obs
+//!
+//! Zero-dependency observability layer for the VSAN reproduction:
+//! structured tracing, a metrics registry, and JSONL telemetry export.
+//!
+//! * [`span::Tracer`] — span-based tracer with RAII scoped guards
+//!   ([`span::SpanGuard`]), nested span timing, and thread-safe
+//!   collection.
+//! * [`metrics::Registry`] — named [`metrics::Counter`]s,
+//!   [`metrics::Gauge`]s, and log-linear-bucket [`metrics::Histogram`]s
+//!   with p50/p90/p99/max estimation and lossless snapshot merging.
+//! * [`sink::EventSink`] — structured JSONL event sink with file,
+//!   stderr, and in-memory backends, plus the run-header record every
+//!   instrumented run opens with (config, seed, thread count, git
+//!   describe).
+//! * [`observer::TrainObserver`] — the per-epoch training telemetry
+//!   hook threaded through `NeuralConfig`/`VsanConfig`, with a JSONL
+//!   emitter and an in-memory collector.
+//! * [`json`] — the hand-rolled JSON builder and validating parser the
+//!   workspace uses instead of an external JSON dependency.
+//!
+//! ## Telemetry policy (DESIGN.md §8)
+//!
+//! Wall-clock time lives **only in telemetry output, never in control
+//! flow**: nothing in this crate feeds a timing back into a training or
+//! serving decision, so attaching any observer, tracer, or metric
+//! leaves trained parameters and served rankings bit-identical — the
+//! determinism contract of DESIGN.md §7 is unaffected.
+
+pub mod json;
+pub mod metrics;
+pub mod observer;
+pub mod sink;
+pub mod span;
+
+pub use json::{parse, JsonObj, JsonValue};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry};
+pub use observer::{
+    CollectingObserver, EpochRecord, JsonlTrainObserver, ObserverHandle, TrainObserver,
+    TrainRunInfo,
+};
+pub use sink::{EventSink, FileSink, MemorySink, StderrSink};
+pub use span::{SpanGuard, SpanRecord, Tracer};

@@ -1,0 +1,170 @@
+//! Structured JSONL event sinks.
+//!
+//! A sink receives one rendered JSON object per event and is shared
+//! freely across threads. Backends: append-to-file ([`FileSink`]),
+//! stderr ([`StderrSink`]), and in-memory ([`MemorySink`], for tests
+//! and report embedding).
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+/// Destination for JSONL telemetry records.
+pub trait EventSink: Send + Sync {
+    /// Write one record (a single-line JSON object, no trailing
+    /// newline — the sink adds the line terminator).
+    fn emit(&self, line: &str);
+
+    /// Flush buffered records to the backing store.
+    fn flush(&self) {}
+}
+
+/// Sink that writes each record as one line on stderr.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StderrSink;
+
+impl EventSink for StderrSink {
+    fn emit(&self, line: &str) {
+        eprintln!("{line}");
+    }
+}
+
+/// Sink appending records to a file, one line each, buffered.
+#[derive(Debug)]
+pub struct FileSink {
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl FileSink {
+    /// Create (truncating) the file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<FileSink> {
+        if let Some(parent) = path.as_ref().parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let file = File::create(path)?;
+        Ok(FileSink { writer: Mutex::new(BufWriter::new(file)) })
+    }
+}
+
+impl EventSink for FileSink {
+    fn emit(&self, line: &str) {
+        let mut w = self.writer.lock().expect("file sink lock");
+        // Telemetry must never abort the run it observes; drop the
+        // record on I/O failure.
+        let _ = writeln!(w, "{line}");
+    }
+
+    fn flush(&self) {
+        let _ = self.writer.lock().expect("file sink lock").flush();
+    }
+}
+
+impl Drop for FileSink {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// In-memory sink; cheap to clone (shared line buffer).
+#[derive(Debug, Default, Clone)]
+pub struct MemorySink {
+    lines: Arc<Mutex<Vec<String>>>,
+}
+
+impl MemorySink {
+    /// A fresh, empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copy of every record emitted so far.
+    pub fn lines(&self) -> Vec<String> {
+        self.lines.lock().expect("memory sink lock").clone()
+    }
+
+    /// Records emitted so far.
+    pub fn len(&self) -> usize {
+        self.lines.lock().expect("memory sink lock").len()
+    }
+
+    /// `true` when nothing has been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl EventSink for MemorySink {
+    fn emit(&self, line: &str) {
+        self.lines.lock().expect("memory sink lock").push(line.to_string());
+    }
+}
+
+/// Milliseconds since the Unix epoch (0 if the system clock is broken).
+/// Telemetry-output only — never feed this into control flow.
+pub fn unix_time_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis().min(u128::from(u64::MAX)) as u64)
+        .unwrap_or(0)
+}
+
+/// `git describe --always --dirty` of the working tree, or `"unknown"`
+/// when git (or the repository) is unavailable. Recorded in run headers
+/// so a JSONL file can be tied back to the code that produced it.
+pub fn git_describe() -> String {
+    std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    #[test]
+    fn memory_sink_collects_in_order() {
+        let sink = MemorySink::new();
+        assert!(sink.is_empty());
+        sink.emit("{\"a\":1}");
+        sink.emit("{\"a\":2}");
+        let clone = sink.clone(); // shared buffer
+        clone.emit("{\"a\":3}");
+        assert_eq!(sink.len(), 3);
+        for (i, line) in sink.lines().iter().enumerate() {
+            let v = parse(line).unwrap();
+            assert_eq!(v.get("a").unwrap().as_u64(), Some(i as u64 + 1));
+        }
+    }
+
+    #[test]
+    fn file_sink_writes_one_line_per_record() {
+        let path = std::env::temp_dir().join("vsan_obs_file_sink_test.jsonl");
+        {
+            let sink = FileSink::create(&path).unwrap();
+            sink.emit("{\"x\":true}");
+            sink.emit("{\"x\":false}");
+            sink.flush();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(parse(lines[0]).is_ok() && parse(lines[1]).is_ok());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn git_describe_never_panics() {
+        let d = git_describe();
+        assert!(!d.is_empty());
+    }
+}

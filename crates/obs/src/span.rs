@@ -1,0 +1,210 @@
+//! Span-based tracing with RAII scoped guards.
+//!
+//! A [`Tracer`] hands out [`SpanGuard`]s; dropping the guard records
+//! the span. Nesting depth is tracked per thread, so spans opened
+//! inside other spans on the same thread report their depth in the
+//! call tree. Collection is thread-safe (many threads can hold guards
+//! of the same tracer concurrently).
+//!
+//! Wall-clock readings taken here flow only into [`SpanRecord`]s —
+//! telemetry output — never back into control flow (DESIGN.md §8).
+
+use std::cell::Cell;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::json::JsonObj;
+use crate::sink::EventSink;
+
+thread_local! {
+    /// Per-thread nesting depth. Shared by all tracers on the thread:
+    /// depth describes the dynamic call tree, which is a property of
+    /// the thread, not of any one tracer.
+    static DEPTH: Cell<usize> = const { Cell::new(0) };
+}
+
+/// One finished span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span label.
+    pub name: String,
+    /// Nesting depth at open time (0 = top level on its thread).
+    pub depth: usize,
+    /// Microseconds from tracer creation to span open.
+    pub start_us: u64,
+    /// Span duration in microseconds.
+    pub dur_us: u64,
+    /// Debug identifier of the recording thread.
+    pub thread: String,
+}
+
+impl SpanRecord {
+    /// Render as one JSONL record.
+    pub fn to_json(&self) -> String {
+        JsonObj::new()
+            .str("type", "span")
+            .str("name", &self.name)
+            .u64("depth", self.depth as u64)
+            .u64("start_us", self.start_us)
+            .u64("dur_us", self.dur_us)
+            .str("thread", &self.thread)
+            .finish()
+    }
+}
+
+#[derive(Debug)]
+struct TracerInner {
+    origin: Instant,
+    spans: Mutex<Vec<SpanRecord>>,
+}
+
+/// Span collector. Clones share the same span buffer, so a tracer can
+/// be handed to worker threads freely.
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    inner: Arc<TracerInner>,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Tracer {
+    /// A fresh tracer; its creation instant is the zero point of every
+    /// span's `start_us`.
+    pub fn new() -> Self {
+        Tracer {
+            inner: Arc::new(TracerInner { origin: Instant::now(), spans: Mutex::new(Vec::new()) }),
+        }
+    }
+
+    /// Open a span; it is recorded when the returned guard drops.
+    pub fn span(&self, name: &str) -> SpanGuard {
+        let depth = DEPTH.with(|d| {
+            let depth = d.get();
+            d.set(depth + 1);
+            depth
+        });
+        SpanGuard {
+            inner: Arc::clone(&self.inner),
+            name: name.to_string(),
+            depth,
+            start: Instant::now(),
+        }
+    }
+
+    /// Snapshot of every span recorded so far (completion order).
+    pub fn records(&self) -> Vec<SpanRecord> {
+        self.inner.spans.lock().expect("tracer lock").clone()
+    }
+
+    /// Take every recorded span, leaving the tracer empty.
+    pub fn drain(&self) -> Vec<SpanRecord> {
+        std::mem::take(&mut *self.inner.spans.lock().expect("tracer lock"))
+    }
+
+    /// Emit every recorded span as JSONL; returns the number emitted.
+    pub fn export_jsonl(&self, sink: &dyn EventSink) -> usize {
+        let records = self.records();
+        for r in &records {
+            sink.emit(&r.to_json());
+        }
+        records.len()
+    }
+}
+
+/// RAII guard for an open span; records the span on drop.
+#[must_use = "dropping the guard immediately records a zero-length span"]
+#[derive(Debug)]
+pub struct SpanGuard {
+    inner: Arc<TracerInner>,
+    name: String,
+    depth: usize,
+    start: Instant,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let dur_us = self.start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        let start_us = self
+            .start
+            .duration_since(self.inner.origin)
+            .as_micros()
+            .min(u128::from(u64::MAX)) as u64;
+        DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        let record = SpanRecord {
+            name: std::mem::take(&mut self.name),
+            depth: self.depth,
+            start_us,
+            dur_us,
+            thread: format!("{:?}", std::thread::current().id()),
+        };
+        self.inner.spans.lock().expect("tracer lock").push(record);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+    use crate::sink::MemorySink;
+
+    #[test]
+    fn nested_spans_record_depth_and_order() {
+        let tracer = Tracer::new();
+        {
+            let _outer = tracer.span("outer");
+            {
+                let _inner = tracer.span("inner");
+                let _leaf = tracer.span("leaf");
+            }
+            let _sibling = tracer.span("sibling");
+        }
+        let records = tracer.records();
+        // Completion order: leaf, inner, sibling, outer.
+        let names: Vec<&str> = records.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, ["leaf", "inner", "sibling", "outer"]);
+        let depth: Vec<usize> = records.iter().map(|r| r.depth).collect();
+        assert_eq!(depth, [2, 1, 1, 0]);
+        // Parents span their children.
+        let outer = &records[3];
+        for child in &records[..3] {
+            assert!(child.start_us >= outer.start_us);
+        }
+    }
+
+    #[test]
+    fn spans_from_many_threads_collect_safely() {
+        let tracer = Tracer::new();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let tracer = tracer.clone();
+                s.spawn(move || {
+                    for i in 0..25 {
+                        let _g = tracer.span(&format!("t{t}-{i}"));
+                    }
+                });
+            }
+        });
+        let records = tracer.records();
+        assert_eq!(records.len(), 100);
+        // Fresh threads start at depth 0.
+        assert!(records.iter().all(|r| r.depth == 0));
+    }
+
+    #[test]
+    fn export_and_drain() {
+        let tracer = Tracer::new();
+        drop(tracer.span("a"));
+        let sink = MemorySink::new();
+        assert_eq!(tracer.export_jsonl(&sink), 1);
+        let v = parse(&sink.lines()[0]).unwrap();
+        assert_eq!(v.get("type").unwrap().as_str(), Some("span"));
+        assert_eq!(v.get("name").unwrap().as_str(), Some("a"));
+        assert!(v.get("dur_us").unwrap().as_u64().is_some());
+        assert_eq!(tracer.drain().len(), 1);
+        assert!(tracer.records().is_empty());
+    }
+}

@@ -1,0 +1,78 @@
+//! Property-based tests for the histogram: bucket boundaries, the
+//! quantile-estimation error bound, and merge associativity. Case count
+//! honors `PROPTEST_CASES` (see `scripts/verify.sh`).
+
+use proptest::prelude::*;
+use vsan_obs::metrics::{bucket_bounds, bucket_index, Histogram, HistogramSnapshot, NUM_BUCKETS};
+
+proptest! {
+    #[test]
+    fn every_value_lands_inside_its_bucket(v in 0u64..=u64::MAX) {
+        let idx = bucket_index(v);
+        prop_assert!(idx < NUM_BUCKETS);
+        let (lo, hi) = bucket_bounds(idx);
+        prop_assert!(lo <= v && v <= hi, "{v} outside bucket {idx} = [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn bucket_upper_edge_overshoots_by_at_most_one_sixteenth(v in 0u64..=u64::MAX) {
+        // The percentile estimator returns a bucket's upper edge, so
+        // this is exactly the histogram's relative error bound.
+        let (_, hi) = bucket_bounds(bucket_index(v));
+        prop_assert!(hi >= v);
+        prop_assert!(hi - v <= v / 16, "edge {hi} vs value {v}");
+    }
+
+    #[test]
+    fn percentile_error_is_bounded(
+        samples in proptest::collection::vec(0u64..1_000_000_000, 1..200),
+        q in 0.01f64..1.0,
+    ) {
+        let h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count, samples.len() as u64);
+
+        // The true order statistic of rank ⌈q·count⌉.
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        let truth = sorted[rank - 1];
+
+        // Estimate never undershoots and overshoots ≤ 1/16 relative
+        // (exact below 16; capped by the tracked max).
+        let est = snap.percentile(q);
+        prop_assert!(est >= truth, "estimate {est} < true {truth}");
+        prop_assert!(est <= truth + truth / 16 + 1, "estimate {est} vs true {truth}");
+        prop_assert!(est <= snap.max);
+    }
+
+    #[test]
+    fn merge_is_associative_commutative_and_lossless(
+        a in proptest::collection::vec(0u64..=u64::MAX, 0..60),
+        b in proptest::collection::vec(0u64..=u64::MAX, 0..60),
+        c in proptest::collection::vec(0u64..=u64::MAX, 0..60),
+    ) {
+        let snap = |vals: &[u64]| {
+            let h = Histogram::new();
+            for &v in vals {
+                h.record(v);
+            }
+            h.snapshot()
+        };
+        let (sa, sb, sc) = (snap(&a), snap(&b), snap(&c));
+        // Associativity and commutativity of the bucket-wise merge.
+        prop_assert_eq!(sa.merge(&sb).merge(&sc), sa.merge(&sb.merge(&sc)));
+        prop_assert_eq!(sa.merge(&sb), sb.merge(&sa));
+        // Lossless: merging shards equals recording everything at once.
+        let mut all = a.clone();
+        all.extend(&b);
+        all.extend(&c);
+        let merged = sa.merge(&sb).merge(&sc);
+        prop_assert_eq!(&merged, &snap(&all));
+        // Identity element.
+        prop_assert_eq!(merged.merge(&HistogramSnapshot::default()), merged);
+    }
+}

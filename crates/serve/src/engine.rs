@@ -2,17 +2,17 @@
 //! cache short-circuit on the submit path.
 
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use vsan_core::Vsan;
+use vsan_obs::{Counter, EventSink};
 
 use crate::cache::SequenceCache;
 use crate::config::EngineConfig;
-use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::metrics::{as_us, Metrics, MetricsSnapshot, ServeStats};
 
 /// Failure modes of the serving path. The forward pass itself cannot
 /// fail (scoring falls back to zeros on internal graph errors, exactly
@@ -175,20 +175,24 @@ impl Engine {
     /// resolved; otherwise the request rides the next micro-batch.
     pub fn submit(&self, history: &[u32], k: usize) -> Ticket {
         let metrics = &self.inner.metrics;
-        metrics.requests.fetch_add(1, Ordering::Relaxed);
+        metrics.requests.inc();
         let start = Instant::now();
 
         if self.inner.cache_enabled {
             let window = self.inner.model.fold_in_window(history);
             let hit = self.inner.cache.lock().expect("cache lock").get(window);
             if let Some(logits) = hit {
-                metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+                metrics.cache_hits.inc();
                 let recs = rank(&logits, history, k);
-                metrics.record_latency(start.elapsed());
+                // A cache hit never queues: the whole latency is compute
+                // (lookup + rank), and queue-wait records nothing.
+                let elapsed = as_us(start.elapsed());
+                metrics.compute_us.record(elapsed);
+                metrics.latency_us.record(elapsed);
                 return Ticket::ready(Ok(recs));
             }
         }
-        metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+        metrics.cache_misses.inc();
 
         let Some(req_tx) = &self.req_tx else {
             return Ticket::ready(Err(ServeError::ShuttingDown));
@@ -197,7 +201,10 @@ impl Engine {
         let req =
             Request { history: history.to_vec(), k, enqueued: start, reply: reply_tx };
         match req_tx.send(req) {
-            Ok(()) => Ticket(TicketState::Pending(reply_rx)),
+            Ok(()) => {
+                metrics.queue_depth.add(1);
+                Ticket(TicketState::Pending(reply_rx))
+            }
             Err(_) => Ticket::ready(Err(ServeError::ShuttingDown)),
         }
     }
@@ -223,6 +230,18 @@ impl Engine {
         self.inner.metrics.snapshot()
     }
 
+    /// Full telemetry: counters plus queue-wait / compute / end-to-end
+    /// latency distributions and batch-fill occupancy.
+    pub fn stats(&self) -> ServeStats {
+        self.inner.metrics.stats()
+    }
+
+    /// Emit the engine's metric registry as one JSONL record
+    /// (`"type":"serve_metrics"`) to `sink`.
+    pub fn export_metrics(&self, sink: &dyn EventSink) {
+        self.inner.metrics.emit(sink, "serve_metrics");
+    }
+
     /// The model being served.
     pub fn model(&self) -> &Vsan {
         &self.inner.model
@@ -234,6 +253,14 @@ impl Engine {
     pub fn shutdown(mut self) -> MetricsSnapshot {
         self.close();
         self.inner.metrics.snapshot()
+    }
+
+    /// [`Engine::shutdown`], but returning the full [`ServeStats`] —
+    /// drained-queue telemetry includes the queue-wait / compute split
+    /// for every request flushed during the drain.
+    pub fn shutdown_stats(mut self) -> ServeStats {
+        self.close();
+        self.inner.metrics.stats()
     }
 
     fn close(&mut self) {
@@ -289,7 +316,7 @@ fn batcher_loop(
         // time is charged against the latency budget.
         let due = batch[0].enqueued + deadline;
         let mut disconnected = false;
-        let flush_counter: &AtomicU64 = loop {
+        let flush_counter: &Counter = loop {
             if batch.len() >= max_batch {
                 break &inner.metrics.flush_full;
             }
@@ -306,9 +333,11 @@ fn batcher_loop(
                 }
             }
         };
-        flush_counter.fetch_add(1, Ordering::Relaxed);
-        inner.metrics.batches.fetch_add(1, Ordering::Relaxed);
-        inner.metrics.batched_requests.fetch_add(batch.len() as u64, Ordering::Relaxed);
+        flush_counter.inc();
+        inner.metrics.batches.inc();
+        inner.metrics.batched_requests.add(batch.len() as u64);
+        inner.metrics.batch_fill_pct.record((batch.len() * 100 / max_batch) as u64);
+        inner.metrics.queue_depth.add(-(batch.len() as i64));
         if batch_tx.send(batch).is_err() || disconnected {
             // Disconnected implies the queue already drained: the
             // receiver only reports disconnection once empty.
@@ -322,6 +351,17 @@ fn batcher_loop(
 /// deterministic, so shared logits are exactly what separate forwards
 /// would produce.
 fn process_batch(inner: &Inner, batch: Vec<Request>) {
+    // Everything before this instant is queue wait; everything after is
+    // compute. The split is per request (the wait differs per request —
+    // later arrivals waited less for the same flush).
+    let picked_up = Instant::now();
+    for req in &batch {
+        inner
+            .metrics
+            .queue_wait_us
+            .record(as_us(picked_up.saturating_duration_since(req.enqueued)));
+    }
+
     let mut windows: Vec<Vec<u32>> = Vec::new();
     let mut index: HashMap<Vec<u32>, usize> = HashMap::new();
     let mut which: Vec<usize> = Vec::with_capacity(batch.len());
@@ -352,7 +392,8 @@ fn process_batch(inner: &Inner, batch: Vec<Request>) {
 
     for (req, idx) in batch.into_iter().zip(which) {
         let recs = rank(&rows[idx], &req.history, req.k);
-        inner.metrics.record_latency(req.enqueued.elapsed());
+        inner.metrics.compute_us.record(as_us(picked_up.elapsed()));
+        inner.metrics.latency_us.record(as_us(req.enqueued.elapsed()));
         // A dropped ticket is fine; the logits are already cached.
         let _ = req.reply.send(Ok(recs));
     }

@@ -47,4 +47,4 @@ mod metrics;
 pub use cache::SequenceCache;
 pub use config::EngineConfig;
 pub use engine::{Engine, ServeError, Ticket};
-pub use metrics::MetricsSnapshot;
+pub use metrics::{MetricsSnapshot, ServeStats};

@@ -1,48 +1,107 @@
-//! Engine counters: lock-free atomics updated on the hot path, read as
-//! a consistent-enough [`MetricsSnapshot`] at any time.
+//! Engine telemetry on the [`vsan_obs`] metrics registry.
+//!
+//! The hot path holds `Arc` handles obtained once at engine start —
+//! counters and histogram records are single relaxed atomics, and the
+//! registry lock is never touched after startup. The legacy
+//! [`MetricsSnapshot`] remains the stable counter view (a thin adapter
+//! over the registry); [`ServeStats`] adds the full latency
+//! distributions, split into queue wait vs. compute time.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
-/// Relaxed ordering everywhere: counters are monotonic telemetry, not
-/// synchronization — the channel send/recv on the request path already
-/// provides the happens-before edges the engine relies on.
-const ORD: Ordering = Ordering::Relaxed;
+use vsan_obs::{Counter, EventSink, Gauge, Histogram, HistogramSnapshot, Registry};
 
-#[derive(Debug, Default)]
+/// Clamp a duration to whole microseconds for histogram recording.
+pub(crate) fn as_us(elapsed: Duration) -> u64 {
+    elapsed.as_micros().min(u128::from(u64::MAX)) as u64
+}
+
+/// Registry-backed engine metrics. Handles are pre-resolved so the
+/// request path never takes the registry lock.
+#[derive(Debug)]
 pub(crate) struct Metrics {
-    pub requests: AtomicU64,
-    pub cache_hits: AtomicU64,
-    pub cache_misses: AtomicU64,
-    pub batches: AtomicU64,
-    pub batched_requests: AtomicU64,
-    pub flush_full: AtomicU64,
-    pub flush_deadline: AtomicU64,
-    pub flush_shutdown: AtomicU64,
-    pub latency_us_sum: AtomicU64,
-    pub latency_us_max: AtomicU64,
+    registry: Registry,
+    pub requests: Arc<Counter>,
+    pub cache_hits: Arc<Counter>,
+    pub cache_misses: Arc<Counter>,
+    pub batches: Arc<Counter>,
+    pub batched_requests: Arc<Counter>,
+    pub flush_full: Arc<Counter>,
+    pub flush_deadline: Arc<Counter>,
+    pub flush_shutdown: Arc<Counter>,
+    /// Requests enqueued but not yet picked into a batch.
+    pub queue_depth: Arc<Gauge>,
+    /// Submit → batch pickup (cache hits never enter the queue, so they
+    /// record nothing here).
+    pub queue_wait_us: Arc<Histogram>,
+    /// Batch pickup → reply (for cache hits: the whole lookup+rank).
+    pub compute_us: Arc<Histogram>,
+    /// Submit → reply, end to end.
+    pub latency_us: Arc<Histogram>,
+    /// Batch occupancy at flush, percent of `max_batch` (100 = full).
+    pub batch_fill_pct: Arc<Histogram>,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Metrics {
-    pub fn record_latency(&self, elapsed: Duration) {
-        let us = elapsed.as_micros().min(u128::from(u64::MAX)) as u64;
-        self.latency_us_sum.fetch_add(us, ORD);
-        self.latency_us_max.fetch_max(us, ORD);
+    pub fn new() -> Self {
+        let registry = Registry::new();
+        Metrics {
+            requests: registry.counter("serve.requests"),
+            cache_hits: registry.counter("serve.cache_hits"),
+            cache_misses: registry.counter("serve.cache_misses"),
+            batches: registry.counter("serve.batches"),
+            batched_requests: registry.counter("serve.batched_requests"),
+            flush_full: registry.counter("serve.flush_full"),
+            flush_deadline: registry.counter("serve.flush_deadline"),
+            flush_shutdown: registry.counter("serve.flush_shutdown"),
+            queue_depth: registry.gauge("serve.queue_depth"),
+            queue_wait_us: registry.histogram("serve.queue_wait_us"),
+            compute_us: registry.histogram("serve.compute_us"),
+            latency_us: registry.histogram("serve.latency_us"),
+            batch_fill_pct: registry.histogram("serve.batch_fill_pct"),
+            registry,
+        }
     }
 
+    /// The stable counter view.
     pub fn snapshot(&self) -> MetricsSnapshot {
+        let lat = self.latency_us.snapshot();
         MetricsSnapshot {
-            requests: self.requests.load(ORD),
-            cache_hits: self.cache_hits.load(ORD),
-            cache_misses: self.cache_misses.load(ORD),
-            batches: self.batches.load(ORD),
-            batched_requests: self.batched_requests.load(ORD),
-            flush_full: self.flush_full.load(ORD),
-            flush_deadline: self.flush_deadline.load(ORD),
-            flush_shutdown: self.flush_shutdown.load(ORD),
-            latency_us_sum: self.latency_us_sum.load(ORD),
-            latency_us_max: self.latency_us_max.load(ORD),
+            requests: self.requests.get(),
+            cache_hits: self.cache_hits.get(),
+            cache_misses: self.cache_misses.get(),
+            batches: self.batches.get(),
+            batched_requests: self.batched_requests.get(),
+            flush_full: self.flush_full.get(),
+            flush_deadline: self.flush_deadline.get(),
+            flush_shutdown: self.flush_shutdown.get(),
+            latency_us_sum: lat.sum,
+            latency_us_max: lat.max,
         }
+    }
+
+    /// The full histogram view.
+    pub fn stats(&self) -> ServeStats {
+        ServeStats {
+            snapshot: self.snapshot(),
+            queue_depth: self.queue_depth.get(),
+            queue_wait_us: self.queue_wait_us.snapshot(),
+            compute_us: self.compute_us.snapshot(),
+            latency_us: self.latency_us.snapshot(),
+            batch_fill_pct: self.batch_fill_pct.snapshot(),
+        }
+    }
+
+    /// Emit the whole registry as one JSONL record.
+    pub fn emit(&self, sink: &dyn EventSink, record_type: &str) {
+        self.registry.emit(sink, record_type);
     }
 }
 
@@ -101,6 +160,57 @@ impl MetricsSnapshot {
     }
 }
 
+/// Full engine telemetry: the counter snapshot plus the latency
+/// distributions. Invariants the engine maintains:
+///
+/// - `latency_us.count == compute_us.count == requests` (every answered
+///   request records both),
+/// - `queue_wait_us.count == cache_misses` (cache hits never queue),
+/// - `batch_fill_pct.count == batches`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeStats {
+    /// The stable counter view.
+    pub snapshot: MetricsSnapshot,
+    /// Requests currently enqueued (0 once drained).
+    pub queue_depth: i64,
+    /// Submit → batch-pickup wait distribution (cache misses only).
+    pub queue_wait_us: HistogramSnapshot,
+    /// Batch-pickup → reply compute distribution.
+    pub compute_us: HistogramSnapshot,
+    /// End-to-end submit → reply latency distribution.
+    pub latency_us: HistogramSnapshot,
+    /// Batch occupancy at flush, percent of `max_batch`.
+    pub batch_fill_pct: HistogramSnapshot,
+}
+
+impl ServeStats {
+    /// Mean batch occupancy in percent of `max_batch` (0.0 before the
+    /// first flush).
+    pub fn mean_batch_fill_pct(&self) -> f64 {
+        self.batch_fill_pct.mean()
+    }
+
+    /// One-line JSON object with the counters and per-distribution
+    /// summaries (count/mean/p50/p90/p99/max) — embedded by the benches.
+    pub fn to_json(&self) -> String {
+        vsan_obs::JsonObj::new()
+            .u64("requests", self.snapshot.requests)
+            .u64("cache_hits", self.snapshot.cache_hits)
+            .u64("cache_misses", self.snapshot.cache_misses)
+            .u64("batches", self.snapshot.batches)
+            .u64("batched_requests", self.snapshot.batched_requests)
+            .u64("flush_full", self.snapshot.flush_full)
+            .u64("flush_deadline", self.snapshot.flush_deadline)
+            .u64("flush_shutdown", self.snapshot.flush_shutdown)
+            .i64("queue_depth", self.queue_depth)
+            .f64("mean_batch_fill_pct", self.mean_batch_fill_pct())
+            .raw("queue_wait_us", &self.queue_wait_us.summary_json())
+            .raw("compute_us", &self.compute_us.summary_json())
+            .raw("latency_us", &self.latency_us.summary_json())
+            .finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -112,16 +222,46 @@ mod tests {
         assert_eq!(m.snapshot().cache_hit_rate(), 0.0);
         assert_eq!(m.snapshot().mean_latency_us(), 0.0);
 
-        m.requests.store(10, ORD);
-        m.cache_hits.store(4, ORD);
-        m.batches.store(2, ORD);
-        m.batched_requests.store(6, ORD);
-        m.record_latency(Duration::from_micros(100));
-        m.record_latency(Duration::from_micros(300));
+        m.requests.add(10);
+        m.cache_hits.add(4);
+        m.batches.add(2);
+        m.batched_requests.add(6);
+        m.latency_us.record(as_us(Duration::from_micros(100)));
+        m.latency_us.record(as_us(Duration::from_micros(300)));
         let s = m.snapshot();
         assert_eq!(s.mean_batch_size(), 3.0);
         assert_eq!(s.cache_hit_rate(), 0.4);
         assert_eq!(s.latency_us_max, 300);
         assert_eq!(s.latency_us_sum, 400);
+    }
+
+    #[test]
+    fn stats_json_roundtrips() {
+        let m = Metrics::new();
+        m.requests.inc();
+        m.queue_wait_us.record(50);
+        m.compute_us.record(200);
+        m.latency_us.record(250);
+        m.batch_fill_pct.record(100);
+        let stats = m.stats();
+        assert_eq!(stats.mean_batch_fill_pct(), 100.0);
+        let v = vsan_obs::parse(&stats.to_json()).unwrap();
+        assert_eq!(v.get("requests").unwrap().as_u64(), Some(1));
+        let lat = v.get("latency_us").unwrap();
+        assert_eq!(lat.get("count").unwrap().as_u64(), Some(1));
+        assert!(lat.get("p99").unwrap().as_u64().unwrap() >= 250);
+    }
+
+    #[test]
+    fn registry_emits_one_record() {
+        let m = Metrics::new();
+        m.requests.inc();
+        let sink = vsan_obs::MemorySink::new();
+        m.emit(&sink, "serve_metrics");
+        assert_eq!(sink.len(), 1);
+        let v = vsan_obs::parse(&sink.lines()[0]).unwrap();
+        assert_eq!(v.get("type").unwrap().as_str(), Some("serve_metrics"));
+        let counters = v.get("metrics").unwrap().get("counters").unwrap();
+        assert_eq!(counters.get("serve.requests").unwrap().as_u64(), Some(1));
     }
 }

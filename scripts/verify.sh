@@ -25,6 +25,12 @@ cargo test --workspace -q --offline
 echo "==> equivalence matrix (VSAN_THREADS_MATRIX=1,2,8)"
 VSAN_THREADS_MATRIX=1,2,8 cargo test -q --offline -p vsan-core --test parallel_train
 
+# Instrumented smoke pass: trains and serves with full telemetry
+# attached, then validates the JSONL streams (fails on zero events or
+# any record that does not parse).
+echo "==> obs_smoke (instrumented train + serve telemetry)"
+cargo run --release --offline -q -p vsan-bench --bin obs_smoke
+
 echo "==> cargo clippy --offline -- -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 

@@ -18,6 +18,8 @@
 //! * [`core`] — VSAN itself (the paper's contribution) and its ablations.
 //! * [`serve`] — the embedded online inference engine (micro-batching,
 //!   top-k partial selection, user-sequence LRU cache).
+//! * [`obs`] — observability: span tracing, metrics registry, and the
+//!   JSONL training/serving telemetry (README § Observability).
 //!
 //! See README.md for a quickstart and DESIGN.md for the system inventory.
 
@@ -27,6 +29,7 @@ pub use vsan_data as data;
 pub use vsan_eval as eval;
 pub use vsan_models as models;
 pub use vsan_nn as nn;
+pub use vsan_obs as obs;
 pub use vsan_serve as serve;
 pub use vsan_tensor as tensor;
 
@@ -39,7 +42,11 @@ pub mod prelude {
     pub use vsan_data::{Dataset, HeldOutUser};
     pub use vsan_eval::{evaluate_held_out, EvalConfig, Scorer};
     pub use vsan_models::{NeuralConfig, Recommender};
-    pub use vsan_serve::{Engine, EngineConfig, MetricsSnapshot, ServeError, Ticket};
+    pub use vsan_obs::{
+        CollectingObserver, EventSink, FileSink, JsonlTrainObserver, MemorySink, ObserverHandle,
+        TrainObserver,
+    };
+    pub use vsan_serve::{Engine, EngineConfig, MetricsSnapshot, ServeError, ServeStats, Ticket};
 }
 
 #[cfg(test)]
@@ -51,5 +58,6 @@ mod tests {
         assert_eq!(cfg.variant_name(), "VSAN");
         let _pipeline = Pipeline::default();
         let _eval = EvalConfig::default();
+        let _observer = ObserverHandle::none();
     }
 }
