@@ -47,6 +47,20 @@ fn main() {
         report.mean_batch_size,
         report.results_match,
     );
+    let o = &report.overload;
+    println!(
+        "overload:   {} offered → {} exact, {} degraded, {} deadline-miss, {} other\n\
+         \u{20}           rejection {:.1}%, degraded {:.1}%, p50 {}us, p99 {}us",
+        o.offered,
+        o.exact,
+        o.degraded,
+        o.deadline_misses,
+        o.other_errors,
+        o.rejection_rate * 100.0,
+        o.degraded_rate * 100.0,
+        o.p50_latency_us,
+        o.p99_latency_us,
+    );
     assert!(report.results_match, "engine rankings diverged from Vsan::recommend");
     match report.write_json("BENCH_serve.json") {
         Ok(path) => eprintln!("wrote {}", path.display()),

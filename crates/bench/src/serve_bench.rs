@@ -22,7 +22,7 @@ use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use vsan_core::{Vsan, VsanConfig};
 use vsan_data::Dataset;
-use vsan_serve::{Engine, EngineConfig, ServeStats};
+use vsan_serve::{BackpressurePolicy, Engine, EngineConfig, ServeError, ServeStats};
 
 /// Workload and engine knobs for [`run_serve_bench`].
 #[derive(Debug, Clone)]
@@ -56,6 +56,14 @@ pub struct ServeBenchConfig {
     pub batch_deadline: Duration,
     /// RNG seed for the dataset and the stream shuffle.
     pub seed: u64,
+    /// Requests offered in one flood during the overload phase (all
+    /// distinct histories, so every one needs a forward).
+    pub overload_requests: usize,
+    /// Admission-queue capacity during the overload phase — deliberately
+    /// far smaller than the flood so backpressure must engage.
+    pub overload_queue_capacity: usize,
+    /// Per-request deadline during the overload phase.
+    pub overload_deadline: Duration,
 }
 
 impl Default for ServeBenchConfig {
@@ -74,6 +82,9 @@ impl Default for ServeBenchConfig {
             max_batch: 32,
             batch_deadline: Duration::from_micros(200),
             seed: 42,
+            overload_requests: 512,
+            overload_queue_capacity: 32,
+            overload_deadline: Duration::from_millis(50),
         }
     }
 }
@@ -91,6 +102,9 @@ impl ServeBenchConfig {
             requests: 120,
             unique_histories: 24,
             k: 5,
+            overload_requests: 96,
+            overload_queue_capacity: 8,
+            overload_deadline: Duration::from_millis(20),
             ..Self::default()
         }
     }
@@ -124,6 +138,41 @@ pub struct ServeBenchReport {
     /// Full engine telemetry at shutdown: queue-wait / compute /
     /// end-to-end latency distributions and batch-fill occupancy.
     pub stats: ServeStats,
+    /// Saturation-phase measurements (same model weights, tight queue).
+    pub overload: OverloadReport,
+}
+
+/// Measured behaviour of the engine under deliberate saturation: a
+/// flood of distinct requests against a tight admission queue with
+/// `ShedOldest` backpressure, a per-request deadline, and a popularity
+/// fallback. The interesting numbers are the *rates* — how much load
+/// was refused or degraded, and what latency the survivors saw — not
+/// throughput (a saturated engine is by construction not keeping up).
+#[derive(Debug, Clone)]
+pub struct OverloadReport {
+    /// Requests offered in the flood.
+    pub offered: u64,
+    /// Requests answered exactly (full model forward).
+    pub exact: u64,
+    /// Requests answered through the degraded fallback.
+    pub degraded: u64,
+    /// Requests rejected with a typed `DeadlineExceeded`.
+    pub deadline_misses: u64,
+    /// Requests failed with any other typed error.
+    pub other_errors: u64,
+    /// Fraction of offered load refused at admission (shed + rejected
+    /// + watermark-shed) — `MetricsSnapshot::rejection_rate`.
+    pub rejection_rate: f64,
+    /// Fraction of offered load answered degraded.
+    pub degraded_rate: f64,
+    /// Median end-to-end latency under saturation, microseconds.
+    pub p50_latency_us: u64,
+    /// Tail end-to-end latency under saturation, microseconds.
+    pub p99_latency_us: u64,
+    /// Offered load over the flood's wall-clock, requests per second.
+    pub offered_rps: f64,
+    /// Full engine telemetry at shutdown.
+    pub stats: ServeStats,
 }
 
 /// Train a small VSAN, then time the same shuffled repeat-traffic
@@ -145,6 +194,14 @@ pub fn run_serve_bench(cfg: ServeBenchConfig) -> ServeBenchReport {
     model_cfg.base.max_seq_len = cfg.max_seq_len;
     model_cfg.base.epochs = cfg.epochs;
     let model = Vsan::train(&ds, &train_users, &model_cfg).expect("bench training");
+
+    // Twin model for the overload phase via a checkpoint round-trip
+    // (`Vsan` is deliberately not `Clone`; the engine consumes it).
+    let twin = {
+        let mut m = Vsan::init(ds.vocab(), &model_cfg);
+        m.params_mut().load_values(model.params().save()).expect("twin weights");
+        m
+    };
 
     // Distinct query histories (2..=seq_len items), then a shuffled
     // stream with `requests / unique_histories` lookups of each.
@@ -182,7 +239,7 @@ pub fn run_serve_bench(cfg: ServeBenchConfig) -> ServeBenchReport {
         let tickets: Vec<_> =
             burst.iter().map(|&i| engine.submit(&histories[i], cfg.k)).collect();
         for ticket in tickets {
-            served.push(ticket.wait().expect("engine reply"));
+            served.push(ticket.wait().expect("engine reply").into_items());
         }
     }
     let engine_seconds = t1.elapsed().as_secs_f64();
@@ -190,6 +247,7 @@ pub fn run_serve_bench(cfg: ServeBenchConfig) -> ServeBenchReport {
     let metrics = stats.snapshot;
 
     let results_match = served == sequential;
+    let overload = run_overload_bench(&cfg, twin);
     ServeBenchReport {
         speedup: sequential_seconds / engine_seconds.max(1e-12),
         sequential_rps: cfg.requests as f64 / sequential_seconds.max(1e-12),
@@ -202,7 +260,69 @@ pub fn run_serve_bench(cfg: ServeBenchConfig) -> ServeBenchReport {
         mean_latency_us: metrics.mean_latency_us(),
         results_match,
         stats,
+        overload,
         config: cfg,
+    }
+}
+
+/// Drive the engine past its capacity on purpose: `overload_requests`
+/// *distinct* histories (no cache relief) offered in a single flood
+/// against one worker, a queue of `overload_queue_capacity`, `ShedOldest`
+/// backpressure, a per-request deadline, and a popularity fallback. No
+/// failpoints — this measures genuine saturation, not injected faults.
+pub fn run_overload_bench(cfg: &ServeBenchConfig, model: Vsan) -> OverloadReport {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5EED_CAFE);
+    let histories: Vec<Vec<u32>> = (0..cfg.overload_requests)
+        .map(|_| {
+            let len = rng.gen_range(2..=cfg.seq_len);
+            (0..len).map(|_| rng.gen_range(1..=cfg.num_items as u32)).collect()
+        })
+        .collect();
+    // Fallback ranking when load is shed: item id 0 is padding, the
+    // rest scored by (synthetic) popularity.
+    let popularity: Vec<f32> = (0..=cfg.num_items)
+        .map(|i| if i == 0 { f32::NEG_INFINITY } else { 1.0 / i as f32 })
+        .collect();
+
+    let engine = Engine::start(
+        model,
+        EngineConfig::default()
+            .with_max_batch(cfg.max_batch)
+            .with_batch_deadline(cfg.batch_deadline)
+            .with_workers(1)
+            .with_cache_capacity(0)
+            .with_queue_capacity(cfg.overload_queue_capacity)
+            .with_backpressure(BackpressurePolicy::ShedOldest)
+            .with_default_deadline(cfg.overload_deadline)
+            .with_popularity(popularity),
+    );
+
+    let t0 = Instant::now();
+    let tickets: Vec<_> = histories.iter().map(|h| engine.submit(h, cfg.k)).collect();
+    let (mut exact, mut degraded, mut deadline_misses, mut other_errors) = (0u64, 0u64, 0u64, 0u64);
+    for ticket in tickets {
+        match ticket.wait() {
+            Ok(r) if r.is_degraded() => degraded += 1,
+            Ok(_) => exact += 1,
+            Err(ServeError::DeadlineExceeded) => deadline_misses += 1,
+            Err(_) => other_errors += 1,
+        }
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    let stats = engine.shutdown_stats();
+
+    OverloadReport {
+        offered: cfg.overload_requests as u64,
+        exact,
+        degraded,
+        deadline_misses,
+        other_errors,
+        rejection_rate: stats.snapshot.rejection_rate(),
+        degraded_rate: stats.snapshot.degraded_rate(),
+        p50_latency_us: stats.latency_us.percentile(0.50),
+        p99_latency_us: stats.latency_us.percentile(0.99),
+        offered_rps: cfg.overload_requests as f64 / wall.max(1e-12),
+        stats,
     }
 }
 
@@ -223,7 +343,7 @@ impl ServeBenchReport {
                \"mean_batch_size\": {:.2},\n  \"mean_latency_us\": {:.1},\n  \
                \"mean_batch_fill_pct\": {:.1},\n  \
                \"queue_wait_us\": {},\n  \"compute_us\": {},\n  \"latency_us\": {},\n  \
-               \"results_match\": {}\n}}\n",
+               \"results_match\": {},\n  \"overload\": {}\n}}\n",
             c.requests,
             c.unique_histories,
             c.k,
@@ -246,6 +366,7 @@ impl ServeBenchReport {
             self.stats.compute_us.summary_json(),
             self.stats.latency_us.summary_json(),
             self.results_match,
+            self.overload.to_json(),
         )
     }
 
@@ -255,6 +376,34 @@ impl ServeBenchReport {
         std::fs::create_dir_all(results_dir())?;
         std::fs::write(&path, self.to_json())?;
         Ok(path)
+    }
+}
+
+impl OverloadReport {
+    /// Serialize as a JSON object (embedded under `"overload"` in the
+    /// main report).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n    \"offered\": {},\n    \"exact\": {},\n    \"degraded\": {},\n    \
+               \"deadline_misses\": {},\n    \"other_errors\": {},\n    \
+               \"rejection_rate\": {:.4},\n    \"degraded_rate\": {:.4},\n    \
+               \"p50_latency_us\": {},\n    \"p99_latency_us\": {},\n    \
+               \"offered_rps\": {:.1},\n    \
+               \"shed_oldest\": {},\n    \"load_shed\": {},\n    \"rejected_newest\": {}\n  }}",
+            self.offered,
+            self.exact,
+            self.degraded,
+            self.deadline_misses,
+            self.other_errors,
+            self.rejection_rate,
+            self.degraded_rate,
+            self.p50_latency_us,
+            self.p99_latency_us,
+            self.offered_rps,
+            self.stats.snapshot.shed_oldest,
+            self.stats.snapshot.load_shed,
+            self.stats.snapshot.rejected_newest,
+        )
     }
 }
 
@@ -291,10 +440,34 @@ mod tests {
         assert_eq!(stats.batch_fill_pct.count, stats.snapshot.batches);
         assert_eq!(stats.queue_depth, 0, "queue must be drained at shutdown");
         assert!(stats.latency_us.percentile(0.99) >= stats.latency_us.percentile(0.50));
+        // Overload phase: every offered request resolves exactly once
+        // (ticket conservation), and the tight queue forces the engine
+        // to actually refuse or degrade part of the flood.
+        let o = &report.overload;
+        assert_eq!(
+            o.exact + o.degraded + o.deadline_misses + o.other_errors,
+            o.offered,
+            "overload accounting must cover every offered request: {o:?}"
+        );
+        assert!(o.exact > 0, "a saturated engine still answers some requests: {o:?}");
+        assert!(
+            o.degraded + o.deadline_misses > 0,
+            "the flood must overwhelm the tight queue: {o:?}"
+        );
+        assert!(o.rejection_rate > 0.0, "backpressure must engage under saturation: {o:?}");
+        assert_eq!(o.stats.queue_depth, 0, "overload queue drained at shutdown");
+        assert_eq!(
+            o.stats.latency_us.count, o.offered,
+            "every overload ticket records end-to-end latency"
+        );
+        assert!(o.p99_latency_us >= o.p50_latency_us);
+
         let path = report.write_json("BENCH_serve_smoke.json").expect("write report");
         let written = std::fs::read_to_string(path).unwrap();
         assert!(written.contains("\"results_match\": true"));
         assert!(written.contains("\"speedup\""));
         assert!(written.contains("\"queue_wait_us\""));
+        assert!(written.contains("\"overload\""));
+        assert!(written.contains("\"rejection_rate\""));
     }
 }

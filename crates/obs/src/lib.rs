@@ -20,6 +20,9 @@
 //!   emitter and an in-memory collector.
 //! * [`json`] — the hand-rolled JSON builder and validating parser the
 //!   workspace uses instead of an external JSON dependency.
+//! * [`events::FaultEvent`] — the `"serve_fault"` JSONL record the
+//!   serving layer's fault-tolerance machinery emits (panics, respawns,
+//!   deadline misses, backpressure actions, degraded-mode transitions).
 //!
 //! ## Telemetry policy (DESIGN.md §8)
 //!
@@ -29,12 +32,14 @@
 //! leaves trained parameters and served rankings bit-identical — the
 //! determinism contract of DESIGN.md §7 is unaffected.
 
+pub mod events;
 pub mod json;
 pub mod metrics;
 pub mod observer;
 pub mod sink;
 pub mod span;
 
+pub use events::{FaultEvent, FaultKind};
 pub use json::{parse, JsonObj, JsonValue};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry};
 pub use observer::{

@@ -104,6 +104,17 @@ impl SequenceCache {
         self.attach_front(idx);
     }
 
+    /// Drop every entry, keeping the allocated slab for reuse. The
+    /// engine's poison-recovery path calls this: a cache is always safe
+    /// to empty, never safe to trust after an interrupted mutation.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slab.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
     /// Drop a window from the cache; returns `true` if it was present.
     /// This is the invalidation hook: when a user records a new
     /// interaction, their cached window is stale and must be evicted.
@@ -219,6 +230,19 @@ mod tests {
         assert_eq!(c.len(), 2);
         assert!(c.get(&[3]).is_some());
         assert!(c.get(&[4]).is_some());
+    }
+
+    #[test]
+    fn clear_empties_and_stays_usable() {
+        let mut c = SequenceCache::new(2);
+        c.insert(vec![1], row(1.0));
+        c.insert(vec![2], row(2.0));
+        c.clear();
+        assert!(c.is_empty());
+        assert!(c.get(&[1]).is_none());
+        c.insert(vec![3], row(3.0));
+        assert_eq!(c.get(&[3]).unwrap()[0], 3.0);
+        assert_eq!(c.len(), 1);
     }
 
     #[test]

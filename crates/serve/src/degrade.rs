@@ -1,0 +1,99 @@
+//! Graceful degradation: answer *something* when the engine cannot
+//! afford (overload) or is unable (workers down) to run the forward
+//! pass.
+//!
+//! Two fallbacks, tried in order, both deterministic:
+//!
+//! 1. **Approximate cache** — probe the LRU for progressively shorter
+//!    suffixes of the request's fold-in window. A hit means "the
+//!    ranking for this user as of a few interactions ago": slightly
+//!    stale, bit-reproducible, and far better than an error. Probes
+//!    are bounded hash lookups; no forward pass runs.
+//! 2. **Popularity scorer** — a static per-item score table supplied at
+//!    engine start (typically training-set interaction counts). The
+//!    classic "most popular, minus what you've seen" answer of last
+//!    resort.
+//!
+//! Every degraded response is tagged with its source
+//! ([`crate::ResponseSource`]) so callers and telemetry can tell a real
+//! model answer from a fallback, and counted separately in the metrics.
+
+use std::collections::HashSet;
+use std::sync::{Arc, Mutex, PoisonError};
+
+use vsan_core::Vsan;
+
+use crate::cache::SequenceCache;
+use crate::engine::{Response, ResponseSource};
+
+/// Fallback configuration; part of [`crate::EngineConfig`].
+#[derive(Debug, Clone)]
+pub struct DegradeConfig {
+    /// Probe the LRU cache for shortened fold-in windows (default on).
+    pub cache_fallback: bool,
+    /// How many shortened suffixes to probe beyond the exact window
+    /// (each probe drops one more of the oldest items).
+    pub max_cache_probes: usize,
+    /// Static per-item scores indexed by item id (index 0 = padding,
+    /// like every score row in the workspace); `None` disables the
+    /// popularity fallback.
+    pub popularity: Option<Arc<Vec<f32>>>,
+}
+
+impl Default for DegradeConfig {
+    fn default() -> Self {
+        DegradeConfig { cache_fallback: true, max_cache_probes: 4, popularity: None }
+    }
+}
+
+impl DegradeConfig {
+    /// `true` when at least one fallback could ever produce an answer.
+    pub fn any_enabled(&self) -> bool {
+        self.cache_fallback || self.popularity.is_some()
+    }
+}
+
+/// Try the fallbacks for `history`; `None` means degraded mode has no
+/// answer and the caller must produce [`crate::ServeError::Overloaded`].
+pub(crate) fn degraded_response(
+    model: &Vsan,
+    cache: &Mutex<SequenceCache>,
+    cfg: &DegradeConfig,
+    history: &[u32],
+    k: usize,
+) -> Option<Response> {
+    let seen: HashSet<u32> = history.iter().copied().collect();
+    if cfg.cache_fallback {
+        let window = model.fold_in_window(history);
+        // Cache state is structurally consistent even after a worker
+        // panic (see engine::lock_cache); recover from poisoning.
+        let mut guard = cache.lock().unwrap_or_else(PoisonError::into_inner);
+        for cut in 0..=cfg.max_cache_probes.min(window.len()) {
+            if let Some(logits) = guard.get(&window[cut..]) {
+                let items = vsan_eval::top_n_excluding(&logits, k, &seen);
+                return Some(Response::new(items, ResponseSource::DegradedCache));
+            }
+        }
+    }
+    let popularity = cfg.popularity.as_ref()?;
+    let items = vsan_eval::top_n_excluding(popularity, k, &seen);
+    Some(Response::new(items, ResponseSource::DegradedPopularity))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_enabled_reflects_config() {
+        assert!(DegradeConfig::default().any_enabled());
+        let off = DegradeConfig { cache_fallback: false, popularity: None, ..Default::default() };
+        assert!(!off.any_enabled());
+        let pop_only = DegradeConfig {
+            cache_fallback: false,
+            popularity: Some(Arc::new(vec![0.0, 1.0])),
+            ..Default::default()
+        };
+        assert!(pop_only.any_enabled());
+    }
+}

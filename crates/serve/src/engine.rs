@@ -1,32 +1,61 @@
-//! The engine: request queue → micro-batcher → worker pool, with a
-//! cache short-circuit on the submit path.
+//! The engine: admission queue → micro-batcher → supervised worker
+//! pool, with a cache short-circuit on the submit path and a degraded
+//! fallback path around everything.
+//!
+//! ## Failure semantics (DESIGN.md §9)
+//!
+//! * Every accepted ticket resolves — to a [`Response`] or a typed
+//!   [`ServeError`] — across worker panics, load shedding, and
+//!   shutdown. No code path strands a ticket.
+//! * Per-request deadlines are enforced at admission (blocking pushes
+//!   give up), at batcher pickup (expired requests are rejected
+//!   *before* they occupy compute), and at completion.
+//! * A panicking worker is caught at the batch boundary
+//!   ([`std::panic::catch_unwind`]): untouched requests are requeued
+//!   (bounded by a retry budget), the thread exits, and a supervisor
+//!   respawns a replacement. When the respawn budget is exhausted and
+//!   no worker remains, the engine flips into permanent degraded mode.
+//! * Degraded mode (overload watermark, full queue, or workers down)
+//!   answers from the approximate cache or the popularity fallback
+//!   (see [`crate::degrade`]), tagged in [`Response::source`].
 
-use std::collections::{HashMap, HashSet};
-use std::sync::{Arc, Mutex};
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use crossbeam::channel::{self, Receiver, Sender, TryRecvError};
 use vsan_core::Vsan;
-use vsan_obs::{Counter, EventSink};
+use vsan_obs::{EventSink, FaultEvent, FaultKind};
 
 use crate::cache::SequenceCache;
 use crate::config::EngineConfig;
+use crate::degrade::{degraded_response, DegradeConfig};
+use crate::failpoint;
 use crate::metrics::{as_us, Metrics, MetricsSnapshot, ServeStats};
+use crate::queue::{AdmissionQueue, BackpressurePolicy, PopOutcome, PushOutcome};
 
 /// Failure modes of the serving path. The forward pass itself cannot
 /// fail (scoring falls back to zeros on internal graph errors, exactly
-/// like [`vsan_eval::Scorer::score_items`]), so these are lifecycle
-/// errors only.
+/// like [`vsan_eval::Scorer::score_items`]); these are lifecycle and
+/// overload outcomes, every one of them part of the resolution
+/// guarantee: a ticket either carries a [`Response`] or one of these.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ServeError {
     /// The engine is shutting down and no longer accepts requests.
     ShuttingDown,
-    /// The worker serving this request disappeared before replying
-    /// (only possible if a worker thread panicked).
+    /// The worker serving this request disappeared before replying and
+    /// the retry budget was exhausted (or the batch was dropped).
     WorkerLost,
     /// The ticket's response was already taken by an earlier `poll`.
     ResponseTaken,
+    /// The request's deadline expired before a reply was produced.
+    DeadlineExceeded,
+    /// The engine is saturated (or its workers are down) and no
+    /// degraded fallback could produce an answer.
+    Overloaded,
 }
 
 impl std::fmt::Display for ServeError {
@@ -35,19 +64,92 @@ impl std::fmt::Display for ServeError {
             ServeError::ShuttingDown => write!(f, "engine is shutting down"),
             ServeError::WorkerLost => write!(f, "worker exited before replying"),
             ServeError::ResponseTaken => write!(f, "response already taken"),
+            ServeError::DeadlineExceeded => write!(f, "request deadline exceeded"),
+            ServeError::Overloaded => write!(f, "engine overloaded and no fallback available"),
         }
     }
 }
 
 impl std::error::Error for ServeError {}
 
-type Reply = Result<Vec<u32>, ServeError>;
+/// Where a [`Response`] came from. Anything but [`Self::Batch`] /
+/// [`Self::Cache`] is a degraded answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResponseSource {
+    /// Computed by the worker pool's batched evaluation forward.
+    Batch,
+    /// Served from the exact-window sequence cache.
+    Cache,
+    /// Degraded: shortened-window (approximate) cache fallback.
+    DegradedCache,
+    /// Degraded: static popularity fallback.
+    DegradedPopularity,
+}
+
+/// A resolved recommendation: the ranked items plus the path that
+/// produced them. Dereferences to the item slice, so existing callers
+/// that only want the ranking keep working.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    items: Vec<u32>,
+    source: ResponseSource,
+}
+
+impl Response {
+    pub(crate) fn new(items: Vec<u32>, source: ResponseSource) -> Self {
+        Response { items, source }
+    }
+
+    /// The ranked item ids, best first.
+    pub fn items(&self) -> &[u32] {
+        &self.items
+    }
+
+    /// Consume the response, keeping only the ranking.
+    pub fn into_items(self) -> Vec<u32> {
+        self.items
+    }
+
+    /// Which path produced this answer.
+    pub fn source(&self) -> ResponseSource {
+        self.source
+    }
+
+    /// `true` when the answer came from a fallback, not the model.
+    pub fn is_degraded(&self) -> bool {
+        matches!(self.source, ResponseSource::DegradedCache | ResponseSource::DegradedPopularity)
+    }
+}
+
+impl std::ops::Deref for Response {
+    type Target = [u32];
+    fn deref(&self) -> &[u32] {
+        &self.items
+    }
+}
+
+impl PartialEq<Vec<u32>> for Response {
+    fn eq(&self, other: &Vec<u32>) -> bool {
+        &self.items == other
+    }
+}
+
+impl PartialEq<[u32]> for Response {
+    fn eq(&self, other: &[u32]) -> bool {
+        self.items == other
+    }
+}
+
+type Reply = Result<Response, ServeError>;
 
 /// One queued recommendation request.
 struct Request {
     history: Vec<u32>,
     k: usize,
     enqueued: Instant,
+    deadline: Option<Instant>,
+    /// Times this request has been requeued out of a poisoned batch.
+    attempts: u32,
     reply: Sender<Reply>,
 }
 
@@ -58,8 +160,8 @@ struct Request {
 pub struct Ticket(TicketState);
 
 enum TicketState {
-    /// Answered at submit time (cache hit or shutdown rejection);
-    /// `None` once the response has been taken.
+    /// Answered at submit time (cache hit, degraded answer, or typed
+    /// rejection); `None` once the response has been taken.
     Ready(Option<Reply>),
     Pending(Receiver<Reply>),
 }
@@ -107,13 +209,143 @@ impl std::fmt::Debug for Ticket {
     }
 }
 
-/// State shared between the caller-facing handle, the batcher, and the
-/// workers.
+/// Work units travelling from the batcher to the workers.
+enum BatchMsg {
+    /// A batch of requests to score and answer.
+    Work(Vec<Request>),
+    /// Teardown sentinel: the receiving worker exits.
+    Stop,
+}
+
+/// Messages to the supervisor thread.
+enum Ctrl {
+    /// Worker `id` died on a caught panic.
+    Died(usize),
+    /// The engine is shutting down; stop and join the pool.
+    Shutdown,
+}
+
+/// State shared between the caller-facing handle, the batcher, the
+/// workers, and the supervisor.
 struct Inner {
     model: Vsan,
     cache: Mutex<SequenceCache>,
     cache_enabled: bool,
     metrics: Metrics,
+    queue: AdmissionQueue<Request>,
+    policy: BackpressurePolicy,
+    shed_watermark: Option<usize>,
+    default_deadline: Option<Duration>,
+    degrade: DegradeConfig,
+    max_batch_retries: u32,
+    /// Set once all workers are down with no respawn budget left; every
+    /// request from then on takes the degraded path.
+    degraded_mode: AtomicBool,
+    fault_sink: Option<Arc<dyn EventSink>>,
+    /// Batches dispatched but not yet fully processed. The batcher
+    /// stalls at `max_inflight` instead of running ahead of the pool —
+    /// without this cap the unbounded batch channel would absorb any
+    /// flood and the admission queue's bound would never bind.
+    inflight: Mutex<usize>,
+    inflight_cv: Condvar,
+    max_inflight: usize,
+}
+
+impl Inner {
+    /// Emit one structured fault event, if a sink is configured.
+    fn fault(&self, kind: FaultKind, detail: &str) {
+        if let Some(sink) = &self.fault_sink {
+            FaultEvent::new(kind, detail).emit(sink.as_ref());
+        }
+    }
+
+    /// Lock the cache, recovering from poisoning: if a worker panicked
+    /// while holding the lock the contents are suspect, so the cache is
+    /// emptied (always safe — it is only a cache) and the poison flag
+    /// cleared.
+    fn lock_cache(&self) -> MutexGuard<'_, SequenceCache> {
+        match self.cache.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                self.cache.clear_poison();
+                let mut guard = poisoned.into_inner();
+                guard.clear();
+                self.fault(FaultKind::CachePoisoned, "cache cleared after poisoned lock");
+                guard
+            }
+        }
+    }
+
+    /// Produce a degraded reply for `history` (counted + tagged), or
+    /// [`ServeError::Overloaded`] when no fallback can answer.
+    fn degraded(&self, history: &[u32], k: usize, cause: &str) -> Reply {
+        match degraded_response(&self.model, &self.cache, &self.degrade, history, k) {
+            Some(resp) => {
+                match resp.source() {
+                    ResponseSource::DegradedCache => self.metrics.degraded_cache.inc(),
+                    ResponseSource::DegradedPopularity => self.metrics.degraded_popularity.inc(),
+                    _ => {}
+                }
+                self.fault(FaultKind::Degraded, cause);
+                Ok(resp)
+            }
+            None => {
+                self.metrics.overloaded_errors.inc();
+                self.fault(FaultKind::Overloaded, cause);
+                Err(ServeError::Overloaded)
+            }
+        }
+    }
+
+    /// Record end-to-end latency and deliver the reply. Every terminal
+    /// resolution funnels through here (a dropped ticket is fine — the
+    /// send just returns an error).
+    fn finish(&self, enqueued: Instant, reply_to: &Sender<Reply>, reply: Reply) {
+        self.metrics.latency_us.record(as_us(enqueued.elapsed()));
+        let _ = reply_to.send(reply);
+    }
+
+    /// Resolve a queued request through the degraded path.
+    fn finish_degraded(&self, req: Request, cause: &str) {
+        let reply = self.degraded(&req.history, req.k, cause);
+        self.finish(req.enqueued, &req.reply, reply);
+    }
+
+    fn lock_inflight(&self) -> MutexGuard<'_, usize> {
+        // A plain counter: poisoning cannot leave it inconsistent.
+        self.inflight.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Block until the pool has capacity for one more batch. Gives up
+    /// waiting (but still takes the slot) once the engine is degraded
+    /// or shutting down — in both states the batcher resolves or drains
+    /// batches itself and must not deadlock against a dead pool.
+    fn acquire_batch_slot(&self) {
+        let mut n = self.lock_inflight();
+        while *n >= self.max_inflight
+            && !self.degraded_mode.load(Ordering::Acquire)
+            && !self.queue.is_closed()
+        {
+            n = self.inflight_cv.wait(n).unwrap_or_else(PoisonError::into_inner);
+        }
+        *n += 1;
+    }
+
+    /// Mark one dispatched batch as fully processed.
+    fn release_batch_slot(&self) {
+        let mut n = self.lock_inflight();
+        // Requeued panic-survivor batches are dispatched without a slot,
+        // so their completion saturates instead of underflowing.
+        *n = n.saturating_sub(1);
+        drop(n);
+        self.inflight_cv.notify_one();
+    }
+
+    /// Wake a batcher blocked on the in-flight cap (degraded-mode flip
+    /// or shutdown).
+    fn wake_batcher(&self) {
+        self.inflight_cv.notify_all();
+    }
 }
 
 /// The serving engine. See the crate docs for the architecture; create
@@ -121,13 +353,14 @@ struct Inner {
 /// just drop it — both drain the queue before joining the threads).
 pub struct Engine {
     inner: Arc<Inner>,
-    req_tx: Option<Sender<Request>>,
     batcher: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    supervisor: Option<JoinHandle<()>>,
+    ctrl_tx: Sender<Ctrl>,
 }
 
 impl Engine {
-    /// Spawn the batcher and worker threads around a trained model.
+    /// Spawn the batcher, the worker pool, and the pool supervisor
+    /// around a trained model.
     pub fn start(model: Vsan, cfg: EngineConfig) -> Self {
         let (max_batch, workers) = (cfg.max_batch.max(1), cfg.workers.max(1));
         let inner = Arc::new(Inner {
@@ -135,52 +368,88 @@ impl Engine {
             cache: Mutex::new(SequenceCache::new(cfg.cache_capacity)),
             cache_enabled: cfg.cache_capacity > 0,
             metrics: Metrics::default(),
+            queue: AdmissionQueue::new(cfg.queue_capacity),
+            policy: cfg.backpressure,
+            shed_watermark: cfg.shed_watermark,
+            default_deadline: cfg.default_deadline,
+            degrade: cfg.degrade.clone(),
+            max_batch_retries: cfg.max_batch_retries,
+            degraded_mode: AtomicBool::new(false),
+            fault_sink: cfg.fault_sink.clone(),
+            inflight: Mutex::new(0),
+            inflight_cv: Condvar::new(),
+            // One batch per worker in flight plus one ready behind each:
+            // enough to keep the pool saturated, small enough that a
+            // flood backs up into the *bounded* admission queue where
+            // deadlines and backpressure can see it.
+            max_inflight: workers * 2,
         });
 
-        let (req_tx, req_rx) = channel::unbounded::<Request>();
-        let (batch_tx, batch_rx) = channel::unbounded::<Vec<Request>>();
+        let (batch_tx, batch_rx) = channel::unbounded::<BatchMsg>();
+        let (ctrl_tx, ctrl_rx) = channel::unbounded::<Ctrl>();
 
         let batcher = {
             let inner = Arc::clone(&inner);
+            let batch_tx = batch_tx.clone();
             let deadline = cfg.batch_deadline;
             std::thread::Builder::new()
                 .name("vsan-serve-batcher".into())
-                .spawn(move || batcher_loop(&req_rx, &batch_tx, &inner, max_batch, deadline))
+                .spawn(move || batcher_loop(&inner, &batch_tx, max_batch, deadline))
                 .expect("spawn batcher thread")
         };
 
-        let workers = (0..workers)
-            .map(|i| {
-                let inner = Arc::clone(&inner);
-                let batch_rx = batch_rx.clone();
-                std::thread::Builder::new()
-                    .name(format!("vsan-serve-worker-{i}"))
-                    .spawn(move || {
-                        while let Ok(batch) = batch_rx.recv() {
-                            process_batch(&inner, batch);
-                        }
-                    })
-                    .expect("spawn worker thread")
-            })
-            .collect();
-        // `batch_rx` clones live in the workers; the original dropped
-        // here. Workers exit when the batcher drops `batch_tx`.
+        let ctx = WorkerCtx {
+            inner: Arc::clone(&inner),
+            batch_rx,
+            batch_tx,
+            ctrl_tx: ctrl_tx.clone(),
+        };
+        let mut handles = HashMap::new();
+        for id in 0..workers {
+            handles.insert(id, spawn_worker(id, ctx.clone()));
+        }
+        inner.metrics.workers_alive.set(workers as i64);
 
-        Engine { inner, req_tx: Some(req_tx), batcher: Some(batcher), workers }
+        let supervisor = {
+            let inner = Arc::clone(&inner);
+            let max_respawns = cfg.max_worker_respawns;
+            std::thread::Builder::new()
+                .name("vsan-serve-supervisor".into())
+                .spawn(move || supervisor_loop(&inner, ctx, &ctrl_rx, handles, max_respawns))
+                .expect("spawn supervisor thread")
+        };
+
+        Engine { inner, batcher: Some(batcher), supervisor: Some(supervisor), ctrl_tx }
     }
 
-    /// Enqueue a request for the top `k` items after `history`.
+    /// Enqueue a request for the top `k` items after `history`, with
+    /// the engine's default deadline ([`EngineConfig::default_deadline`]).
     ///
-    /// Returns immediately: on a cache hit the ticket is already
-    /// resolved; otherwise the request rides the next micro-batch.
+    /// Returns immediately unless the backpressure policy is
+    /// [`BackpressurePolicy::Block`] and the queue is full. On a cache
+    /// hit, a degraded resolution, or a typed rejection the ticket is
+    /// already resolved; otherwise the request rides the next
+    /// micro-batch.
     pub fn submit(&self, history: &[u32], k: usize) -> Ticket {
-        let metrics = &self.inner.metrics;
+        self.submit_with_deadline(history, k, self.inner.default_deadline)
+    }
+
+    /// [`Engine::submit`] with an explicit per-request deadline
+    /// (`None` = no deadline), measured from this call.
+    pub fn submit_with_deadline(
+        &self,
+        history: &[u32],
+        k: usize,
+        deadline: Option<Duration>,
+    ) -> Ticket {
+        let inner = &*self.inner;
+        let metrics = &inner.metrics;
         metrics.requests.inc();
         let start = Instant::now();
 
-        if self.inner.cache_enabled {
-            let window = self.inner.model.fold_in_window(history);
-            let hit = self.inner.cache.lock().expect("cache lock").get(window);
+        if inner.cache_enabled {
+            let window = inner.model.fold_in_window(history);
+            let hit = inner.lock_cache().get(window);
             if let Some(logits) = hit {
                 metrics.cache_hits.inc();
                 let recs = rank(&logits, history, k);
@@ -189,23 +458,67 @@ impl Engine {
                 let elapsed = as_us(start.elapsed());
                 metrics.compute_us.record(elapsed);
                 metrics.latency_us.record(elapsed);
-                return Ticket::ready(Ok(recs));
+                return Ticket::ready(Ok(Response::new(recs, ResponseSource::Cache)));
             }
         }
         metrics.cache_misses.inc();
 
-        let Some(req_tx) = &self.req_tx else {
-            return Ticket::ready(Err(ServeError::ShuttingDown));
-        };
+        if inner.degraded_mode.load(Ordering::Acquire) {
+            let reply = inner.degraded(history, k, "workers_down");
+            metrics.latency_us.record(as_us(start.elapsed()));
+            return Ticket::ready(reply);
+        }
+
+        if let Some(watermark) = inner.shed_watermark {
+            if inner.queue.len() >= watermark {
+                metrics.load_shed.inc();
+                inner.fault(FaultKind::LoadShed, "watermark");
+                let reply = inner.degraded(history, k, "watermark");
+                metrics.latency_us.record(as_us(start.elapsed()));
+                return Ticket::ready(reply);
+            }
+        }
+
         let (reply_tx, reply_rx) = channel::unbounded();
-        let req =
-            Request { history: history.to_vec(), k, enqueued: start, reply: reply_tx };
-        match req_tx.send(req) {
-            Ok(()) => {
+        let due = deadline.map(|d| start + d);
+        let req = Request {
+            history: history.to_vec(),
+            k,
+            enqueued: start,
+            deadline: due,
+            attempts: 0,
+            reply: reply_tx,
+        };
+        match inner.queue.push(req, inner.policy, due) {
+            PushOutcome::Queued => {
                 metrics.queue_depth.add(1);
                 Ticket(TicketState::Pending(reply_rx))
             }
-            Err(_) => Ticket::ready(Err(ServeError::ShuttingDown)),
+            PushOutcome::Shed { evicted } => {
+                // Net queue depth is unchanged: the evictee left, the
+                // newcomer entered. The evictee resolves degraded.
+                metrics.shed_oldest.inc();
+                inner.fault(FaultKind::Shed, "shed_oldest");
+                inner.finish_degraded(evicted, "shed_oldest");
+                Ticket(TicketState::Pending(reply_rx))
+            }
+            PushOutcome::Rejected { item } => {
+                metrics.rejected_newest.inc();
+                inner.fault(FaultKind::Rejected, "reject_newest");
+                let reply = inner.degraded(&item.history, item.k, "reject_newest");
+                inner.finish(item.enqueued, &item.reply, reply);
+                Ticket(TicketState::Pending(reply_rx))
+            }
+            PushOutcome::Expired { item } => {
+                metrics.deadline_miss_admission.inc();
+                inner.fault(FaultKind::DeadlineMiss, "admission");
+                inner.finish(item.enqueued, &item.reply, Err(ServeError::DeadlineExceeded));
+                Ticket(TicketState::Pending(reply_rx))
+            }
+            PushOutcome::Closed { item } => {
+                inner.finish(item.enqueued, &item.reply, Err(ServeError::ShuttingDown));
+                Ticket(TicketState::Pending(reply_rx))
+            }
         }
     }
 
@@ -222,7 +535,13 @@ impl Engine {
     /// reclaims the dead entry and keeps semantics obvious.)
     pub fn invalidate(&self, history: &[u32]) -> bool {
         let window = self.inner.model.fold_in_window(history);
-        self.inner.cache.lock().expect("cache lock").remove(window)
+        self.inner.lock_cache().remove(window)
+    }
+
+    /// `true` once the engine has permanently fallen back to degraded
+    /// answers (all workers down with no respawn budget left).
+    pub fn is_degraded(&self) -> bool {
+        self.inner.degraded_mode.load(Ordering::Acquire)
     }
 
     /// Current counter values.
@@ -264,16 +583,21 @@ impl Engine {
     }
 
     fn close(&mut self) {
-        // Dropping the request sender disconnects the batcher's
-        // receiver *after* it drains what was already queued, so every
-        // accepted request is still batched and answered.
-        drop(self.req_tx.take());
+        // Closing the admission queue wakes blocked submitters (they
+        // get `ShuttingDown`) and lets the batcher drain what was
+        // already queued, so every accepted request is still answered.
+        self.inner.queue.close();
+        // The batcher may be parked on the in-flight cap rather than the
+        // queue; wake it so it observes the close.
+        self.inner.wake_batcher();
         if let Some(handle) = self.batcher.take() {
             let _ = handle.join();
         }
-        // The batcher dropped `batch_tx` on exit; workers drain the
-        // batch queue and stop.
-        for handle in self.workers.drain(..) {
+        // All work batches are now enqueued; the supervisor stops the
+        // workers (one Stop sentinel each), joins them, and resolves
+        // anything stranded in the batch channel.
+        if let Some(handle) = self.supervisor.take() {
+            let _ = self.ctrl_tx.send(Ctrl::Shutdown);
             let _ = handle.join();
         }
     }
@@ -288,60 +612,283 @@ impl Drop for Engine {
 impl std::fmt::Debug for Engine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Engine")
-            .field("running", &self.req_tx.is_some())
-            .field("workers", &self.workers.len())
+            .field("running", &!self.inner.queue.is_closed())
+            .field("workers_alive", &self.inner.metrics.workers_alive.get())
+            .field("degraded", &self.is_degraded())
             .finish()
     }
 }
 
+/// Pop-side bookkeeping: account the dequeue and enforce the pickup
+/// deadline. Returns `None` (request already resolved
+/// `DeadlineExceeded`) for expired requests — they never reach a batch,
+/// so they never occupy compute.
+fn pickup(inner: &Inner, req: Request) -> Option<Request> {
+    inner.metrics.queue_depth.add(-1);
+    if req.deadline.is_some_and(|d| Instant::now() >= d) {
+        inner.metrics.deadline_miss_pickup.inc();
+        inner.fault(FaultKind::DeadlineMiss, "pickup");
+        inner.finish(req.enqueued, &req.reply, Err(ServeError::DeadlineExceeded));
+        return None;
+    }
+    Some(req)
+}
+
 /// Coalesce queued requests into batches. A batch opens with the first
-/// request to arrive and is flushed when it reaches `max_batch`, when
-/// `deadline` has elapsed since it opened, or when the engine
-/// disconnects the queue (shutdown) — whichever comes first.
+/// live request to arrive and is flushed when it reaches `max_batch`,
+/// when `deadline` has elapsed since it opened, or when the engine
+/// closes the queue (shutdown) — whichever comes first. Expired
+/// requests are rejected at pickup and never enter a batch; in
+/// degraded mode requests resolve straight through the fallback.
 fn batcher_loop(
-    req_rx: &Receiver<Request>,
-    batch_tx: &Sender<Vec<Request>>,
     inner: &Inner,
+    batch_tx: &Sender<BatchMsg>,
     max_batch: usize,
     deadline: Duration,
 ) {
     loop {
-        let first = match req_rx.recv() {
-            Ok(req) => req,
-            Err(_) => return, // disconnected with an empty queue
+        let first = loop {
+            match inner.queue.pop() {
+                PopOutcome::Item(req) => {
+                    let Some(req) = pickup(inner, req) else { continue };
+                    if inner.degraded_mode.load(Ordering::Acquire) {
+                        inner.finish_degraded(req, "workers_down");
+                        continue;
+                    }
+                    break req;
+                }
+                PopOutcome::TimedOut => unreachable!("untimed pop cannot time out"),
+                PopOutcome::Closed => return,
+            }
         };
         let mut batch = vec![first];
         // The deadline counts from when the first request was
         // *enqueued*, not when the batcher picked it up, so queue wait
         // time is charged against the latency budget.
         let due = batch[0].enqueued + deadline;
-        let mut disconnected = false;
-        let flush_counter: &Counter = loop {
+        let mut closed = false;
+        let flush_counter = loop {
             if batch.len() >= max_batch {
                 break &inner.metrics.flush_full;
             }
-            let now = Instant::now();
-            if now >= due {
+            if Instant::now() >= due {
                 break &inner.metrics.flush_deadline;
             }
-            match req_rx.recv_timeout(due - now) {
-                Ok(req) => batch.push(req),
-                Err(RecvTimeoutError::Timeout) => break &inner.metrics.flush_deadline,
-                Err(RecvTimeoutError::Disconnected) => {
-                    disconnected = true;
+            match inner.queue.pop_until(due) {
+                PopOutcome::Item(req) => {
+                    if let Some(req) = pickup(inner, req) {
+                        if inner.degraded_mode.load(Ordering::Acquire) {
+                            inner.finish_degraded(req, "workers_down");
+                        } else {
+                            batch.push(req);
+                        }
+                    }
+                }
+                PopOutcome::TimedOut => break &inner.metrics.flush_deadline,
+                PopOutcome::Closed => {
+                    closed = true;
                     break &inner.metrics.flush_shutdown;
                 }
             }
         };
+        // Reserve a pool slot; under saturation this blocks here while
+        // new requests back up into the bounded admission queue.
+        inner.acquire_batch_slot();
+        // Top up with whatever accumulated while we waited for the
+        // slot: the first request's deadline anchor is long past by
+        // then, and those requests would otherwise idle until the
+        // *next* slot anyway — fuller batches at strictly lower
+        // latency. `pop_until(now)` never waits.
+        while !closed && batch.len() < max_batch {
+            match inner.queue.pop_until(Instant::now()) {
+                PopOutcome::Item(req) => {
+                    if let Some(req) = pickup(inner, req) {
+                        if inner.degraded_mode.load(Ordering::Acquire) {
+                            inner.finish_degraded(req, "workers_down");
+                        } else {
+                            batch.push(req);
+                        }
+                    }
+                }
+                PopOutcome::TimedOut => break,
+                PopOutcome::Closed => {
+                    closed = true;
+                    break;
+                }
+            }
+        }
         flush_counter.inc();
         inner.metrics.batches.inc();
         inner.metrics.batched_requests.add(batch.len() as u64);
         inner.metrics.batch_fill_pct.record((batch.len() * 100 / max_batch) as u64);
-        inner.metrics.queue_depth.add(-(batch.len() as i64));
-        if batch_tx.send(batch).is_err() || disconnected {
-            // Disconnected implies the queue already drained: the
-            // receiver only reports disconnection once empty.
+
+        if let Some(action) = failpoint::fire("drop_batch") {
+            if failpoint::act("drop_batch", action) {
+                inner.release_batch_slot();
+                inner.metrics.dropped_batches.inc();
+                inner.fault(FaultKind::BatchDropped, "drop_batch failpoint");
+                for req in batch {
+                    inner.finish(req.enqueued, &req.reply, Err(ServeError::WorkerLost));
+                }
+                if closed {
+                    return;
+                }
+                continue;
+            }
+        }
+
+        if inner.degraded_mode.load(Ordering::Acquire) {
+            // The pool died while this batch was filling (or while we
+            // waited for a slot); resolve it here rather than stranding
+            // it in the batch channel.
+            inner.release_batch_slot();
+            for req in batch {
+                inner.finish_degraded(req, "workers_down");
+            }
+        } else if batch_tx.send(BatchMsg::Work(batch)).is_err() {
+            inner.release_batch_slot();
             return;
+        }
+        if closed {
+            return;
+        }
+    }
+}
+
+/// Everything a worker (and the supervisor, to spawn one) needs.
+#[derive(Clone)]
+struct WorkerCtx {
+    inner: Arc<Inner>,
+    batch_rx: Receiver<BatchMsg>,
+    /// For requeueing the untouched remainder of a poisoned batch.
+    batch_tx: Sender<BatchMsg>,
+    ctrl_tx: Sender<Ctrl>,
+}
+
+fn spawn_worker(id: usize, ctx: WorkerCtx) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("vsan-serve-worker-{id}"))
+        .spawn(move || worker_loop(id, &ctx))
+        .expect("spawn worker thread")
+}
+
+/// Worker: score batches until told to stop. A panic anywhere in the
+/// batch is caught at this boundary; the untouched requests are
+/// requeued (bounded by the retry budget), the supervisor is notified,
+/// and the thread exits — the supervisor respawns a replacement.
+fn worker_loop(id: usize, ctx: &WorkerCtx) {
+    loop {
+        match ctx.batch_rx.recv() {
+            Err(_) => return,
+            Ok(BatchMsg::Stop) => return,
+            Ok(BatchMsg::Work(batch)) => {
+                let mut slots: Vec<Option<Request>> = batch.into_iter().map(Some).collect();
+                let outcome =
+                    catch_unwind(AssertUnwindSafe(|| process_batch(&ctx.inner, &mut slots)));
+                ctx.inner.release_batch_slot();
+                if outcome.is_err() {
+                    isolate_panic(id, ctx, slots);
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Post-panic cleanup, running on the dying worker thread: requeue what
+/// the batch never touched, fail what is out of retries, tell the
+/// supervisor.
+fn isolate_panic(id: usize, ctx: &WorkerCtx, slots: Vec<Option<Request>>) {
+    let inner = &*ctx.inner;
+    inner.metrics.worker_panics.inc();
+    inner.metrics.workers_alive.add(-1);
+    inner.fault(FaultKind::WorkerPanic, &format!("worker-{id}"));
+
+    let mut requeue: Vec<Request> = Vec::new();
+    for mut req in slots.into_iter().flatten() {
+        req.attempts += 1;
+        if req.attempts > inner.max_batch_retries {
+            inner.metrics.retry_exhausted.inc();
+            inner.finish(req.enqueued, &req.reply, Err(ServeError::WorkerLost));
+        } else {
+            inner.metrics.requeued_requests.inc();
+            requeue.push(req);
+        }
+    }
+    if !requeue.is_empty() {
+        inner.fault(FaultKind::BatchRequeued, &format!("{} requests", requeue.len()));
+        if let Err(send_err) = ctx.batch_tx.send(BatchMsg::Work(requeue)) {
+            // Channel torn down mid-panic: fail the stragglers, typed.
+            let crossbeam::channel::SendError(msg) = send_err;
+            if let BatchMsg::Work(reqs) = msg {
+                for req in reqs {
+                    inner.finish(req.enqueued, &req.reply, Err(ServeError::WorkerLost));
+                }
+            }
+        }
+    }
+    let _ = ctx.ctrl_tx.send(Ctrl::Died(id));
+}
+
+/// Supervisor: joins dead workers, respawns them while budget remains,
+/// flips the engine into degraded mode when the pool is gone, and runs
+/// the teardown protocol at shutdown.
+fn supervisor_loop(
+    inner: &Arc<Inner>,
+    ctx: WorkerCtx,
+    ctrl_rx: &Receiver<Ctrl>,
+    mut handles: HashMap<usize, JoinHandle<()>>,
+    max_respawns: u64,
+) {
+    let mut respawns = 0u64;
+    loop {
+        match ctrl_rx.recv() {
+            Err(_) => break,
+            Ok(Ctrl::Shutdown) => break,
+            Ok(Ctrl::Died(id)) => {
+                if let Some(handle) = handles.remove(&id) {
+                    let _ = handle.join();
+                }
+                if respawns < max_respawns {
+                    respawns += 1;
+                    inner.metrics.worker_respawns.inc();
+                    inner.metrics.workers_alive.add(1);
+                    inner.fault(FaultKind::WorkerRespawn, &format!("worker-{id}"));
+                    handles.insert(id, spawn_worker(id, ctx.clone()));
+                } else if inner.metrics.workers_alive.get() <= 0 {
+                    // Pool gone, budget spent: permanent degraded mode.
+                    // New submits and the batcher resolve through the
+                    // fallback from here on; batches already dispatched
+                    // to the dead pool resolve right now.
+                    inner.degraded_mode.store(true, Ordering::Release);
+                    inner.wake_batcher();
+                    inner.fault(FaultKind::DegradedMode, "all workers down, respawn budget spent");
+                    drain_batches(&ctx.batch_rx, |req| inner.finish_degraded(req, "workers_down"));
+                }
+            }
+        }
+    }
+    // Teardown: one Stop per live worker (a worker consumes exactly
+    // one), join the pool, then resolve anything stranded in the batch
+    // channel (e.g. a batch requeued after the Stops went out).
+    for _ in 0..handles.len() {
+        let _ = ctx.batch_tx.send(BatchMsg::Stop);
+    }
+    for (_, handle) in handles.drain() {
+        let _ = handle.join();
+    }
+    drain_batches(&ctx.batch_rx, |req| {
+        inner.finish(req.enqueued, &req.reply, Err(ServeError::ShuttingDown));
+    });
+}
+
+/// Resolve every request currently sitting in the batch channel.
+fn drain_batches(batch_rx: &Receiver<BatchMsg>, mut resolve: impl FnMut(Request)) {
+    while let Ok(msg) = batch_rx.try_recv() {
+        if let BatchMsg::Work(batch) = msg {
+            for req in batch {
+                resolve(req);
+            }
         }
     }
 }
@@ -349,23 +896,35 @@ fn batcher_loop(
 /// Score one batch and reply to every request in it. Identical windows
 /// within the batch are deduplicated and forwarded once; the forward is
 /// deterministic, so shared logits are exactly what separate forwards
-/// would produce.
-fn process_batch(inner: &Inner, batch: Vec<Request>) {
+/// would produce. Requests are *taken out* of their slots as they are
+/// answered — on a panic, whatever is still in a slot was untouched and
+/// is safe to requeue.
+fn process_batch(inner: &Inner, slots: &mut [Option<Request>]) {
     // Everything before this instant is queue wait; everything after is
     // compute. The split is per request (the wait differs per request —
-    // later arrivals waited less for the same flush).
+    // later arrivals waited less for the same flush). Requeued requests
+    // already recorded their wait at first pickup.
     let picked_up = Instant::now();
-    for req in &batch {
-        inner
-            .metrics
-            .queue_wait_us
-            .record(as_us(picked_up.saturating_duration_since(req.enqueued)));
+    for req in slots.iter().flatten() {
+        if req.attempts == 0 {
+            inner
+                .metrics
+                .queue_wait_us
+                .record(as_us(picked_up.saturating_duration_since(req.enqueued)));
+        }
+    }
+
+    if let Some(action) = failpoint::fire("panic_in_worker") {
+        failpoint::act("panic_in_worker", action);
+    }
+    if let Some(action) = failpoint::fire("slow_compute") {
+        failpoint::act("slow_compute", action);
     }
 
     let mut windows: Vec<Vec<u32>> = Vec::new();
     let mut index: HashMap<Vec<u32>, usize> = HashMap::new();
-    let mut which: Vec<usize> = Vec::with_capacity(batch.len());
-    for req in &batch {
+    let mut which: Vec<usize> = Vec::with_capacity(slots.len());
+    for req in slots.iter().flatten() {
         let window = inner.model.fold_in_window(&req.history);
         let idx = match index.get(window) {
             Some(&i) => i,
@@ -384,18 +943,28 @@ fn process_batch(inner: &Inner, batch: Vec<Request>) {
         inner.model.score_items_batch(&refs).into_iter().map(Arc::new).collect();
 
     if inner.cache_enabled {
-        let mut cache = inner.cache.lock().expect("cache lock");
+        let mut cache = inner.lock_cache();
         for (window, row) in windows.into_iter().zip(&rows) {
             cache.insert(window, Arc::clone(row));
         }
     }
 
-    for (req, idx) in batch.into_iter().zip(which) {
+    let mut row_of = which.into_iter();
+    for slot in slots.iter_mut() {
+        let Some(req) = slot.take() else { continue };
+        let idx = row_of.next().expect("one row index per live slot");
+        if req.deadline.is_some_and(|d| Instant::now() >= d) {
+            // Computed (the batch forward is all-or-nothing) but the
+            // caller's budget is gone: the contract is a typed error.
+            // The logits are cached, so the work is not wasted.
+            inner.metrics.deadline_miss_completion.inc();
+            inner.fault(FaultKind::DeadlineMiss, "completion");
+            inner.finish(req.enqueued, &req.reply, Err(ServeError::DeadlineExceeded));
+            continue;
+        }
         let recs = rank(&rows[idx], &req.history, req.k);
         inner.metrics.compute_us.record(as_us(picked_up.elapsed()));
-        inner.metrics.latency_us.record(as_us(req.enqueued.elapsed()));
-        // A dropped ticket is fine; the logits are already cached.
-        let _ = req.reply.send(Ok(recs));
+        inner.finish(req.enqueued, &req.reply, Ok(Response::new(recs, ResponseSource::Batch)));
     }
 }
 
@@ -403,6 +972,6 @@ fn process_batch(inner: &Inner, batch: Vec<Request>) {
 /// full history — the exact ranking rule of [`Vsan::recommend`]
 /// (softmax is strictly increasing, so it never reorders).
 fn rank(logits: &[f32], history: &[u32], k: usize) -> Vec<u32> {
-    let seen: HashSet<u32> = history.iter().copied().collect();
+    let seen: std::collections::HashSet<u32> = history.iter().copied().collect();
     vsan_eval::top_n_excluding(logits, k, &seen)
 }

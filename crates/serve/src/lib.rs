@@ -3,26 +3,39 @@
 //! Turns a trained [`vsan_core::Vsan`] into a shared, thread-safe
 //! recommendation service:
 //!
-//! * **Request queue** — callers submit `(history, k)` requests over a
-//!   crossbeam MPMC channel from any thread.
+//! * **Admission queue** — callers submit `(history, k)` requests into
+//!   a bounded FIFO with a configurable backpressure policy
+//!   ([`BackpressurePolicy`]): block, reject the newcomer, or shed the
+//!   oldest. An optional watermark sheds load before the hard bound.
 //! * **Micro-batcher** — a dedicated thread coalesces queued requests
 //!   into batches, flushing when [`EngineConfig::max_batch`] requests
 //!   have accumulated or [`EngineConfig::batch_deadline`] has elapsed
-//!   since the batch was opened, whichever comes first.
-//! * **Worker pool** — workers run the batched evaluation-mode forward
-//!   (`z = μ_λ`, no sampling, dropout off) via
+//!   since the batch was opened, whichever comes first. Requests whose
+//!   deadline already expired are rejected at pickup and never occupy
+//!   compute.
+//! * **Supervised worker pool** — workers run the batched
+//!   evaluation-mode forward (`z = μ_λ`, no sampling, dropout off) via
 //!   [`vsan_core::Vsan::score_items_batch`] and rank the top-k by
 //!   partial selection over raw logits (softmax is rank-monotonic, so
-//!   it is skipped entirely).
+//!   it is skipped entirely). A panicking worker is caught at the batch
+//!   boundary, its untouched requests are requeued, and a supervisor
+//!   respawns a replacement.
 //! * **Sequence cache** — an LRU keyed on the model's fold-in window
 //!   (the last `max_seq_len` items of the history) memoizes logits;
 //!   hits answer without touching the queue.
+//! * **Graceful degradation** — under saturation or with the pool down,
+//!   requests resolve through the approximate-cache or popularity
+//!   fallback, tagged in [`Response::source`]; see [`DegradeConfig`].
 //!
-//! Results are deterministic and bit-identical to
+//! Fault-free results are deterministic and bit-identical to
 //! [`vsan_core::Vsan::recommend`] for the same history, cache hit or
 //! miss — the batched forward uses row-wise kernels with a fixed
 //! per-row accumulation order, and the cache stores the same logits a
-//! fresh forward would produce.
+//! fresh forward would produce. Under faults, every accepted ticket
+//! still resolves — to a [`Response`] or a typed [`ServeError`] — and
+//! completed responses stay bit-identical to a fault-free run (the
+//! chaos suite in `tests/chaos.rs` enforces both, driven by the
+//! deterministic [`failpoint`] registry).
 //!
 //! ```no_run
 //! use vsan_serve::{Engine, EngineConfig};
@@ -41,10 +54,15 @@
 
 mod cache;
 mod config;
+mod degrade;
 mod engine;
+pub mod failpoint;
 mod metrics;
+mod queue;
 
 pub use cache::SequenceCache;
 pub use config::EngineConfig;
-pub use engine::{Engine, ServeError, Ticket};
+pub use degrade::DegradeConfig;
+pub use engine::{Engine, Response, ResponseSource, ServeError, Ticket};
 pub use metrics::{MetricsSnapshot, ServeStats};
+pub use queue::{AdmissionQueue, BackpressurePolicy, PopOutcome, PushOutcome};

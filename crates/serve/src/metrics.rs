@@ -41,6 +41,38 @@ pub(crate) struct Metrics {
     pub latency_us: Arc<Histogram>,
     /// Batch occupancy at flush, percent of `max_batch` (100 = full).
     pub batch_fill_pct: Arc<Histogram>,
+    // --- fault-path counters (README § Fault tolerance) ---
+    /// Blocking submits whose deadline expired before queue space freed.
+    pub deadline_miss_admission: Arc<Counter>,
+    /// Requests found expired when the batcher picked them up (they
+    /// never occupy compute).
+    pub deadline_miss_pickup: Arc<Counter>,
+    /// Requests whose deadline expired between pickup and reply.
+    pub deadline_miss_completion: Arc<Counter>,
+    /// Requests refused at a full queue under `RejectNewest`.
+    pub rejected_newest: Arc<Counter>,
+    /// Queued requests evicted at a full queue under `ShedOldest`.
+    pub shed_oldest: Arc<Counter>,
+    /// Requests diverted at the load-shedding watermark.
+    pub load_shed: Arc<Counter>,
+    /// Degraded responses answered from the approximate-cache fallback.
+    pub degraded_cache: Arc<Counter>,
+    /// Degraded responses answered from the popularity fallback.
+    pub degraded_popularity: Arc<Counter>,
+    /// Requests that found no fallback and errored `Overloaded`.
+    pub overloaded_errors: Arc<Counter>,
+    /// Worker panics caught at the batch isolation boundary.
+    pub worker_panics: Arc<Counter>,
+    /// Workers respawned after a panic.
+    pub worker_respawns: Arc<Counter>,
+    /// Untouched requests requeued out of a poisoned batch.
+    pub requeued_requests: Arc<Counter>,
+    /// Requests failed `WorkerLost` after exhausting their retry budget.
+    pub retry_exhausted: Arc<Counter>,
+    /// Batches discarded whole (the `drop_batch` failpoint).
+    pub dropped_batches: Arc<Counter>,
+    /// Live worker threads (spawns and respawns minus deaths).
+    pub workers_alive: Arc<Gauge>,
 }
 
 impl Default for Metrics {
@@ -66,6 +98,21 @@ impl Metrics {
             compute_us: registry.histogram("serve.compute_us"),
             latency_us: registry.histogram("serve.latency_us"),
             batch_fill_pct: registry.histogram("serve.batch_fill_pct"),
+            deadline_miss_admission: registry.counter("serve.deadline_miss_admission"),
+            deadline_miss_pickup: registry.counter("serve.deadline_miss_pickup"),
+            deadline_miss_completion: registry.counter("serve.deadline_miss_completion"),
+            rejected_newest: registry.counter("serve.rejected_newest"),
+            shed_oldest: registry.counter("serve.shed_oldest"),
+            load_shed: registry.counter("serve.load_shed"),
+            degraded_cache: registry.counter("serve.degraded_cache"),
+            degraded_popularity: registry.counter("serve.degraded_popularity"),
+            overloaded_errors: registry.counter("serve.overloaded_errors"),
+            worker_panics: registry.counter("serve.worker_panics"),
+            worker_respawns: registry.counter("serve.worker_respawns"),
+            requeued_requests: registry.counter("serve.requeued_requests"),
+            retry_exhausted: registry.counter("serve.retry_exhausted"),
+            dropped_batches: registry.counter("serve.dropped_batches"),
+            workers_alive: registry.gauge("serve.workers_alive"),
             registry,
         }
     }
@@ -84,6 +131,18 @@ impl Metrics {
             flush_shutdown: self.flush_shutdown.get(),
             latency_us_sum: lat.sum,
             latency_us_max: lat.max,
+            deadline_misses: self.deadline_miss_admission.get()
+                + self.deadline_miss_pickup.get()
+                + self.deadline_miss_completion.get(),
+            rejected_newest: self.rejected_newest.get(),
+            shed_oldest: self.shed_oldest.get(),
+            load_shed: self.load_shed.get(),
+            degraded_responses: self.degraded_cache.get() + self.degraded_popularity.get(),
+            overloaded_errors: self.overloaded_errors.get(),
+            worker_panics: self.worker_panics.get(),
+            worker_respawns: self.worker_respawns.get(),
+            requeued_requests: self.requeued_requests.get(),
+            dropped_batches: self.dropped_batches.get(),
         }
     }
 
@@ -129,6 +188,28 @@ pub struct MetricsSnapshot {
     pub latency_us_sum: u64,
     /// Maximum single-request latency in microseconds.
     pub latency_us_max: u64,
+    /// Requests rejected `DeadlineExceeded` (admission + pickup +
+    /// completion misses).
+    pub deadline_misses: u64,
+    /// Requests refused at a full queue under `RejectNewest`.
+    pub rejected_newest: u64,
+    /// Queued requests evicted at a full queue under `ShedOldest`.
+    pub shed_oldest: u64,
+    /// Requests diverted at the load-shedding watermark.
+    pub load_shed: u64,
+    /// Responses answered by a fallback (approximate cache or
+    /// popularity), tagged degraded.
+    pub degraded_responses: u64,
+    /// Requests that found no fallback and errored `Overloaded`.
+    pub overloaded_errors: u64,
+    /// Worker panics caught at the batch isolation boundary.
+    pub worker_panics: u64,
+    /// Workers respawned after a panic.
+    pub worker_respawns: u64,
+    /// Untouched requests requeued out of a poisoned batch.
+    pub requeued_requests: u64,
+    /// Batches discarded whole (the `drop_batch` failpoint).
+    pub dropped_batches: u64,
 }
 
 impl MetricsSnapshot {
@@ -156,6 +237,26 @@ impl MetricsSnapshot {
             0.0
         } else {
             self.latency_us_sum as f64 / self.requests as f64
+        }
+    }
+
+    /// Requests refused or diverted by backpressure (rejected, shed,
+    /// or watermark-diverted) as a fraction of all requests.
+    pub fn rejection_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            (self.rejected_newest + self.shed_oldest + self.load_shed) as f64
+                / self.requests as f64
+        }
+    }
+
+    /// Fraction of requests answered by a degraded fallback.
+    pub fn degraded_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.degraded_responses as f64 / self.requests as f64
         }
     }
 }
@@ -203,6 +304,16 @@ impl ServeStats {
             .u64("flush_deadline", self.snapshot.flush_deadline)
             .u64("flush_shutdown", self.snapshot.flush_shutdown)
             .i64("queue_depth", self.queue_depth)
+            .u64("deadline_misses", self.snapshot.deadline_misses)
+            .u64("rejected_newest", self.snapshot.rejected_newest)
+            .u64("shed_oldest", self.snapshot.shed_oldest)
+            .u64("load_shed", self.snapshot.load_shed)
+            .u64("degraded_responses", self.snapshot.degraded_responses)
+            .u64("overloaded_errors", self.snapshot.overloaded_errors)
+            .u64("worker_panics", self.snapshot.worker_panics)
+            .u64("worker_respawns", self.snapshot.worker_respawns)
+            .u64("requeued_requests", self.snapshot.requeued_requests)
+            .u64("dropped_batches", self.snapshot.dropped_batches)
             .f64("mean_batch_fill_pct", self.mean_batch_fill_pct())
             .raw("queue_wait_us", &self.queue_wait_us.summary_json())
             .raw("compute_us", &self.compute_us.summary_json())

@@ -18,6 +18,25 @@ cargo build --workspace --release --offline
 echo "==> cargo test -q --offline (PROPTEST_CASES=${PROPTEST_CASES})"
 cargo test --workspace -q --offline
 
+# Chaos matrix: the fault-injection suite must hold under several
+# distinct failpoint schedules, not just the default seed. The suite
+# also must never quietly shelve a scenario: an `ignored` test in
+# vsan-serve is a gate failure, not a skip.
+echo "==> chaos matrix (VSAN_FAILPOINT_SEED x3)"
+for seed in 1 7 99991; do
+  echo "    -- seed ${seed}"
+  out="$(VSAN_FAILPOINT_SEED=${seed} cargo test -q --offline -p vsan-serve 2>&1)" || {
+    echo "${out}"
+    echo "chaos run failed under VSAN_FAILPOINT_SEED=${seed}" >&2
+    exit 1
+  }
+  if echo "${out}" | grep -E "^test result:" | grep -vq " 0 ignored"; then
+    echo "${out}"
+    echo "vsan-serve has ignored tests; the chaos suite must run whole" >&2
+    exit 1
+  fi
+done
+
 # Threads-matrix smoke: re-run the data-parallel equivalence suite under
 # an explicit serial + even + beyond-batch-size matrix so CI exercises
 # both the inline path (threads=1) and genuinely pooled paths even if the

@@ -17,7 +17,9 @@
 //! * [`models`] — the eight baselines of Table III.
 //! * [`core`] — VSAN itself (the paper's contribution) and its ablations.
 //! * [`serve`] — the embedded online inference engine (micro-batching,
-//!   top-k partial selection, user-sequence LRU cache).
+//!   top-k partial selection, user-sequence LRU cache, and the
+//!   fault-tolerance layer: deadlines, backpressure, panic isolation,
+//!   graceful degradation — README § Fault tolerance).
 //! * [`obs`] — observability: span tracing, metrics registry, and the
 //!   JSONL training/serving telemetry (README § Observability).
 //!
@@ -46,7 +48,10 @@ pub mod prelude {
         CollectingObserver, EventSink, FileSink, JsonlTrainObserver, MemorySink, ObserverHandle,
         TrainObserver,
     };
-    pub use vsan_serve::{Engine, EngineConfig, MetricsSnapshot, ServeError, ServeStats, Ticket};
+    pub use vsan_serve::{
+        BackpressurePolicy, DegradeConfig, Engine, EngineConfig, MetricsSnapshot, Response,
+        ResponseSource, ServeError, ServeStats, Ticket,
+    };
 }
 
 #[cfg(test)]

@@ -49,7 +49,9 @@ fn latent_variable_does_not_destroy_accuracy() {
     let (ds, split, views) = chainy_environment();
     let cfg_eval = EvalConfig::default();
 
-    let mut base = VsanConfig::repro("beauty");
+    // Threads pinned: tier-1 comparisons must not inherit the machine's
+    // core count through `default_threads()`.
+    let mut base = VsanConfig::repro("beauty").with_threads(4);
     base.base = base.base.with_epochs(8);
     base.base.dim = 24;
 
@@ -80,7 +82,7 @@ fn all_table3_rows_produce_valid_reports() {
     let cfg_eval = EvalConfig::default();
     let mut rng = StdRng::seed_from_u64(2);
     let ncfg = {
-        let mut c = NeuralConfig::repro("beauty").with_epochs(1);
+        let mut c = NeuralConfig::repro("beauty").with_epochs(1).with_threads(4);
         c.dim = 16;
         c
     };

@@ -61,7 +61,10 @@ fn vsan_beats_popularity_on_sequential_data() {
     let pop = Pop::train(&ds, &split.train_users);
     let pop_report = evaluate_held_out(&pop, &views, &cfg_eval);
 
-    let mut cfg = VsanConfig::repro("beauty");
+    // Threads pinned: training is thread-count invariant by contract,
+    // but tier-1 results should not even *depend* on that contract (or
+    // on the machine's core count picked up by `default_threads()`).
+    let mut cfg = VsanConfig::repro("beauty").with_threads(4);
     cfg.base = cfg.base.with_epochs(10);
     let vsan = Vsan::train(&ds, &split.train_users, &cfg).unwrap();
     let vsan_report = evaluate_held_out(&vsan, &views, &cfg_eval);
@@ -79,7 +82,7 @@ fn vsan_and_sasrec_are_comparable_scorers() {
     // Both attention models must produce full-vocab, finite, non-constant
     // score vectors for arbitrary held-out histories.
     let (ds, split) = environment();
-    let mut ncfg = NeuralConfig::repro("beauty").with_epochs(2);
+    let mut ncfg = NeuralConfig::repro("beauty").with_epochs(2).with_threads(4);
     ncfg.dim = 16;
     let sasrec = SasRec::train(&ds, &split.train_users, &ncfg).unwrap();
     let mut vcfg = VsanConfig::repro("beauty");

@@ -21,7 +21,9 @@ fn same_seed_same_model_same_metrics() {
     let views = Split::held_out_views(&ds, &split.test_users, 0.8);
 
     let train = |seed: u64| {
-        let mut cfg = VsanConfig::repro("beauty").with_seed(seed);
+        // Threads pinned so the reproducibility claim tested here does
+        // not fold in the machine's core count (`default_threads()`).
+        let mut cfg = VsanConfig::repro("beauty").with_seed(seed).with_threads(4);
         cfg.base = cfg.base.with_epochs(3);
         cfg.base.dim = 16;
         let m = Vsan::train(&ds, &split.train_users, &cfg).unwrap();
@@ -51,7 +53,7 @@ fn checkpoint_survives_disk_round_trip() {
     let ds = small_ds(3);
     let mut rng = StdRng::seed_from_u64(3);
     let split = Split::strong_generalization(&ds, 10, 5, &mut rng);
-    let mut cfg = VsanConfig::repro("beauty");
+    let mut cfg = VsanConfig::repro("beauty").with_threads(4);
     cfg.base = cfg.base.with_epochs(2);
     cfg.base.dim = 16;
     let model = Vsan::train(&ds, &split.train_users, &cfg).unwrap();
@@ -72,7 +74,7 @@ fn models_tolerate_degenerate_fold_ins() {
     let ds = small_ds(4);
     let mut rng = StdRng::seed_from_u64(4);
     let split = Split::strong_generalization(&ds, 10, 5, &mut rng);
-    let mut cfg = VsanConfig::repro("beauty");
+    let mut cfg = VsanConfig::repro("beauty").with_threads(4);
     cfg.base = cfg.base.with_epochs(1);
     cfg.base.dim = 16;
     let vsan = Vsan::train(&ds, &split.train_users, &cfg).unwrap();
@@ -103,7 +105,7 @@ fn posterior_uncertainty_is_exposed_end_to_end() {
     let ds = small_ds(6);
     let mut rng = StdRng::seed_from_u64(6);
     let split = Split::strong_generalization(&ds, 10, 5, &mut rng);
-    let mut cfg = VsanConfig::repro("beauty");
+    let mut cfg = VsanConfig::repro("beauty").with_threads(4);
     cfg.base = cfg.base.with_epochs(2);
     cfg.base.dim = 16;
     let model = Vsan::train(&ds, &split.train_users, &cfg).unwrap();
