@@ -1,7 +1,9 @@
-//! Kernel micro-benchmarks backing the design choices in DESIGN.md §5:
-//! parallel vs serial matmul, fused vs composed softmax cross-entropy,
-//! fused causal-mask softmax vs additive-mask softmax, and tape overhead
-//! vs raw kernels.
+//! Kernel micro-benchmarks backing the design choices in DESIGN.md §5
+//! and §10: parallel vs serial matmul, fused vs composed softmax
+//! cross-entropy, fused causal-mask softmax vs additive-mask softmax,
+//! tape overhead vs raw kernels, the fast path's fused attention vs the
+//! tape's composed ops, and the zero-skip branch cost on dense vs
+//! embedding-sparse operands.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
@@ -121,9 +123,93 @@ fn bench_tape_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_fused_attention(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fused_attention");
+    let mut rng = StdRng::seed_from_u64(5);
+    // Paper shapes: Beauty n=50, ML-1M n=200, both at d=100 (§V).
+    for (n, d) in [(50usize, 100usize), (200, 100)] {
+        let q = init::randn(&mut rng, &[n, d], 0.0, 0.5);
+        let k = init::randn(&mut rng, &[n, d], 0.0, 0.5);
+        let v = init::randn(&mut rng, &[n, d], 0.0, 0.5);
+        let scale = 1.0 / (d as f32).sqrt();
+        let id = format!("n{n}_d{d}");
+        group.bench_with_input(BenchmarkId::new("composed_ops", &id), &(), |bench, ()| {
+            // The tape's sequence: Q·Kᵀ, scale, masked softmax, ·V —
+            // two (n, n) tensors materialized per call.
+            bench.iter(|| {
+                let scores = ops::matmul_a_bt(&q, &k).unwrap();
+                let scaled = scores.map(|x| scale * x + 0.0);
+                let attn = ops::softmax_rows_masked(&scaled).unwrap();
+                ops::matmul(&attn, &v).unwrap()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("fused_single_pass", &id), &(), |bench, ()| {
+            let mut scores = vec![0.0f32; n];
+            let mut out = vec![0.0f32; n * d];
+            bench.iter(|| {
+                ops::causal_attention_into(
+                    q.data(),
+                    k.data(),
+                    v.data(),
+                    n,
+                    d,
+                    scale,
+                    &mut scores,
+                    &mut out,
+                );
+                out[n * d - 1]
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_zero_skip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("zero_skip");
+    let mut rng = StdRng::seed_from_u64(6);
+    // Dense side (attention projections, FFN, prediction head): the
+    // per-element branch never fires and is pure cost — the reason the
+    // fast path's `matmul_into` dropped it. Sparse side (embedding
+    // activations with left-padded all-zero rows): whole-row skips pay.
+    // Shapes are the paper's: d=100 projections at Beauty/ML-1M batch
+    // sizes, and the (b, d) × (d, N+1) prediction heads at N≈12k/3.4k.
+    for (label, m, k, n) in [
+        ("proj_b32_n50_d100", 1600usize, 100usize, 100usize),
+        ("pred_beauty_b32_n12k", 32, 100, 12_001),
+        ("pred_ml1m_b16_n3k4", 16, 100, 3_401),
+    ] {
+        let a_dense = init::randn(&mut rng, &[m, k], 0.0, 0.5);
+        // Embedding-like sparsity: half the rows are exact-zero padding.
+        let mut a_sparse = a_dense.clone();
+        for r in 0..m / 2 {
+            a_sparse.data_mut()[r * k..(r + 1) * k].fill(0.0);
+        }
+        let b = init::randn(&mut rng, &[k, n], 0.0, 0.5);
+        let mut out = vec![0.0f32; m * n];
+        for (input, a) in [("dense", &a_dense), ("half_zero_rows", &a_sparse)] {
+            let id = format!("{label}/{input}");
+            group.bench_with_input(BenchmarkId::new("skip_branch", &id), &(), |bench, ()| {
+                bench.iter(|| {
+                    out.fill(0.0);
+                    ops::matmul::matmul_into_skip_zeros(a.data(), b.data(), &mut out, m, k, n);
+                    out[m * n - 1]
+                });
+            });
+            group.bench_with_input(BenchmarkId::new("branch_free_tiled", &id), &(), |bench, ()| {
+                bench.iter(|| {
+                    out.fill(0.0);
+                    ops::matmul::matmul_into(a.data(), b.data(), &mut out, m, k, n);
+                    out[m * n - 1]
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_matmul_parallel, bench_fused_ce, bench_causal_mask, bench_tape_overhead
+    targets = bench_matmul_parallel, bench_fused_ce, bench_causal_mask, bench_tape_overhead, bench_fused_attention, bench_zero_skip
 }
 criterion_main!(benches);

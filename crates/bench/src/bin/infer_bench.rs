@@ -1,0 +1,72 @@
+//! Inference fast-path benchmark (`results/BENCH_infer.json`).
+//!
+//! Measures the graph-free forward against the autograd graph path —
+//! fused-kernel micro-timings plus end-to-end `score_items_batch`
+//! throughput at paper-adjacent serve shapes — after checking the two
+//! paths agree bit for bit. Accepts `--iters N` (end-to-end timed
+//! repetitions) and `--kernel-iters N`.
+
+use vsan_bench::infer_bench::{run_infer_bench, InferBenchConfig};
+
+fn main() {
+    let mut cfg = InferBenchConfig::default();
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--iters" if i + 1 < args.len() => {
+                cfg.e2e_iters = args[i + 1].parse().unwrap_or(cfg.e2e_iters);
+                i += 2;
+            }
+            "--kernel-iters" if i + 1 < args.len() => {
+                cfg.kernel_iters = args[i + 1].parse().unwrap_or(cfg.kernel_iters);
+                i += 2;
+            }
+            other => {
+                eprintln!("ignoring unknown argument {other:?}");
+                i += 1;
+            }
+        }
+    }
+
+    eprintln!(
+        "infer_bench: {} cases, {} e2e iters, {} kernel iters",
+        cfg.cases.len(),
+        cfg.e2e_iters,
+        cfg.kernel_iters
+    );
+    let report = run_infer_bench(&cfg);
+
+    for k in &report.kernels {
+        println!(
+            "kernel {:<20} {:<18} baseline {:>9.1}us  fused {:>9.1}us  {:>6.2}x",
+            k.kernel, k.shape, k.baseline_us, k.fused_us, k.speedup
+        );
+    }
+    for r in &report.e2e {
+        println!(
+            "e2e    {:<12} d={} n={} N={} b={}  graph {:>8.1} rps  fast {:>8.1} rps  \
+             {:>6.2}x  bitwise_match={}",
+            r.name,
+            r.dim,
+            r.max_seq_len,
+            r.num_items,
+            r.batch,
+            r.graph_rps,
+            r.fast_rps,
+            r.speedup,
+            r.bitwise_match
+        );
+    }
+    println!(
+        "overall: bitwise_match={}  min_e2e_speedup={:.2}x",
+        report.bitwise_match, report.min_e2e_speedup
+    );
+
+    if !report.bitwise_match {
+        eprintln!("FATAL: fast path diverged from the graph path — not writing a report");
+        std::process::exit(1);
+    }
+    let path = report.write_json("BENCH_infer.json").expect("write report");
+    eprintln!("report written to {}", path.display());
+}

@@ -1,0 +1,444 @@
+//! Inference fast-path benchmark: the graph-free forward
+//! (`vsan_core::infer`) against the autograd graph path on identical
+//! models, plus kernel-level micro-measurements of the fused pieces.
+//!
+//! Three layers of measurement, all on paper-adjacent serve shapes
+//! (d ≈ 100, n = 50 / 200, catalogues ≈ 12k / 3.4k items):
+//!
+//! 1. **Fused causal attention** — one pass per query row
+//!    (QKᵀ·scale → masked softmax → ·V) vs the four composed tensor
+//!    ops the graph path dispatches.
+//! 2. **Register-blocked matmul** — the branch-free i/j-blocked
+//!    `matmul_into` vs the legacy `aik == 0` skip kernel on dense
+//!    activations (the dense side never benefits from the branch).
+//! 3. **End to end** — `score_items_batch` through the reusable
+//!    workspace vs the graph oracle, same fold-ins, same weights.
+//!
+//! Every end-to-end case first checks the two paths produce
+//! **bit-identical** logits; the report refuses to claim a speedup for
+//! wrong answers, and `scripts/verify.sh` fails if the committed
+//! `results/BENCH_infer.json` lacks `"bitwise_match": true`.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vsan_core::{Vsan, VsanConfig};
+use vsan_tensor::ops::matmul::{matmul_into, matmul_into_skip_zeros};
+use vsan_tensor::ops::{causal_attention_into, matmul, matmul_a_bt, scale, softmax_rows_masked};
+use vsan_tensor::Tensor;
+
+use crate::serve_bench::results_dir;
+
+/// One model/workload shape to measure.
+#[derive(Debug, Clone)]
+pub struct InferShapeCase {
+    /// Label in the report (e.g. `"beauty-like"`).
+    pub name: String,
+    /// Model width `d`.
+    pub dim: usize,
+    /// Attention window `n`.
+    pub max_seq_len: usize,
+    /// Catalogue size (vocab = `num_items + 1` with the padding row).
+    pub num_items: usize,
+    /// Fold-ins per forward — the serve engine's typical batch.
+    pub batch: usize,
+    /// Worker threads for large matmuls (both paths share the setting).
+    pub threads: usize,
+}
+
+/// Workload knobs for [`run_infer_bench`].
+#[derive(Debug, Clone)]
+pub struct InferBenchConfig {
+    /// Shapes to measure.
+    pub cases: Vec<InferShapeCase>,
+    /// Timed repetitions per end-to-end path (after one warmup).
+    pub e2e_iters: usize,
+    /// Timed repetitions per kernel measurement.
+    pub kernel_iters: usize,
+    /// RNG seed for weights (via the model config) and fold-ins.
+    pub seed: u64,
+}
+
+impl Default for InferBenchConfig {
+    fn default() -> Self {
+        InferBenchConfig {
+            cases: vec![
+                // The serve engine's own model shape (ServeBenchConfig
+                // defaults: d = 96, n = 48, |I| = 1000) at the batch
+                // sizes the micro-batcher actually dispatches — these
+                // are the shapes the ≥2x end-to-end gate is about.
+                InferShapeCase {
+                    name: "serve-b1".into(),
+                    dim: 96,
+                    max_seq_len: 48,
+                    num_items: 1000,
+                    batch: 1,
+                    threads: 1,
+                },
+                InferShapeCase {
+                    name: "serve-b8".into(),
+                    dim: 96,
+                    max_seq_len: 48,
+                    num_items: 1000,
+                    batch: 8,
+                    threads: 1,
+                },
+                InferShapeCase {
+                    name: "serve-b32".into(),
+                    dim: 96,
+                    max_seq_len: 48,
+                    num_items: 1000,
+                    batch: 32,
+                    threads: 1,
+                },
+                // Amazon-Beauty-shaped serving: short windows, large
+                // catalogue (paper: n = 50, |I| ≈ 12k, d up to 100).
+                InferShapeCase {
+                    name: "beauty-like".into(),
+                    dim: 100,
+                    max_seq_len: 50,
+                    num_items: 12_000,
+                    batch: 32,
+                    threads: 1,
+                },
+                // ML-1M-shaped serving: long windows, smaller catalogue
+                // (paper: n = 200, |I| ≈ 3.4k).
+                InferShapeCase {
+                    name: "ml1m-like".into(),
+                    dim: 100,
+                    max_seq_len: 200,
+                    num_items: 3_400,
+                    batch: 16,
+                    threads: 1,
+                },
+            ],
+            e2e_iters: 3,
+            kernel_iters: 20,
+            seed: 42,
+        }
+    }
+}
+
+impl InferBenchConfig {
+    /// Sub-second configuration for the test suite.
+    pub fn smoke() -> Self {
+        InferBenchConfig {
+            cases: vec![InferShapeCase {
+                name: "smoke".into(),
+                dim: 16,
+                max_seq_len: 8,
+                num_items: 50,
+                batch: 4,
+                threads: 1,
+            }],
+            e2e_iters: 2,
+            kernel_iters: 3,
+            seed: 42,
+        }
+    }
+}
+
+/// One kernel-level measurement.
+#[derive(Debug, Clone)]
+pub struct KernelResult {
+    /// Which kernel (`"causal_attention"`, `"matmul_dense_proj"`, …).
+    pub kernel: String,
+    /// Shape label, human-readable.
+    pub shape: String,
+    /// Mean microseconds per call, composed/legacy baseline.
+    pub baseline_us: f64,
+    /// Mean microseconds per call, fused/blocked kernel.
+    pub fused_us: f64,
+    /// `baseline_us / fused_us`.
+    pub speedup: f64,
+}
+
+/// One end-to-end measurement.
+#[derive(Debug, Clone)]
+pub struct E2eResult {
+    /// Case label.
+    pub name: String,
+    /// Model width.
+    pub dim: usize,
+    /// Attention window.
+    pub max_seq_len: usize,
+    /// Catalogue size.
+    pub num_items: usize,
+    /// Fold-ins per forward.
+    pub batch: usize,
+    /// Mean seconds per graph-path `score_items_batch`.
+    pub graph_seconds: f64,
+    /// Mean seconds per fast-path `score_items_batch`.
+    pub fast_seconds: f64,
+    /// `graph_seconds / fast_seconds`.
+    pub speedup: f64,
+    /// Fold-ins scored per second, graph path.
+    pub graph_rps: f64,
+    /// Fold-ins scored per second, fast path.
+    pub fast_rps: f64,
+    /// Whether every logit of every fold-in matched bit for bit.
+    pub bitwise_match: bool,
+}
+
+/// Full report of one benchmark run.
+#[derive(Debug, Clone)]
+pub struct InferBenchReport {
+    /// Kernel-level measurements.
+    pub kernels: Vec<KernelResult>,
+    /// End-to-end measurements.
+    pub e2e: Vec<E2eResult>,
+    /// `true` iff **every** end-to-end case matched bit for bit.
+    pub bitwise_match: bool,
+    /// Smallest end-to-end speedup across cases.
+    pub min_e2e_speedup: f64,
+}
+
+fn random_tensor(rng: &mut StdRng, rows: usize, cols: usize) -> Tensor {
+    let data: Vec<f32> = (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0f32)).collect();
+    Tensor::from_vec(data, &[rows, cols]).expect("bench tensor")
+}
+
+/// Time `f` over `iters` calls (one untimed warmup), mean microseconds.
+fn time_us(iters: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let t0 = Instant::now();
+    for _ in 0..iters.max(1) {
+        f();
+    }
+    t0.elapsed().as_secs_f64() * 1e6 / iters.max(1) as f64
+}
+
+/// Fused causal attention vs the composed tensor ops at `(n, d)`.
+fn bench_attention(rng: &mut StdRng, n: usize, d: usize, iters: usize) -> KernelResult {
+    let q = random_tensor(rng, n, d);
+    let k = random_tensor(rng, n, d);
+    let v = random_tensor(rng, n, d);
+    let s = 1.0 / (d as f32).sqrt();
+
+    let baseline_us = time_us(iters, || {
+        let scores = matmul_a_bt(&q, &k).expect("scores");
+        let scaled = scale(&scores, s);
+        let attn = softmax_rows_masked(&scaled).expect("softmax");
+        let out = matmul(&attn, &v).expect("attn @ v");
+        std::hint::black_box(out);
+    });
+
+    let mut scores = vec![0.0f32; n];
+    let mut out = vec![0.0f32; n * d];
+    let fused_us = time_us(iters, || {
+        causal_attention_into(q.data(), k.data(), v.data(), n, d, s, &mut scores, &mut out);
+        std::hint::black_box(&out);
+    });
+
+    KernelResult {
+        kernel: "causal_attention".into(),
+        shape: format!("n={n} d={d}"),
+        speedup: baseline_us / fused_us.max(1e-9),
+        baseline_us,
+        fused_us,
+    }
+}
+
+/// Branch-free blocked `matmul_into` vs the legacy zero-skip kernel on
+/// dense activations at `(m, k, n)` — the attention-projection / FFN /
+/// prediction shapes where the skip branch only costs.
+fn bench_matmul(
+    rng: &mut StdRng,
+    label: &str,
+    m: usize,
+    k: usize,
+    n: usize,
+    iters: usize,
+) -> KernelResult {
+    let a: Vec<f32> = (0..m * k).map(|_| rng.gen_range(-1.0..1.0f32)).collect();
+    let b: Vec<f32> = (0..k * n).map(|_| rng.gen_range(-1.0..1.0f32)).collect();
+    let mut c = vec![0.0f32; m * n];
+
+    let baseline_us = time_us(iters, || {
+        c.fill(0.0);
+        matmul_into_skip_zeros(&a, &b, &mut c, m, k, n);
+        std::hint::black_box(&c);
+    });
+    let fused_us = time_us(iters, || {
+        c.fill(0.0);
+        matmul_into(&a, &b, &mut c, m, k, n);
+        std::hint::black_box(&c);
+    });
+
+    KernelResult {
+        kernel: label.into(),
+        shape: format!("m={m} k={k} n={n}"),
+        speedup: baseline_us / fused_us.max(1e-9),
+        baseline_us,
+        fused_us,
+    }
+}
+
+/// Measure one end-to-end case: same untrained-but-seeded model, same
+/// fold-ins, graph oracle vs fast path.
+fn bench_e2e(case: &InferShapeCase, e2e_iters: usize, seed: u64) -> E2eResult {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cfg = VsanConfig::smoke().with_seed(seed).with_threads(case.threads);
+    cfg.base.dim = case.dim;
+    cfg.base.max_seq_len = case.max_seq_len;
+    let model = Vsan::init(case.num_items + 1, &cfg);
+
+    let histories: Vec<Vec<u32>> = (0..case.batch)
+        .map(|_| {
+            let len = rng.gen_range(2..=case.max_seq_len);
+            (0..len).map(|_| rng.gen_range(1..=case.num_items as u32)).collect()
+        })
+        .collect();
+    let refs: Vec<&[u32]> = histories.iter().map(Vec::as_slice).collect();
+
+    // Correctness first: a speedup over different bits is meaningless.
+    let fast = model.score_items_batch_fast(&refs).expect("fast path");
+    let graph = model.score_items_batch_graph(&refs).expect("graph path");
+    let bitwise_match = fast.len() == graph.len()
+        && fast.iter().zip(&graph).all(|(f, g)| {
+            f.len() == g.len() && f.iter().zip(g).all(|(x, y)| x.to_bits() == y.to_bits())
+        });
+
+    let graph_seconds = time_us(e2e_iters, || {
+        std::hint::black_box(model.score_items_batch_graph(&refs).expect("graph path"));
+    }) / 1e6;
+    let mut ws = model.workspace(case.batch);
+    let fast_seconds = time_us(e2e_iters, || {
+        std::hint::black_box(
+            model.try_score_items_batch_with(&refs, &mut ws).expect("fast path"),
+        );
+    }) / 1e6;
+
+    E2eResult {
+        name: case.name.clone(),
+        dim: case.dim,
+        max_seq_len: case.max_seq_len,
+        num_items: case.num_items,
+        batch: case.batch,
+        speedup: graph_seconds / fast_seconds.max(1e-12),
+        graph_rps: case.batch as f64 / graph_seconds.max(1e-12),
+        fast_rps: case.batch as f64 / fast_seconds.max(1e-12),
+        graph_seconds,
+        fast_seconds,
+        bitwise_match,
+    }
+}
+
+/// Run every kernel and end-to-end measurement in `cfg`.
+pub fn run_infer_bench(cfg: &InferBenchConfig) -> InferBenchReport {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut kernels = Vec::new();
+    let mut e2e = Vec::new();
+
+    for case in &cfg.cases {
+        let (n, d) = (case.max_seq_len, case.dim);
+        kernels.push(bench_attention(&mut rng, n, d, cfg.kernel_iters));
+        // The dense projection (rows = batch·n) and the prediction head
+        // (rows = batch, n = vocab) — the two matmul shapes the fast
+        // path actually runs per forward.
+        kernels.push(bench_matmul(
+            &mut rng,
+            "matmul_dense_proj",
+            case.batch * n,
+            d,
+            d,
+            cfg.kernel_iters,
+        ));
+        kernels.push(bench_matmul(
+            &mut rng,
+            "matmul_prediction",
+            case.batch,
+            d,
+            case.num_items + 1,
+            cfg.kernel_iters,
+        ));
+        e2e.push(bench_e2e(case, cfg.e2e_iters, cfg.seed));
+    }
+
+    let bitwise_match = e2e.iter().all(|r| r.bitwise_match);
+    let min_e2e_speedup =
+        e2e.iter().map(|r| r.speedup).fold(f64::INFINITY, f64::min).min(f64::MAX);
+    InferBenchReport { kernels, e2e, bitwise_match, min_e2e_speedup }
+}
+
+impl InferBenchReport {
+    /// Serialize as a JSON object (hand-rolled like the other bench
+    /// reports; the workspace has no JSON dependency).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from(
+            "{\n  \"benchmark\": \"graph-free inference fast path vs autograd graph path\",\n",
+        );
+        out.push_str(&format!("  \"bitwise_match\": {},\n", self.bitwise_match));
+        out.push_str(&format!("  \"min_e2e_speedup\": {:.3},\n", self.min_e2e_speedup));
+        out.push_str("  \"kernels\": [\n");
+        for (i, k) in self.kernels.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"kernel\": \"{}\", \"shape\": \"{}\", \"baseline_us\": {:.2}, \
+                 \"fused_us\": {:.2}, \"speedup\": {:.3}}}{}\n",
+                k.kernel,
+                k.shape,
+                k.baseline_us,
+                k.fused_us,
+                k.speedup,
+                if i + 1 < self.kernels.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n  \"end_to_end\": [\n");
+        for (i, r) in self.e2e.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"case\": \"{}\", \"dim\": {}, \"max_seq_len\": {}, \"num_items\": {}, \
+                 \"batch\": {}, \"graph_seconds\": {:.6}, \"fast_seconds\": {:.6}, \
+                 \"speedup\": {:.3}, \"graph_rps\": {:.1}, \"fast_rps\": {:.1}, \
+                 \"bitwise_match\": {}}}{}\n",
+                r.name,
+                r.dim,
+                r.max_seq_len,
+                r.num_items,
+                r.batch,
+                r.graph_seconds,
+                r.fast_seconds,
+                r.speedup,
+                r.graph_rps,
+                r.fast_rps,
+                r.bitwise_match,
+                if i + 1 < self.e2e.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Write the JSON report into the workspace `results/` directory.
+    pub fn write_json(&self, file_name: &str) -> std::io::Result<PathBuf> {
+        let path = results_dir().join(file_name);
+        std::fs::create_dir_all(results_dir())?;
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Smoke invocation: the fast path must match the graph path bit
+    /// for bit at the sampled shape, and the report must carry the
+    /// fields `scripts/verify.sh` gates on. No speedup floor here — a
+    /// loaded CI core makes micro-timings meaningless; the committed
+    /// `results/BENCH_infer.json` comes from the `infer_bench` binary.
+    #[test]
+    fn smoke_run_matches_bitwise_and_serializes() {
+        let report = run_infer_bench(&InferBenchConfig::smoke());
+        assert!(report.bitwise_match, "fast path must be bit-identical: {report:?}");
+        assert_eq!(report.e2e.len(), 1);
+        assert_eq!(report.kernels.len(), 3);
+        let json = report.to_json();
+        assert!(json.contains("\"bitwise_match\": true"));
+        assert!(json.contains("\"min_e2e_speedup\""));
+        assert!(json.contains("causal_attention"));
+        let path = report.write_json("BENCH_infer_smoke.json").expect("write report");
+        assert!(std::fs::read_to_string(path).unwrap().contains("\"end_to_end\""));
+    }
+}

@@ -15,12 +15,14 @@
 //! | `fig5` | Fig. 5 — dropout sweep |
 //! | `fig6` | Fig. 6 — fixed β sweep vs KL annealing |
 //! | `serve_bench` | not in the paper: `vsan-serve` engine throughput vs a sequential loop |
+//! | `infer_bench` | not in the paper: graph-free fast path vs graph path (`results/BENCH_infer.json`) |
 //!
 //! Every binary accepts `--scale smoke|repro|paper` (default `repro`),
 //! `--seeds N` (default 1 for grids, 3 for Table III), and `--dataset
 //! beauty|ml1m|both`. Criterion micro-benches for the §IV-F complexity
 //! claims live in `benches/`.
 
+pub mod infer_bench;
 pub mod serve_bench;
 pub mod train_bench;
 

@@ -1,0 +1,518 @@
+//! Graph-free inference fast path (DESIGN.md §10).
+//!
+//! The autograd [`Graph`](vsan_autograd::Graph) exists to record a tape
+//! for the backward pass; at serve time that is pure overhead — every op
+//! allocates a fresh `Tensor`, pushes a node, and clones parameters into
+//! the tape. This module executes the same eval forward (embedding
+//! gather → h₁ inference blocks → μ head → h₂ generative blocks →
+//! last-position logits, `z = μ_λ` per §IV-E of the paper) directly on
+//! `vsan-tensor` kernels:
+//!
+//! - [`InferencePlan`] pre-resolves the parameter ids the forward needs,
+//!   in execution order, so the hot loop is just slice lookups;
+//! - [`Workspace`] owns every intermediate buffer, sized once from the
+//!   config and reused across batches (a serve worker holds one for its
+//!   whole life — steady-state batches allocate only the output rows);
+//! - the kernels ([`causal_attention_into`], `matmul_into_parallel`,
+//!   `layer_norm_rows_into`) fold every output element in the exact
+//!   per-row order the graph ops use, so fast-path logits are
+//!   **bit-identical** to the graph path — the determinism invariant the
+//!   serve cache, the chaos suite, and `tests/golden_logits.rs` rest on.
+//!
+//! `VSAN_DISABLE_FAST_PATH=1` routes [`crate::Vsan::score_items_batch`]
+//! back through the graph, keeping the old path alive as a differential-
+//! testing oracle (`scripts/verify.sh` runs the suite both ways).
+
+use std::cell::RefCell;
+use std::sync::OnceLock;
+
+use vsan_data::sequence::pad_left;
+use vsan_nn::{Linear, ParamId, ParamStore, SelfAttentionBlock};
+use vsan_tensor::ops::attention::{causal_attention_into, causal_attention_last_row_into};
+use vsan_tensor::ops::norm::{layer_norm_rows_into, LN_EPS};
+use vsan_tensor::parallel::matmul_into_parallel;
+
+/// `true` when `VSAN_DISABLE_FAST_PATH=1` pins scoring to the graph
+/// path. Read once per process: the flag is a deployment/CI toggle, not
+/// a per-call switch (tests that need both paths in one process call
+/// the explicit `score_items_batch_graph` / `_fast_with` entry points).
+pub(crate) fn fast_path_disabled() -> bool {
+    static DISABLED: OnceLock<bool> = OnceLock::new();
+    *DISABLED
+        .get_or_init(|| std::env::var("VSAN_DISABLE_FAST_PATH").is_ok_and(|v| v == "1"))
+}
+
+/// One attention block's pre-resolved parameters.
+struct BlockPlan {
+    wq: ParamId,
+    wk: ParamId,
+    wv: ParamId,
+    ln1_gamma: ParamId,
+    ln1_beta: ParamId,
+    ffn: Option<FfnPlan>,
+}
+
+/// The point-wise FFN sublayer's parameters (always biased).
+struct FfnPlan {
+    w1: ParamId,
+    b1: ParamId,
+    w2: ParamId,
+    b2: ParamId,
+    ln2_gamma: ParamId,
+    ln2_beta: ParamId,
+}
+
+impl BlockPlan {
+    fn from_block(block: &SelfAttentionBlock) -> Self {
+        assert_eq!(block.heads(), 1, "the fast path covers the paper's single-head blocks");
+        let ffn = block.ffn_parts().map(|(w1, w2, ln2)| FfnPlan {
+            w1: w1.w,
+            b1: w1.b.expect("FFN w1 is biased"),
+            w2: w2.w,
+            b2: w2.b.expect("FFN w2 is biased"),
+            ln2_gamma: ln2.gamma,
+            ln2_beta: ln2.beta,
+        });
+        BlockPlan {
+            wq: block.wq().w,
+            wk: block.wk().w,
+            wv: block.wv().w,
+            ln1_gamma: block.ln1().gamma,
+            ln1_beta: block.ln1().beta,
+            ffn,
+        }
+    }
+}
+
+/// The eval forward, compiled to a flat parameter-id schedule.
+///
+/// Built once per model (ids stay valid across checkpoint restores —
+/// `load_values` replaces tensor contents, never ids) and executed
+/// against a [`Workspace`].
+pub struct InferencePlan {
+    item_table: ParamId,
+    pos_table: ParamId,
+    infer_blocks: Vec<BlockPlan>,
+    /// `None` for VSAN-z (`use_latent = false`): h feeds the generative
+    /// stack directly.
+    mu: Option<(ParamId, ParamId)>,
+    gene_blocks: Vec<BlockPlan>,
+    /// `None` in tied mode (scores against the item table instead).
+    prediction: Option<(ParamId, ParamId)>,
+    n: usize,
+    d: usize,
+    vocab: usize,
+    threads: usize,
+}
+
+impl InferencePlan {
+    /// Resolve the schedule from the model's layers.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        item_table: ParamId,
+        pos_table: ParamId,
+        infer_blocks: &[SelfAttentionBlock],
+        mu_head: &Linear,
+        gene_blocks: &[SelfAttentionBlock],
+        prediction: &Linear,
+        cfg: &crate::VsanConfig,
+        vocab: usize,
+    ) -> Self {
+        InferencePlan {
+            item_table,
+            pos_table,
+            infer_blocks: infer_blocks.iter().map(BlockPlan::from_block).collect(),
+            mu: cfg
+                .use_latent
+                .then(|| (mu_head.w, mu_head.b.expect("mu head is biased"))),
+            gene_blocks: gene_blocks.iter().map(BlockPlan::from_block).collect(),
+            prediction: (!cfg.tie_prediction)
+                .then(|| (prediction.w, prediction.b.expect("prediction layer is biased"))),
+            n: cfg.base.max_seq_len,
+            d: cfg.base.dim,
+            vocab,
+            threads: cfg.base.threads,
+        }
+    }
+
+    /// Run the forward for `fold_ins` into `ws`, returning one logit row
+    /// per history. Errors on out-of-vocabulary item ids (the same
+    /// condition the graph path's `gather_rows` rejects).
+    pub(crate) fn execute(
+        &self,
+        store: &ParamStore,
+        fold_ins: &[&[u32]],
+        ws: &mut Workspace,
+    ) -> Result<Vec<Vec<f32>>, String> {
+        let b = fold_ins.len();
+        if b == 0 {
+            return Ok(Vec::new());
+        }
+        let (n, d) = (self.n, self.d);
+        let rows = b * n;
+        ws.ensure(rows, d, n, b, self.vocab);
+
+        // Embedding layer (Eq. 4): item row + position row per slot.
+        ws.idx.clear();
+        for fold_in in fold_ins {
+            ws.idx.extend(pad_left(fold_in, n).iter().map(|&i| i as usize));
+        }
+        let table = store.get(self.item_table).data();
+        let pos = store.get(self.pos_table).data();
+        for (r, &item) in ws.idx.iter().enumerate() {
+            if item >= self.vocab {
+                return Err(format!("item id {item} out of vocabulary ({})", self.vocab));
+            }
+            let h_row = &mut ws.h[r * d..(r + 1) * d];
+            h_row.copy_from_slice(&table[item * d..(item + 1) * d]);
+            let p_row = &pos[(r % n) * d..(r % n + 1) * d];
+            for (hv, &pv) in h_row.iter_mut().zip(p_row) {
+                *hv += pv;
+            }
+        }
+
+        // Only the *terminal* stage's last row per sample feeds the
+        // prediction readout: every earlier stage must run at all
+        // positions (its rows become the next stage's keys/values), but
+        // the final stage's non-last rows feed nothing — causality lets
+        // the fast path skip them entirely, bit-exactly (each row is an
+        // independent per-row fold in every kernel involved).
+        let trim_gene = !self.gene_blocks.is_empty();
+        let trim_mu = !trim_gene && self.mu.is_some();
+        let trim_infer = !trim_gene && !trim_mu && !self.infer_blocks.is_empty();
+
+        // Inference self-attention layer (Eqs. 5–11), dropout off.
+        let full_infer = self.infer_blocks.len() - usize::from(trim_infer);
+        for block in &self.infer_blocks[..full_infer] {
+            self.run_block(store, block, rows, b, ws);
+        }
+        for block in &self.infer_blocks[full_infer..] {
+            self.run_block_tail(store, block, b, ws);
+        }
+
+        // Latent variable layer at eval: z = μ_λ, no sampling (§IV-E).
+        if let Some((w, bias)) = self.mu {
+            if trim_mu {
+                // Terminal stage: project only each sample's last row.
+                for s in 0..b {
+                    let src = (s * n + n - 1) * d;
+                    ws.last_in[s * d..(s + 1) * d].copy_from_slice(&ws.h[src..src + d]);
+                }
+                let dst = &mut ws.last[..b * d];
+                dst.fill(0.0);
+                matmul_into_parallel(&ws.last_in[..b * d], store.get(w).data(), dst, b, d, d, self.threads);
+                add_bias_rows(dst, store.get(bias).data(), b);
+            } else {
+                self.linear_into_tmp(store, w, Some(bias), rows, d, ws);
+                std::mem::swap(&mut ws.h, &mut ws.q);
+            }
+        }
+
+        // Generative self-attention layer (Eqs. 15–17).
+        let full_gene = self.gene_blocks.len() - usize::from(trim_gene);
+        for block in &self.gene_blocks[..full_gene] {
+            self.run_block(store, block, rows, b, ws);
+        }
+        for block in &self.gene_blocks[full_gene..] {
+            self.run_block_tail(store, block, b, ws);
+        }
+
+        // Last-position rows → prediction logits (Eqs. 18–19). A trimmed
+        // terminal stage already left them in `ws.last`.
+        if !(trim_gene || trim_mu || trim_infer) {
+            for s in 0..b {
+                let src = (s * n + n - 1) * d;
+                ws.last[s * d..(s + 1) * d].copy_from_slice(&ws.h[src..src + d]);
+            }
+        }
+        match self.prediction {
+            Some((w, bias)) => {
+                ws.logits[..b * self.vocab].fill(0.0);
+                matmul_into_parallel(
+                    &ws.last[..b * d],
+                    store.get(w).data(),
+                    &mut ws.logits[..b * self.vocab],
+                    b,
+                    d,
+                    self.vocab,
+                    self.threads,
+                );
+                add_bias_rows(&mut ws.logits[..b * self.vocab], store.get(bias).data(), b);
+            }
+            None => {
+                // Tied mode: score against the item-embedding table,
+                // exactly the graph's `matmul_a_bt(last, table)`.
+                vsan_tensor::ops::matmul_a_bt_into(
+                    &ws.last[..b * d],
+                    table,
+                    &mut ws.logits[..b * self.vocab],
+                    b,
+                    d,
+                    self.vocab,
+                );
+            }
+        }
+        Ok(ws.logits[..b * self.vocab].chunks(self.vocab).map(<[f32]>::to_vec).collect())
+    }
+
+    /// `ws.q[..rows*out] = h · store[w] (+ bias)`, zero-filled first.
+    fn linear_into_tmp(
+        &self,
+        store: &ParamStore,
+        w: ParamId,
+        bias: Option<ParamId>,
+        rows: usize,
+        out_dim: usize,
+        ws: &mut Workspace,
+    ) {
+        let d = self.d;
+        let dst = &mut ws.q[..rows * out_dim];
+        dst.fill(0.0);
+        matmul_into_parallel(
+            &ws.h[..rows * d],
+            store.get(w).data(),
+            dst,
+            rows,
+            d,
+            out_dim,
+            self.threads,
+        );
+        if let Some(bias) = bias {
+            add_bias_rows(dst, store.get(bias).data(), rows);
+        }
+    }
+
+    /// One self-attention block over `ws.h` in place, mirroring
+    /// [`SelfAttentionBlock::forward`] op for op (eval mode: the dropout
+    /// between attention and residual is the identity).
+    fn run_block(&self, store: &ParamStore, block: &BlockPlan, rows: usize, b: usize, ws: &mut Workspace) {
+        let (n, d) = (self.n, self.d);
+        let threads = self.threads;
+        // q/k/v projections over the whole flattened batch (no bias).
+        for (dst, w) in [(&mut ws.q, block.wq), (&mut ws.k, block.wk), (&mut ws.v, block.wv)] {
+            let dst = &mut dst[..rows * d];
+            dst.fill(0.0);
+            matmul_into_parallel(&ws.h[..rows * d], store.get(w).data(), dst, rows, d, d, threads);
+        }
+        let scale = 1.0 / (d as f32).sqrt();
+        // Per-sample fused causal attention into `tmp`.
+        for s in 0..b {
+            let span = s * n * d..(s + 1) * n * d;
+            causal_attention_into(
+                &ws.q[span.clone()],
+                &ws.k[span.clone()],
+                &ws.v[span.clone()],
+                n,
+                d,
+                scale,
+                &mut ws.score,
+                &mut ws.tmp[span],
+            );
+        }
+        // Residual + LayerNorm (Eq. 7): h = LN1(attn + x).
+        for (tv, &hv) in ws.tmp[..rows * d].iter_mut().zip(&ws.h[..rows * d]) {
+            *tv += hv;
+        }
+        layer_norm_rows_into(
+            &ws.tmp[..rows * d],
+            store.get(block.ln1_gamma).data(),
+            store.get(block.ln1_beta).data(),
+            LN_EPS,
+            rows,
+            d,
+            &mut ws.h[..rows * d],
+        );
+        // Point-wise FFN + residual + LayerNorm (Eqs. 8–9), if enabled.
+        if let Some(ffn) = &block.ffn {
+            self.linear_into_tmp(store, ffn.w1, Some(ffn.b1), rows, d, ws);
+            for v in ws.q[..rows * d].iter_mut() {
+                *v = v.max(0.0);
+            }
+            let f = &mut ws.k[..rows * d];
+            f.fill(0.0);
+            matmul_into_parallel(&ws.q[..rows * d], store.get(ffn.w2).data(), f, rows, d, d, threads);
+            add_bias_rows(f, store.get(ffn.b2).data(), rows);
+            for (fv, &hv) in f.iter_mut().zip(&ws.h[..rows * d]) {
+                *fv += hv;
+            }
+            layer_norm_rows_into(
+                &ws.k[..rows * d],
+                store.get(ffn.ln2_gamma).data(),
+                store.get(ffn.ln2_beta).data(),
+                LN_EPS,
+                rows,
+                d,
+                &mut ws.h[..rows * d],
+            );
+        }
+    }
+
+    /// The terminal block, computing only each sample's last row of
+    /// output (into `ws.last`): keys and values are still projected at
+    /// every position — the last query attends to all of them — but the
+    /// query projection, attention, residual+LN and FFN run on `b` rows
+    /// instead of `b·n`. Bit-exact per the row-independence argument on
+    /// [`causal_attention_last_row_into`].
+    fn run_block_tail(&self, store: &ParamStore, block: &BlockPlan, b: usize, ws: &mut Workspace) {
+        let (n, d) = (self.n, self.d);
+        let rows = b * n;
+        let threads = self.threads;
+        for (dst, w) in [(&mut ws.k, block.wk), (&mut ws.v, block.wv)] {
+            let dst = &mut dst[..rows * d];
+            dst.fill(0.0);
+            matmul_into_parallel(&ws.h[..rows * d], store.get(w).data(), dst, rows, d, d, threads);
+        }
+        // Each sample's last input row doubles as the residual source.
+        for s in 0..b {
+            let src = (s * n + n - 1) * d;
+            ws.last_in[s * d..(s + 1) * d].copy_from_slice(&ws.h[src..src + d]);
+        }
+        let q_last = &mut ws.q[..b * d];
+        q_last.fill(0.0);
+        matmul_into_parallel(&ws.last_in[..b * d], store.get(block.wq).data(), q_last, b, d, d, threads);
+        let scale = 1.0 / (d as f32).sqrt();
+        for s in 0..b {
+            let span = s * n * d..(s + 1) * n * d;
+            causal_attention_last_row_into(
+                &ws.q[s * d..(s + 1) * d],
+                &ws.k[span.clone()],
+                &ws.v[span],
+                n,
+                d,
+                scale,
+                &mut ws.score,
+                &mut ws.tmp[s * d..(s + 1) * d],
+            );
+        }
+        // Residual + LayerNorm (Eq. 7) over the `b` last rows.
+        for (tv, &hv) in ws.tmp[..b * d].iter_mut().zip(&ws.last_in[..b * d]) {
+            *tv += hv;
+        }
+        layer_norm_rows_into(
+            &ws.tmp[..b * d],
+            store.get(block.ln1_gamma).data(),
+            store.get(block.ln1_beta).data(),
+            LN_EPS,
+            b,
+            d,
+            &mut ws.last[..b * d],
+        );
+        // Point-wise FFN + residual + LayerNorm (Eqs. 8–9), if enabled.
+        if let Some(ffn) = &block.ffn {
+            let h1 = &mut ws.q[..b * d];
+            h1.fill(0.0);
+            matmul_into_parallel(&ws.last[..b * d], store.get(ffn.w1).data(), h1, b, d, d, threads);
+            add_bias_rows(h1, store.get(ffn.b1).data(), b);
+            for v in h1.iter_mut() {
+                *v = v.max(0.0);
+            }
+            let f = &mut ws.tmp[..b * d];
+            f.fill(0.0);
+            matmul_into_parallel(&ws.q[..b * d], store.get(ffn.w2).data(), f, b, d, d, threads);
+            add_bias_rows(f, store.get(ffn.b2).data(), b);
+            for (fv, &hv) in f.iter_mut().zip(&ws.last[..b * d]) {
+                *fv += hv;
+            }
+            layer_norm_rows_into(
+                &ws.tmp[..b * d],
+                store.get(ffn.ln2_gamma).data(),
+                store.get(ffn.ln2_beta).data(),
+                LN_EPS,
+                b,
+                d,
+                &mut ws.last[..b * d],
+            );
+        }
+    }
+}
+
+/// Broadcast-add a `(cols,)` bias to every row of a flat `(rows, cols)`
+/// buffer — the graph's `add_row_broadcast` without the allocation.
+fn add_bias_rows(x: &mut [f32], bias: &[f32], rows: usize) {
+    let c = bias.len();
+    debug_assert_eq!(x.len(), rows * c);
+    for row in x.chunks_mut(c) {
+        for (xv, &bv) in row.iter_mut().zip(bias) {
+            *xv += bv;
+        }
+    }
+}
+
+/// Reusable buffer arena for [`InferencePlan::execute`].
+///
+/// All buffers grow to the high-water mark of the batches they serve and
+/// are then reused as-is: a serve worker that processes same-shaped
+/// batches allocates nothing after the first one. One workspace serves
+/// one thread — the serve worker pool holds one per worker.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    /// Padded item indices, `(b·n,)`.
+    idx: Vec<usize>,
+    /// Current activations, `(b·n, d)`.
+    h: Vec<f32>,
+    /// Projection / FFN scratch, `(b·n, d)` each.
+    q: Vec<f32>,
+    k: Vec<f32>,
+    v: Vec<f32>,
+    /// Attention-output / residual scratch, `(b·n, d)`.
+    tmp: Vec<f32>,
+    /// One attention score row, `(n,)`.
+    score: Vec<f32>,
+    /// Last-position activations, `(b, d)`.
+    last: Vec<f32>,
+    /// The terminal stage's gathered input rows, `(b, d)` (also the
+    /// residual source for the trimmed block).
+    last_in: Vec<f32>,
+    /// Output logits, `(b, vocab)`.
+    logits: Vec<f32>,
+}
+
+impl Workspace {
+    /// An empty workspace; buffers are sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pre-size for batches of `max_batch` histories under `cfg` (what a
+    /// serve worker does at startup so the hot path never grows).
+    pub fn for_config(cfg: &crate::VsanConfig, vocab: usize, max_batch: usize) -> Self {
+        let mut ws = Self::new();
+        let rows = max_batch.max(1) * cfg.base.max_seq_len;
+        ws.ensure(rows, cfg.base.dim, cfg.base.max_seq_len, max_batch.max(1), vocab);
+        ws
+    }
+
+    /// Grow every buffer to the sizes this batch needs (no-op once at
+    /// the high-water mark).
+    fn ensure(&mut self, rows: usize, d: usize, n: usize, b: usize, vocab: usize) {
+        grow(&mut self.idx, rows, 0);
+        let flat = rows * d;
+        grow(&mut self.h, flat, 0.0);
+        // q also holds the μ-head output that is swapped into `h`, so it
+        // must be exactly as long as `h` for the swap to be shape-safe.
+        grow(&mut self.q, flat, 0.0);
+        grow(&mut self.k, flat, 0.0);
+        grow(&mut self.v, flat, 0.0);
+        grow(&mut self.tmp, flat, 0.0);
+        grow(&mut self.score, n, 0.0);
+        grow(&mut self.last, b * d, 0.0);
+        grow(&mut self.last_in, b * d, 0.0);
+        grow(&mut self.logits, b * vocab, 0.0);
+    }
+}
+
+fn grow<T: Clone>(buf: &mut Vec<T>, len: usize, fill: T) {
+    if buf.len() < len {
+        buf.resize(len, fill);
+    }
+}
+
+/// Run `f` with this thread's lazily-created workspace — the fallback
+/// for callers that do not hold a [`Workspace`] of their own (offline
+/// eval, tests). Dedicated workers should own one explicitly.
+pub(crate) fn with_thread_workspace<T>(f: impl FnOnce(&mut Workspace) -> T) -> T {
+    thread_local! {
+        static WORKSPACE: RefCell<Workspace> = RefCell::new(Workspace::new());
+    }
+    WORKSPACE.with(|ws| f(&mut ws.borrow_mut()))
+}

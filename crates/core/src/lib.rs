@@ -54,9 +54,11 @@
 //!   Fig. 1 uncertainty story can be measured, not just told.
 
 pub mod config;
+pub mod infer;
 pub mod model;
 pub mod uncertainty;
 
 pub use config::VsanConfig;
+pub use infer::Workspace;
 pub use model::Vsan;
 pub use uncertainty::PosteriorStats;

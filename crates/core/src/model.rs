@@ -1,6 +1,7 @@
 //! The trainable VSAN network.
 
 use crate::config::VsanConfig;
+use crate::infer::{self, InferencePlan, Workspace};
 use vsan_data::sequence::{next_k_example, pad_left, SeqExampleK};
 use vsan_data::Dataset;
 use vsan_eval::Scorer;
@@ -28,6 +29,8 @@ pub struct Vsan {
     /// Prediction layer `W_g, b_g` (Eq. 19) — a separate output matrix,
     /// not weight-tied, exactly as the paper writes it.
     prediction: Linear,
+    /// Pre-resolved graph-free eval schedule (see [`crate::infer`]).
+    plan: InferencePlan,
     cfg: VsanConfig,
     vocab: usize,
     /// Mean training loss (CE + β·KL) per epoch.
@@ -155,7 +158,7 @@ impl Vsan {
         let d = cfg.base.dim;
         let item_emb = Embedding::new(&mut store, &mut rng, "item_emb", vocab, d, true);
         let pos_emb = Embedding::new(&mut store, &mut rng, "pos_emb", cfg.base.max_seq_len, d, false);
-        let infer_blocks = (0..cfg.h1)
+        let infer_blocks: Vec<SelfAttentionBlock> = (0..cfg.h1)
             .map(|i| SelfAttentionBlock::new(&mut store, &mut rng, &format!("infer{i}"), d, cfg.infer_ffn))
             .collect();
         let mu_head = Linear::new(&mut store, &mut rng, "mu_head", d, d, true);
@@ -172,10 +175,20 @@ impl Vsan {
         if let Some(b) = logvar_head.b {
             store.get_mut(b).fill(-4.0);
         }
-        let gene_blocks = (0..cfg.h2)
+        let gene_blocks: Vec<SelfAttentionBlock> = (0..cfg.h2)
             .map(|i| SelfAttentionBlock::new(&mut store, &mut rng, &format!("gene{i}"), d, cfg.gene_ffn))
             .collect();
         let prediction = Linear::new(&mut store, &mut rng, "prediction", d, vocab, true);
+        let plan = InferencePlan::new(
+            item_emb.table,
+            pos_emb.table,
+            &infer_blocks,
+            &mu_head,
+            &gene_blocks,
+            &prediction,
+            cfg,
+            vocab,
+        );
         Vsan {
             store,
             item_emb,
@@ -185,6 +198,7 @@ impl Vsan {
             logvar_head,
             gene_blocks,
             prediction,
+            plan,
             cfg: cfg.clone(),
             vocab,
             train_losses: Vec::new(),
@@ -263,13 +277,66 @@ impl Vsan {
     }
 
     /// Batched [`vsan_eval::Scorer::score_items`]: last-position logits
-    /// for each history, one row per history. Falls back to all-zero rows
-    /// on an internal graph error, mirroring `score_items`.
+    /// for each history, one row per history.
+    ///
+    /// Legacy zero-fallback wrapper around [`Self::try_score_items_batch`]:
+    /// an internal error comes back as all-zero rows, indistinguishable
+    /// from real scores. Serving code must use the `try_` variant and
+    /// handle the error explicitly (DESIGN.md §10).
     pub fn score_items_batch(&self, fold_ins: &[&[u32]]) -> Vec<Vec<f32>> {
-        match self.forward_logits_batch(fold_ins) {
-            Ok(rows) => rows,
-            Err(_) => vec![vec![0.0; self.vocab]; fold_ins.len()],
+        self.try_score_items_batch(fold_ins)
+            .unwrap_or_else(|_| vec![vec![0.0; self.vocab]; fold_ins.len()])
+    }
+
+    /// Batched last-position logits, surfacing internal errors.
+    ///
+    /// Runs the graph-free fast path ([`crate::infer`]) against a
+    /// per-thread workspace unless `VSAN_DISABLE_FAST_PATH=1` pins the
+    /// process to the graph path. Both paths are bit-identical (the
+    /// differential suite in `tests/fast_path.rs` and the golden fixture
+    /// assert it).
+    pub fn try_score_items_batch(&self, fold_ins: &[&[u32]]) -> Result<Vec<Vec<f32>>, String> {
+        if infer::fast_path_disabled() {
+            self.score_items_batch_graph(fold_ins)
+        } else {
+            infer::with_thread_workspace(|ws| self.plan.execute(&self.store, fold_ins, ws))
         }
+    }
+
+    /// [`Self::try_score_items_batch`] against a caller-owned
+    /// [`Workspace`] — what a serve worker uses so its buffers persist
+    /// across batches (zero steady-state allocation).
+    pub fn try_score_items_batch_with(
+        &self,
+        fold_ins: &[&[u32]],
+        ws: &mut Workspace,
+    ) -> Result<Vec<Vec<f32>>, String> {
+        if infer::fast_path_disabled() {
+            self.score_items_batch_graph(fold_ins)
+        } else {
+            self.plan.execute(&self.store, fold_ins, ws)
+        }
+    }
+
+    /// A reusable [`Workspace`] pre-sized for this model at `max_batch`
+    /// fold-ins — what each `vsan-serve` worker holds so the fast path
+    /// allocates nothing in steady state.
+    pub fn workspace(&self, max_batch: usize) -> Workspace {
+        Workspace::for_config(&self.cfg, self.vocab, max_batch)
+    }
+
+    /// The graph-path forward, kept as the differential-testing oracle:
+    /// builds the full autograd tape exactly as training eval did before
+    /// the fast path existed. Slow; for tests and benchmarks.
+    pub fn score_items_batch_graph(&self, fold_ins: &[&[u32]]) -> Result<Vec<Vec<f32>>, String> {
+        self.forward_logits_batch(fold_ins).map_err(|e| e.to_string())
+    }
+
+    /// The fast path unconditionally (no env gate) — the oracle's
+    /// counterpart for differential tests that exercise both paths in
+    /// one process.
+    pub fn score_items_batch_fast(&self, fold_ins: &[&[u32]]) -> Result<Vec<Vec<f32>>, String> {
+        infer::with_thread_workspace(|ws| self.plan.execute(&self.store, fold_ins, ws))
     }
 
     /// The fold-in window the model actually reads: the last
@@ -317,12 +384,6 @@ impl Vsan {
         };
         let probs = g.softmax_rows(logits).map_err(|e| e.to_string())?;
         Ok(g.value(probs).data().to_vec())
-    }
-
-    /// Full evaluation forward to last-position logits. At evaluation the
-    /// latent is the posterior mean `z = μ` (§IV-E, following Liang et al.).
-    fn forward_logits(&self, fold_in: &[u32]) -> AgResult<Vec<f32>> {
-        Ok(self.forward_logits_batch(&[fold_in])?.pop().unwrap_or_default())
     }
 
     /// Batched evaluation forward: `b` left-padded fold-in windows run as
@@ -377,7 +438,12 @@ impl Vsan {
 
 impl Scorer for Vsan {
     fn score_items(&self, fold_in: &[u32]) -> Vec<f32> {
-        self.forward_logits(fold_in).unwrap_or_else(|_| vec![0.0; self.vocab])
+        // Single-history scoring is the b = 1 batch — same dispatch, so
+        // the fast path serves offline evaluation too.
+        self.try_score_items_batch(&[fold_in])
+            .ok()
+            .and_then(|mut rows| rows.pop())
+            .unwrap_or_else(|| vec![0.0; self.vocab])
     }
     fn vocab(&self) -> usize {
         self.vocab

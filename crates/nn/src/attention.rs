@@ -96,6 +96,37 @@ impl SelfAttentionBlock {
         self.ffn.is_some()
     }
 
+    /// The query projection (graph-free executors resolve its params
+    /// directly from the store).
+    pub fn wq(&self) -> &Linear {
+        &self.wq
+    }
+
+    /// The key projection.
+    pub fn wk(&self) -> &Linear {
+        &self.wk
+    }
+
+    /// The value projection.
+    pub fn wv(&self) -> &Linear {
+        &self.wv
+    }
+
+    /// The output projection (`Some` only in multi-head mode).
+    pub fn wo(&self) -> Option<&Linear> {
+        self.wo.as_ref()
+    }
+
+    /// The post-attention LayerNorm.
+    pub fn ln1(&self) -> &LayerNorm {
+        &self.ln1
+    }
+
+    /// The feed-forward sublayer's pieces `(w1, w2, ln2)`, when present.
+    pub fn ffn_parts(&self) -> Option<(&Linear, &Linear, &LayerNorm)> {
+        self.ffn.as_ref().map(|f| (&f.w1, &f.w2, &f.ln2))
+    }
+
     /// Forward a flattened batch `(batch·seq_len, dim)`; attention runs
     /// causally within each sample's `seq_len` window and never across
     /// samples.

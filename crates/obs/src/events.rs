@@ -40,6 +40,9 @@ pub enum FaultKind {
     Overloaded,
     /// The sequence cache was cleared after a poisoned lock.
     CachePoisoned,
+    /// The model forward itself returned an error (the batch was
+    /// answered through the degraded path instead of fabricated zeros).
+    ModelError,
 }
 
 impl FaultKind {
@@ -58,6 +61,7 @@ impl FaultKind {
             FaultKind::DegradedMode => "degraded_mode",
             FaultKind::Overloaded => "overloaded",
             FaultKind::CachePoisoned => "cache_poisoned",
+            FaultKind::ModelError => "model_error",
         }
     }
 }
@@ -119,6 +123,7 @@ mod tests {
             FaultKind::DegradedMode,
             FaultKind::Overloaded,
             FaultKind::CachePoisoned,
+            FaultKind::ModelError,
         ] {
             let name = kind.as_str();
             assert!(!name.is_empty());

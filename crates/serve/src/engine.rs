@@ -37,11 +37,13 @@ use crate::failpoint;
 use crate::metrics::{as_us, Metrics, MetricsSnapshot, ServeStats};
 use crate::queue::{AdmissionQueue, BackpressurePolicy, PopOutcome, PushOutcome};
 
-/// Failure modes of the serving path. The forward pass itself cannot
-/// fail (scoring falls back to zeros on internal graph errors, exactly
-/// like [`vsan_eval::Scorer::score_items`]); these are lifecycle and
-/// overload outcomes, every one of them part of the resolution
-/// guarantee: a ticket either carries a [`Response`] or one of these.
+/// Failure modes of the serving path. A model-forward error is *not*
+/// one of them: it is surfaced through the fault telemetry
+/// ([`FaultKind::ModelError`], the `serve.model_errors` counter) and
+/// the affected requests resolve through the degraded path — never as
+/// fabricated all-zero scores. These are lifecycle and overload
+/// outcomes, every one of them part of the resolution guarantee: a
+/// ticket either carries a [`Response`] or one of these.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ServeError {
     /// The engine is shutting down and no longer accepts requests.
@@ -403,6 +405,7 @@ impl Engine {
             batch_rx,
             batch_tx,
             ctrl_tx: ctrl_tx.clone(),
+            max_batch,
         };
         let mut handles = HashMap::new();
         for id in 0..workers {
@@ -763,6 +766,8 @@ struct WorkerCtx {
     /// For requeueing the untouched remainder of a poisoned batch.
     batch_tx: Sender<BatchMsg>,
     ctrl_tx: Sender<Ctrl>,
+    /// Sizes the per-worker inference workspace at spawn.
+    max_batch: usize,
 }
 
 fn spawn_worker(id: usize, ctx: WorkerCtx) -> JoinHandle<()> {
@@ -776,7 +781,13 @@ fn spawn_worker(id: usize, ctx: WorkerCtx) -> JoinHandle<()> {
 /// batch is caught at this boundary; the untouched requests are
 /// requeued (bounded by the retry budget), the supervisor is notified,
 /// and the thread exits — the supervisor respawns a replacement.
+///
+/// Each worker owns one [`vsan_core::Workspace`], pre-sized for
+/// `max_batch` fold-ins at spawn, so the inference fast path performs
+/// zero steady-state allocation across batches (README § Inference
+/// fast path).
 fn worker_loop(id: usize, ctx: &WorkerCtx) {
+    let mut ws = ctx.inner.model.workspace(ctx.max_batch);
     loop {
         match ctx.batch_rx.recv() {
             Err(_) => return,
@@ -784,7 +795,7 @@ fn worker_loop(id: usize, ctx: &WorkerCtx) {
             Ok(BatchMsg::Work(batch)) => {
                 let mut slots: Vec<Option<Request>> = batch.into_iter().map(Some).collect();
                 let outcome =
-                    catch_unwind(AssertUnwindSafe(|| process_batch(&ctx.inner, &mut slots)));
+                    catch_unwind(AssertUnwindSafe(|| process_batch(&ctx.inner, &mut slots, &mut ws)));
                 ctx.inner.release_batch_slot();
                 if outcome.is_err() {
                     isolate_panic(id, ctx, slots);
@@ -899,7 +910,13 @@ fn drain_batches(batch_rx: &Receiver<BatchMsg>, mut resolve: impl FnMut(Request)
 /// would produce. Requests are *taken out* of their slots as they are
 /// answered — on a panic, whatever is still in a slot was untouched and
 /// is safe to requeue.
-fn process_batch(inner: &Inner, slots: &mut [Option<Request>]) {
+///
+/// The forward can fail (e.g. an out-of-vocabulary item id in a
+/// window). A failure is surfaced, never hidden: the fault counter and
+/// JSONL event fire, nothing enters the cache, and every request in
+/// the batch resolves through the degraded path instead of receiving
+/// fabricated all-zero logits.
+fn process_batch(inner: &Inner, slots: &mut [Option<Request>], ws: &mut vsan_core::Workspace) {
     // Everything before this instant is queue wait; everything after is
     // compute. The split is per request (the wait differs per request —
     // later arrivals waited less for the same flush). Requeued requests
@@ -939,8 +956,18 @@ fn process_batch(inner: &Inner, slots: &mut [Option<Request>]) {
     }
 
     let refs: Vec<&[u32]> = windows.iter().map(Vec::as_slice).collect();
-    let rows: Vec<Arc<Vec<f32>>> =
-        inner.model.score_items_batch(&refs).into_iter().map(Arc::new).collect();
+    let rows: Vec<Arc<Vec<f32>>> = match inner.model.try_score_items_batch_with(&refs, ws) {
+        Ok(rows) => rows.into_iter().map(Arc::new).collect(),
+        Err(err) => {
+            inner.metrics.model_errors.inc();
+            inner.fault(FaultKind::ModelError, &err);
+            for slot in slots.iter_mut() {
+                let Some(req) = slot.take() else { continue };
+                inner.finish_degraded(req, "model_error");
+            }
+            return;
+        }
+    };
 
     if inner.cache_enabled {
         let mut cache = inner.lock_cache();

@@ -71,6 +71,9 @@ pub(crate) struct Metrics {
     pub retry_exhausted: Arc<Counter>,
     /// Batches discarded whole (the `drop_batch` failpoint).
     pub dropped_batches: Arc<Counter>,
+    /// Batches whose model forward returned an error (requests were
+    /// resolved through the degraded path, never with fabricated zeros).
+    pub model_errors: Arc<Counter>,
     /// Live worker threads (spawns and respawns minus deaths).
     pub workers_alive: Arc<Gauge>,
 }
@@ -112,6 +115,7 @@ impl Metrics {
             requeued_requests: registry.counter("serve.requeued_requests"),
             retry_exhausted: registry.counter("serve.retry_exhausted"),
             dropped_batches: registry.counter("serve.dropped_batches"),
+            model_errors: registry.counter("serve.model_errors"),
             workers_alive: registry.gauge("serve.workers_alive"),
             registry,
         }
@@ -143,6 +147,7 @@ impl Metrics {
             worker_respawns: self.worker_respawns.get(),
             requeued_requests: self.requeued_requests.get(),
             dropped_batches: self.dropped_batches.get(),
+            model_errors: self.model_errors.get(),
         }
     }
 
@@ -210,6 +215,8 @@ pub struct MetricsSnapshot {
     pub requeued_requests: u64,
     /// Batches discarded whole (the `drop_batch` failpoint).
     pub dropped_batches: u64,
+    /// Batches whose model forward returned an error.
+    pub model_errors: u64,
 }
 
 impl MetricsSnapshot {
@@ -314,6 +321,7 @@ impl ServeStats {
             .u64("worker_respawns", self.snapshot.worker_respawns)
             .u64("requeued_requests", self.snapshot.requeued_requests)
             .u64("dropped_batches", self.snapshot.dropped_batches)
+            .u64("model_errors", self.snapshot.model_errors)
             .f64("mean_batch_fill_pct", self.mean_batch_fill_pct())
             .raw("queue_wait_us", &self.queue_wait_us.summary_json())
             .raw("compute_us", &self.compute_us.summary_json())

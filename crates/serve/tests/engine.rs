@@ -256,3 +256,41 @@ fn tickets_poll_exactly_once() {
     let mut warm = engine.submit(&[1, 2, 3], 4);
     assert!(warm.poll().is_some(), "cache hits resolve immediately");
 }
+
+#[test]
+fn model_error_degrades_explicitly_instead_of_serving_zeros() {
+    // An out-of-vocabulary item id makes the forward fail on both the
+    // fast path and the graph path. The engine must surface that as a
+    // counted fault plus a degraded (popularity) answer — never as
+    // fabricated all-zero logits ranked like real scores.
+    let sink = std::sync::Arc::new(vsan_obs::MemorySink::new());
+    let popularity: Vec<f32> = (0..9).map(|i| i as f32).collect();
+    let engine = Engine::start(
+        trained_model(),
+        EngineConfig::default()
+            .with_batch_deadline(Duration::from_millis(1))
+            .with_workers(1)
+            .with_popularity(popularity)
+            .with_fault_sink(sink.clone()),
+    );
+
+    let bad_history = [1u32, 2, 10_000]; // 10_000 is far out of vocab
+    let resp = engine.recommend(&bad_history, 3).expect("degraded fallback answers");
+    assert!(resp.is_degraded(), "a model error must be visible on the response");
+    assert_eq!(resp.items(), &[8, 7, 6], "popularity order, highest score first");
+
+    // A healthy request on the same worker afterwards is unaffected.
+    let good = engine.recommend(&[1, 2, 3], 4).unwrap();
+    assert!(!good.is_degraded());
+    assert_eq!(good, engine.model().recommend(&[1, 2, 3], 4));
+
+    let m = engine.shutdown();
+    assert_eq!(m.model_errors, 1, "{m:?}");
+    assert_eq!(m.degraded_responses, 1, "{m:?}");
+    assert!(m.worker_panics == 0, "an Err forward is not a panic: {m:?}");
+    let faults: Vec<String> = sink.lines();
+    assert!(
+        faults.iter().any(|l| l.contains("\"kind\":\"model_error\"")),
+        "fault JSONL must record the model error: {faults:?}"
+    );
+}

@@ -1,0 +1,288 @@
+//! Fused single-pass causal attention (the inference fast path's core
+//! kernel, DESIGN.md §10).
+//!
+//! The graph path computes attention as four tape ops — `Q·Kᵀ`, scale,
+//! causal-masked softmax, `·V` — materializing two `(n, n)` tensors per
+//! sample per block. This kernel produces the same output one query row
+//! at a time: the score row lives in an `n`-length scratch slice and is
+//! consumed immediately, so nothing quadratic is ever allocated.
+//!
+//! Bit-compatibility contract: every arithmetic step reproduces the
+//! composed ops exactly —
+//! - scores are single-accumulator dots over `k` in ascending order
+//!   (= [`crate::ops::matmul::matmul_a_bt_into`]'s per-element fold),
+//!   mapped through `scale * s + 0.0` (= the tape's affine/scale op);
+//! - the masked softmax is [`crate::ops::softmax::softmax_rows_masked`]'s
+//!   per-row sequence verbatim: max fold over `j ≤ i`, exp + sum in
+//!   ascending `j`, then one `1.0/sum` multiply;
+//! - the output row folds `p_j · v_j` in ascending `j`, matching
+//!   `matmul(attn, v)` (the masked entries it skips are exact zeros,
+//!   whose products never change an accumulator bit).
+
+/// Causal attention for one sample: `out = softmax_causal(q·kᵀ·scale)·v`
+/// over flat row-major `(n, d)` buffers.
+///
+/// `scores` is caller-provided scratch of length ≥ `n` (reused across
+/// rows; only `scores[..=i]` is meaningful during row `i`). `out` is
+/// overwritten.
+#[allow(clippy::too_many_arguments)]
+pub fn causal_attention_into(
+    q: &[f32],
+    k: &[f32],
+    v: &[f32],
+    n: usize,
+    d: usize,
+    scale: f32,
+    scores: &mut [f32],
+    out: &mut [f32],
+) {
+    #[cfg(target_arch = "x86_64")]
+    if crate::ops::matmul::avx2_available() {
+        // SAFETY: AVX2 support was just verified at runtime.
+        unsafe { return causal_attention_into_avx2(q, k, v, n, d, scale, scores, out) };
+    }
+    causal_attention_into_body(q, k, v, n, d, scale, scores, out)
+}
+
+/// [`causal_attention_into`]'s body compiled with AVX2 codegen — same
+/// source, vector lanes only across independent output columns, so the
+/// bits match the baseline build (see `ops::matmul`'s module header).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn causal_attention_into_avx2(
+    q: &[f32],
+    k: &[f32],
+    v: &[f32],
+    n: usize,
+    d: usize,
+    scale: f32,
+    scores: &mut [f32],
+    out: &mut [f32],
+) {
+    causal_attention_into_body(q, k, v, n, d, scale, scores, out)
+}
+
+/// The last query row of [`causal_attention_into`] on its own:
+/// `out_row = softmax(q_last·kᵀ·scale)·v` over all `n` key/value rows.
+///
+/// Causality makes this the whole story for the *terminal* block of the
+/// inference stack — row `n-1`'s output feeds nothing but the prediction
+/// readout, and no earlier row's output is consumed at all — so the fast
+/// path computes just this row there (DESIGN.md §10). Bit-compatibility:
+/// this is literally the `i = n-1` iteration of the full kernel's loop,
+/// and rows are computed independently in both, so the bits match the
+/// full kernel's last row exactly.
+#[allow(clippy::too_many_arguments)]
+pub fn causal_attention_last_row_into(
+    q_row: &[f32],
+    k: &[f32],
+    v: &[f32],
+    n: usize,
+    d: usize,
+    scale: f32,
+    scores: &mut [f32],
+    out_row: &mut [f32],
+) {
+    #[cfg(target_arch = "x86_64")]
+    if crate::ops::matmul::avx2_available() {
+        // SAFETY: AVX2 support was just verified at runtime.
+        unsafe { return causal_attention_last_row_into_avx2(q_row, k, v, n, d, scale, scores, out_row) };
+    }
+    causal_attention_last_row_into_body(q_row, k, v, n, d, scale, scores, out_row)
+}
+
+/// [`causal_attention_last_row_into`]'s body compiled with AVX2 codegen
+/// (same source, same bits — see `ops::matmul`'s module header).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn causal_attention_last_row_into_avx2(
+    q_row: &[f32],
+    k: &[f32],
+    v: &[f32],
+    n: usize,
+    d: usize,
+    scale: f32,
+    scores: &mut [f32],
+    out_row: &mut [f32],
+) {
+    causal_attention_last_row_into_body(q_row, k, v, n, d, scale, scores, out_row)
+}
+
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn causal_attention_last_row_into_body(
+    q_row: &[f32],
+    k: &[f32],
+    v: &[f32],
+    n: usize,
+    d: usize,
+    scale: f32,
+    scores: &mut [f32],
+    out_row: &mut [f32],
+) {
+    debug_assert_eq!(q_row.len(), d);
+    debug_assert_eq!(k.len(), n * d);
+    debug_assert_eq!(v.len(), n * d);
+    debug_assert!(scores.len() >= n);
+    debug_assert_eq!(out_row.len(), d);
+    for (j, s) in scores[..n].iter_mut().enumerate() {
+        let k_row = &k[j * d..(j + 1) * d];
+        let mut acc = 0.0f32;
+        for (&qv, &kv) in q_row.iter().zip(k_row) {
+            acc += qv * kv;
+        }
+        *s = scale * acc + 0.0;
+    }
+    let max = scores[..n].iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
+    let mut sum = 0.0f32;
+    for s in scores[..n].iter_mut() {
+        let e = (*s - max).exp();
+        *s = e;
+        sum += e;
+    }
+    let inv = 1.0 / sum;
+    for s in scores[..n].iter_mut() {
+        *s *= inv;
+    }
+    out_row.fill(0.0);
+    for (j, &p) in scores[..n].iter().enumerate() {
+        let v_row = &v[j * d..(j + 1) * d];
+        for (ov, &vv) in out_row.iter_mut().zip(v_row) {
+            *ov += p * vv;
+        }
+    }
+}
+
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn causal_attention_into_body(
+    q: &[f32],
+    k: &[f32],
+    v: &[f32],
+    n: usize,
+    d: usize,
+    scale: f32,
+    scores: &mut [f32],
+    out: &mut [f32],
+) {
+    debug_assert_eq!(q.len(), n * d);
+    debug_assert_eq!(k.len(), n * d);
+    debug_assert_eq!(v.len(), n * d);
+    debug_assert!(scores.len() >= n);
+    debug_assert_eq!(out.len(), n * d);
+    for i in 0..n {
+        let q_row = &q[i * d..(i + 1) * d];
+        for (j, s) in scores[..=i].iter_mut().enumerate() {
+            let k_row = &k[j * d..(j + 1) * d];
+            let mut acc = 0.0f32;
+            for (&qv, &kv) in q_row.iter().zip(k_row) {
+                acc += qv * kv;
+            }
+            *s = scale * acc + 0.0;
+        }
+        let max = scores[..=i].iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
+        let mut sum = 0.0f32;
+        for s in scores[..=i].iter_mut() {
+            let e = (*s - max).exp();
+            *s = e;
+            sum += e;
+        }
+        let inv = 1.0 / sum;
+        for s in scores[..=i].iter_mut() {
+            *s *= inv;
+        }
+        let o_row = &mut out[i * d..(i + 1) * d];
+        o_row.fill(0.0);
+        for (j, &p) in scores[..=i].iter().enumerate() {
+            let v_row = &v[j * d..(j + 1) * d];
+            for (ov, &vv) in o_row.iter_mut().zip(v_row) {
+                *ov += p * vv;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{matmul, matmul_a_bt, softmax_rows_masked};
+    use crate::{init, Tensor};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// The composed-op reference: exactly what the autograd tape runs.
+    fn composed(q: &Tensor, k: &Tensor, v: &Tensor, scale: f32) -> Tensor {
+        let scores = matmul_a_bt(q, k).unwrap();
+        let scaled = scores.map(|x| scale * x + 0.0);
+        let attn = softmax_rows_masked(&scaled).unwrap();
+        matmul(&attn, v).unwrap()
+    }
+
+    #[test]
+    fn fused_matches_composed_ops_bit_for_bit() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for (n, d) in [(1, 4), (5, 8), (16, 12), (50, 20)] {
+            let q = init::randn(&mut rng, &[n, d], 0.0, 1.0);
+            let k = init::randn(&mut rng, &[n, d], 0.0, 1.0);
+            let v = init::randn(&mut rng, &[n, d], 0.0, 1.0);
+            let scale = 1.0 / (d as f32).sqrt();
+            let want = composed(&q, &k, &v, scale);
+            let mut scores = vec![0.0f32; n];
+            let mut out = vec![0.0f32; n * d];
+            causal_attention_into(q.data(), k.data(), v.data(), n, d, scale, &mut scores, &mut out);
+            for (idx, (w, g)) in want.data().iter().zip(&out).enumerate() {
+                assert_eq!(
+                    w.to_bits(),
+                    g.to_bits(),
+                    "(n={n}, d={d}) element {idx}: composed {w}, fused {g}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn last_row_kernel_matches_full_kernel_last_row() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for (n, d) in [(1, 4), (7, 10), (48, 96)] {
+            let q = init::randn(&mut rng, &[n, d], 0.0, 1.0);
+            let k = init::randn(&mut rng, &[n, d], 0.0, 1.0);
+            let v = init::randn(&mut rng, &[n, d], 0.0, 1.0);
+            let scale = 1.0 / (d as f32).sqrt();
+            let mut scores = vec![0.0f32; n];
+            let mut full = vec![0.0f32; n * d];
+            causal_attention_into(q.data(), k.data(), v.data(), n, d, scale, &mut scores, &mut full);
+            let mut row = vec![0.0f32; d];
+            causal_attention_last_row_into(
+                &q.data()[(n - 1) * d..],
+                k.data(),
+                v.data(),
+                n,
+                d,
+                scale,
+                &mut scores,
+                &mut row,
+            );
+            for (c, (w, g)) in full[(n - 1) * d..].iter().zip(&row).enumerate() {
+                assert_eq!(w.to_bits(), g.to_bits(), "(n={n}, d={d}) col {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn first_row_attends_only_to_itself() {
+        // Row 0's output must be exactly v[0] (softmax over one score = 1).
+        let mut rng = StdRng::seed_from_u64(7);
+        let (n, d) = (4, 6);
+        let q = init::randn(&mut rng, &[n, d], 0.0, 1.0);
+        let k = init::randn(&mut rng, &[n, d], 0.0, 1.0);
+        let v = init::randn(&mut rng, &[n, d], 0.0, 1.0);
+        let mut scores = vec![0.0f32; n];
+        let mut out = vec![0.0f32; n * d];
+        causal_attention_into(q.data(), k.data(), v.data(), n, d, 0.5, &mut scores, &mut out);
+        for (o, &vv) in out[..d].iter().zip(&v.data()[..d]) {
+            assert_eq!(o.to_bits(), (1.0f32 * vv).to_bits());
+        }
+    }
+}

@@ -1,13 +1,55 @@
-//! Matrix multiplication kernels.
+//! Matrix multiplication kernels, in two tiers (DESIGN.md §10):
 //!
-//! All kernels use the cache-friendly `i-k-j` loop order so the innermost
-//! loop walks both the output row and the `B` row contiguously — this
-//! autovectorizes well and is the difference between usable and unusable
-//! CPU training speed. The parallel front-end lives in [`crate::parallel`].
+//! - **Reference kernels** — the cache-friendly `i-k-j` loops the tape
+//!   has used since the first training run ([`matmul_into_skip_zeros`]
+//!   and the dot loop inside [`matmul_a_bt`]). The graph ops stay on
+//!   these: the graph path is the *differential oracle* for the
+//!   inference fast path, and an oracle is only worth having if it is
+//!   an independent, obviously-correct implementation — if both paths
+//!   ran the optimized kernels, a kernel bug would cancel out in the
+//!   bitwise compare.
+//! - **Optimized kernels** — [`matmul_into`] / [`matmul_a_bt_into`],
+//!   the register-tiled, runtime-SIMD-dispatched kernels the inference
+//!   fast path runs. Bit-identical to the reference fold by
+//!   construction (rules below) and by test
+//!   (`blocked_kernel_is_bit_identical_to_naive_fold`, plus the
+//!   end-to-end differential suite in `vsan-core`).
+//!
+//! ## The blocking rule (DESIGN.md §10)
+//!
+//! The register-tiled kernels tile over the output dimensions `i`/`j`
+//! only, **never** over the shared dimension `k`: every output element is
+//! still one scalar accumulator folded over `k` in ascending order, so the
+//! blocked kernels are bit-identical to the naive triple loop. Splitting
+//! `k` would reassociate the sum and break the bitwise-determinism
+//! invariant the serve cache and golden fixtures rest on.
+//!
+//! ## SIMD and bitwise determinism
+//!
+//! On x86-64 the optimized kernels are compiled twice — baseline and an
+//! AVX2-enabled twin selected once at runtime. The twin is the *same
+//! Rust body*: vectorization happens along `j`, where every SIMD lane
+//! is a **different output element**, so each element's ascending-`k`
+//! scalar fold is untouched. FMA is deliberately **not** enabled —
+//! a fused multiply-add rounds once instead of twice and would change
+//! the bits; Rust/LLVM never contract `a * b + c` on their own.
 
 use crate::{Result, Shape, Tensor, TensorError};
 
+/// Whether the running CPU supports AVX2, probed once.
+#[cfg(target_arch = "x86_64")]
+pub(crate) fn avx2_available() -> bool {
+    use std::sync::OnceLock;
+    static AVX2: OnceLock<bool> = OnceLock::new();
+    *AVX2.get_or_init(|| std::arch::is_x86_feature_detected!("avx2"))
+}
+
 /// Dense `C = A · B` for rank-2 operands `(m, k) × (k, n) → (m, n)`.
+///
+/// This is the tape's op: it runs the *reference* kernel
+/// ([`matmul_into_skip_zeros`], the original `i-k-j` loop), keeping the
+/// graph path an implementation-independent oracle for the fast path's
+/// optimized kernels (module header).
 pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     let (m, k) = a.shape().as_2d()?;
     let (kb, n) = b.shape().as_2d()?;
@@ -19,14 +61,128 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
         });
     }
     let mut out = Tensor::zeros(&[m, n]);
-    matmul_into(a.data(), b.data(), out.data_mut(), m, k, n);
+    matmul_into_skip_zeros(a.data(), b.data(), out.data_mut(), m, k, n);
     Ok(out)
 }
 
-/// Raw kernel: `c += a · b` over flat row-major buffers.
+/// Rows of `A` per register tile: four output rows share each streamed
+/// `B` vector, quartering `B` bandwidth.
+const MR: usize = 4;
+/// Columns per register tile: two 8-lane AVX2 vectors' worth of output
+/// elements kept in accumulator registers across the whole `k` fold.
+const NR: usize = 16;
+
+/// Raw kernel: `c += a · b` over flat row-major buffers — the inference
+/// fast path's dense workhorse (projections, FFN, prediction head).
 ///
 /// `c` must be zeroed (or hold a partial sum to accumulate into).
+///
+/// Register-tiled `MR × NR`: each tile's accumulators live in registers
+/// for the entire `k` fold and are stored exactly once, instead of
+/// round-tripping `c` through memory on every `k` step. Tiles cover
+/// output dimensions only (module header: `k` is never split), so each
+/// `c[i][j]` is accumulated in the same fixed ascending-`k` order as the
+/// reference loop. Branch-free on purpose: dense activations gain
+/// nothing from a zero test per `a` element — use
+/// [`matmul_into_skip_zeros`] where the left operand is genuinely
+/// sparse (embedding-side padded rows).
 pub fn matmul_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    #[cfg(target_arch = "x86_64")]
+    if avx2_available() {
+        // SAFETY: AVX2 support was just verified at runtime.
+        unsafe { return matmul_into_avx2(a, b, c, m, k, n) };
+    }
+    matmul_into_body(a, b, c, m, k, n)
+}
+
+/// [`matmul_into`]'s body compiled with AVX2 codegen (module header:
+/// same source, wider lanes along `j`, identical bits).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn matmul_into_avx2(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    matmul_into_body(a, b, c, m, k, n)
+}
+
+#[inline(always)]
+fn matmul_into_body(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    let itiles = m / MR;
+    let jtiles = n / NR;
+    for it in 0..itiles {
+        let i = it * MR;
+        for jt in 0..jtiles {
+            let j = jt * NR;
+            // Load the tile (accumulate-into semantics), fold the whole
+            // of `k` in registers, store once.
+            let mut acc = [[0.0f32; NR]; MR];
+            for (r, acc_row) in acc.iter_mut().enumerate() {
+                acc_row.copy_from_slice(&c[(i + r) * n + j..(i + r) * n + j + NR]);
+            }
+            for kk in 0..k {
+                let b_vec = &b[kk * n + j..kk * n + j + NR];
+                for (r, acc_row) in acc.iter_mut().enumerate() {
+                    let ar = a[(i + r) * k + kk];
+                    for (av, &bv) in acc_row.iter_mut().zip(b_vec) {
+                        *av += ar * bv;
+                    }
+                }
+            }
+            for (r, acc_row) in acc.iter().enumerate() {
+                c[(i + r) * n + j..(i + r) * n + j + NR].copy_from_slice(acc_row);
+            }
+        }
+        // `j` remainder for this row tile: per-element register folds.
+        for jj in jtiles * NR..n {
+            for r in 0..MR {
+                let mut acc = c[(i + r) * n + jj];
+                let a_row = &a[(i + r) * k..(i + r + 1) * k];
+                for (kk, &av) in a_row.iter().enumerate() {
+                    acc += av * b[kk * n + jj];
+                }
+                c[(i + r) * n + jj] = acc;
+            }
+        }
+    }
+    // `i` remainder rows: same tiling over `j` with a single row.
+    for i in itiles * MR..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        for jt in 0..jtiles {
+            let j = jt * NR;
+            let mut acc = [0.0f32; NR];
+            acc.copy_from_slice(&c[i * n + j..i * n + j + NR]);
+            for (kk, &av) in a_row.iter().enumerate() {
+                let b_vec = &b[kk * n + j..kk * n + j + NR];
+                for (accv, &bv) in acc.iter_mut().zip(b_vec) {
+                    *accv += av * bv;
+                }
+            }
+            c[i * n + j..i * n + j + NR].copy_from_slice(&acc);
+        }
+        for jj in jtiles * NR..n {
+            let mut acc = c[i * n + jj];
+            for (kk, &av) in a_row.iter().enumerate() {
+                acc += av * b[kk * n + jj];
+            }
+            c[i * n + jj] = acc;
+        }
+    }
+}
+
+/// The reference `i-k-j` kernel (and the tape's kernel — see the module
+/// header): skips `a` elements that are exactly zero. The skip pays only
+/// when the left operand has entire zero *rows or large zero runs* — the
+/// embedding-side case (padded positions gather the pinned all-zero row
+/// 0) and dropout-masked training activations. On dense data the
+/// per-element branch costs more than the skipped work saves (measured
+/// in `vsan-bench`'s `zero_skip` group), which is why the fast path's
+/// [`matmul_into`] dropped it.
+///
+/// Skipping is bitwise-equivalent to adding the zero products: the
+/// accumulator starts at `+0.0` and `+0.0 + (±0.0) == +0.0`, so a zero
+/// contribution never changes any accumulator bit.
+pub fn matmul_into_skip_zeros(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(c.len(), m * n);
@@ -35,7 +191,7 @@ pub fn matmul_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: u
         let c_row = &mut c[i * n..(i + 1) * n];
         for (kk, &aik) in a_row.iter().enumerate() {
             if aik == 0.0 {
-                continue; // padding rows are common in recommender batches
+                continue;
             }
             let b_row = &b[kk * n..(kk + 1) * n];
             for (cv, &bv) in c_row.iter_mut().zip(b_row) {
@@ -48,6 +204,9 @@ pub fn matmul_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: u
 /// `C = Aᵀ · B` for `(k, m) × (k, n) → (m, n)` without materializing `Aᵀ`.
 ///
 /// This is the gradient-of-weights shape (`dW = Xᵀ · dY`), hit every step.
+/// Deliberately keeps the zero-skip branch: `X` here is an activation
+/// carrying dropout-masked entries and embedding-side padded rows, where
+/// whole zero runs are common enough to pay for the test.
 pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     let (k, m) = a.shape().as_2d()?;
     let (kb, n) = b.shape().as_2d()?;
@@ -81,7 +240,9 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Result<Tensor> {
 /// `C = A · Bᵀ` for `(m, k) × (n, k) → (m, n)` without materializing `Bᵀ`.
 ///
 /// This is the attention-score shape (`Q · Kᵀ`) and the gradient-of-input
-/// shape (`dX = dY · Wᵀ`).
+/// shape (`dX = dY · Wᵀ`). A tape op, so it runs the reference dot loop
+/// (module header); the fast path's register-blocked twin is
+/// [`matmul_a_bt_into`].
 pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     let (m, k) = a.shape().as_2d()?;
     let (n, kb) = b.shape().as_2d()?;
@@ -97,9 +258,72 @@ pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     let od = out.data_mut();
     for i in 0..m {
         let a_row = &ad[i * k..(i + 1) * k];
-        let o_row = &mut od[i * n..(i + 1) * n];
-        for (j, ov) in o_row.iter_mut().enumerate() {
+        for j in 0..n {
             let b_row = &bd[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in a_row.iter().zip(b_row) {
+                acc += av * bv;
+            }
+            od[i * n + j] = acc;
+        }
+    }
+    Ok(out)
+}
+
+/// Raw kernel behind [`matmul_a_bt`]: `c = a · bᵀ` over flat buffers,
+/// `(m, k) × (n, k) → (m, n)`. Overwrites `c` (no accumulation).
+///
+/// Register-blocked over `j`: four `B` rows are dotted against one hot
+/// `A` row per pass, with four independent accumulators. Each `c[i][j]`
+/// is still a single scalar fold over `k` in ascending order, so the
+/// result is bit-identical to the unblocked dot (module header).
+pub fn matmul_a_bt_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    #[cfg(target_arch = "x86_64")]
+    if avx2_available() {
+        // SAFETY: AVX2 support was just verified at runtime.
+        unsafe { return matmul_a_bt_into_avx2(a, b, c, m, k, n) };
+    }
+    matmul_a_bt_into_body(a, b, c, m, k, n)
+}
+
+/// [`matmul_a_bt_into`]'s body compiled with AVX2 codegen (module
+/// header: same source, same bits).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn matmul_a_bt_into_avx2(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    matmul_a_bt_into_body(a, b, c, m, k, n)
+}
+
+#[inline(always)]
+fn matmul_a_bt_into_body(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(c.len(), m * n);
+    const NR: usize = 4;
+    let blocks = n / NR;
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let o_row = &mut c[i * n..(i + 1) * n];
+        for bj in 0..blocks {
+            let j = bj * NR;
+            let b0 = &b[j * k..(j + 1) * k];
+            let b1 = &b[(j + 1) * k..(j + 2) * k];
+            let b2 = &b[(j + 2) * k..(j + 3) * k];
+            let b3 = &b[(j + 3) * k..(j + 4) * k];
+            let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+            for (t, &av) in a_row.iter().enumerate() {
+                s0 += av * b0[t];
+                s1 += av * b1[t];
+                s2 += av * b2[t];
+                s3 += av * b3[t];
+            }
+            o_row[j] = s0;
+            o_row[j + 1] = s1;
+            o_row[j + 2] = s2;
+            o_row[j + 3] = s3;
+        }
+        for (j, ov) in o_row.iter_mut().enumerate().skip(blocks * NR) {
+            let b_row = &b[j * k..(j + 1) * k];
             let mut acc = 0.0f32;
             for (&av, &bv) in a_row.iter().zip(b_row) {
                 acc += av * bv;
@@ -107,10 +331,10 @@ pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
             *ov = acc;
         }
     }
-    Ok(out)
 }
 
 /// Batched matmul for rank-3 operands `(b, m, k) × (b, k, n) → (b, m, n)`.
+/// A tape op: reference kernel per batch slice (module header).
 pub fn matmul3(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     let (ba, m, k) = a.shape().as_3d()?;
     let (bb, kb, n) = b.shape().as_3d()?;
@@ -126,7 +350,7 @@ pub fn matmul3(a: &Tensor, b: &Tensor) -> Result<Tensor> {
         let a_sl = &a.data()[bi * m * k..(bi + 1) * m * k];
         let b_sl = &b.data()[bi * k * n..(bi + 1) * k * n];
         let o_sl = &mut out.data_mut()[bi * m * n..(bi + 1) * m * n];
-        matmul_into(a_sl, b_sl, o_sl, m, k, n);
+        matmul_into_skip_zeros(a_sl, b_sl, o_sl, m, k, n);
     }
     Ok(out)
 }
@@ -253,5 +477,75 @@ mod tests {
         let c = matmul(&a, &b).unwrap();
         assert_eq!(c.row(0), &[0.0, 0.0]);
         assert_eq!(c.row(1), &[13.0, 16.0]);
+    }
+
+    /// Reference triple loop with the canonical per-element fold order.
+    fn naive(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut c = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for kk in 0..k {
+                    acc += a[i * k + kk] * b[kk * n + j];
+                }
+                c[i * n + j] = acc;
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn blocked_kernel_is_bit_identical_to_naive_fold() {
+        use crate::init;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(11);
+        // Remainder rows/cols on both sides of the MR/NR tile edges,
+        // plus exact-zero entries (the skip-kernel equivalence).
+        for (m_, k_, n_) in [
+            (1, 3, 5),
+            (4, 8, 4),
+            (7, 5, 9),
+            (13, 16, 6),
+            (4, 8, 16),
+            (5, 7, 17),
+            (9, 4, 33),
+            (8, 16, 48),
+            (3, 96, 100),
+        ] {
+            let mut a = init::randn(&mut rng, &[m_, k_], 0.0, 1.0);
+            for v in a.data_mut().iter_mut().step_by(3) {
+                *v = 0.0;
+            }
+            let b = init::randn(&mut rng, &[k_, n_], 0.0, 1.0);
+            let want = naive(a.data(), b.data(), m_, k_, n_);
+
+            let mut dense = vec![0.0f32; m_ * n_];
+            matmul_into(a.data(), b.data(), &mut dense, m_, k_, n_);
+            let mut skip = vec![0.0f32; m_ * n_];
+            matmul_into_skip_zeros(a.data(), b.data(), &mut skip, m_, k_, n_);
+            for ((w, d), s) in want.iter().zip(&dense).zip(&skip) {
+                assert_eq!(w.to_bits(), d.to_bits(), "blocked ({m_},{k_},{n_})");
+                assert_eq!(w.to_bits(), s.to_bits(), "skip ({m_},{k_},{n_})");
+            }
+
+            // A·Bᵀ against the same fold: naive over b transposed.
+            let bt = init::randn(&mut rng, &[n_, k_], 0.0, 1.0);
+            let mut want_bt = vec![0.0f32; m_ * n_];
+            for i in 0..m_ {
+                for j in 0..n_ {
+                    let mut acc = 0.0f32;
+                    for t in 0..k_ {
+                        acc += a.data()[i * k_ + t] * bt.data()[j * k_ + t];
+                    }
+                    want_bt[i * n_ + j] = acc;
+                }
+            }
+            let mut got_bt = vec![0.0f32; m_ * n_];
+            matmul_a_bt_into(a.data(), bt.data(), &mut got_bt, m_, k_, n_);
+            for (w, g) in want_bt.iter().zip(&got_bt) {
+                assert_eq!(w.to_bits(), g.to_bits(), "a_bt ({m_},{k_},{n_})");
+            }
+        }
     }
 }

@@ -4,14 +4,16 @@
 //! composes them. Submodules group by family; the most common entry points
 //! are re-exported here.
 
+pub mod attention;
 pub mod elementwise;
 pub mod matmul;
 pub mod norm;
 pub mod reduce;
 pub mod softmax;
 
+pub use attention::{causal_attention_into, causal_attention_last_row_into};
 pub use elementwise::{add, add_scaled_into, axpy, hadamard, scale, sub};
-pub use matmul::{matmul, matmul_at_b, matmul_a_bt, matmul3};
-pub use norm::{layer_norm_rows, LayerNormStats};
+pub use matmul::{matmul, matmul_at_b, matmul_a_bt, matmul_a_bt_into, matmul3};
+pub use norm::{layer_norm_rows, layer_norm_rows_into, LayerNormStats};
 pub use reduce::{mean_all, sum_all, sum_axis0, sum_rows};
 pub use softmax::{log_softmax_rows, softmax_rows, softmax_rows_masked};

@@ -38,17 +38,51 @@ pub fn layer_norm_rows(
     let mut inv_std = Vec::with_capacity(r);
     for i in 0..r {
         let row = &x.data()[i * c..(i + 1) * c];
-        let m: f32 = row.iter().sum::<f32>() / c as f32;
-        let var: f32 = row.iter().map(|&v| (v - m) * (v - m)).sum::<f32>() / c as f32;
-        let is = 1.0 / (var + eps).sqrt();
         let o_row = &mut out.data_mut()[i * c..(i + 1) * c];
-        for j in 0..c {
-            o_row[j] = gamma[j] * (row[j] - m) * is + beta[j];
-        }
+        let (m, is) = layer_norm_row(row, gamma, beta, eps, o_row);
         mean.push(m);
         inv_std.push(is);
     }
     Ok((out, LayerNormStats { mean, inv_std }))
+}
+
+/// Allocation-free LayerNorm over flat row-major buffers (the inference
+/// fast path's variant): normalizes `rows × c` from `x` into `out`.
+/// Shares [`layer_norm_row`] with [`layer_norm_rows`], so the two are
+/// bit-identical by construction.
+pub fn layer_norm_rows_into(
+    x: &[f32],
+    gamma: &[f32],
+    beta: &[f32],
+    eps: f32,
+    rows: usize,
+    c: usize,
+    out: &mut [f32],
+) {
+    debug_assert_eq!(x.len(), rows * c);
+    debug_assert_eq!(out.len(), rows * c);
+    debug_assert_eq!(gamma.len(), c);
+    debug_assert_eq!(beta.len(), c);
+    for i in 0..rows {
+        let row = &x[i * c..(i + 1) * c];
+        let o_row = &mut out[i * c..(i + 1) * c];
+        layer_norm_row(row, gamma, beta, eps, o_row);
+    }
+}
+
+/// Normalize one row; returns `(mean, inv_std)`. The single definition
+/// both entry points use — the fixed accumulation order here is part of
+/// the workspace-wide bitwise-determinism contract.
+#[inline]
+fn layer_norm_row(row: &[f32], gamma: &[f32], beta: &[f32], eps: f32, o_row: &mut [f32]) -> (f32, f32) {
+    let c = row.len();
+    let m: f32 = row.iter().sum::<f32>() / c as f32;
+    let var: f32 = row.iter().map(|&v| (v - m) * (v - m)).sum::<f32>() / c as f32;
+    let is = 1.0 / (var + eps).sqrt();
+    for j in 0..c {
+        o_row[j] = gamma[j] * (row[j] - m) * is + beta[j];
+    }
+    (m, is)
 }
 
 #[cfg(test)]

@@ -6,7 +6,7 @@
 //! embarrassingly parallel and gives near-linear speedups (measured in
 //! `vsan-bench`'s `matmul_parallel` bench).
 
-use crate::ops::matmul::matmul_into;
+use crate::ops::matmul::{matmul_into, matmul_into_skip_zeros};
 use crate::{Result, Tensor, TensorError};
 
 /// Number of worker threads to use: the machine's available parallelism,
@@ -18,6 +18,11 @@ pub fn default_threads() -> usize {
 /// Parallel dense `C = A · B` for rank-2 operands, splitting rows of `A`
 /// across `threads` workers. Falls back to the serial kernel when the
 /// problem is too small to amortize thread spawn cost.
+///
+/// This is the tape's parallel front-end, so each chunk runs the
+/// *reference* kernel (`ops::matmul`'s `i-k-j` loop — see that module's
+/// header on oracle independence). Row chunking never splits a row's
+/// `k` fold, so the result is bit-identical for every thread count.
 pub fn matmul_parallel(a: &Tensor, b: &Tensor, threads: usize) -> Result<Tensor> {
     let (m, k) = a.shape().as_2d()?;
     let (kb, n) = b.shape().as_2d()?;
@@ -45,13 +50,50 @@ pub fn matmul_parallel(a: &Tensor, b: &Tensor, threads: usize) -> Result<Tensor>
                 let rows = c_chunk.len() / n;
                 let a_chunk = &ad[row0 * k..(row0 + rows) * k];
                 s.spawn(move |_| {
-                    matmul_into(a_chunk, bd, c_chunk, rows, k, n);
+                    matmul_into_skip_zeros(a_chunk, bd, c_chunk, rows, k, n);
                 });
             }
         })
         .expect("worker thread panicked in matmul_parallel");
     }
     Ok(out)
+}
+
+/// Parallel flat-buffer `c += a · b` (the inference fast path's front
+/// end): same row-chunking and serial-fallback threshold as
+/// [`matmul_parallel`], but writing into a caller-owned workspace slice
+/// instead of allocating an output tensor. `c` must be zeroed. Row
+/// chunking never splits a row's `k` fold, so the result is bit-identical
+/// to the serial kernel for every thread count.
+pub fn matmul_into_parallel(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    threads: usize,
+) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    let threads = threads.max(1).min(m.max(1));
+    if threads == 1 || m * k * n < 1_000_000 {
+        return matmul_into(a, b, c, m, k, n);
+    }
+    let chunk_rows = m.div_ceil(threads);
+    let mut chunks: Vec<&mut [f32]> = c.chunks_mut(chunk_rows * n).collect();
+    crossbeam::thread::scope(|s| {
+        for (ci, c_chunk) in chunks.iter_mut().enumerate() {
+            let row0 = ci * chunk_rows;
+            let rows = c_chunk.len() / n;
+            let a_chunk = &a[row0 * k..(row0 + rows) * k];
+            s.spawn(move |_| {
+                matmul_into(a_chunk, b, c_chunk, rows, k, n);
+            });
+        }
+    })
+    .expect("worker thread panicked in matmul_into_parallel");
 }
 
 /// Run `f(i)` for every `i in 0..len` across `threads` workers, writing into

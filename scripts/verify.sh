@@ -44,6 +44,30 @@ done
 echo "==> equivalence matrix (VSAN_THREADS_MATRIX=1,2,8)"
 VSAN_THREADS_MATRIX=1,2,8 cargo test -q --offline -p vsan-core --test parallel_train
 
+# Fast-path differential gate: the graph-free inference path must stay
+# bit-identical to the graph oracle. The proptest suite and the golden
+# fixture run twice — once with the fast path live (default) and once
+# pinned to the graph path (VSAN_DISABLE_FAST_PATH=1), so both process-
+# level routings of score_items_batch are exercised end to end.
+echo "==> fast-path differential suite (VSAN_DISABLE_FAST_PATH unset + =1)"
+cargo test -q --offline -p vsan-core --test fast_path
+cargo test -q --offline --test golden_logits
+VSAN_DISABLE_FAST_PATH=1 cargo test -q --offline -p vsan-core --test fast_path
+VSAN_DISABLE_FAST_PATH=1 cargo test -q --offline --test golden_logits
+
+# The inference benchmark report must attest bit-identity: infer_bench
+# refuses to write a report on any mismatch, so a stale or absent
+# attestation is a gate failure.
+echo "==> results/BENCH_infer.json bitwise_match attestation"
+if [ ! -f results/BENCH_infer.json ]; then
+  echo "results/BENCH_infer.json missing — run: cargo run --release -p vsan-bench --bin infer_bench" >&2
+  exit 1
+fi
+if ! grep -q '"bitwise_match": true' results/BENCH_infer.json; then
+  echo "results/BENCH_infer.json lacks \"bitwise_match\": true" >&2
+  exit 1
+fi
+
 # Instrumented smoke pass: trains and serves with full telemetry
 # attached, then validates the JSONL streams (fails on zero events or
 # any record that does not parse).

@@ -135,6 +135,27 @@ fn eval_logits_match_the_golden_fixture_bit_for_bit() {
         }
     }
 
+    // Both forwards — the graph path (differential oracle) and the
+    // graph-free fast path — must match the fixture independently of
+    // which one `score_items_batch` dispatched to above.
+    let graph_rows = model.score_items_batch_graph(&windows).expect("graph path");
+    let fast_rows = model.score_items_batch_fast(&windows).expect("fast path");
+    for (i, (_, gold_row)) in golden.iter().enumerate() {
+        let (graph_row, fast_row) = (&graph_rows[i], &fast_rows[i]);
+        for j in 0..gold_row.len() {
+            assert_eq!(
+                gold_row[j].to_bits(),
+                graph_row[j].to_bits(),
+                "graph-path logit [{i}][{j}] drifted from the fixture"
+            );
+            assert_eq!(
+                gold_row[j].to_bits(),
+                fast_row[j].to_bits(),
+                "fast-path logit [{i}][{j}] drifted from the fixture"
+            );
+        }
+    }
+
     // The fixture also pins the serving layer end to end: an engine over
     // the same model must rank exactly as the pinned logits imply.
     let engine = Engine::start(model, EngineConfig::default());
