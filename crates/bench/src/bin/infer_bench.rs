@@ -3,8 +3,10 @@
 //! Measures the graph-free forward against the autograd graph path —
 //! fused-kernel micro-timings plus end-to-end `score_items_batch`
 //! throughput at paper-adjacent serve shapes — after checking the two
-//! paths agree bit for bit. Accepts `--iters N` (end-to-end timed
-//! repetitions) and `--kernel-iters N`.
+//! paths agree bit for bit, and the steady-state incremental session
+//! path (`events_per_second` per warm append vs a full recompute).
+//! Accepts `--iters N` (end-to-end timed repetitions) and
+//! `--kernel-iters N`.
 
 use vsan_bench::infer_bench::{run_infer_bench, InferBenchConfig};
 
@@ -58,13 +60,30 @@ fn main() {
             r.bitwise_match
         );
     }
+    for s in &report.sessions {
+        println!(
+            "session {:<12} d={} n={} N={}  warm {}/{} (min hist {})  \
+             append {:>8.1} ev/s  recompute {:>8.1} ev/s  {:>6.2}x  bitwise_match={}",
+            s.name,
+            s.dim,
+            s.max_seq_len,
+            s.num_items,
+            s.warm_events,
+            s.events,
+            s.min_history,
+            s.events_per_second,
+            s.recompute_events_per_second,
+            s.speedup,
+            s.bitwise_match
+        );
+    }
     println!(
-        "overall: bitwise_match={}  min_e2e_speedup={:.2}x",
-        report.bitwise_match, report.min_e2e_speedup
+        "overall: bitwise_match={}  min_e2e_speedup={:.2}x  min_session_speedup={:.2}x",
+        report.bitwise_match, report.min_e2e_speedup, report.min_session_speedup
     );
 
     if !report.bitwise_match {
-        eprintln!("FATAL: fast path diverged from the graph path — not writing a report");
+        eprintln!("FATAL: a measured path diverged bitwise from its oracle — not writing a report");
         std::process::exit(1);
     }
     let path = report.write_json("BENCH_infer.json").expect("write report");

@@ -61,7 +61,25 @@ fn main() {
         o.p50_latency_us,
         o.p99_latency_us,
     );
+    let s = &report.session;
+    println!(
+        "session:    {} events over {} users → {:.1} ev/s  \
+         ({} append, {} cold, {} resume, {} reset, {} evict)\n\
+         \u{20}           p50 {}us, p99 {}us, match={}",
+        s.events,
+        s.users,
+        s.events_per_second,
+        s.appends,
+        s.cold_starts,
+        s.resumes,
+        s.resets,
+        s.evictions,
+        s.p50_latency_us,
+        s.p99_latency_us,
+        s.results_match,
+    );
     assert!(report.results_match, "engine rankings diverged from Vsan::recommend");
+    assert!(report.session.results_match, "streamed rankings diverged from Vsan::recommend");
     match report.write_json("BENCH_serve.json") {
         Ok(path) => eprintln!("wrote {}", path.display()),
         Err(e) => {

@@ -13,18 +13,26 @@
 //!    activations (the dense side never benefits from the branch).
 //! 3. **End to end** — `score_items_batch` through the reusable
 //!    workspace vs the graph oracle, same fold-ins, same weights.
+//! 4. **Steady-state sessions** — a warm Zipf-skewed event stream
+//!    through `vsan_session::SessionRuntime::append_event` (one event
+//!    per request, histories ≥ 50) vs a full `try_score_items_batch`
+//!    recompute of every grown history. The `events_per_second` numbers
+//!    back the serving claim: an incremental append must be ≥ 5x
+//!    cheaper per event than recomputing the window.
 //!
-//! Every end-to-end case first checks the two paths produce
-//! **bit-identical** logits; the report refuses to claim a speedup for
-//! wrong answers, and `scripts/verify.sh` fails if the committed
-//! `results/BENCH_infer.json` lacks `"bitwise_match": true`.
+//! Every end-to-end case and every session event first checks the two
+//! paths produce **bit-identical** logits; the report refuses to claim
+//! a speedup for wrong answers, and `scripts/verify.sh` fails if the
+//! committed `results/BENCH_infer.json` lacks `"bitwise_match": true`.
 
 use std::path::PathBuf;
 use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use vsan_core::{Vsan, VsanConfig};
+use vsan_core::{Vsan, VsanConfig, Workspace};
+use vsan_data::synthetic::{generate_stream, SessionStreamConfig};
+use vsan_session::{SessionConfig, SessionOutcome, SessionRuntime};
 use vsan_tensor::ops::matmul::{matmul_into, matmul_into_skip_zeros};
 use vsan_tensor::ops::{causal_attention_into, matmul, matmul_a_bt, scale, softmax_rows_masked};
 use vsan_tensor::Tensor;
@@ -48,11 +56,31 @@ pub struct InferShapeCase {
     pub threads: usize,
 }
 
+/// One steady-state session workload: a model shape plus a generated
+/// Zipf-skewed append stream from `vsan-data`.
+#[derive(Debug, Clone)]
+pub struct SessionBenchCase {
+    /// Label in the report (e.g. `"steady-state"`).
+    pub name: String,
+    /// Model width `d`.
+    pub dim: usize,
+    /// Attention window `n` — deliberately much longer than the
+    /// histories so the append pass has padding to skip; this is the
+    /// regime the incremental path exists for.
+    pub max_seq_len: usize,
+    /// Worker threads (both paths share the setting).
+    pub threads: usize,
+    /// The event stream (users, Zipf exponent, histories, seed).
+    pub stream: SessionStreamConfig,
+}
+
 /// Workload knobs for [`run_infer_bench`].
 #[derive(Debug, Clone)]
 pub struct InferBenchConfig {
     /// Shapes to measure.
     pub cases: Vec<InferShapeCase>,
+    /// Steady-state session streams to measure.
+    pub sessions: Vec<SessionBenchCase>,
     /// Timed repetitions per end-to-end path (after one warmup).
     pub e2e_iters: usize,
     /// Timed repetitions per kernel measurement.
@@ -114,6 +142,17 @@ impl Default for InferBenchConfig {
                     threads: 1,
                 },
             ],
+            sessions: vec![SessionBenchCase {
+                // The ISSUE's acceptance shape: warm sessions with
+                // histories ≥ 50 inside a long window, one append per
+                // request — the per-event append touches one slot row
+                // per block while the recompute pays the whole window.
+                name: "steady-state".into(),
+                dim: 64,
+                max_seq_len: 768,
+                threads: 1,
+                stream: SessionStreamConfig::steady_state(),
+            }],
             e2e_iters: 3,
             kernel_iters: 20,
             seed: 42,
@@ -132,6 +171,21 @@ impl InferBenchConfig {
                 num_items: 50,
                 batch: 4,
                 threads: 1,
+            }],
+            sessions: vec![SessionBenchCase {
+                name: "smoke-session".into(),
+                dim: 16,
+                max_seq_len: 32,
+                threads: 1,
+                stream: SessionStreamConfig {
+                    num_users: 2,
+                    num_items: 20,
+                    zipf_exponent: 1.0,
+                    events: 8,
+                    min_history: 3,
+                    max_history: 5,
+                    seed: 42,
+                },
             }],
             e2e_iters: 2,
             kernel_iters: 3,
@@ -182,6 +236,40 @@ pub struct E2eResult {
     pub bitwise_match: bool,
 }
 
+/// One steady-state session measurement.
+#[derive(Debug, Clone)]
+pub struct SessionResult {
+    /// Case label.
+    pub name: String,
+    /// Model width.
+    pub dim: usize,
+    /// Attention window.
+    pub max_seq_len: usize,
+    /// Catalogue size.
+    pub num_items: usize,
+    /// Total events replayed through the runtime.
+    pub events: usize,
+    /// Warm events (classified `SessionOutcome::Append`) — only these
+    /// enter the steady-state means; cold starts are start-up cost.
+    pub warm_events: usize,
+    /// Shortest grown history among the timed warm events.
+    pub min_history: usize,
+    /// Mean seconds per warm `append_event`.
+    pub append_seconds: f64,
+    /// Mean seconds per full-window recompute of the same grown
+    /// histories.
+    pub recompute_seconds: f64,
+    /// Warm appends served per second.
+    pub events_per_second: f64,
+    /// Full recomputes served per second.
+    pub recompute_events_per_second: f64,
+    /// `recompute_seconds / append_seconds`.
+    pub speedup: f64,
+    /// Whether every event's append logits matched the recompute bit
+    /// for bit (checked on **all** events, warm or not).
+    pub bitwise_match: bool,
+}
+
 /// Full report of one benchmark run.
 #[derive(Debug, Clone)]
 pub struct InferBenchReport {
@@ -189,10 +277,17 @@ pub struct InferBenchReport {
     pub kernels: Vec<KernelResult>,
     /// End-to-end measurements.
     pub e2e: Vec<E2eResult>,
-    /// `true` iff **every** end-to-end case matched bit for bit.
+    /// Steady-state session measurements.
+    pub sessions: Vec<SessionResult>,
+    /// `true` iff **every** end-to-end case and session event matched
+    /// bit for bit.
     pub bitwise_match: bool,
     /// Smallest end-to-end speedup across cases.
     pub min_e2e_speedup: f64,
+    /// Smallest per-event append-vs-recompute speedup across session
+    /// cases (`scripts/verify.sh` gates this ≥ 5 for the committed
+    /// report).
+    pub min_session_speedup: f64,
 }
 
 fn random_tensor(rng: &mut StdRng, rows: usize, cols: usize) -> Tensor {
@@ -326,6 +421,81 @@ fn bench_e2e(case: &InferShapeCase, e2e_iters: usize, seed: u64) -> E2eResult {
     }
 }
 
+/// Measure one steady-state session case: replay the generated event
+/// stream through a [`SessionRuntime`] (hints supplied, capacity =
+/// users so warm sessions stay warm) and, for **every** event, also run
+/// the full-window recompute the append replaces — first as the bitwise
+/// oracle, then as the timed baseline. Only warm `Append` events enter
+/// the steady-state means.
+fn bench_session(case: &SessionBenchCase, seed: u64) -> SessionResult {
+    let stream = generate_stream(&case.stream);
+    let mut cfg =
+        VsanConfig::smoke().with_blocks(2, 1).with_seed(seed).with_threads(case.threads);
+    cfg.base.dim = case.dim;
+    cfg.base.max_seq_len = case.max_seq_len;
+    let model = Vsan::init(case.stream.num_items + 1, &cfg);
+
+    let session_cfg = SessionConfig::new().with_capacity(case.stream.num_users.max(1));
+    let runtime = SessionRuntime::new(&model, &session_cfg).expect("pad session state");
+    let mut ws = Workspace::new();
+    let mut histories = stream.histories.clone();
+
+    let mut bitwise_match = true;
+    let mut warm_events = 0usize;
+    let mut min_history = usize::MAX;
+    let mut append_total = 0.0f64;
+    let mut recompute_total = 0.0f64;
+
+    for event in &stream.events {
+        let user = event.user as usize;
+        let hint = histories[user].clone();
+
+        let t0 = Instant::now();
+        let r = runtime
+            .append_event(&model, event.user, Some(&hint), event.item, &mut ws, t0)
+            .expect("session append");
+        let append_dt = t0.elapsed().as_secs_f64();
+
+        histories[user].push(event.item);
+        let grown = &histories[user];
+        let t1 = Instant::now();
+        let full = model
+            .try_score_items_batch(&[model.fold_in_window(grown)])
+            .expect("full recompute")
+            .pop()
+            .unwrap_or_default();
+        let recompute_dt = t1.elapsed().as_secs_f64();
+
+        bitwise_match &= r.logits.len() == full.len()
+            && r.logits.iter().zip(&full).all(|(a, b)| a.to_bits() == b.to_bits());
+
+        if r.outcome == SessionOutcome::Append {
+            warm_events += 1;
+            min_history = min_history.min(grown.len());
+            append_total += append_dt;
+            recompute_total += recompute_dt;
+        }
+    }
+
+    let append_seconds = append_total / warm_events.max(1) as f64;
+    let recompute_seconds = recompute_total / warm_events.max(1) as f64;
+    SessionResult {
+        name: case.name.clone(),
+        dim: case.dim,
+        max_seq_len: case.max_seq_len,
+        num_items: case.stream.num_items,
+        events: stream.events.len(),
+        warm_events,
+        min_history: if min_history == usize::MAX { 0 } else { min_history },
+        events_per_second: 1.0 / append_seconds.max(1e-12),
+        recompute_events_per_second: 1.0 / recompute_seconds.max(1e-12),
+        speedup: recompute_seconds / append_seconds.max(1e-12),
+        append_seconds,
+        recompute_seconds,
+        bitwise_match,
+    }
+}
+
 /// Run every kernel and end-to-end measurement in `cfg`.
 pub fn run_infer_bench(cfg: &InferBenchConfig) -> InferBenchReport {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -356,11 +526,16 @@ pub fn run_infer_bench(cfg: &InferBenchConfig) -> InferBenchReport {
         ));
         e2e.push(bench_e2e(case, cfg.e2e_iters, cfg.seed));
     }
+    let sessions: Vec<SessionResult> =
+        cfg.sessions.iter().map(|case| bench_session(case, cfg.seed)).collect();
 
-    let bitwise_match = e2e.iter().all(|r| r.bitwise_match);
+    let bitwise_match =
+        e2e.iter().all(|r| r.bitwise_match) && sessions.iter().all(|r| r.bitwise_match);
     let min_e2e_speedup =
         e2e.iter().map(|r| r.speedup).fold(f64::INFINITY, f64::min).min(f64::MAX);
-    InferBenchReport { kernels, e2e, bitwise_match, min_e2e_speedup }
+    let min_session_speedup =
+        sessions.iter().map(|r| r.speedup).fold(f64::INFINITY, f64::min).min(f64::MAX);
+    InferBenchReport { kernels, e2e, sessions, bitwise_match, min_e2e_speedup, min_session_speedup }
 }
 
 impl InferBenchReport {
@@ -372,6 +547,7 @@ impl InferBenchReport {
         );
         out.push_str(&format!("  \"bitwise_match\": {},\n", self.bitwise_match));
         out.push_str(&format!("  \"min_e2e_speedup\": {:.3},\n", self.min_e2e_speedup));
+        out.push_str(&format!("  \"min_session_speedup\": {:.3},\n", self.min_session_speedup));
         out.push_str("  \"kernels\": [\n");
         for (i, k) in self.kernels.iter().enumerate() {
             out.push_str(&format!(
@@ -406,6 +582,30 @@ impl InferBenchReport {
                 if i + 1 < self.e2e.len() { "," } else { "" }
             ));
         }
+        out.push_str("  ],\n  \"sessions\": [\n");
+        for (i, s) in self.sessions.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"case\": \"{}\", \"dim\": {}, \"max_seq_len\": {}, \"num_items\": {}, \
+                 \"events\": {}, \"warm_events\": {}, \"min_history\": {}, \
+                 \"append_seconds\": {:.6}, \"recompute_seconds\": {:.6}, \
+                 \"events_per_second\": {:.1}, \"recompute_events_per_second\": {:.1}, \
+                 \"speedup\": {:.3}, \"bitwise_match\": {}}}{}\n",
+                s.name,
+                s.dim,
+                s.max_seq_len,
+                s.num_items,
+                s.events,
+                s.warm_events,
+                s.min_history,
+                s.append_seconds,
+                s.recompute_seconds,
+                s.events_per_second,
+                s.recompute_events_per_second,
+                s.speedup,
+                s.bitwise_match,
+                if i + 1 < self.sessions.len() { "," } else { "" }
+            ));
+        }
         out.push_str("  ]\n}\n");
         out
     }
@@ -434,11 +634,20 @@ mod tests {
         assert!(report.bitwise_match, "fast path must be bit-identical: {report:?}");
         assert_eq!(report.e2e.len(), 1);
         assert_eq!(report.kernels.len(), 3);
+        assert_eq!(report.sessions.len(), 1);
+        let session = &report.sessions[0];
+        assert!(session.bitwise_match, "append must equal recompute: {session:?}");
+        assert!(session.warm_events > 0, "the stream must reach steady state: {session:?}");
+        assert!(session.min_history >= 3, "warm events grow the seeded histories");
         let json = report.to_json();
         assert!(json.contains("\"bitwise_match\": true"));
         assert!(json.contains("\"min_e2e_speedup\""));
+        assert!(json.contains("\"min_session_speedup\""));
+        assert!(json.contains("\"events_per_second\""));
         assert!(json.contains("causal_attention"));
         let path = report.write_json("BENCH_infer_smoke.json").expect("write report");
-        assert!(std::fs::read_to_string(path).unwrap().contains("\"end_to_end\""));
+        let written = std::fs::read_to_string(path).unwrap();
+        assert!(written.contains("\"end_to_end\""));
+        assert!(written.contains("\"sessions\""));
     }
 }

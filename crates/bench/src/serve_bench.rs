@@ -21,6 +21,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use vsan_core::{Vsan, VsanConfig};
+use vsan_data::synthetic::{generate_stream, SessionStreamConfig};
 use vsan_data::Dataset;
 use vsan_serve::{BackpressurePolicy, Engine, EngineConfig, ServeError, ServeStats};
 
@@ -64,6 +65,11 @@ pub struct ServeBenchConfig {
     pub overload_queue_capacity: usize,
     /// Per-request deadline during the overload phase.
     pub overload_deadline: Duration,
+    /// Live users in the streaming-session phase.
+    pub session_users: usize,
+    /// Append events replayed through `Engine::append_event` in the
+    /// streaming-session phase.
+    pub session_events: usize,
 }
 
 impl Default for ServeBenchConfig {
@@ -85,6 +91,8 @@ impl Default for ServeBenchConfig {
             overload_requests: 512,
             overload_queue_capacity: 32,
             overload_deadline: Duration::from_millis(50),
+            session_users: 8,
+            session_events: 96,
         }
     }
 }
@@ -140,6 +148,40 @@ pub struct ServeBenchReport {
     pub stats: ServeStats,
     /// Saturation-phase measurements (same model weights, tight queue).
     pub overload: OverloadReport,
+    /// Streaming-session phase (same model weights, warm append path).
+    pub session: SessionPhaseReport,
+}
+
+/// Measured behaviour of the incremental session path: a Zipf-skewed
+/// multi-user append stream through [`Engine::append_event`], warm
+/// sessions resident the whole run. The rankings are re-derived
+/// offline after the timed loop and compared element-for-element —
+/// the phase refuses to report throughput for wrong answers.
+#[derive(Debug, Clone)]
+pub struct SessionPhaseReport {
+    /// Append events replayed.
+    pub events: u64,
+    /// Distinct users in the stream.
+    pub users: u64,
+    /// Events served per wall-clock second (end to end, hot loop).
+    pub events_per_second: f64,
+    /// Events served by a pure warm append (no prepare on the hot path).
+    pub appends: u64,
+    /// Events that cold-started a session.
+    pub cold_starts: u64,
+    /// Events that resumed a cached prefix.
+    pub resumes: u64,
+    /// Events whose hint contradicted the cached history.
+    pub resets: u64,
+    /// Sessions evicted during the phase (LRU/TTL).
+    pub evictions: u64,
+    /// Median end-to-end append latency, microseconds.
+    pub p50_latency_us: u64,
+    /// Tail end-to-end append latency, microseconds.
+    pub p99_latency_us: u64,
+    /// Whether every streamed ranking equalled the offline
+    /// `Vsan::recommend` of the same grown history.
+    pub results_match: bool,
 }
 
 /// Measured behaviour of the engine under deliberate saturation: a
@@ -202,6 +244,12 @@ pub fn run_serve_bench(cfg: ServeBenchConfig) -> ServeBenchReport {
         m.params_mut().load_values(model.params().save()).expect("twin weights");
         m
     };
+    // And a third copy for the streaming-session phase.
+    let session_twin = {
+        let mut m = Vsan::init(ds.vocab(), &model_cfg);
+        m.params_mut().load_values(model.params().save()).expect("session twin weights");
+        m
+    };
 
     // Distinct query histories (2..=seq_len items), then a shuffled
     // stream with `requests / unique_histories` lookups of each.
@@ -248,6 +296,7 @@ pub fn run_serve_bench(cfg: ServeBenchConfig) -> ServeBenchReport {
 
     let results_match = served == sequential;
     let overload = run_overload_bench(&cfg, twin);
+    let session = run_session_bench(&cfg, session_twin);
     ServeBenchReport {
         speedup: sequential_seconds / engine_seconds.max(1e-12),
         sequential_rps: cfg.requests as f64 / sequential_seconds.max(1e-12),
@@ -261,7 +310,68 @@ pub fn run_serve_bench(cfg: ServeBenchConfig) -> ServeBenchReport {
         results_match,
         stats,
         overload,
+        session,
         config: cfg,
+    }
+}
+
+/// Replay a Zipf-skewed multi-user append stream through
+/// [`Engine::append_event`]: one event per request, client hints
+/// supplied, session capacity sized to keep every user warm. The timed
+/// loop records only streaming latency; rankings are verified against
+/// the offline `Vsan::recommend` afterwards.
+pub fn run_session_bench(cfg: &ServeBenchConfig, model: Vsan) -> SessionPhaseReport {
+    let stream_cfg = SessionStreamConfig {
+        num_users: cfg.session_users.max(1),
+        num_items: cfg.num_items,
+        zipf_exponent: 1.0,
+        events: cfg.session_events,
+        min_history: 2,
+        max_history: cfg.seq_len.max(2),
+        seed: cfg.seed ^ 0x5E55_10F0,
+    };
+    let stream = generate_stream(&stream_cfg);
+    let engine = Engine::start(
+        model,
+        EngineConfig::default()
+            .with_workers(1)
+            .with_session_capacity(stream_cfg.num_users),
+    );
+
+    let mut histories = stream.histories.clone();
+    let mut served: Vec<(usize, Vec<u32>)> = Vec::with_capacity(stream.events.len());
+    let t0 = Instant::now();
+    for event in &stream.events {
+        let user = event.user as usize;
+        let hint = histories[user].clone();
+        let resp =
+            engine.append_event(event.user, Some(&hint), event.item, cfg.k).expect("append");
+        histories[user].push(event.item);
+        served.push((user, resp.into_items()));
+    }
+    let wall = t0.elapsed().as_secs_f64();
+
+    // Verification pass, untimed: replay the grown histories offline.
+    let mut replay: Vec<Vec<u32>> = stream.histories.clone();
+    let results_match = stream.events.iter().zip(&served).all(|(event, (user, items))| {
+        replay[*user].push(event.item);
+        *items == engine.model().recommend(&replay[*user], cfg.k)
+    });
+
+    let stats = engine.shutdown_stats();
+    let m = &stats.snapshot;
+    SessionPhaseReport {
+        events: stream.events.len() as u64,
+        users: stream_cfg.num_users as u64,
+        events_per_second: stream.events.len() as f64 / wall.max(1e-12),
+        appends: m.session_appends,
+        cold_starts: m.session_cold_starts,
+        resumes: m.session_resumes,
+        resets: m.session_resets,
+        evictions: m.session_evictions,
+        p50_latency_us: stats.latency_us.percentile(0.50),
+        p99_latency_us: stats.latency_us.percentile(0.99),
+        results_match,
     }
 }
 
@@ -343,7 +453,7 @@ impl ServeBenchReport {
                \"mean_batch_size\": {:.2},\n  \"mean_latency_us\": {:.1},\n  \
                \"mean_batch_fill_pct\": {:.1},\n  \
                \"queue_wait_us\": {},\n  \"compute_us\": {},\n  \"latency_us\": {},\n  \
-               \"results_match\": {},\n  \"overload\": {}\n}}\n",
+               \"results_match\": {},\n  \"overload\": {},\n  \"session\": {}\n}}\n",
             c.requests,
             c.unique_histories,
             c.k,
@@ -367,6 +477,7 @@ impl ServeBenchReport {
             self.stats.latency_us.summary_json(),
             self.results_match,
             self.overload.to_json(),
+            self.session.to_json(),
         )
     }
 
@@ -403,6 +514,32 @@ impl OverloadReport {
             self.stats.snapshot.shed_oldest,
             self.stats.snapshot.load_shed,
             self.stats.snapshot.rejected_newest,
+        )
+    }
+}
+
+impl SessionPhaseReport {
+    /// Serialize as a JSON object (embedded under `"session"` in the
+    /// main report).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n    \"events\": {},\n    \"users\": {},\n    \
+               \"events_per_second\": {:.1},\n    \
+               \"appends\": {},\n    \"cold_starts\": {},\n    \"resumes\": {},\n    \
+               \"resets\": {},\n    \"evictions\": {},\n    \
+               \"p50_latency_us\": {},\n    \"p99_latency_us\": {},\n    \
+               \"results_match\": {}\n  }}",
+            self.events,
+            self.users,
+            self.events_per_second,
+            self.appends,
+            self.cold_starts,
+            self.resumes,
+            self.resets,
+            self.evictions,
+            self.p50_latency_us,
+            self.p99_latency_us,
+            self.results_match,
         )
     }
 }
@@ -462,6 +599,19 @@ mod tests {
         );
         assert!(o.p99_latency_us >= o.p50_latency_us);
 
+        // Streaming-session phase: every event classified exactly once,
+        // every streamed ranking equal to the offline recommend.
+        let s = &report.session;
+        assert!(s.results_match, "streamed rankings must equal Vsan::recommend: {s:?}");
+        assert_eq!(
+            s.appends + s.cold_starts + s.resumes + s.resets,
+            s.events,
+            "every session event classified exactly once: {s:?}"
+        );
+        assert!(s.appends > 0, "a warm Zipf stream must produce pure appends: {s:?}");
+        assert!(s.events_per_second > 0.0);
+        assert!(s.p99_latency_us >= s.p50_latency_us);
+
         let path = report.write_json("BENCH_serve_smoke.json").expect("write report");
         let written = std::fs::read_to_string(path).unwrap();
         assert!(written.contains("\"results_match\": true"));
@@ -469,5 +619,7 @@ mod tests {
         assert!(written.contains("\"queue_wait_us\""));
         assert!(written.contains("\"overload\""));
         assert!(written.contains("\"rejection_rate\""));
+        assert!(written.contains("\"session\""));
+        assert!(written.contains("\"events_per_second\""));
     }
 }

@@ -28,7 +28,10 @@ use std::sync::OnceLock;
 
 use vsan_data::sequence::pad_left;
 use vsan_nn::{Linear, ParamId, ParamStore, SelfAttentionBlock};
-use vsan_tensor::ops::attention::{causal_attention_into, causal_attention_last_row_into};
+use vsan_tensor::ops::attention::{
+    causal_attention_append_into, causal_attention_into, causal_attention_last_row_into,
+    causal_attention_resume_into,
+};
 use vsan_tensor::ops::norm::{layer_norm_rows_into, LN_EPS};
 use vsan_tensor::parallel::matmul_into_parallel;
 
@@ -36,7 +39,9 @@ use vsan_tensor::parallel::matmul_into_parallel;
 /// path. Read once per process: the flag is a deployment/CI toggle, not
 /// a per-call switch (tests that need both paths in one process call
 /// the explicit `score_items_batch_graph` / `_fast_with` entry points).
-pub(crate) fn fast_path_disabled() -> bool {
+/// Public so the session layer (`vsan-session`) can honour the same
+/// toggle by falling back to full recompute.
+pub fn fast_path_disabled() -> bool {
     static DISABLED: OnceLock<bool> = OnceLock::new();
     *DISABLED
         .get_or_init(|| std::env::var("VSAN_DISABLE_FAST_PATH").is_ok_and(|v| v == "1"))
@@ -423,6 +428,413 @@ impl InferencePlan {
                 &mut ws.last[..b * d],
             );
         }
+    }
+}
+
+impl InferencePlan {
+    /// Prepare `state` for incremental appends onto `history`
+    /// (DESIGN.md §11): run the forward over the `(n-1)`-slot window
+    /// `pad_left(history, n-1)` and cache every block's K/V projections.
+    ///
+    /// Because histories are **left-padded** to the fixed window and
+    /// position embeddings are slot-absolute, appending an item re-aligns
+    /// every slot — naive per-append K/V reuse is *not* bit-exact here.
+    /// What causality does guarantee is slot-aligned prefix determinism:
+    /// the `(n-1)`-prefix window occupies slots `0..n-2` of the next full
+    /// `n`-window *for any appended item*, with identical position rows,
+    /// so this prepared state yields exactly the first `n-1` rows of
+    /// every block of the next full forward.
+    ///
+    /// `donor` (normally the all-padding state from preparing an empty
+    /// history) lets the leading `pads` all-padding rows be copied
+    /// instead of recomputed: those rows attend only to other padding
+    /// rows, so they are bit-identical across windows. With a donor, the
+    /// per-prepare cost is `O(min(len, n-1))` rows instead of `O(n)`.
+    ///
+    /// The terminal block in combined (inference → generative) order only
+    /// gets its K/V cached — its attention/FFN output feeds nothing that
+    /// [`InferencePlan::append_session`] cannot recompute for the one new
+    /// row, mirroring the terminal-stage trimming in `execute`.
+    pub(crate) fn prepare_session(
+        &self,
+        store: &ParamStore,
+        history: &[u32],
+        donor: Option<&SessionState>,
+        state: &mut SessionState,
+        ws: &mut Workspace,
+    ) -> Result<(), String> {
+        let (n, d) = (self.n, self.d);
+        let m = n.saturating_sub(1);
+        let total = self.infer_blocks.len() + self.gene_blocks.len();
+        let window = pad_left(history, m);
+        let pads = m - history.len().min(m);
+        if let Some(donor) = donor {
+            if !donor.prepared || donor.m != m || donor.blocks.len() != total || donor.pads < pads
+            {
+                return Err("session donor does not cover this window's padding prefix".into());
+            }
+        }
+        let start = if donor.is_some() { pads } else { 0 };
+
+        state.prepared = false;
+        state.m = m;
+        state.pads = pads;
+        state.blocks.resize_with(total, LayerKv::default);
+        for kv in &mut state.blocks {
+            kv.k.resize(m * d, 0.0);
+            kv.v.resize(m * d, 0.0);
+        }
+        if let Some(donor) = donor {
+            for (dst, src) in state.blocks.iter_mut().zip(&donor.blocks) {
+                dst.k[..start * d].copy_from_slice(&src.k[..start * d]);
+                dst.v[..start * d].copy_from_slice(&src.v[..start * d]);
+            }
+        }
+
+        let rows = m - start;
+        if rows > 0 {
+            ws.ensure(rows, d, n, 1, self.vocab);
+            let table = store.get(self.item_table).data();
+            let pos = store.get(self.pos_table).data();
+            for (local, &it) in window[start..].iter().enumerate() {
+                let item = it as usize;
+                if item >= self.vocab {
+                    return Err(format!("item id {item} out of vocabulary ({})", self.vocab));
+                }
+                let r = start + local;
+                let h_row = &mut ws.h[local * d..(local + 1) * d];
+                h_row.copy_from_slice(&table[item * d..(item + 1) * d]);
+                for (hv, &pv) in h_row.iter_mut().zip(&pos[r * d..(r + 1) * d]) {
+                    *hv += pv;
+                }
+            }
+            let mut bi = 0;
+            for block in &self.infer_blocks {
+                self.prepare_block(store, block, &mut state.blocks[bi], m, start, bi + 1 == total, ws);
+                bi += 1;
+            }
+            // z = μ_λ between the stacks, exactly where `execute` applies
+            // it when the generative stack consumes the latent rows. With
+            // no generative blocks μ only touches the terminal row, which
+            // `append_session` handles itself.
+            if !self.gene_blocks.is_empty() {
+                if let Some((w, bias)) = self.mu {
+                    self.linear_into_tmp(store, w, Some(bias), rows, d, ws);
+                    std::mem::swap(&mut ws.h, &mut ws.q);
+                }
+            }
+            for block in &self.gene_blocks {
+                self.prepare_block(store, block, &mut state.blocks[bi], m, start, bi + 1 == total, ws);
+                bi += 1;
+            }
+        }
+        state.prepared = true;
+        Ok(())
+    }
+
+    /// One block of [`InferencePlan::prepare_session`]: project K/V for
+    /// the `m - start` real rows into the cached buffers (padding rows
+    /// `0..start` were donor-copied), then — unless this is the terminal
+    /// block — run attention over the full cached window plus the
+    /// residual/LN/FFN sublayers on the real rows only, advancing `ws.h`.
+    #[allow(clippy::too_many_arguments)]
+    fn prepare_block(
+        &self,
+        store: &ParamStore,
+        block: &BlockPlan,
+        kv: &mut LayerKv,
+        m: usize,
+        start: usize,
+        is_terminal: bool,
+        ws: &mut Workspace,
+    ) {
+        let d = self.d;
+        let threads = self.threads;
+        let rows = m - start;
+        for (dst, w) in [(&mut kv.k, block.wk), (&mut kv.v, block.wv)] {
+            let dst = &mut dst[start * d..m * d];
+            dst.fill(0.0);
+            matmul_into_parallel(&ws.h[..rows * d], store.get(w).data(), dst, rows, d, d, threads);
+        }
+        if is_terminal {
+            return;
+        }
+        let q = &mut ws.q[..rows * d];
+        q.fill(0.0);
+        matmul_into_parallel(&ws.h[..rows * d], store.get(block.wq).data(), q, rows, d, d, threads);
+        let scale = 1.0 / (d as f32).sqrt();
+        causal_attention_resume_into(
+            &ws.q[..rows * d],
+            &kv.k,
+            &kv.v,
+            m,
+            d,
+            start,
+            scale,
+            &mut ws.score,
+            &mut ws.tmp[..rows * d],
+        );
+        for (tv, &hv) in ws.tmp[..rows * d].iter_mut().zip(&ws.h[..rows * d]) {
+            *tv += hv;
+        }
+        layer_norm_rows_into(
+            &ws.tmp[..rows * d],
+            store.get(block.ln1_gamma).data(),
+            store.get(block.ln1_beta).data(),
+            LN_EPS,
+            rows,
+            d,
+            &mut ws.h[..rows * d],
+        );
+        if let Some(ffn) = &block.ffn {
+            self.linear_into_tmp(store, ffn.w1, Some(ffn.b1), rows, d, ws);
+            for v in ws.q[..rows * d].iter_mut() {
+                *v = v.max(0.0);
+            }
+            let f = &mut ws.k[..rows * d];
+            f.fill(0.0);
+            matmul_into_parallel(&ws.q[..rows * d], store.get(ffn.w2).data(), f, rows, d, d, threads);
+            add_bias_rows(f, store.get(ffn.b2).data(), rows);
+            for (fv, &hv) in f.iter_mut().zip(&ws.h[..rows * d]) {
+                *fv += hv;
+            }
+            layer_norm_rows_into(
+                &ws.k[..rows * d],
+                store.get(ffn.ln2_gamma).data(),
+                store.get(ffn.ln2_beta).data(),
+                LN_EPS,
+                rows,
+                d,
+                &mut ws.h[..rows * d],
+            );
+        }
+    }
+
+    /// Fold one new event into a prepared session: the appended item
+    /// lands in slot `n-1` of the full window, so one embedding row, one
+    /// q/k/v projection row per block, one-new-row attention against the
+    /// cached K/V ([`causal_attention_append_into`]) and the row-local
+    /// μ/prediction tail reproduce `execute` on `pad_left(history ++
+    /// [item], n)` **bit-for-bit** — the differential oracle in
+    /// `tests/session_incremental.rs` and `scripts/verify.sh` holds this.
+    ///
+    /// The state is borrowed immutably: folding the new row *into* the
+    /// cache would shift slot alignment (see [`prepare_session`]); the
+    /// caller re-prepares instead, which the session runtime overlaps
+    /// with returning the logits.
+    pub(crate) fn append_session(
+        &self,
+        store: &ParamStore,
+        state: &SessionState,
+        item: u32,
+        ws: &mut Workspace,
+    ) -> Result<Vec<f32>, String> {
+        let (n, d) = (self.n, self.d);
+        let m = n.saturating_sub(1);
+        let total = self.infer_blocks.len() + self.gene_blocks.len();
+        if !state.prepared || state.m != m || state.blocks.len() != total {
+            return Err("session state is not prepared for this model".into());
+        }
+        let item_idx = item as usize;
+        if item_idx >= self.vocab {
+            return Err(format!("item id {item_idx} out of vocabulary ({})", self.vocab));
+        }
+        ws.ensure(n, d, n, 1, self.vocab);
+        {
+            let table = store.get(self.item_table).data();
+            let pos = store.get(self.pos_table).data();
+            let h_row = &mut ws.last_in[..d];
+            h_row.copy_from_slice(&table[item_idx * d..(item_idx + 1) * d]);
+            for (hv, &pv) in h_row.iter_mut().zip(&pos[m * d..(m + 1) * d]) {
+                *hv += pv;
+            }
+        }
+        let mut bi = 0;
+        for block in &self.infer_blocks {
+            self.append_block(store, block, &state.blocks[bi], ws);
+            bi += 1;
+        }
+        // Latent variable layer at eval: z = μ_λ on the one new row —
+        // row-local, so it matches both the trimmed and full-μ branches
+        // of `execute`.
+        if let Some((w, bias)) = self.mu {
+            let dst = &mut ws.q[..d];
+            dst.fill(0.0);
+            matmul_into_parallel(&ws.last_in[..d], store.get(w).data(), dst, 1, d, d, self.threads);
+            add_bias_rows(dst, store.get(bias).data(), 1);
+            ws.last_in[..d].copy_from_slice(&ws.q[..d]);
+        }
+        for block in &self.gene_blocks {
+            self.append_block(store, block, &state.blocks[bi], ws);
+            bi += 1;
+        }
+        ws.last[..d].copy_from_slice(&ws.last_in[..d]);
+        match self.prediction {
+            Some((w, bias)) => {
+                ws.logits[..self.vocab].fill(0.0);
+                matmul_into_parallel(
+                    &ws.last[..d],
+                    store.get(w).data(),
+                    &mut ws.logits[..self.vocab],
+                    1,
+                    d,
+                    self.vocab,
+                    self.threads,
+                );
+                add_bias_rows(&mut ws.logits[..self.vocab], store.get(bias).data(), 1);
+            }
+            None => {
+                vsan_tensor::ops::matmul_a_bt_into(
+                    &ws.last[..d],
+                    store.get(self.item_table).data(),
+                    &mut ws.logits[..self.vocab],
+                    1,
+                    d,
+                    self.vocab,
+                );
+            }
+        }
+        Ok(ws.logits[..self.vocab].to_vec())
+    }
+
+    /// One block of [`InferencePlan::append_session`]: the new row's
+    /// q/k/v projections, one-new-row attention over `m` cached prefix
+    /// rows plus the fresh K/V row, then residual/LN/FFN on that single
+    /// row. Input arrives in `ws.last_in[..d]` and the block's output is
+    /// left there for the next block.
+    fn append_block(&self, store: &ParamStore, block: &BlockPlan, kv: &LayerKv, ws: &mut Workspace) {
+        let d = self.d;
+        let m = kv.k.len() / d;
+        let threads = self.threads;
+        for (dst, w) in [(&mut ws.q, block.wq), (&mut ws.k, block.wk), (&mut ws.v, block.wv)] {
+            let dst = &mut dst[..d];
+            dst.fill(0.0);
+            matmul_into_parallel(&ws.last_in[..d], store.get(w).data(), dst, 1, d, d, threads);
+        }
+        let scale = 1.0 / (d as f32).sqrt();
+        causal_attention_append_into(
+            &ws.q[..d],
+            &kv.k,
+            &ws.k[..d],
+            &kv.v,
+            &ws.v[..d],
+            m,
+            d,
+            scale,
+            &mut ws.score,
+            &mut ws.tmp[..d],
+        );
+        for (tv, &hv) in ws.tmp[..d].iter_mut().zip(&ws.last_in[..d]) {
+            *tv += hv;
+        }
+        layer_norm_rows_into(
+            &ws.tmp[..d],
+            store.get(block.ln1_gamma).data(),
+            store.get(block.ln1_beta).data(),
+            LN_EPS,
+            1,
+            d,
+            &mut ws.last[..d],
+        );
+        if let Some(ffn) = &block.ffn {
+            let h1 = &mut ws.q[..d];
+            h1.fill(0.0);
+            matmul_into_parallel(&ws.last[..d], store.get(ffn.w1).data(), h1, 1, d, d, threads);
+            add_bias_rows(h1, store.get(ffn.b1).data(), 1);
+            for v in h1.iter_mut() {
+                *v = v.max(0.0);
+            }
+            let f = &mut ws.tmp[..d];
+            f.fill(0.0);
+            matmul_into_parallel(&ws.q[..d], store.get(ffn.w2).data(), f, 1, d, d, threads);
+            add_bias_rows(f, store.get(ffn.b2).data(), 1);
+            for (fv, &hv) in f.iter_mut().zip(&ws.last[..d]) {
+                *fv += hv;
+            }
+            layer_norm_rows_into(
+                &ws.tmp[..d],
+                store.get(ffn.ln2_gamma).data(),
+                store.get(ffn.ln2_beta).data(),
+                LN_EPS,
+                1,
+                d,
+                &mut ws.last_in[..d],
+            );
+        } else {
+            ws.last_in[..d].copy_from_slice(&ws.last[..d]);
+        }
+    }
+}
+
+/// Per-block cached key/value projections of a prepared session window
+/// (`m` rows × `d` columns each, flat row-major).
+#[derive(Debug, Default, Clone)]
+struct LayerKv {
+    k: Vec<f32>,
+    v: Vec<f32>,
+}
+
+/// Prepared incremental-session state (DESIGN.md §11): every attention
+/// block's K/V projections over the `(n-1)`-slot prefix window of a
+/// history, ready for O(n·d²)-per-event folding via
+/// [`crate::Vsan::append_session_logits`].
+///
+/// The state is a *window* cache, not an LLM-style growing KV cache:
+/// VSAN left-pads to a fixed window with slot-absolute positions, so the
+/// invariant that makes appends bit-exact is slot-aligned prefix
+/// determinism, not append-only growth. See the DESIGN.md section for
+/// the full argument.
+#[derive(Debug, Default, Clone)]
+pub struct SessionState {
+    /// Cached slots per block — `n - 1` for the owning model.
+    m: usize,
+    /// Leading all-padding slots of the prepared window.
+    pads: usize,
+    /// Set once every block's buffers hold a consistent window.
+    prepared: bool,
+    blocks: Vec<LayerKv>,
+}
+
+impl SessionState {
+    /// An unprepared state; appending into it errors until a prepare
+    /// fills it.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `true` once the state holds a fully prepared window.
+    pub fn is_prepared(&self) -> bool {
+        self.prepared
+    }
+
+    /// Cached slots per block (`n - 1`); 0 until first prepared.
+    pub fn slots(&self) -> usize {
+        self.m
+    }
+
+    /// Leading all-padding slots of the prepared window.
+    pub fn pad_slots(&self) -> usize {
+        self.pads
+    }
+
+    /// Real (non-padding) history slots materialised in the window.
+    pub fn real_slots(&self) -> usize {
+        self.m - self.pads
+    }
+
+    /// Resident bytes of the cached K/V buffers (capacity, so it tracks
+    /// what eviction actually frees).
+    pub fn bytes(&self) -> usize {
+        self.blocks
+            .iter()
+            .map(|kv| (kv.k.capacity() + kv.v.capacity()) * std::mem::size_of::<f32>())
+            .sum()
+    }
+
+    /// Mark the state unprepared; buffers are kept for reuse by the next
+    /// prepare.
+    pub fn clear(&mut self) {
+        self.prepared = false;
     }
 }
 

@@ -59,6 +59,6 @@ pub mod model;
 pub mod uncertainty;
 
 pub use config::VsanConfig;
-pub use infer::Workspace;
+pub use infer::{fast_path_disabled, SessionState, Workspace};
 pub use model::Vsan;
 pub use uncertainty::PosteriorStats;

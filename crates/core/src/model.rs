@@ -325,6 +325,49 @@ impl Vsan {
         Workspace::for_config(&self.cfg, self.vocab, max_batch)
     }
 
+    /// The all-padding donor state for incremental sessions: the
+    /// prepared `(n-1)`-slot window of the *empty* history. Computed once
+    /// per runtime and shared (read-only) by every
+    /// [`Self::prepare_session_into`] call, which copies its leading
+    /// padding rows instead of recomputing them (DESIGN.md §11).
+    pub fn pad_session_state(&self) -> Result<crate::SessionState, String> {
+        let mut state = crate::SessionState::new();
+        infer::with_thread_workspace(|ws| {
+            self.plan.prepare_session(&self.store, &[], None, &mut state, ws)
+        })?;
+        Ok(state)
+    }
+
+    /// Prepare `state` so [`Self::append_session_logits`] can fold the
+    /// *next* event onto `history` in O(n·d²). `donor` is normally the
+    /// shared [`Self::pad_session_state`]; with it, the prepare computes
+    /// only `min(len, n-1)` real rows. Without a donor the padding rows
+    /// are computed from scratch (how the pad state itself is built).
+    pub fn prepare_session_into(
+        &self,
+        history: &[u32],
+        donor: Option<&crate::SessionState>,
+        state: &mut crate::SessionState,
+        ws: &mut Workspace,
+    ) -> Result<(), String> {
+        self.plan.prepare_session(&self.store, history, donor, state, ws)
+    }
+
+    /// Last-position logits for `history ++ [item]` where `state` was
+    /// prepared for `history` — bit-identical to
+    /// `try_score_items_batch(&[fold_in_window(history ++ [item])])` on
+    /// the fast path (the append-vs-recompute differential suite and
+    /// `scripts/verify.sh` assert it), at O(n·d²) instead of O(n²·d +
+    /// n·d²) per event.
+    pub fn append_session_logits(
+        &self,
+        state: &crate::SessionState,
+        item: u32,
+        ws: &mut Workspace,
+    ) -> Result<Vec<f32>, String> {
+        self.plan.append_session(&self.store, state, item, ws)
+    }
+
     /// The graph-path forward, kept as the differential-testing oracle:
     /// builds the full autograd tape exactly as training eval did before
     /// the fast path existed. Slow; for tests and benchmarks.

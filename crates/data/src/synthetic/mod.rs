@@ -20,8 +20,10 @@
 //! Calibrated presets for the two datasets live in [`presets`].
 
 pub mod presets;
+pub mod session;
 
 pub use presets::{beauty, ml1m};
+pub use session::{generate_stream, SessionEvent, SessionStream, SessionStreamConfig};
 
 use crate::interaction::{Interaction, RawDataset};
 use rand::Rng;

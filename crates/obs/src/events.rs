@@ -43,6 +43,12 @@ pub enum FaultKind {
     /// The model forward itself returned an error (the batch was
     /// answered through the degraded path instead of fabricated zeros).
     ModelError,
+    /// An incremental session was evicted (LRU capacity or idle TTL);
+    /// the next event for that user transparently cold-starts.
+    SessionEvicted,
+    /// A client history hint contradicted a cached session; the cached
+    /// state was discarded and rebuilt from the hint.
+    SessionReset,
 }
 
 impl FaultKind {
@@ -62,6 +68,8 @@ impl FaultKind {
             FaultKind::Overloaded => "overloaded",
             FaultKind::CachePoisoned => "cache_poisoned",
             FaultKind::ModelError => "model_error",
+            FaultKind::SessionEvicted => "session_evicted",
+            FaultKind::SessionReset => "session_reset",
         }
     }
 }
@@ -124,6 +132,8 @@ mod tests {
             FaultKind::Overloaded,
             FaultKind::CachePoisoned,
             FaultKind::ModelError,
+            FaultKind::SessionEvicted,
+            FaultKind::SessionReset,
         ] {
             let name = kind.as_str();
             assert!(!name.is_empty());

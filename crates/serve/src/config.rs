@@ -55,6 +55,12 @@ pub struct EngineConfig {
     /// Structured fault events (`"type":"serve_fault"`) are emitted
     /// here; `None` disables fault telemetry.
     pub fault_sink: Option<Arc<dyn EventSink>>,
+    /// Live incremental sessions kept for [`crate::Engine::append_event`]
+    /// (LRU-bounded); `0` makes every append a stateless full recompute.
+    pub session_capacity: usize,
+    /// Idle time after which a session is evicted; `None` disables TTL
+    /// expiry (capacity pressure still evicts).
+    pub session_ttl: Option<Duration>,
 }
 
 impl Default for EngineConfig {
@@ -72,6 +78,8 @@ impl Default for EngineConfig {
             max_batch_retries: 1,
             degrade: DegradeConfig::default(),
             fault_sink: None,
+            session_capacity: 1024,
+            session_ttl: None,
         }
     }
 }
@@ -155,6 +163,19 @@ impl EngineConfig {
         self.fault_sink = Some(sink);
         self
     }
+
+    /// Builder: set [`Self::session_capacity`] (`0` disables the
+    /// session cache — appends become stateless full recomputes).
+    pub fn with_session_capacity(mut self, n: usize) -> Self {
+        self.session_capacity = n;
+        self
+    }
+
+    /// Builder: set [`Self::session_ttl`].
+    pub fn with_session_ttl(mut self, ttl: Duration) -> Self {
+        self.session_ttl = Some(ttl);
+        self
+    }
 }
 
 impl std::fmt::Debug for EngineConfig {
@@ -172,6 +193,8 @@ impl std::fmt::Debug for EngineConfig {
             .field("max_batch_retries", &self.max_batch_retries)
             .field("degrade", &self.degrade)
             .field("fault_sink", &self.fault_sink.as_ref().map(|_| "Arc<dyn EventSink>"))
+            .field("session_capacity", &self.session_capacity)
+            .field("session_ttl", &self.session_ttl)
             .finish()
     }
 }
@@ -192,6 +215,8 @@ mod tests {
         assert!(cfg.default_deadline.is_none());
         assert_eq!(cfg.max_batch_retries, 1);
         assert!(cfg.degrade.cache_fallback);
+        assert!(cfg.session_capacity >= 1);
+        assert!(cfg.session_ttl.is_none());
     }
 
     #[test]
@@ -207,7 +232,9 @@ mod tests {
             .with_default_deadline(Duration::from_millis(5))
             .with_max_worker_respawns(2)
             .with_max_batch_retries(0)
-            .with_popularity(vec![0.0, 3.0, 1.0]);
+            .with_popularity(vec![0.0, 3.0, 1.0])
+            .with_session_capacity(0)
+            .with_session_ttl(Duration::from_secs(60));
         assert_eq!(cfg.max_batch, 1);
         assert_eq!(cfg.workers, 1);
         assert_eq!(cfg.batch_deadline, Duration::from_micros(500));
@@ -219,5 +246,7 @@ mod tests {
         assert_eq!(cfg.max_worker_respawns, 2);
         assert_eq!(cfg.max_batch_retries, 0);
         assert!(cfg.degrade.popularity.is_some());
+        assert_eq!(cfg.session_capacity, 0);
+        assert_eq!(cfg.session_ttl, Some(Duration::from_secs(60)));
     }
 }

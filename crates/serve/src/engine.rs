@@ -29,6 +29,7 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{self, Receiver, Sender, TryRecvError};
 use vsan_core::Vsan;
 use vsan_obs::{EventSink, FaultEvent, FaultKind};
+use vsan_session::{EvictReason, SessionConfig, SessionOutcome, SessionRuntime};
 
 use crate::cache::SequenceCache;
 use crate::config::EngineConfig;
@@ -75,13 +76,17 @@ impl std::fmt::Display for ServeError {
 impl std::error::Error for ServeError {}
 
 /// Where a [`Response`] came from. Anything but [`Self::Batch`] /
-/// [`Self::Cache`] is a degraded answer.
+/// [`Self::Cache`] / [`Self::Session`] is a degraded answer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ResponseSource {
     /// Computed by the worker pool's batched evaluation forward.
     Batch,
     /// Served from the exact-window sequence cache.
     Cache,
+    /// Served by the incremental session path
+    /// ([`Engine::append_event`]) — bit-identical to a batch forward of
+    /// the same history.
+    Session,
     /// Degraded: shortened-window (approximate) cache fallback.
     DegradedCache,
     /// Degraded: static popularity fallback.
@@ -244,6 +249,12 @@ struct Inner {
     /// request from then on takes the degraded path.
     degraded_mode: AtomicBool,
     fault_sink: Option<Arc<dyn EventSink>>,
+    /// Incremental per-user session state behind [`Engine::append_event`].
+    session: SessionRuntime,
+    /// Workspaces for the caller-thread session path (the worker pool's
+    /// workspaces live on the worker threads). Popped per append, pushed
+    /// back after: zero steady-state allocation once the pool is warm.
+    session_ws: Mutex<Vec<vsan_core::Workspace>>,
     /// Batches dispatched but not yet fully processed. The batcher
     /// stalls at `max_inflight` instead of running ahead of the pool —
     /// without this cap the unbounded batch channel would absorb any
@@ -348,6 +359,19 @@ impl Inner {
     fn wake_batcher(&self) {
         self.inflight_cv.notify_all();
     }
+
+    /// Pop a session workspace (allocating on first use per concurrent
+    /// caller). A plain value pool: poisoning cannot apply.
+    fn take_session_ws(&self) -> vsan_core::Workspace {
+        let mut pool = self.session_ws.lock().unwrap_or_else(PoisonError::into_inner);
+        pool.pop().unwrap_or_default()
+    }
+
+    /// Return a session workspace to the pool.
+    fn put_session_ws(&self, ws: vsan_core::Workspace) {
+        let mut pool = self.session_ws.lock().unwrap_or_else(PoisonError::into_inner);
+        pool.push(ws);
+    }
 }
 
 /// The serving engine. See the crate docs for the architecture; create
@@ -365,6 +389,10 @@ impl Engine {
     /// around a trained model.
     pub fn start(model: Vsan, cfg: EngineConfig) -> Self {
         let (max_batch, workers) = (cfg.max_batch.max(1), cfg.workers.max(1));
+        let session_cfg =
+            SessionConfig::new().with_capacity(cfg.session_capacity).with_ttl(cfg.session_ttl);
+        let session = SessionRuntime::new(&model, &session_cfg)
+            .expect("session pad state (empty-history prepare cannot hit invalid items)");
         let inner = Arc::new(Inner {
             model,
             cache: Mutex::new(SequenceCache::new(cfg.cache_capacity)),
@@ -378,6 +406,8 @@ impl Engine {
             max_batch_retries: cfg.max_batch_retries,
             degraded_mode: AtomicBool::new(false),
             fault_sink: cfg.fault_sink.clone(),
+            session,
+            session_ws: Mutex::new(Vec::new()),
             inflight: Mutex::new(0),
             inflight_cv: Condvar::new(),
             // One batch per worker in flight plus one ready behind each:
@@ -538,7 +568,110 @@ impl Engine {
     /// reclaims the dead entry and keeps semantics obvious.)
     pub fn invalidate(&self, history: &[u32]) -> bool {
         let window = self.inner.model.fold_in_window(history);
-        self.inner.lock_cache().remove(window)
+        let removed = self.inner.lock_cache().remove(window);
+        if !removed {
+            // Not an error (racing invalidations are legal), but a high
+            // miss rate means callers invalidate windows that never
+            // cached — worth a counter, not silence.
+            self.inner.metrics.cache_invalidate_misses.inc();
+        }
+        removed
+    }
+
+    /// Fold one interaction event into `user`'s incremental session and
+    /// return the top `k` recommendations for the grown history, served
+    /// by the prefix-keyed layer-state cache (README § Incremental
+    /// sessions) — bit-identical to a batch forward of the same history.
+    ///
+    /// `hint` is the client's view of the history *before* this event:
+    /// `None` trusts the server-side session; `Some` cross-checks it. A
+    /// missing session, an eviction, or a hint running ahead of the
+    /// cache are never errors — they cost a transparent recompute,
+    /// tagged in the `session.*` metrics. A *contradictory* hint resets
+    /// the session (the hint wins) and fires a `session_reset` fault.
+    /// In degraded mode, and on a genuine model error (e.g. an
+    /// out-of-vocabulary id), the event resolves through the degraded
+    /// fallback path like any other request.
+    pub fn append_event(
+        &self,
+        user: u64,
+        hint: Option<&[u32]>,
+        item: u32,
+        k: usize,
+    ) -> Result<Response, ServeError> {
+        let inner = &*self.inner;
+        let metrics = &inner.metrics;
+        metrics.requests.inc();
+        let start = Instant::now();
+
+        let degraded_history = || {
+            let mut h = hint.unwrap_or_default().to_vec();
+            h.push(item);
+            h
+        };
+        if inner.degraded_mode.load(Ordering::Acquire) {
+            let reply = inner.degraded(&degraded_history(), k, "workers_down");
+            metrics.latency_us.record(as_us(start.elapsed()));
+            return reply;
+        }
+
+        let mut ws = inner.take_session_ws();
+        let result = inner.session.append_event(&inner.model, user, hint, item, &mut ws, start);
+        inner.put_session_ws(ws);
+        match result {
+            Ok(r) => {
+                match r.outcome {
+                    SessionOutcome::Append => metrics.session_appends.inc(),
+                    SessionOutcome::Resumed { .. } => metrics.session_resumes.inc(),
+                    SessionOutcome::ColdStart => metrics.session_cold_starts.inc(),
+                    SessionOutcome::Reset => {
+                        metrics.session_resets.inc();
+                        inner.fault(FaultKind::SessionReset, &format!("user-{user}"));
+                    }
+                }
+                for ev in &r.evictions {
+                    metrics.session_evictions.inc();
+                    let reason = match ev.reason {
+                        EvictReason::Capacity => "capacity",
+                        EvictReason::Ttl => "ttl",
+                    };
+                    inner.fault(FaultKind::SessionEvicted, &format!("user-{} ({reason})", ev.user));
+                }
+                let stats = inner.session.stats();
+                metrics.sessions_live.set(stats.sessions as i64);
+                metrics.session_bytes.set(stats.bytes as i64);
+
+                let recs = rank(&r.logits, &r.history, k);
+                // Keep the sequence cache coherent for free: these are
+                // exactly the logits a batch forward of the grown
+                // history would produce, so a subsequent `submit` with
+                // the same history hits instead of recomputing.
+                if inner.cache_enabled {
+                    let window = inner.model.fold_in_window(&r.history).to_vec();
+                    inner.lock_cache().insert(window, Arc::new(r.logits));
+                }
+                let elapsed = as_us(start.elapsed());
+                metrics.compute_us.record(elapsed);
+                metrics.latency_us.record(elapsed);
+                Ok(Response::new(recs, ResponseSource::Session))
+            }
+            Err(err) => {
+                // Surfaced, never hidden — same contract as a failed
+                // batch forward: fault telemetry fires and the request
+                // resolves degraded, not with fabricated logits.
+                metrics.model_errors.inc();
+                inner.fault(FaultKind::ModelError, &err);
+                let reply = inner.degraded(&degraded_history(), k, "model_error");
+                metrics.latency_us.record(as_us(start.elapsed()));
+                reply
+            }
+        }
+    }
+
+    /// Drop `user`'s incremental session (logout / end of stream).
+    /// `false` when no session was resident.
+    pub fn end_session(&self, user: u64) -> bool {
+        self.inner.session.end_session(user)
     }
 
     /// `true` once the engine has permanently fallen back to degraded

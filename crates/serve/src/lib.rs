@@ -26,6 +26,12 @@
 //! * **Graceful degradation** — under saturation or with the pool down,
 //!   requests resolve through the approximate-cache or popularity
 //!   fallback, tagged in [`Response::source`]; see [`DegradeConfig`].
+//! * **Incremental sessions** — [`Engine::append_event`] folds one new
+//!   interaction into a per-user prefix-keyed layer-state cache
+//!   (`vsan_session`), answering in one O(n·d²) append pass instead of
+//!   a full forward, bit-identical to it. Eviction (LRU capacity /
+//!   idle TTL) is transparent: the next event cold-starts through the
+//!   same API, tagged in the `session.*` metrics and fault events.
 //!
 //! Fault-free results are deterministic and bit-identical to
 //! [`vsan_core::Vsan::recommend`] for the same history, cache hit or

@@ -76,6 +76,26 @@ pub(crate) struct Metrics {
     pub model_errors: Arc<Counter>,
     /// Live worker threads (spawns and respawns minus deaths).
     pub workers_alive: Arc<Gauge>,
+    // --- cache-coherency telemetry (ISSUE 6 satellite) ---
+    /// `Engine::invalidate` calls that found nothing to evict — a miss
+    /// rate here flags callers invalidating windows that never cached.
+    pub cache_invalidate_misses: Arc<Counter>,
+    // --- incremental-session counters (README § Incremental sessions) ---
+    /// Events served by a pure incremental append (warm session).
+    pub session_appends: Arc<Counter>,
+    /// Events that transparently cold-started (first event or evicted).
+    pub session_cold_starts: Arc<Counter>,
+    /// Events that resumed a cached prefix (gap replay or exact-history
+    /// sibling reuse).
+    pub session_resumes: Arc<Counter>,
+    /// Events whose hint contradicted the cached history (state rebuilt).
+    pub session_resets: Arc<Counter>,
+    /// Sessions evicted by LRU capacity or idle TTL.
+    pub session_evictions: Arc<Counter>,
+    /// Live sessions in the store.
+    pub sessions_live: Arc<Gauge>,
+    /// Resident bytes across all session states.
+    pub session_bytes: Arc<Gauge>,
 }
 
 impl Default for Metrics {
@@ -117,6 +137,14 @@ impl Metrics {
             dropped_batches: registry.counter("serve.dropped_batches"),
             model_errors: registry.counter("serve.model_errors"),
             workers_alive: registry.gauge("serve.workers_alive"),
+            cache_invalidate_misses: registry.counter("serve.cache_invalidate_misses"),
+            session_appends: registry.counter("session.appends"),
+            session_cold_starts: registry.counter("session.cold_starts"),
+            session_resumes: registry.counter("session.resumes"),
+            session_resets: registry.counter("session.resets"),
+            session_evictions: registry.counter("session.evictions"),
+            sessions_live: registry.gauge("session.live"),
+            session_bytes: registry.gauge("session.bytes"),
             registry,
         }
     }
@@ -148,6 +176,12 @@ impl Metrics {
             requeued_requests: self.requeued_requests.get(),
             dropped_batches: self.dropped_batches.get(),
             model_errors: self.model_errors.get(),
+            cache_invalidate_misses: self.cache_invalidate_misses.get(),
+            session_appends: self.session_appends.get(),
+            session_cold_starts: self.session_cold_starts.get(),
+            session_resumes: self.session_resumes.get(),
+            session_resets: self.session_resets.get(),
+            session_evictions: self.session_evictions.get(),
         }
     }
 
@@ -160,6 +194,8 @@ impl Metrics {
             compute_us: self.compute_us.snapshot(),
             latency_us: self.latency_us.snapshot(),
             batch_fill_pct: self.batch_fill_pct.snapshot(),
+            sessions_live: self.sessions_live.get(),
+            session_bytes: self.session_bytes.get(),
         }
     }
 
@@ -217,6 +253,18 @@ pub struct MetricsSnapshot {
     pub dropped_batches: u64,
     /// Batches whose model forward returned an error.
     pub model_errors: u64,
+    /// `Engine::invalidate` calls that found nothing to evict.
+    pub cache_invalidate_misses: u64,
+    /// Session events served by a pure incremental append.
+    pub session_appends: u64,
+    /// Session events that transparently cold-started.
+    pub session_cold_starts: u64,
+    /// Session events that resumed a cached prefix (replay or sibling).
+    pub session_resumes: u64,
+    /// Session events whose hint contradicted the cached history.
+    pub session_resets: u64,
+    /// Sessions evicted by LRU capacity or idle TTL.
+    pub session_evictions: u64,
 }
 
 impl MetricsSnapshot {
@@ -289,6 +337,10 @@ pub struct ServeStats {
     pub latency_us: HistogramSnapshot,
     /// Batch occupancy at flush, percent of `max_batch`.
     pub batch_fill_pct: HistogramSnapshot,
+    /// Live incremental sessions (`session.live` gauge).
+    pub sessions_live: i64,
+    /// Resident session-state bytes (`session.bytes` gauge).
+    pub session_bytes: i64,
 }
 
 impl ServeStats {
@@ -322,6 +374,14 @@ impl ServeStats {
             .u64("requeued_requests", self.snapshot.requeued_requests)
             .u64("dropped_batches", self.snapshot.dropped_batches)
             .u64("model_errors", self.snapshot.model_errors)
+            .u64("cache_invalidate_misses", self.snapshot.cache_invalidate_misses)
+            .u64("session_appends", self.snapshot.session_appends)
+            .u64("session_cold_starts", self.snapshot.session_cold_starts)
+            .u64("session_resumes", self.snapshot.session_resumes)
+            .u64("session_resets", self.snapshot.session_resets)
+            .u64("session_evictions", self.snapshot.session_evictions)
+            .i64("sessions_live", self.sessions_live)
+            .i64("session_bytes", self.session_bytes)
             .f64("mean_batch_fill_pct", self.mean_batch_fill_pct())
             .raw("queue_wait_us", &self.queue_wait_us.summary_json())
             .raw("compute_us", &self.compute_us.summary_json())

@@ -149,6 +149,11 @@ fn invalidate_evicts_the_users_window() {
     engine.recommend(&history, 3).unwrap();
     let after = engine.metrics();
     assert_eq!(after.cache_misses, before.cache_misses + 1, "evicted entry must re-miss");
+    assert_eq!(
+        after.cache_invalidate_misses,
+        before.cache_invalidate_misses + 1,
+        "the no-op second invalidation must be counted, not silent"
+    );
 }
 
 #[test]
@@ -174,6 +179,11 @@ fn invalidate_during_in_flight_tickets_is_safe_and_exact() {
     let mut polled = engine.submit(&history, 4);
     // The window cannot be cached yet — both requests are still in flight.
     assert!(!engine.invalidate(&history), "nothing cached while in flight");
+    assert_eq!(
+        engine.metrics().cache_invalidate_misses,
+        1,
+        "an in-flight (uncached) invalidation is a recorded miss"
+    );
     let reply = loop {
         engine.invalidate(&history); // racing eviction must stay harmless
         if let Some(reply) = polled.poll() {
@@ -188,10 +198,16 @@ fn invalidate_during_in_flight_tickets_is_safe_and_exact() {
     // settled, or it wasn't — either way a fresh request re-misses or
     // hits with the exact offline answer.
     assert_eq!(engine.recommend(&history, 4).unwrap(), expected);
+    let misses_before = engine.metrics().cache_invalidate_misses;
     assert!(engine.invalidate(&history), "settled entry evicts exactly once");
     assert!(!engine.invalidate(&history));
     let m = engine.shutdown();
     assert!(m.requests >= 3);
+    assert_eq!(
+        m.cache_invalidate_misses,
+        misses_before + 1,
+        "exactly the second post-flight invalidation misses"
+    );
 }
 
 #[test]

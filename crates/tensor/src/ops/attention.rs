@@ -155,6 +155,221 @@ fn causal_attention_last_row_into_body(
     }
 }
 
+/// One-new-row attention against a cached key/value prefix (the
+/// session fold-in kernel, DESIGN.md §11): `out_row =
+/// softmax([q·k_prefixᵀ, q·k_lastᵀ]·scale)·[v_prefix; v_last]` where
+/// `k_prefix`/`v_prefix` are the `m` cached rows of an incremental
+/// session state and `k_last`/`v_last` are the freshly projected row of
+/// the appended event.
+///
+/// Bit-compatibility: with `K = [k_prefix; k_last]` and `V = [v_prefix;
+/// v_last]` this is [`causal_attention_last_row_into`] over `n = m + 1`
+/// rows verbatim — scores fold ascending over the prefix rows then the
+/// new row (exactly key order `0..n`), the softmax max/exp/sum/scale
+/// sequence is identical, and the output folds `p_j · v_j` in the same
+/// ascending order. The split merely avoids materializing the
+/// concatenated buffers. `m = 0` (empty prefix: `n = 1` windows) is
+/// valid and attends to the new row alone.
+#[allow(clippy::too_many_arguments)]
+pub fn causal_attention_append_into(
+    q_row: &[f32],
+    k_prefix: &[f32],
+    k_last: &[f32],
+    v_prefix: &[f32],
+    v_last: &[f32],
+    m: usize,
+    d: usize,
+    scale: f32,
+    scores: &mut [f32],
+    out_row: &mut [f32],
+) {
+    #[cfg(target_arch = "x86_64")]
+    if crate::ops::matmul::avx2_available() {
+        // SAFETY: AVX2 support was just verified at runtime.
+        unsafe {
+            return causal_attention_append_into_avx2(
+                q_row, k_prefix, k_last, v_prefix, v_last, m, d, scale, scores, out_row,
+            );
+        };
+    }
+    causal_attention_append_into_body(q_row, k_prefix, k_last, v_prefix, v_last, m, d, scale, scores, out_row)
+}
+
+/// [`causal_attention_append_into`]'s body compiled with AVX2 codegen
+/// (same source, same bits — see `ops::matmul`'s module header).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn causal_attention_append_into_avx2(
+    q_row: &[f32],
+    k_prefix: &[f32],
+    k_last: &[f32],
+    v_prefix: &[f32],
+    v_last: &[f32],
+    m: usize,
+    d: usize,
+    scale: f32,
+    scores: &mut [f32],
+    out_row: &mut [f32],
+) {
+    causal_attention_append_into_body(q_row, k_prefix, k_last, v_prefix, v_last, m, d, scale, scores, out_row)
+}
+
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn causal_attention_append_into_body(
+    q_row: &[f32],
+    k_prefix: &[f32],
+    k_last: &[f32],
+    v_prefix: &[f32],
+    v_last: &[f32],
+    m: usize,
+    d: usize,
+    scale: f32,
+    scores: &mut [f32],
+    out_row: &mut [f32],
+) {
+    let n = m + 1;
+    debug_assert_eq!(q_row.len(), d);
+    debug_assert_eq!(k_prefix.len(), m * d);
+    debug_assert_eq!(v_prefix.len(), m * d);
+    debug_assert_eq!(k_last.len(), d);
+    debug_assert_eq!(v_last.len(), d);
+    debug_assert!(scores.len() >= n);
+    debug_assert_eq!(out_row.len(), d);
+    // Scores in ascending key order: the m prefix rows, then the new row
+    // — the same `j = 0..n` fold the contiguous last-row kernel runs.
+    for (j, s) in scores[..n].iter_mut().enumerate() {
+        let k_row = if j < m { &k_prefix[j * d..(j + 1) * d] } else { k_last };
+        let mut acc = 0.0f32;
+        for (&qv, &kv) in q_row.iter().zip(k_row) {
+            acc += qv * kv;
+        }
+        *s = scale * acc + 0.0;
+    }
+    let max = scores[..n].iter().fold(f32::NEG_INFINITY, |mx, &x| mx.max(x));
+    let mut sum = 0.0f32;
+    for s in scores[..n].iter_mut() {
+        let e = (*s - max).exp();
+        *s = e;
+        sum += e;
+    }
+    let inv = 1.0 / sum;
+    for s in scores[..n].iter_mut() {
+        *s *= inv;
+    }
+    out_row.fill(0.0);
+    for (j, &p) in scores[..n].iter().enumerate() {
+        let v_row = if j < m { &v_prefix[j * d..(j + 1) * d] } else { v_last };
+        for (ov, &vv) in out_row.iter_mut().zip(v_row) {
+            *ov += p * vv;
+        }
+    }
+}
+
+/// Rows `start..m` of [`causal_attention_into`] given full `(m, d)`
+/// key/value buffers — the session *prepare* kernel: when the first
+/// `start` rows of a window are shared with a cached donor state
+/// (left-padding slots, DESIGN.md §11), only the trailing real rows'
+/// attention outputs are needed; their keys/values still span all `m`
+/// rows, causally truncated per query row.
+///
+/// `q` and `out` hold only the `m - start` trailing rows (row `i` of the
+/// window at local offset `i - start`). Bit-compatibility: each row of
+/// the full kernel is an independent per-row computation; this runs the
+/// identical per-row sequence for exactly the rows it covers.
+#[allow(clippy::too_many_arguments)]
+pub fn causal_attention_resume_into(
+    q: &[f32],
+    k: &[f32],
+    v: &[f32],
+    m: usize,
+    d: usize,
+    start: usize,
+    scale: f32,
+    scores: &mut [f32],
+    out: &mut [f32],
+) {
+    #[cfg(target_arch = "x86_64")]
+    if crate::ops::matmul::avx2_available() {
+        // SAFETY: AVX2 support was just verified at runtime.
+        unsafe { return causal_attention_resume_into_avx2(q, k, v, m, d, start, scale, scores, out) };
+    }
+    causal_attention_resume_into_body(q, k, v, m, d, start, scale, scores, out)
+}
+
+/// [`causal_attention_resume_into`]'s body compiled with AVX2 codegen
+/// (same source, same bits — see `ops::matmul`'s module header).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn causal_attention_resume_into_avx2(
+    q: &[f32],
+    k: &[f32],
+    v: &[f32],
+    m: usize,
+    d: usize,
+    start: usize,
+    scale: f32,
+    scores: &mut [f32],
+    out: &mut [f32],
+) {
+    causal_attention_resume_into_body(q, k, v, m, d, start, scale, scores, out)
+}
+
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn causal_attention_resume_into_body(
+    q: &[f32],
+    k: &[f32],
+    v: &[f32],
+    m: usize,
+    d: usize,
+    start: usize,
+    scale: f32,
+    scores: &mut [f32],
+    out: &mut [f32],
+) {
+    debug_assert!(start <= m);
+    let rows = m - start;
+    debug_assert_eq!(q.len(), rows * d);
+    debug_assert_eq!(k.len(), m * d);
+    debug_assert_eq!(v.len(), m * d);
+    debug_assert!(scores.len() >= m);
+    debug_assert_eq!(out.len(), rows * d);
+    for local in 0..rows {
+        let i = start + local;
+        let q_row = &q[local * d..(local + 1) * d];
+        for (j, s) in scores[..=i].iter_mut().enumerate() {
+            let k_row = &k[j * d..(j + 1) * d];
+            let mut acc = 0.0f32;
+            for (&qv, &kv) in q_row.iter().zip(k_row) {
+                acc += qv * kv;
+            }
+            *s = scale * acc + 0.0;
+        }
+        let max = scores[..=i].iter().fold(f32::NEG_INFINITY, |mx, &x| mx.max(x));
+        let mut sum = 0.0f32;
+        for s in scores[..=i].iter_mut() {
+            let e = (*s - max).exp();
+            *s = e;
+            sum += e;
+        }
+        let inv = 1.0 / sum;
+        for s in scores[..=i].iter_mut() {
+            *s *= inv;
+        }
+        let o_row = &mut out[local * d..(local + 1) * d];
+        o_row.fill(0.0);
+        for (j, &p) in scores[..=i].iter().enumerate() {
+            let v_row = &v[j * d..(j + 1) * d];
+            for (ov, &vv) in o_row.iter_mut().zip(v_row) {
+                *ov += p * vv;
+            }
+        }
+    }
+}
+
 #[inline(always)]
 #[allow(clippy::too_many_arguments)]
 fn causal_attention_into_body(
@@ -266,6 +481,67 @@ mod tests {
             );
             for (c, (w, g)) in full[(n - 1) * d..].iter().zip(&row).enumerate() {
                 assert_eq!(w.to_bits(), g.to_bits(), "(n={n}, d={d}) col {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn append_kernel_matches_last_row_over_concatenated_kv() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for (m, d) in [(0, 4), (1, 4), (6, 10), (47, 96)] {
+            let n = m + 1;
+            let q_row = init::randn(&mut rng, &[1, d], 0.0, 1.0);
+            let k = init::randn(&mut rng, &[n, d], 0.0, 1.0);
+            let v = init::randn(&mut rng, &[n, d], 0.0, 1.0);
+            let scale = 1.0 / (d as f32).sqrt();
+            let mut scores = vec![0.0f32; n];
+            let mut want = vec![0.0f32; d];
+            causal_attention_last_row_into(q_row.data(), k.data(), v.data(), n, d, scale, &mut scores, &mut want);
+            let mut got = vec![0.0f32; d];
+            causal_attention_append_into(
+                q_row.data(),
+                &k.data()[..m * d],
+                &k.data()[m * d..],
+                &v.data()[..m * d],
+                &v.data()[m * d..],
+                m,
+                d,
+                scale,
+                &mut scores,
+                &mut got,
+            );
+            for (c, (w, g)) in want.iter().zip(&got).enumerate() {
+                assert_eq!(w.to_bits(), g.to_bits(), "(m={m}, d={d}) col {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn resume_kernel_matches_full_kernel_row_range() {
+        let mut rng = StdRng::seed_from_u64(23);
+        for (m, d, start) in [(1, 4, 0), (5, 8, 0), (9, 6, 4), (16, 12, 15), (16, 12, 16)] {
+            let q = init::randn(&mut rng, &[m, d], 0.0, 1.0);
+            let k = init::randn(&mut rng, &[m, d], 0.0, 1.0);
+            let v = init::randn(&mut rng, &[m, d], 0.0, 1.0);
+            let scale = 1.0 / (d as f32).sqrt();
+            let mut scores = vec![0.0f32; m];
+            let mut full = vec![0.0f32; m * d];
+            causal_attention_into(q.data(), k.data(), v.data(), m, d, scale, &mut scores, &mut full);
+            let rows = m - start;
+            let mut got = vec![0.0f32; rows * d];
+            causal_attention_resume_into(
+                &q.data()[start * d..],
+                k.data(),
+                v.data(),
+                m,
+                d,
+                start,
+                scale,
+                &mut scores,
+                &mut got,
+            );
+            for (idx, (w, g)) in full[start * d..].iter().zip(&got).enumerate() {
+                assert_eq!(w.to_bits(), g.to_bits(), "(m={m}, d={d}, start={start}) element {idx}");
             }
         }
     }

@@ -11,7 +11,10 @@ pub mod norm;
 pub mod reduce;
 pub mod softmax;
 
-pub use attention::{causal_attention_into, causal_attention_last_row_into};
+pub use attention::{
+    causal_attention_append_into, causal_attention_into, causal_attention_last_row_into,
+    causal_attention_resume_into,
+};
 pub use elementwise::{add, add_scaled_into, axpy, hadamard, scale, sub};
 pub use matmul::{matmul, matmul_at_b, matmul_a_bt, matmul_a_bt_into, matmul3};
 pub use norm::{layer_norm_rows, layer_norm_rows_into, LayerNormStats};

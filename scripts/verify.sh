@@ -55,6 +55,20 @@ cargo test -q --offline --test golden_logits
 VSAN_DISABLE_FAST_PATH=1 cargo test -q --offline -p vsan-core --test fast_path
 VSAN_DISABLE_FAST_PATH=1 cargo test -q --offline --test golden_logits
 
+# Session differential gate: the incremental append path (prepare +
+# one-row fold-in, DESIGN.md §11) must equal a full recompute for any
+# interleaving of append/cold/evict. The core differential suite, the
+# store/runtime proptests, and the engine-level session tests all run
+# twice — incremental path live, then pinned to full recompute
+# (VSAN_DISABLE_FAST_PATH=1) so the bypass wiring itself is exercised.
+echo "==> append-vs-recompute differential suite (VSAN_DISABLE_FAST_PATH unset + =1)"
+cargo test -q --offline -p vsan-core --test session_incremental
+cargo test -q --offline -p vsan-session
+cargo test -q --offline -p vsan-serve --test session
+VSAN_DISABLE_FAST_PATH=1 cargo test -q --offline -p vsan-core --test session_incremental
+VSAN_DISABLE_FAST_PATH=1 cargo test -q --offline -p vsan-session
+VSAN_DISABLE_FAST_PATH=1 cargo test -q --offline -p vsan-serve --test session
+
 # The inference benchmark report must attest bit-identity: infer_bench
 # refuses to write a report on any mismatch, so a stale or absent
 # attestation is a gate failure.
@@ -65,6 +79,20 @@ if [ ! -f results/BENCH_infer.json ]; then
 fi
 if ! grep -q '"bitwise_match": true' results/BENCH_infer.json; then
   echo "results/BENCH_infer.json lacks \"bitwise_match\": true" >&2
+  exit 1
+fi
+
+# The committed report must also attest the incremental-session claim:
+# a warm append is at least 5x cheaper per event than a full recompute
+# at history length >= 50 (ISSUE 6 acceptance gate).
+echo "==> results/BENCH_infer.json min_session_speedup >= 5 attestation"
+speedup="$(sed -n 's/.*"min_session_speedup": \([0-9.]*\).*/\1/p' results/BENCH_infer.json | head -n1)"
+if [ -z "${speedup}" ]; then
+  echo "results/BENCH_infer.json lacks \"min_session_speedup\" — regenerate with infer_bench" >&2
+  exit 1
+fi
+if ! awk -v s="${speedup}" 'BEGIN { exit !(s >= 5.0) }'; then
+  echo "min_session_speedup ${speedup} < 5.0 — incremental append no longer pays for itself" >&2
   exit 1
 fi
 

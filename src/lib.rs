@@ -20,6 +20,10 @@
 //!   top-k partial selection, user-sequence LRU cache, and the
 //!   fault-tolerance layer: deadlines, backpressure, panic isolation,
 //!   graceful degradation — README § Fault tolerance).
+//! * [`session`] — incremental session inference: the prefix-keyed
+//!   layer-state cache behind `Engine::append_event`, folding one event
+//!   per O(n·d²) append pass, bit-identical to a full recompute
+//!   (README § Incremental sessions, DESIGN.md §11).
 //! * [`obs`] — observability: span tracing, metrics registry, and the
 //!   JSONL training/serving telemetry (README § Observability).
 //!
@@ -33,11 +37,12 @@ pub use vsan_models as models;
 pub use vsan_nn as nn;
 pub use vsan_obs as obs;
 pub use vsan_serve as serve;
+pub use vsan_session as session;
 pub use vsan_tensor as tensor;
 
 /// Convenience prelude for examples and downstream users.
 pub mod prelude {
-    pub use vsan_core::{Vsan, VsanConfig};
+    pub use vsan_core::{SessionState, Vsan, VsanConfig, Workspace};
     pub use vsan_data::preprocess::Pipeline;
     pub use vsan_data::split::Split;
     pub use vsan_data::synthetic;
@@ -52,6 +57,7 @@ pub mod prelude {
         BackpressurePolicy, DegradeConfig, Engine, EngineConfig, MetricsSnapshot, Response,
         ResponseSource, ServeError, ServeStats, Ticket,
     };
+    pub use vsan_session::{SessionConfig, SessionOutcome, SessionRuntime};
 }
 
 #[cfg(test)]

@@ -156,12 +156,40 @@ fn eval_logits_match_the_golden_fixture_bit_for_bit() {
         }
     }
 
+    // The incremental streaming path must reproduce the fixture too:
+    // prepare a session over every prefix of each probe history and fold
+    // the final item in with one append pass — the append logits are the
+    // pinned logits, bit for bit (slot-aligned prefix determinism,
+    // DESIGN.md §11).
+    let mut ws = Workspace::new();
+    let mut state = SessionState::new();
+    for (i, (history, gold_row)) in golden.iter().enumerate() {
+        let Some((&last, prefix)) = history.split_last() else { continue };
+        model.prepare_session_into(prefix, None, &mut state, &mut ws).expect("prepare");
+        let streamed = model.append_session_logits(&state, last, &mut ws).expect("append");
+        assert_eq!(streamed.len(), gold_row.len());
+        for (j, (gold, got)) in gold_row.iter().zip(&streamed).enumerate() {
+            assert_eq!(
+                gold.to_bits(),
+                got.to_bits(),
+                "streamed logit [{i}][{j}] drifted from the fixture"
+            );
+        }
+    }
+
     // The fixture also pins the serving layer end to end: an engine over
-    // the same model must rank exactly as the pinned logits imply.
+    // the same model must rank exactly as the pinned logits imply — on
+    // the batch path and on the streaming `append_event` path alike.
     let engine = Engine::start(model, EngineConfig::default());
-    for (history, _) in &golden {
+    for (user, (history, _)) in golden.iter().enumerate() {
         let served = engine.recommend(history, 5).expect("fault-free serve");
         assert_eq!(served, engine.model().recommend(history, 5));
+        if let Some((&last, prefix)) = history.split_last() {
+            let streamed = engine
+                .append_event(user as u64, Some(prefix), last, 5)
+                .expect("fault-free append");
+            assert_eq!(streamed, engine.model().recommend(history, 5));
+        }
     }
     engine.shutdown();
 }
