@@ -1,0 +1,67 @@
+//! Clustered-retrieval benchmark (`results/BENCH_retrieval.json`).
+//!
+//! Measures the two-stage clustered MIPS index against the exact
+//! brute-force oracle on synthetic catalogs of 12 k, 100 k, and 10⁶
+//! items: end-to-end latency, recall@{1, 10, 50} against the oracle,
+//! and the full-probe bitwise check (`nprobe = num_clusters` must
+//! reproduce the oracle's ranking in order). Accepts `--iters N`
+//! (timed repetitions per path) and `--seed S`.
+
+use vsan_bench::retrieval_bench::{run_retrieval_bench, RetrievalBenchConfig};
+
+fn main() {
+    let mut cfg = RetrievalBenchConfig::default();
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--iters" if i + 1 < args.len() => {
+                cfg.iters = args[i + 1].parse().unwrap_or(cfg.iters);
+                i += 2;
+            }
+            "--seed" if i + 1 < args.len() => {
+                cfg.seed = args[i + 1].parse().unwrap_or(cfg.seed);
+                i += 2;
+            }
+            other => {
+                eprintln!("ignoring unknown argument {other:?}");
+                i += 1;
+            }
+        }
+    }
+
+    eprintln!("retrieval_bench: {} catalogs, {} iters", cfg.cases.len(), cfg.iters);
+    let report = run_retrieval_bench(&cfg);
+
+    for r in &report.results {
+        println!(
+            "catalog {:<6} N={:>8} d={}  clusters={:>5} nprobe={:>4}  build {:>6.2}s  \
+             exact {:>8.1} q/s  clustered {:>8.1} q/s  {:>6.2}x  \
+             recall@1/10/50 {:.3}/{:.3}/{:.3}  full_probe_bitwise={}",
+            r.name,
+            r.num_items,
+            r.dim,
+            r.num_clusters,
+            r.nprobe,
+            r.index_build_seconds,
+            r.exact_qps,
+            r.clustered_qps,
+            r.speedup,
+            r.recall_at_1,
+            r.recall_at_10,
+            r.recall_at_50,
+            r.full_probe_bitwise
+        );
+    }
+    println!(
+        "overall: full_probe_bitwise={}  min_recall_at_50={:.4}  min_clustered_speedup={:.2}x",
+        report.full_probe_bitwise, report.min_recall_at_50, report.min_clustered_speedup
+    );
+
+    if !report.full_probe_bitwise {
+        eprintln!("FATAL: full probe diverged from the exact oracle — not writing a report");
+        std::process::exit(1);
+    }
+    let path = report.write_json("BENCH_retrieval.json").expect("write report");
+    eprintln!("report written to {}", path.display());
+}

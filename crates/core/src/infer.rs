@@ -149,9 +149,30 @@ impl InferencePlan {
         fold_ins: &[&[u32]],
         ws: &mut Workspace,
     ) -> Result<Vec<Vec<f32>>, String> {
-        let b = fold_ins.len();
+        let b = self.execute_hidden(store, fold_ins, ws)?;
         if b == 0 {
             return Ok(Vec::new());
+        }
+        self.project_logits(store, b, ws);
+        Ok(ws.logits[..b * self.vocab].chunks(self.vocab).map(<[f32]>::to_vec).collect())
+    }
+
+    /// The forward up to (and including) each history's final hidden row:
+    /// embedding gather → inference blocks → μ → generative blocks,
+    /// leaving one `(d,)` row per history in `ws.last[..b·d]`. Returns
+    /// the batch size. This is the shared prefix of the dense projection
+    /// ([`Self::project_logits`]) and the clustered retrieval path, which
+    /// scores the same rows against a centroid index instead of the full
+    /// vocabulary.
+    pub(crate) fn execute_hidden(
+        &self,
+        store: &ParamStore,
+        fold_ins: &[&[u32]],
+        ws: &mut Workspace,
+    ) -> Result<usize, String> {
+        let b = fold_ins.len();
+        if b == 0 {
+            return Ok(0);
         }
         let (n, d) = (self.n, self.d);
         let rows = b * n;
@@ -222,14 +243,23 @@ impl InferencePlan {
             self.run_block_tail(store, block, b, ws);
         }
 
-        // Last-position rows → prediction logits (Eqs. 18–19). A trimmed
-        // terminal stage already left them in `ws.last`.
+        // Last-position rows (Eq. 18). A trimmed terminal stage already
+        // left them in `ws.last`.
         if !(trim_gene || trim_mu || trim_infer) {
             for s in 0..b {
                 let src = (s * n + n - 1) * d;
                 ws.last[s * d..(s + 1) * d].copy_from_slice(&ws.h[src..src + d]);
             }
         }
+        Ok(b)
+    }
+
+    /// Project the `b` hidden rows left in `ws.last` by
+    /// [`Self::execute_hidden`] to full-vocabulary logits (Eq. 19) in
+    /// `ws.logits[..b·vocab]`.
+    pub(crate) fn project_logits(&self, store: &ParamStore, b: usize, ws: &mut Workspace) {
+        let d = self.d;
+        let table = store.get(self.item_table).data();
         match self.prediction {
             Some((w, bias)) => {
                 ws.logits[..b * self.vocab].fill(0.0);
@@ -257,7 +287,6 @@ impl InferencePlan {
                 );
             }
         }
-        Ok(ws.logits[..b * self.vocab].chunks(self.vocab).map(<[f32]>::to_vec).collect())
     }
 
     /// `ws.q[..rows*out] = h · store[w] (+ bias)`, zero-filled first.
@@ -910,6 +939,12 @@ impl Workspace {
         grow(&mut self.last, b * d, 0.0);
         grow(&mut self.last_in, b * d, 0.0);
         grow(&mut self.logits, b * vocab, 0.0);
+    }
+
+    /// The `b` final hidden rows left by [`InferencePlan::execute_hidden`],
+    /// flat `(b, d)` — read by the clustered retrieval path.
+    pub(crate) fn last_rows(&self, b: usize, d: usize) -> &[f32] {
+        &self.last[..b * d]
     }
 }
 

@@ -52,13 +52,18 @@
 //!   [`vsan_eval::Scorer`] implementation.
 //! * [`uncertainty`] — posterior introspection: per-user `(μ, σ)` so the
 //!   Fig. 1 uncertainty story can be measured, not just told.
+//! * [`retrieval`] — clustered MIPS top-k over the prediction head with
+//!   the exact brute-force path kept as the always-available oracle
+//!   (`VSAN_DISABLE_ANN=1`).
 
 pub mod config;
 pub mod infer;
 pub mod model;
+pub mod retrieval;
 pub mod uncertainty;
 
 pub use config::VsanConfig;
 pub use infer::{fast_path_disabled, SessionState, Workspace};
 pub use model::Vsan;
+pub use retrieval::{ann_disabled, ClusteredConfig, ItemIndex, Retrieval};
 pub use uncertainty::PosteriorStats;

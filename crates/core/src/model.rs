@@ -2,6 +2,7 @@
 
 use crate::config::VsanConfig;
 use crate::infer::{self, InferencePlan, Workspace};
+use crate::retrieval::{self, ItemIndex, Retrieval};
 use vsan_data::sequence::{next_k_example, pad_left, SeqExampleK};
 use vsan_data::Dataset;
 use vsan_eval::Scorer;
@@ -31,6 +32,10 @@ pub struct Vsan {
     prediction: Linear,
     /// Pre-resolved graph-free eval schedule (see [`crate::infer`]).
     plan: InferencePlan,
+    /// How `recommend_batch` retrieves top-k (see [`crate::retrieval`]).
+    retrieval: Retrieval,
+    /// The clustered index, built by [`Self::rebuild_retrieval_index`].
+    index: Option<ItemIndex>,
     cfg: VsanConfig,
     vocab: usize,
     /// Mean training loss (CE + β·KL) per epoch.
@@ -199,6 +204,8 @@ impl Vsan {
             gene_blocks,
             prediction,
             plan,
+            retrieval: Retrieval::Exact,
+            index: None,
             cfg: cfg.clone(),
             vocab,
             train_losses: Vec::new(),
@@ -264,16 +271,147 @@ impl Vsan {
     /// (same kernels over the same rows, batched along the row axis);
     /// the batching amortizes graph construction and per-op dispatch and
     /// is the compute path of the `vsan-serve` micro-batcher.
+    ///
+    /// Dispatches per [`Self::set_retrieval`]: exact brute-force by
+    /// default, or the clustered index when one is built (and neither
+    /// `VSAN_DISABLE_ANN=1` nor `VSAN_DISABLE_FAST_PATH=1` pins the
+    /// process to the oracle). Legacy zero-fallback wrapper around
+    /// [`Self::try_recommend_batch`]: an internal error degrades to
+    /// ranking all-zero logits, exactly as `score_items_batch` + rank
+    /// always did — serving code uses the `try_` variant.
     pub fn recommend_batch(&self, histories: &[&[u32]], n: usize) -> Vec<Vec<u32>> {
         use std::collections::HashSet;
-        self.score_items_batch(histories)
+        self.try_recommend_batch(histories, n).unwrap_or_else(|_| {
+            let zeros = vec![0.0; self.vocab];
+            histories
+                .iter()
+                .map(|history| {
+                    let seen: HashSet<u32> = history.iter().copied().collect();
+                    vsan_eval::top_n_excluding(&zeros, n, &seen)
+                })
+                .collect()
+        })
+    }
+
+    /// Batched top-`n` recommendation, surfacing internal errors and
+    /// honouring the configured [`Retrieval`] mode.
+    pub fn try_recommend_batch(&self, histories: &[&[u32]], n: usize) -> Result<Vec<Vec<u32>>, String> {
+        if self.clustered_active() {
+            self.recommend_batch_clustered(histories, n)
+        } else {
+            self.recommend_batch_exact(histories, n)
+        }
+    }
+
+    /// The exact oracle unconditionally (no env gate, no index): full
+    /// logits, then heap top-k — the clustered path's counterpart for
+    /// differential tests that exercise both in one process.
+    pub fn recommend_batch_exact(&self, histories: &[&[u32]], n: usize) -> Result<Vec<Vec<u32>>, String> {
+        use std::collections::HashSet;
+        Ok(self
+            .try_score_items_batch(histories)?
             .into_iter()
             .zip(histories)
             .map(|(scores, history)| {
                 let seen: HashSet<u32> = history.iter().copied().collect();
                 vsan_eval::top_n_excluding(&scores, n, &seen)
             })
-            .collect()
+            .collect())
+    }
+
+    /// The clustered path unconditionally: hidden rows through the fast
+    /// path, then a two-stage index query per history (never the full
+    /// `(b, d) × (d, N)` projection). Errors if no index is built or on
+    /// the same out-of-vocabulary condition the exact path rejects.
+    pub fn recommend_batch_clustered(&self, histories: &[&[u32]], n: usize) -> Result<Vec<Vec<u32>>, String> {
+        use std::collections::HashSet;
+        let index = self.index.as_ref().ok_or("clustered retrieval index not built")?;
+        let d = self.cfg.base.dim;
+        let hidden = infer::with_thread_workspace(|ws| -> Result<Vec<f32>, String> {
+            let b = self.plan.execute_hidden(&self.store, histories, ws)?;
+            Ok(ws.last_rows(b, d).to_vec())
+        })?;
+        Ok(histories
+            .iter()
+            .enumerate()
+            .map(|(i, history)| {
+                let seen: HashSet<u32> = history.iter().copied().collect();
+                index.query(&hidden[i * d..(i + 1) * d], n, &seen)
+            })
+            .collect())
+    }
+
+    /// Configure how [`Self::recommend_batch`] retrieves top-k and
+    /// (re)build the clustered index if the mode needs one. Callers that
+    /// restore a checkpoint afterwards must call
+    /// [`Self::rebuild_retrieval_index`] — the index is derived data over
+    /// the prediction parameters, not part of the checkpoint.
+    pub fn set_retrieval(&mut self, retrieval: Retrieval) {
+        self.retrieval = retrieval;
+        self.rebuild_retrieval_index();
+    }
+
+    /// Rebuild the clustered index from the *current* parameter values
+    /// (a no-op in [`Retrieval::Exact`] mode). Deterministic: the same
+    /// parameters and config produce a bit-identical index.
+    pub fn rebuild_retrieval_index(&mut self) {
+        let d = self.cfg.base.dim;
+        self.index = match &self.retrieval {
+            Retrieval::Exact => None,
+            Retrieval::Clustered(cfg) => Some(if self.cfg.tie_prediction {
+                ItemIndex::from_tied(self.store.get(self.item_emb.table).data(), d, self.vocab, cfg)
+            } else {
+                let bias = self.prediction.b.expect("prediction layer is biased");
+                ItemIndex::from_untied(
+                    self.store.get(self.prediction.w).data(),
+                    self.store.get(bias).data(),
+                    d,
+                    self.vocab,
+                    cfg,
+                )
+            }),
+        };
+    }
+
+    /// The configured retrieval mode.
+    pub fn retrieval(&self) -> &Retrieval {
+        &self.retrieval
+    }
+
+    /// The built clustered index, if any.
+    pub fn retrieval_index(&self) -> Option<&ItemIndex> {
+        self.index.as_ref()
+    }
+
+    /// `true` when `recommend_batch` will route through the clustered
+    /// index: an index is built and neither oracle pin
+    /// (`VSAN_DISABLE_ANN=1`, `VSAN_DISABLE_FAST_PATH=1`) is set — the
+    /// clustered path needs the fast path's hidden rows, so pinning to
+    /// the graph path also pins retrieval to exact.
+    pub fn clustered_active(&self) -> bool {
+        self.index.is_some() && !retrieval::ann_disabled() && !infer::fast_path_disabled()
+    }
+
+    /// Final hidden rows (one `(d,)` row per history, flat) through the
+    /// fast path against a caller-owned workspace — what a serve worker
+    /// feeds per-request index queries with.
+    pub fn try_last_hidden_batch_with(
+        &self,
+        fold_ins: &[&[u32]],
+        ws: &mut Workspace,
+    ) -> Result<Vec<f32>, String> {
+        let b = self.plan.execute_hidden(&self.store, fold_ins, ws)?;
+        Ok(ws.last_rows(b, self.cfg.base.dim).to_vec())
+    }
+
+    /// Top-`k` via the clustered index for one precomputed hidden row
+    /// (from [`Self::try_last_hidden_batch_with`]), excluding `history`.
+    /// Errors if no index is built.
+    pub fn recommend_from_hidden(&self, hidden: &[f32], history: &[u32], k: usize) -> Result<Vec<u32>, String> {
+        use std::collections::HashSet;
+        let index = self.index.as_ref().ok_or("clustered retrieval index not built")?;
+        let seen: HashSet<u32> = history.iter().copied().collect();
+        Ok(index.query(hidden, k, &seen))
     }
 
     /// Batched [`vsan_eval::Scorer::score_items`]: last-position logits

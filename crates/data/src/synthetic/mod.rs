@@ -19,10 +19,12 @@
 //!
 //! Calibrated presets for the two datasets live in [`presets`].
 
+pub mod catalog;
 pub mod presets;
 pub mod session;
 
-pub use presets::{beauty, ml1m};
+pub use catalog::{generate_catalog, CatalogConfig, SyntheticCatalog};
+pub use presets::{beauty, million_item, ml1m};
 pub use session::{generate_stream, SessionEvent, SessionStream, SessionStreamConfig};
 
 use crate::interaction::{Interaction, RawDataset};

@@ -15,11 +15,32 @@
 //! hours per model — the `table2` experiment binary reports the achieved
 //! statistics at any scale.
 
+use super::catalog::CatalogConfig;
 use super::SyntheticConfig;
 
 /// Scale a count, keeping at least `min`.
 fn scaled(base: usize, scale: f64, min: usize) -> usize {
     ((base as f64 * scale).round() as usize).max(min)
+}
+
+/// Million-item retrieval catalog (embeddings-only; see
+/// [`super::catalog`]). At `scale = 1.0` this is the 10⁶-item universe
+/// the clustered-MIPS recall gate runs against; smaller scales keep the
+/// same geometry (topic count grows like √N, head-heavy Zipf traffic)
+/// so the differential suites stay cheap.
+pub fn million_item(scale: f64) -> CatalogConfig {
+    let num_items = scaled(1_000_000, scale, 1_000);
+    let num_topics = (((num_items as f64).sqrt() as usize) / 2).clamp(16, 2048);
+    CatalogConfig {
+        name: "million-item-sim".into(),
+        num_items,
+        dim: 64,
+        num_topics,
+        topic_scale: 1.0,
+        item_spread: 0.25,
+        zipf_exponent: 1.1,
+        seed: 0xCA7A_7061,
+    }
 }
 
 /// Amazon-Beauty-like preset: very sparse, short sequences, huge catalogue,

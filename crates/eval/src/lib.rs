@@ -25,5 +25,5 @@ pub use diversity::DiversityStats;
 pub use metrics::MetricSet;
 pub use protocol::{evaluate_held_out, evaluate_held_out_per_user, EvalConfig, Scorer};
 pub use significance::{paired_bootstrap, BootstrapResult};
-pub use ranking::top_n_excluding;
+pub use ranking::{top_n_excluding, top_n_excluding_pairs};
 pub use report::{MetricsReport, RunAggregate};

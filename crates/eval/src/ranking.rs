@@ -11,6 +11,27 @@ use std::collections::HashSet;
 /// `O(items · log n)` via a bounded min-heap, which matters when scoring a
 /// 12 k-item catalogue for 1 200 held-out users per epoch.
 pub fn top_n_excluding(scores: &[f32], n: usize, exclude: &HashSet<u32>) -> Vec<u32> {
+    top_n_excluding_pairs(
+        scores.iter().enumerate().map(|(item, &score)| (item as u32, score)),
+        n,
+        exclude,
+    )
+}
+
+/// [`top_n_excluding`] over explicit `(item, score)` pairs instead of a
+/// dense score slice — the entry point the clustered retrieval path uses
+/// (its candidates are the sparse survivors of the probed clusters).
+///
+/// Both paths share this one heap and comparator, so the selection is a
+/// pure function of the *set* of pairs fed in: insertion order never
+/// affects the result (the comparator `(score desc, item asc)` is a total
+/// order over the finite pairs, and the heap keeps the n best under it).
+/// That is the property that makes clustered top-k with
+/// `nprobe = num_clusters` bit-identical, in order, to the exact path.
+pub fn top_n_excluding_pairs<I>(pairs: I, n: usize, exclude: &HashSet<u32>) -> Vec<u32>
+where
+    I: IntoIterator<Item = (u32, f32)>,
+{
     use std::cmp::Ordering;
     use std::collections::BinaryHeap;
 
@@ -47,9 +68,8 @@ pub fn top_n_excluding(scores: &[f32], n: usize, exclude: &HashSet<u32>) -> Vec<
         return Vec::new();
     }
     let mut heap: BinaryHeap<Entry> = BinaryHeap::with_capacity(n + 1);
-    for (item, &score) in scores.iter().enumerate().skip(1) {
-        let item = item as u32;
-        if exclude.contains(&item) || !score.is_finite() {
+    for (item, score) in pairs {
+        if item == 0 || exclude.contains(&item) || !score.is_finite() {
             continue;
         }
         if heap.len() < n {
@@ -126,6 +146,46 @@ mod tests {
     #[test]
     fn zero_n_is_empty() {
         assert!(top_n_excluding(&[0.0, 1.0], 0, &no_exclusions()).is_empty());
+    }
+
+    #[test]
+    fn pairs_selection_is_insertion_order_independent() {
+        // Equal scores everywhere: the outcome must be a pure function of
+        // the pair *set*, whatever order the clusters fed them in.
+        let fwd: Vec<(u32, f32)> = (1..=20).map(|i| (i, 1.0)).collect();
+        let mut rev = fwd.clone();
+        rev.reverse();
+        let mut interleaved: Vec<(u32, f32)> = Vec::new();
+        for i in 0..10 {
+            interleaved.push(fwd[i]);
+            interleaved.push(fwd[19 - i]);
+        }
+        let expect: Vec<u32> = (1..=5).collect();
+        for order in [fwd, rev, interleaved] {
+            assert_eq!(top_n_excluding_pairs(order, 5, &no_exclusions()), expect);
+        }
+    }
+
+    #[test]
+    fn pairs_ties_break_to_lower_id_with_mixed_scores() {
+        let pairs = vec![(7u32, 2.0f32), (3, 5.0), (9, 5.0), (2, 5.0), (8, 2.0)];
+        let mut shuffled = pairs.clone();
+        shuffled.rotate_left(2);
+        assert_eq!(top_n_excluding_pairs(pairs, 4, &no_exclusions()), vec![2, 3, 9, 7]);
+        assert_eq!(top_n_excluding_pairs(shuffled, 4, &no_exclusions()), vec![2, 3, 9, 7]);
+    }
+
+    #[test]
+    fn pairs_matches_dense_path() {
+        let scores: Vec<f32> = (0..64).map(|i| ((i * 13 % 31) as f32).cos()).collect();
+        let exclude: HashSet<u32> = [4, 9].into_iter().collect();
+        let dense = top_n_excluding(&scores, 7, &exclude);
+        let sparse = top_n_excluding_pairs(
+            scores.iter().enumerate().map(|(i, &s)| (i as u32, s)),
+            7,
+            &exclude,
+        );
+        assert_eq!(dense, sparse);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
+use vsan_core::Retrieval;
 use vsan_obs::EventSink;
 
 use crate::degrade::DegradeConfig;
@@ -61,6 +62,13 @@ pub struct EngineConfig {
     /// Idle time after which a session is evicted; `None` disables TTL
     /// expiry (capacity pressure still evicts).
     pub session_ttl: Option<Duration>,
+    /// How batched recommendation retrieves top-k:
+    /// [`Retrieval::Exact`] brute-force (default), or
+    /// [`Retrieval::Clustered`] two-stage MIPS with exact re-rank. The
+    /// engine builds the index at startup, so a restart after a
+    /// checkpoint reload deterministically rebuilds it from the restored
+    /// parameters. `VSAN_DISABLE_ANN=1` pins the process back to exact.
+    pub retrieval: Retrieval,
 }
 
 impl Default for EngineConfig {
@@ -80,6 +88,7 @@ impl Default for EngineConfig {
             fault_sink: None,
             session_capacity: 1024,
             session_ttl: None,
+            retrieval: Retrieval::Exact,
         }
     }
 }
@@ -176,6 +185,12 @@ impl EngineConfig {
         self.session_ttl = Some(ttl);
         self
     }
+
+    /// Builder: set [`Self::retrieval`].
+    pub fn with_retrieval(mut self, retrieval: Retrieval) -> Self {
+        self.retrieval = retrieval;
+        self
+    }
 }
 
 impl std::fmt::Debug for EngineConfig {
@@ -195,6 +210,7 @@ impl std::fmt::Debug for EngineConfig {
             .field("fault_sink", &self.fault_sink.as_ref().map(|_| "Arc<dyn EventSink>"))
             .field("session_capacity", &self.session_capacity)
             .field("session_ttl", &self.session_ttl)
+            .field("retrieval", &self.retrieval)
             .finish()
     }
 }
@@ -217,6 +233,7 @@ mod tests {
         assert!(cfg.degrade.cache_fallback);
         assert!(cfg.session_capacity >= 1);
         assert!(cfg.session_ttl.is_none());
+        assert_eq!(cfg.retrieval, Retrieval::Exact);
     }
 
     #[test]
@@ -234,7 +251,8 @@ mod tests {
             .with_max_batch_retries(0)
             .with_popularity(vec![0.0, 3.0, 1.0])
             .with_session_capacity(0)
-            .with_session_ttl(Duration::from_secs(60));
+            .with_session_ttl(Duration::from_secs(60))
+            .with_retrieval(Retrieval::Clustered(vsan_core::ClusteredConfig::default()));
         assert_eq!(cfg.max_batch, 1);
         assert_eq!(cfg.workers, 1);
         assert_eq!(cfg.batch_deadline, Duration::from_micros(500));
@@ -248,5 +266,6 @@ mod tests {
         assert!(cfg.degrade.popularity.is_some());
         assert_eq!(cfg.session_capacity, 0);
         assert_eq!(cfg.session_ttl, Some(Duration::from_secs(60)));
+        assert!(matches!(cfg.retrieval, Retrieval::Clustered(_)));
     }
 }

@@ -387,7 +387,14 @@ pub struct Engine {
 impl Engine {
     /// Spawn the batcher, the worker pool, and the pool supervisor
     /// around a trained model.
-    pub fn start(model: Vsan, cfg: EngineConfig) -> Self {
+    ///
+    /// [`EngineConfig::retrieval`] is applied here, before any worker
+    /// can score: a clustered index is built deterministically from the
+    /// model's *current* parameters, so starting an engine on a
+    /// checkpoint-restored model always serves the restored weights —
+    /// rebuilding after a reload is this call, not a separate step.
+    pub fn start(mut model: Vsan, cfg: EngineConfig) -> Self {
+        model.set_retrieval(cfg.retrieval.clone());
         let (max_batch, workers) = (cfg.max_batch.max(1), cfg.workers.max(1));
         let session_cfg =
             SessionConfig::new().with_capacity(cfg.session_capacity).with_ttl(cfg.session_ttl);
@@ -1089,6 +1096,56 @@ fn process_batch(inner: &Inner, slots: &mut [Option<Request>], ws: &mut vsan_cor
     }
 
     let refs: Vec<&[u32]> = windows.iter().map(Vec::as_slice).collect();
+
+    if inner.model.clustered_active() {
+        // Clustered retrieval: one hidden row per distinct window, then a
+        // two-stage index query per request. Survivors re-rank with the
+        // exact scores and the exact comparator, so `ResponseSource`
+        // stays `Batch`. No full logits rows exist here, so nothing is
+        // inserted into the sequence cache (hits still serve — session
+        // warming inserts exact rows, which rank at least as well).
+        let d = inner.model.config().base.dim;
+        let hidden = match inner.model.try_last_hidden_batch_with(&refs, ws) {
+            Ok(hidden) => hidden,
+            Err(err) => {
+                inner.metrics.model_errors.inc();
+                inner.fault(FaultKind::ModelError, &err);
+                for slot in slots.iter_mut() {
+                    let Some(req) = slot.take() else { continue };
+                    inner.finish_degraded(req, "model_error");
+                }
+                return;
+            }
+        };
+        let mut row_of = which.into_iter();
+        for slot in slots.iter_mut() {
+            let Some(req) = slot.take() else { continue };
+            let idx = row_of.next().expect("one row index per live slot");
+            if req.deadline.is_some_and(|dl| Instant::now() >= dl) {
+                inner.metrics.deadline_miss_completion.inc();
+                inner.fault(FaultKind::DeadlineMiss, "completion");
+                inner.finish(req.enqueued, &req.reply, Err(ServeError::DeadlineExceeded));
+                continue;
+            }
+            match inner.model.recommend_from_hidden(&hidden[idx * d..(idx + 1) * d], &req.history, req.k) {
+                Ok(recs) => {
+                    inner.metrics.compute_us.record(as_us(picked_up.elapsed()));
+                    inner.finish(
+                        req.enqueued,
+                        &req.reply,
+                        Ok(Response::new(recs, ResponseSource::Batch)),
+                    );
+                }
+                Err(err) => {
+                    inner.metrics.model_errors.inc();
+                    inner.fault(FaultKind::ModelError, &err);
+                    inner.finish_degraded(req, "model_error");
+                }
+            }
+        }
+        return;
+    }
+
     let rows: Vec<Arc<Vec<f32>>> = match inner.model.try_score_items_batch_with(&refs, ws) {
         Ok(rows) => rows.into_iter().map(Arc::new).collect(),
         Err(err) => {

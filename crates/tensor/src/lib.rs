@@ -20,6 +20,8 @@
 //! * [`ops`] — elementwise kernels, matrix multiplication (serial and
 //!   parallel), reductions, row softmax, and layer-norm statistics.
 //! * [`serialize`] — compact binary encode/decode via [`bytes`].
+//! * [`cluster`] — deterministic seeded k-means for the clustered
+//!   retrieval index (DESIGN.md §12).
 //!
 //! ## Example
 //!
@@ -32,6 +34,7 @@
 //! assert_eq!(c.data(), a.data());
 //! ```
 
+pub mod cluster;
 pub mod init;
 pub mod ops;
 pub mod parallel;

@@ -37,6 +37,23 @@ for seed in 1 7 99991; do
   fi
 done
 
+# The differential gates below only gate what actually runs: an
+# `ignored` test in the core or tensor suites would silently hollow
+# them out, so those crates must run whole too.
+echo "==> no-ignored-tests check (vsan-core, vsan-tensor)"
+for crate in vsan-core vsan-tensor; do
+  out="$(cargo test -q --offline -p "${crate}" 2>&1)" || {
+    echo "${out}"
+    echo "${crate} test run failed" >&2
+    exit 1
+  }
+  if echo "${out}" | grep -E "^test result:" | grep -vq " 0 ignored"; then
+    echo "${out}"
+    echo "${crate} has ignored tests; the differential gates must run whole" >&2
+    exit 1
+  fi
+done
+
 # Threads-matrix smoke: re-run the data-parallel equivalence suite under
 # an explicit serial + even + beyond-batch-size matrix so CI exercises
 # both the inline path (threads=1) and genuinely pooled paths even if the
@@ -93,6 +110,52 @@ if [ -z "${speedup}" ]; then
 fi
 if ! awk -v s="${speedup}" 'BEGIN { exit !(s >= 5.0) }'; then
   echo "min_session_speedup ${speedup} < 5.0 — incremental append no longer pays for itself" >&2
+  exit 1
+fi
+
+# Retrieval differential gate: the clustered MIPS index must equal the
+# exact oracle bit for bit at full probe, keep recall monotone in
+# nprobe, and reject the same errors. The core proptest suite and the
+# engine-level retrieval tests run twice — clustered path live
+# (default) and pinned to the exact oracle (VSAN_DISABLE_ANN=1) — so
+# both process-level routings of recommend_batch are exercised.
+echo "==> retrieval differential suite (VSAN_DISABLE_ANN unset + =1)"
+cargo test -q --offline -p vsan-core --test retrieval
+cargo test -q --offline -p vsan-serve --test retrieval
+VSAN_DISABLE_ANN=1 cargo test -q --offline -p vsan-core --test retrieval
+VSAN_DISABLE_ANN=1 cargo test -q --offline -p vsan-serve --test retrieval
+
+# The committed retrieval report must attest the recall gate — every
+# catalog size holds recall@50 >= 0.95 against the exact oracle — and
+# the million-item speedup claim (clustered >= 5x brute force).
+echo "==> results/BENCH_retrieval.json recall_at_50 >= 0.95 + speedup attestations"
+if [ ! -f results/BENCH_retrieval.json ]; then
+  echo "results/BENCH_retrieval.json missing — run: cargo run --release -p vsan-bench --bin retrieval_bench" >&2
+  exit 1
+fi
+if ! grep -q '"full_probe_bitwise": true' results/BENCH_retrieval.json; then
+  echo "results/BENCH_retrieval.json lacks \"full_probe_bitwise\": true" >&2
+  exit 1
+fi
+if ! awk '
+  /"recall_at_50"/ {
+    for (i = 1; i <= NF; i++) if ($i ~ /"recall_at_50":/) {
+      v = $(i + 1); gsub(/[,}]/, "", v); n++
+      if (v + 0 < 0.95) bad = 1
+    }
+  }
+  END { exit (n == 0 || bad) }
+' results/BENCH_retrieval.json; then
+  echo "a \"recall_at_50\" in results/BENCH_retrieval.json is missing or < 0.95" >&2
+  exit 1
+fi
+speedup="$(sed -n 's/.*"min_clustered_speedup": \([0-9.]*\).*/\1/p' results/BENCH_retrieval.json | head -n1)"
+if [ -z "${speedup}" ]; then
+  echo "results/BENCH_retrieval.json lacks \"min_clustered_speedup\" — regenerate with retrieval_bench" >&2
+  exit 1
+fi
+if ! awk -v s="${speedup}" 'BEGIN { exit !(s >= 5.0) }'; then
+  echo "min_clustered_speedup ${speedup} < 5.0 — the index no longer pays for itself at 1M items" >&2
   exit 1
 fi
 

@@ -42,7 +42,7 @@ pub use vsan_tensor as tensor;
 
 /// Convenience prelude for examples and downstream users.
 pub mod prelude {
-    pub use vsan_core::{SessionState, Vsan, VsanConfig, Workspace};
+    pub use vsan_core::{ClusteredConfig, Retrieval, SessionState, Vsan, VsanConfig, Workspace};
     pub use vsan_data::preprocess::Pipeline;
     pub use vsan_data::split::Split;
     pub use vsan_data::synthetic;
