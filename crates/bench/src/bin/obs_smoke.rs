@@ -6,9 +6,15 @@
 //! streams under `results/`, then re-reads and validates them: every
 //! line must parse as JSON, the training stream must open with a
 //! run-header and carry per-epoch CE/KL/β records, and the serving
-//! stream must carry the engine metrics registry and span records.
-//! Exits non-zero on any violation.
+//! stream must carry the engine metrics registry, span records, and a
+//! flight-recorder dump whose trace graph is sound (every span's trace
+//! id resolves to an admission root through acyclic parent links). The
+//! engine's registry is also scraped once over a live Prometheus
+//! text-exposition endpoint and the body must parse. Exits non-zero on
+//! any violation.
 
+use std::collections::HashMap;
+use std::io::{Read, Write};
 use std::sync::Arc;
 
 use rand::rngs::StdRng;
@@ -16,7 +22,10 @@ use rand::{Rng, SeedableRng};
 use vsan_bench::serve_bench::results_dir;
 use vsan_core::{Vsan, VsanConfig};
 use vsan_data::Dataset;
-use vsan_obs::{parse, EventSink, FileSink, JsonlTrainObserver, ObserverHandle, Tracer};
+use vsan_obs::{
+    expo, parse, EventSink, ExpositionServer, FileSink, JsonlTrainObserver, JsonValue,
+    ObserverHandle, Tracer,
+};
 use vsan_serve::{Engine, EngineConfig};
 
 fn fail(msg: &str) -> ! {
@@ -44,6 +53,57 @@ fn validate_jsonl(path: &std::path::Path) -> Vec<String> {
         fail(&format!("{}: zero telemetry events", path.display()));
     }
     types
+}
+
+/// Validate the trace graph carried by a stream's `flight_record`
+/// lines: parent links must be acyclic, never dangle, stay within one
+/// trace, and every span must resolve to an `admission` root.
+fn validate_trace_graph(path: &std::path::Path) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(&format!("cannot re-read {}: {e}", path.display())));
+    // span_id -> (trace_id, parent_span_id, stage)
+    let mut spans: HashMap<String, (String, String, String)> = HashMap::new();
+    for line in text.lines() {
+        let v = parse(line).unwrap_or_else(|e| fail(&format!("flight record re-parse: {e}")));
+        if v.get("type").and_then(JsonValue::as_str) != Some("flight_record") {
+            continue;
+        }
+        let field = |k: &str| {
+            v.get(k)
+                .and_then(JsonValue::as_str)
+                .unwrap_or_else(|| fail(&format!("flight_record missing {k}: {line}")))
+                .to_string()
+        };
+        spans.insert(field("span_id"), (field("trace_id"), field("parent_span_id"), field("stage")));
+    }
+    if spans.is_empty() {
+        fail("serving stream has no flight_record lines");
+    }
+    const NO_PARENT: &str = "0000000000000000";
+    for (span_id, (trace_id, _, _)) in &spans {
+        let mut cur = span_id;
+        let mut hops = 0;
+        loop {
+            let (trace, parent, stage) = spans
+                .get(cur)
+                .unwrap_or_else(|| fail(&format!("span {span_id}: dangling parent {cur}")));
+            if trace != trace_id {
+                fail(&format!("span {span_id}: parent chain crosses into trace {trace}"));
+            }
+            if parent == NO_PARENT {
+                if stage != "admission" {
+                    fail(&format!("span {span_id}: root stage is {stage}, not admission"));
+                }
+                break;
+            }
+            cur = parent;
+            hops += 1;
+            if hops > 32 {
+                fail(&format!("span {span_id}: parent chain exceeds 32 hops (cycle?)"));
+            }
+        }
+    }
+    eprintln!("obs_smoke: trace graph OK ({} spans, all rooted at admission)", spans.len());
 }
 
 fn main() {
@@ -97,6 +157,43 @@ fn main() {
             }
         }
         engine.export_metrics(&serve_sink);
+        if engine.dump_flight_recorder(&serve_sink) == 0 {
+            fail("flight recorder dumped zero spans after a served stream");
+        }
+
+        // Live scrape: bind an ephemeral exposition endpoint on the
+        // engine's registry, GET /metrics over TCP, and require the
+        // body to parse as Prometheus text exposition.
+        let registry = engine.metrics_registry();
+        let server = ExpositionServer::bind(Arc::clone(&registry), "127.0.0.1:0")
+            .unwrap_or_else(|e| fail(&format!("exposition bind: {e}")));
+        let scrape = {
+            let mut conn = std::net::TcpStream::connect(server.local_addr())
+                .unwrap_or_else(|e| fail(&format!("exposition connect: {e}")));
+            conn.write_all(b"GET /metrics HTTP/1.1\r\nHost: localhost\r\n\r\n")
+                .unwrap_or_else(|e| fail(&format!("exposition request: {e}")));
+            let _ = conn.shutdown(std::net::Shutdown::Write);
+            let mut response = String::new();
+            conn.read_to_string(&mut response)
+                .unwrap_or_else(|e| fail(&format!("exposition read: {e}")));
+            if !response.starts_with("HTTP/1.1 200") {
+                fail(&format!("exposition scrape status: {}", response.lines().next().unwrap_or("")));
+            }
+            let body = response
+                .split_once("\r\n\r\n")
+                .unwrap_or_else(|| fail("exposition response has no body"))
+                .1
+                .to_string();
+            expo::parse(&body)
+                .unwrap_or_else(|e| fail(&format!("exposition body does not parse: {e}")))
+        };
+        if scrape.value("serve_requests").is_none() {
+            fail("scrape is missing serve_requests");
+        }
+        server.shutdown();
+        expo::write_to_file(&registry, &results.join("obs_smoke_metrics.prom"))
+            .unwrap_or_else(|e| fail(&format!("write .prom: {e}")));
+
         let stats = engine.shutdown_stats();
         if stats.latency_us.count == 0 {
             fail("engine recorded no latency samples");
@@ -130,6 +227,10 @@ fn main() {
     if !serve_types.iter().any(|t| t == "span") {
         fail("serving stream has no span records");
     }
+    if !serve_types.iter().any(|t| t == "flight_dump") {
+        fail("serving stream has no flight_dump record");
+    }
+    validate_trace_graph(&serve_path);
 
     eprintln!(
         "obs_smoke: OK ({} train events, {} epochs; {} serve events) -> {}, {}",

@@ -65,5 +65,5 @@ pub mod uncertainty;
 pub use config::VsanConfig;
 pub use infer::{fast_path_disabled, SessionState, Workspace};
 pub use model::Vsan;
-pub use retrieval::{ann_disabled, ClusteredConfig, ItemIndex, Retrieval};
+pub use retrieval::{ann_disabled, ClusteredConfig, ItemIndex, QueryStats, Retrieval};
 pub use uncertainty::PosteriorStats;

@@ -408,10 +408,22 @@ impl Vsan {
     /// (from [`Self::try_last_hidden_batch_with`]), excluding `history`.
     /// Errors if no index is built.
     pub fn recommend_from_hidden(&self, hidden: &[f32], history: &[u32], k: usize) -> Result<Vec<u32>, String> {
+        self.recommend_from_hidden_stats(hidden, history, k).map(|(ids, _)| ids)
+    }
+
+    /// [`Self::recommend_from_hidden`] plus the per-query probe
+    /// telemetry ([`retrieval::QueryStats`]) the serving layer records.
+    /// Returned ids are bit-identical to the stats-free variant.
+    pub fn recommend_from_hidden_stats(
+        &self,
+        hidden: &[f32],
+        history: &[u32],
+        k: usize,
+    ) -> Result<(Vec<u32>, retrieval::QueryStats), String> {
         use std::collections::HashSet;
         let index = self.index.as_ref().ok_or("clustered retrieval index not built")?;
         let seen: HashSet<u32> = history.iter().copied().collect();
-        Ok(index.query(hidden, k, &seen))
+        Ok(index.query_with_probe_stats(hidden, k, &seen, index.nprobe()))
     }
 
     /// Batched [`vsan_eval::Scorer::score_items`]: last-position logits

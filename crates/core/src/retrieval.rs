@@ -239,10 +239,25 @@ impl ItemIndex {
         exclude: &HashSet<u32>,
         nprobe: usize,
     ) -> Vec<u32> {
+        self.query_with_probe_stats(hidden, k, exclude, nprobe).0
+    }
+
+    /// [`Self::query_with_probe`] plus per-query [`QueryStats`] — the
+    /// probe telemetry the serving layer records. The stats are derived
+    /// from values the query computes anyway (loop trip count, candidate
+    /// length) and never influence the result, so the ranked ids are
+    /// bit-identical to the stats-free entry points.
+    pub fn query_with_probe_stats(
+        &self,
+        hidden: &[f32],
+        k: usize,
+        exclude: &HashSet<u32>,
+        nprobe: usize,
+    ) -> (Vec<u32>, QueryStats) {
         let d = self.dim - usize::from(self.augmented);
         assert_eq!(hidden.len(), d, "query width must match the model dim");
         if k == 0 {
-            return Vec::new();
+            return (Vec::new(), QueryStats::default());
         }
         let mut q = Vec::with_capacity(self.dim);
         q.extend_from_slice(hidden);
@@ -268,10 +283,12 @@ impl ItemIndex {
         let need = k.saturating_add(exclude.len());
         let mut pairs: Vec<(u32, f32)> = Vec::new();
         let mut scores: Vec<f32> = Vec::new();
+        let mut probed = 0usize;
         for (visited, &c) in order.iter().enumerate() {
             if visited >= nprobe && pairs.len() >= need {
                 break;
             }
+            probed += 1;
             let (lo, hi) = (self.offsets[c], self.offsets[c + 1]);
             let cnt = hi - lo;
             if cnt == 0 {
@@ -288,8 +305,24 @@ impl ItemIndex {
             );
             pairs.extend(self.ids[lo..hi].iter().zip(&scores[..cnt]).map(|(&id, &s)| (id, s)));
         }
-        vsan_eval::top_n_excluding_pairs(pairs, k, exclude)
+        let stats = QueryStats { probed_clusters: probed, survivors: pairs.len() };
+        (vsan_eval::top_n_excluding_pairs(pairs, k, exclude), stats)
     }
+}
+
+/// Per-query probe telemetry from the clustered index: how wide the
+/// coarse stage went and how many candidates survived into the exact
+/// re-rank. Pure observation — derived from the query's own loop
+/// bookkeeping, never fed back into retrieval decisions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Clusters whose members were considered (includes empty clusters
+    /// the probe loop visited; ≥ `nprobe` only when the candidate floor
+    /// forced extra probes).
+    pub probed_clusters: usize,
+    /// Candidate pairs that entered the exact re-rank heap (before
+    /// top-k selection and exclusion filtering).
+    pub survivors: usize,
 }
 
 #[cfg(test)]

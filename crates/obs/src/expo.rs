@@ -1,0 +1,469 @@
+//! Prometheus text-format exposition of a [`Registry`], zero-dep.
+//!
+//! [`render`] turns the full registry into the Prometheus text format
+//! (version 0.0.4): counters and gauges as single samples, log-linear
+//! histograms as cumulative `_bucket{le="…"}` series using the exact
+//! [`bucket_bounds`] upper edges, plus `_sum` and `_count`. Output is
+//! sorted by metric name and contains no timestamps, so two renders of
+//! the same registry state are byte-identical — repeated exports diff
+//! cleanly (same rule as `Registry::snapshot_json`).
+//!
+//! [`ExpositionServer`] serves the render over a plain
+//! `std::net::TcpListener` (`GET /metrics`), and [`write_to_file`]
+//! drops the same bytes on disk for offline diffing. [`parse`] is the
+//! round-trip validator used by the test suites and the CI smoke gate:
+//! every line a scrape returns must parse back.
+
+use std::collections::BTreeMap;
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::metrics::{bucket_bounds, HistogramSnapshot, Registry};
+
+/// Rewrite a registry name into a valid Prometheus metric name:
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`. Dots (the registry's namespace
+/// separator) and any other invalid byte become `_`; a leading digit
+/// gets a `_` prefix.
+pub fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+            out.push(c);
+        } else if ok {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+fn render_histogram(out: &mut String, name: &str, snap: &HistogramSnapshot) {
+    out.push_str(&format!("# TYPE {name} histogram\n"));
+    let mut cum = 0u64;
+    for (idx, &c) in snap.buckets.iter().enumerate() {
+        if c == 0 {
+            continue; // `le` edges need not be exhaustive; cumulative counts stay exact
+        }
+        cum += c;
+        let (_, hi) = bucket_bounds(idx);
+        if hi == u64::MAX {
+            continue; // the top bucket is the +Inf series below
+        }
+        out.push_str(&format!("{name}_bucket{{le=\"{hi}\"}} {cum}\n"));
+    }
+    out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", snap.count));
+    out.push_str(&format!("{name}_sum {}\n", snap.sum));
+    out.push_str(&format!("{name}_count {}\n", snap.count));
+}
+
+/// Render the full registry in Prometheus text format, sorted by name.
+pub fn render(registry: &Registry) -> String {
+    let mut out = String::new();
+    for (name, value) in registry.counters() {
+        let name = sanitize_name(&name);
+        out.push_str(&format!("# TYPE {name} counter\n{name} {value}\n"));
+    }
+    for (name, value) in registry.gauges() {
+        let name = sanitize_name(&name);
+        out.push_str(&format!("# TYPE {name} gauge\n{name} {value}\n"));
+    }
+    for (name, snap) in registry.histograms() {
+        render_histogram(&mut out, &sanitize_name(&name), &snap);
+    }
+    out
+}
+
+/// Write the exposition to a file (for offline diffing of repeated
+/// scrapes; the bytes are identical to what the endpoint serves).
+pub fn write_to_file(registry: &Registry, path: &std::path::Path) -> std::io::Result<()> {
+    std::fs::write(path, render(registry))
+}
+
+/// One parsed sample line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Metric name as scraped (already sanitized by the renderer).
+    pub name: String,
+    /// Label pairs in source order (`le` for bucket series).
+    pub labels: Vec<(String, String)>,
+    /// Sample value.
+    pub value: f64,
+}
+
+/// A parsed scrape: declared types plus every sample, in source order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Scrape {
+    /// `# TYPE` declarations: metric name → type string.
+    pub types: BTreeMap<String, String>,
+    /// All samples.
+    pub samples: Vec<Sample>,
+}
+
+impl Scrape {
+    /// The value of the single unlabeled sample with this name.
+    pub fn value(&self, name: &str) -> Option<f64> {
+        self.samples
+            .iter()
+            .find(|s| s.name == name && s.labels.is_empty())
+            .map(|s| s.value)
+    }
+
+    /// Cumulative bucket series `(le, count)` for `<name>_bucket`.
+    pub fn buckets(&self, name: &str) -> Vec<(String, f64)> {
+        let series = format!("{name}_bucket");
+        self.samples
+            .iter()
+            .filter(|s| s.name == series)
+            .filter_map(|s| {
+                s.labels
+                    .iter()
+                    .find(|(k, _)| k == "le")
+                    .map(|(_, le)| (le.clone(), s.value))
+            })
+            .collect()
+    }
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.chars().enumerate().all(|(i, c)| {
+            c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit())
+        })
+}
+
+fn parse_labels(body: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut rest = body.trim();
+    while !rest.is_empty() {
+        let eq = rest.find('=').ok_or_else(|| format!("label without '=': {rest:?}"))?;
+        let key = rest[..eq].trim().to_string();
+        if !valid_metric_name(&key) {
+            return Err(format!("invalid label name {key:?}"));
+        }
+        rest = rest[eq + 1..].trim_start();
+        if !rest.starts_with('"') {
+            return Err(format!("unquoted label value near {rest:?}"));
+        }
+        let mut value = String::new();
+        let mut chars = rest[1..].char_indices();
+        let mut end = None;
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '\\' => match chars.next() {
+                    Some((_, 'n')) => value.push('\n'),
+                    Some((_, '"')) => value.push('"'),
+                    Some((_, '\\')) => value.push('\\'),
+                    other => return Err(format!("bad escape {other:?} in label value")),
+                },
+                '"' => {
+                    end = Some(i + 1 + 1); // past the quote, offset by the skipped opening quote
+                    break;
+                }
+                c => value.push(c),
+            }
+        }
+        let end = end.ok_or("unterminated label value")?;
+        labels.push((key, value));
+        rest = rest[end..].trim_start();
+        if let Some(stripped) = rest.strip_prefix(',') {
+            rest = stripped.trim_start();
+        } else if !rest.is_empty() {
+            return Err(format!("expected ',' between labels, found {rest:?}"));
+        }
+    }
+    Ok(labels)
+}
+
+fn parse_value(text: &str) -> Result<f64, String> {
+    match text {
+        "+Inf" | "Inf" => Ok(f64::INFINITY),
+        "-Inf" => Ok(f64::NEG_INFINITY),
+        "NaN" => Ok(f64::NAN),
+        t => t.parse::<f64>().map_err(|_| format!("invalid sample value {t:?}")),
+    }
+}
+
+/// Parse a Prometheus text-format document. Every line must be empty,
+/// a `# TYPE`/`# HELP` comment, or a well-formed sample — anything
+/// else is an error naming the offending line (the smoke gate fails a
+/// scrape on the first unparseable line).
+pub fn parse(text: &str) -> Result<Scrape, String> {
+    let mut scrape = Scrape::default();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let comment = comment.trim_start();
+            if let Some(decl) = comment.strip_prefix("TYPE ") {
+                let mut parts = decl.split_whitespace();
+                let name = parts.next().ok_or(format!("line {}: TYPE without name", lineno + 1))?;
+                let kind = parts.next().ok_or(format!("line {}: TYPE without kind", lineno + 1))?;
+                if !valid_metric_name(name) {
+                    return Err(format!("line {}: invalid metric name {name:?}", lineno + 1));
+                }
+                if !matches!(kind, "counter" | "gauge" | "histogram" | "summary" | "untyped") {
+                    return Err(format!("line {}: unknown metric type {kind:?}", lineno + 1));
+                }
+                scrape.types.insert(name.to_string(), kind.to_string());
+            }
+            // `# HELP` and free comments are legal and carry no samples.
+            continue;
+        }
+        // Sample: name[{labels}] value [timestamp]
+        let (name_part, rest) = match line.find(['{', ' ']) {
+            Some(i) => (&line[..i], &line[i..]),
+            None => return Err(format!("line {}: no value on sample line {line:?}", lineno + 1)),
+        };
+        if !valid_metric_name(name_part) {
+            return Err(format!("line {}: invalid metric name {name_part:?}", lineno + 1));
+        }
+        let (labels, value_part) = if let Some(stripped) = rest.strip_prefix('{') {
+            let close = stripped
+                .find('}')
+                .ok_or(format!("line {}: unterminated label set", lineno + 1))?;
+            let labels = parse_labels(&stripped[..close])
+                .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            (labels, stripped[close + 1..].trim())
+        } else {
+            (Vec::new(), rest.trim())
+        };
+        let mut fields = value_part.split_whitespace();
+        let value_text =
+            fields.next().ok_or(format!("line {}: missing sample value", lineno + 1))?;
+        let value = parse_value(value_text).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        if let Some(ts) = fields.next() {
+            // Optional millisecond timestamp; must at least be numeric.
+            ts.parse::<i64>()
+                .map_err(|_| format!("line {}: invalid timestamp {ts:?}", lineno + 1))?;
+        }
+        if fields.next().is_some() {
+            return Err(format!("line {}: trailing fields on sample line", lineno + 1));
+        }
+        scrape.samples.push(Sample { name: name_part.to_string(), labels, value });
+    }
+    Ok(scrape)
+}
+
+/// A minimal scrape endpoint over `std::net::TcpListener`.
+///
+/// One background thread accepts connections serially (a scrape is a
+/// single small response; Prometheus polls on the order of seconds) and
+/// answers `GET /metrics` with a fresh render of the registry. Any
+/// other path gets a 404. Dropping the server shuts the thread down.
+pub struct ExpositionServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl ExpositionServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// start serving `registry`.
+    pub fn bind(registry: Arc<Registry>, addr: &str) -> std::io::Result<ExpositionServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("vsan-expo".into())
+            .spawn(move || serve_loop(listener, registry, thread_stop))
+            .expect("spawn exposition thread");
+        Ok(ExpositionServer { addr: local, stop, handle: Some(handle) })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop the accept loop and join the thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            self.stop.store(true, Ordering::SeqCst);
+            // Wake the blocking accept with a throwaway connection.
+            let _ = TcpStream::connect(self.addr);
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ExpositionServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+impl std::fmt::Debug for ExpositionServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExpositionServer").field("addr", &self.addr).finish()
+    }
+}
+
+fn serve_loop(listener: TcpListener, registry: Arc<Registry>, stop: Arc<AtomicBool>) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(mut stream) = stream else { continue };
+        let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(2)));
+        // Read the request head (first line is all we route on).
+        let mut buf = [0u8; 1024];
+        let mut head = Vec::new();
+        loop {
+            match stream.read(&mut buf) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => {
+                    head.extend_from_slice(&buf[..n]);
+                    if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() > 8192 {
+                        break;
+                    }
+                }
+            }
+        }
+        let request_line = head
+            .split(|&b| b == b'\n')
+            .next()
+            .map(|l| String::from_utf8_lossy(l).trim_end().to_string())
+            .unwrap_or_default();
+        let mut parts = request_line.split_whitespace();
+        let method = parts.next().unwrap_or("");
+        let path = parts.next().unwrap_or("");
+        let (status, body) = if method == "GET" && (path == "/metrics" || path == "/") {
+            ("200 OK", render(&registry))
+        } else {
+            ("404 Not Found", String::from("not found\n"))
+        };
+        let response = format!(
+            "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        );
+        let _ = stream.write_all(response.as_bytes());
+        let _ = stream.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_registry() -> Registry {
+        let r = Registry::new();
+        r.counter("serve.requests").add(42);
+        r.counter("serve.cache_hits").add(7);
+        r.gauge("serve.queue_depth").set(-3);
+        let h = r.histogram("serve.latency_us");
+        for v in [0u64, 1, 15, 16, 17, 250, 250, 9000] {
+            h.record(v);
+        }
+        r
+    }
+
+    #[test]
+    fn names_sanitize_to_valid_prometheus() {
+        assert_eq!(sanitize_name("serve.latency_us"), "serve_latency_us");
+        assert_eq!(sanitize_name("9lives"), "_9lives");
+        assert_eq!(sanitize_name("weird-name+x"), "weird_name_x");
+        assert!(valid_metric_name(&sanitize_name("serve.latency_us")));
+    }
+
+    #[test]
+    fn render_parses_back_with_exact_values() {
+        let r = sample_registry();
+        let text = render(&r);
+        let scrape = parse(&text).expect("render must parse");
+        assert_eq!(scrape.types.get("serve_requests").map(String::as_str), Some("counter"));
+        assert_eq!(scrape.types.get("serve_queue_depth").map(String::as_str), Some("gauge"));
+        assert_eq!(scrape.types.get("serve_latency_us").map(String::as_str), Some("histogram"));
+        assert_eq!(scrape.value("serve_requests"), Some(42.0));
+        assert_eq!(scrape.value("serve_cache_hits"), Some(7.0));
+        assert_eq!(scrape.value("serve_queue_depth"), Some(-3.0));
+        assert_eq!(scrape.value("serve_latency_us_count"), Some(8.0));
+        assert_eq!(scrape.value("serve_latency_us_sum"), Some(9549.0));
+        // Bucket series: cumulative, monotone, ends at +Inf == count.
+        let buckets = scrape.buckets("serve_latency_us");
+        assert!(buckets.len() >= 2);
+        let mut prev = 0.0;
+        for (_, c) in &buckets {
+            assert!(*c >= prev, "bucket counts must be cumulative");
+            prev = *c;
+        }
+        let (last_le, last_c) = buckets.last().unwrap();
+        assert_eq!(last_le, "+Inf");
+        assert_eq!(*last_c, 8.0);
+        // Exact unit buckets: le="0" holds exactly the one 0 sample,
+        // le="1" cumulates to 2.
+        assert!(buckets.contains(&("0".to_string(), 1.0)));
+        assert!(buckets.contains(&("1".to_string(), 2.0)));
+    }
+
+    #[test]
+    fn repeated_renders_are_byte_identical_and_sorted() {
+        let r = sample_registry();
+        let a = render(&r);
+        let b = render(&r);
+        assert_eq!(a, b);
+        let hits = a.find("serve_cache_hits ").unwrap();
+        let reqs = a.find("serve_requests ").unwrap();
+        assert!(hits < reqs, "counters must render name-sorted");
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        for bad in [
+            "no_value_here",
+            "bad name 1",
+            "metric{unterminated 1",
+            "metric{le=\"x} 1",
+            "metric 1 2 3",
+            "metric notanumber",
+            "# TYPE metric wat",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} must not parse");
+        }
+        // Valid edge cases.
+        let ok = parse("# HELP m help text\nm{le=\"+Inf\",x=\"a,b\"} 3 1700000000000\n").unwrap();
+        assert_eq!(ok.samples.len(), 1);
+        assert_eq!(ok.samples[0].labels.len(), 2);
+    }
+
+    #[test]
+    fn endpoint_serves_a_parseable_scrape() {
+        let r = Arc::new(sample_registry());
+        let server = ExpositionServer::bind(Arc::clone(&r), "127.0.0.1:0").expect("bind");
+        let addr = server.local_addr();
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(b"GET /metrics HTTP/1.1\r\nHost: localhost\r\n\r\n")
+            .expect("send request");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read response");
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "got: {response}");
+        let body = response.split("\r\n\r\n").nth(1).expect("body");
+        let scrape = parse(body).expect("scrape must parse");
+        assert_eq!(scrape.value("serve_requests"), Some(42.0));
+        assert_eq!(body, render(&r), "endpoint must serve exactly the render");
+        // Unknown paths 404.
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(b"GET /nope HTTP/1.1\r\n\r\n").expect("send");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        assert!(response.starts_with("HTTP/1.1 404"));
+        server.shutdown();
+    }
+}

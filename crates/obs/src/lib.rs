@@ -23,6 +23,15 @@
 //! * [`events::FaultEvent`] — the `"serve_fault"` JSONL record the
 //!   serving layer's fault-tolerance machinery emits (panics, respawns,
 //!   deadline misses, backpressure actions, degraded-mode transitions).
+//! * [`trace::TraceContext`] — request-scoped trace identity
+//!   (deterministic splitmix64 trace/span ids with parent links) minted
+//!   at admission and propagated through every serving stage.
+//! * [`recorder::FlightRecorder`] — a fixed-capacity, wrapping,
+//!   multi-writer ring of the last N trace spans, dumped as a JSONL
+//!   forensic bundle when a fault fires.
+//! * [`expo`] — Prometheus text-format exposition of the registry:
+//!   deterministic render, file export, a `std::net::TcpListener`
+//!   scrape endpoint, and the round-trip validating parser.
 //!
 //! ## Telemetry policy (DESIGN.md §8)
 //!
@@ -33,18 +42,24 @@
 //! determinism contract of DESIGN.md §7 is unaffected.
 
 pub mod events;
+pub mod expo;
 pub mod json;
 pub mod metrics;
 pub mod observer;
+pub mod recorder;
 pub mod sink;
 pub mod span;
+pub mod trace;
 
 pub use events::{FaultEvent, FaultKind};
+pub use expo::ExpositionServer;
 pub use json::{parse, JsonObj, JsonValue};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry};
 pub use observer::{
     CollectingObserver, EpochRecord, JsonlTrainObserver, ObserverHandle, TrainObserver,
     TrainRunInfo,
 };
+pub use recorder::{FlightRecord, FlightRecorder};
 pub use sink::{EventSink, FileSink, MemorySink, StderrSink};
 pub use span::{SpanGuard, SpanRecord, Tracer};
+pub use trace::{TraceContext, TraceSpan, TraceStage};

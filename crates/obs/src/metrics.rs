@@ -106,6 +106,10 @@ pub struct Histogram {
     count: AtomicU64,
     sum: AtomicU64,
     max: AtomicU64,
+    // Exemplar: the trace id of the largest traced sample seen so far,
+    // so the summary's outlier is traceable to a concrete request.
+    ex_val: AtomicU64,
+    ex_trace: AtomicU64,
 }
 
 impl Default for Histogram {
@@ -115,6 +119,8 @@ impl Default for Histogram {
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
             max: AtomicU64::new(0),
+            ex_val: AtomicU64::new(0),
+            ex_trace: AtomicU64::new(0),
         }
     }
 }
@@ -133,6 +139,32 @@ impl Histogram {
         self.max.fetch_max(v, ORD);
     }
 
+    /// Record one sample carrying a trace id. Identical to [`record`]
+    /// for the distribution; additionally keeps the largest traced
+    /// sample as the exemplar (`trace_id == 0` records untraced). The
+    /// value/trace pair is updated without a lock, so under contention
+    /// the exemplar may briefly pair one outlier's value with a
+    /// same-magnitude neighbor's trace — acceptable for telemetry,
+    /// never read back into control flow.
+    ///
+    /// [`record`]: Histogram::record
+    pub fn record_traced(&self, v: u64, trace_id: u64) {
+        self.record(v);
+        if trace_id == 0 {
+            return;
+        }
+        let mut cur = self.ex_val.load(ORD);
+        while v >= cur {
+            match self.ex_val.compare_exchange_weak(cur, v, ORD, ORD) {
+                Ok(_) => {
+                    self.ex_trace.store(trace_id, ORD);
+                    break;
+                }
+                Err(now) => cur = now,
+            }
+        }
+    }
+
     /// Samples recorded so far.
     pub fn count(&self) -> u64 {
         self.count.load(ORD)
@@ -145,6 +177,8 @@ impl Histogram {
             count: self.count.load(ORD),
             sum: self.sum.load(ORD),
             max: self.max.load(ORD),
+            exemplar_value: self.ex_val.load(ORD),
+            exemplar_trace: self.ex_trace.load(ORD),
         }
     }
 }
@@ -160,11 +194,22 @@ pub struct HistogramSnapshot {
     pub sum: u64,
     /// Exact maximum sample (0 when empty).
     pub max: u64,
+    /// Value of the exemplar sample (0 when no traced sample was seen).
+    pub exemplar_value: u64,
+    /// Trace id of the exemplar sample (0 = none).
+    pub exemplar_trace: u64,
 }
 
 impl Default for HistogramSnapshot {
     fn default() -> Self {
-        HistogramSnapshot { buckets: vec![0; NUM_BUCKETS], count: 0, sum: 0, max: 0 }
+        HistogramSnapshot {
+            buckets: vec![0; NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+            exemplar_value: 0,
+            exemplar_trace: 0,
+        }
     }
 }
 
@@ -208,6 +253,13 @@ impl HistogramSnapshot {
     /// overflow — the same semantics as the atomic recording path, so
     /// merged shards still equal one combined histogram bit-for-bit.
     pub fn merge(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        // The merged exemplar is the larger of the two sides' — ties
+        // keep `self`'s, matching the recording path's ≥ update rule.
+        let (ex_val, ex_trace) = if other.exemplar_value > self.exemplar_value {
+            (other.exemplar_value, other.exemplar_trace)
+        } else {
+            (self.exemplar_value, self.exemplar_trace)
+        };
         HistogramSnapshot {
             buckets: self
                 .buckets
@@ -218,10 +270,13 @@ impl HistogramSnapshot {
             count: self.count.wrapping_add(other.count),
             sum: self.sum.wrapping_add(other.sum),
             max: self.max.max(other.max),
+            exemplar_value: ex_val,
+            exemplar_trace: ex_trace,
         }
     }
 
-    /// One-line JSON summary: count, sum, mean, p50/p90/p99, max.
+    /// One-line JSON summary: count, sum, mean, p50/p90/p99, max, plus
+    /// the exemplar (trace id as 16-digit hex; all zeros = untraced).
     pub fn summary_json(&self) -> String {
         crate::json::JsonObj::new()
             .u64("count", self.count)
@@ -231,6 +286,8 @@ impl HistogramSnapshot {
             .u64("p90", self.percentile(0.90))
             .u64("p99", self.percentile(0.99))
             .u64("max", self.max)
+            .u64("exemplar_value", self.exemplar_value)
+            .str("exemplar_trace", &crate::trace::hex_id(self.exemplar_trace))
             .finish()
     }
 }
@@ -269,6 +326,38 @@ impl Registry {
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
         let mut map = self.histograms.lock().expect("registry lock");
         Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// Every counter as `(name, value)`, sorted by name. The registry
+    /// maps are `BTreeMap`s, so the order is deterministic across runs
+    /// and repeated exports are byte-diffable.
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        self.counters
+            .lock()
+            .expect("registry lock")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect()
+    }
+
+    /// Every gauge as `(name, value)`, sorted by name.
+    pub fn gauges(&self) -> Vec<(String, i64)> {
+        self.gauges
+            .lock()
+            .expect("registry lock")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect()
+    }
+
+    /// Every histogram as `(name, snapshot)`, sorted by name.
+    pub fn histograms(&self) -> Vec<(String, HistogramSnapshot)> {
+        self.histograms
+            .lock()
+            .expect("registry lock")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect()
     }
 
     /// Render every metric as one nested JSON object (name order is
@@ -445,5 +534,50 @@ mod tests {
         let lat = parsed.get("histograms").unwrap().get("lat_us").unwrap();
         assert_eq!(lat.get("count").unwrap().as_u64(), Some(1));
         assert_eq!(lat.get("max").unwrap().as_u64(), Some(250));
+    }
+
+    #[test]
+    fn snapshot_json_is_byte_identical_across_repeated_exports() {
+        let r = Registry::new();
+        // Register in shuffled order; rendering must still be sorted.
+        for name in ["zeta.count", "alpha.count", "mid.count"] {
+            r.counter(name).inc();
+        }
+        r.gauge("z.depth").set(1);
+        r.gauge("a.depth").set(2);
+        r.histogram("m.lat").record_traced(99, 0xBEEF);
+        let first = r.snapshot_json();
+        let second = r.snapshot_json();
+        assert_eq!(first, second, "repeated exports must be byte-diffable");
+        let alpha = first.find("alpha.count").unwrap();
+        let mid = first.find("mid.count").unwrap();
+        let zeta = first.find("zeta.count").unwrap();
+        assert!(alpha < mid && mid < zeta, "names must render sorted");
+    }
+
+    #[test]
+    fn exemplar_tracks_the_largest_traced_sample() {
+        let h = Histogram::new();
+        h.record_traced(10, 0xA);
+        h.record_traced(500, 0xB);
+        h.record_traced(20, 0xC);
+        h.record(9999); // untraced: distribution only
+        let s = h.snapshot();
+        assert_eq!(s.exemplar_value, 500);
+        assert_eq!(s.exemplar_trace, 0xB);
+        assert_eq!(s.max, 9999);
+        assert_eq!(s.count, 4);
+        let parsed = crate::json::parse(&s.summary_json()).unwrap();
+        assert_eq!(parsed.get("exemplar_value").unwrap().as_u64(), Some(500));
+        assert_eq!(
+            parsed.get("exemplar_trace").unwrap().as_str(),
+            Some("000000000000000b")
+        );
+        // Merge keeps the larger side's exemplar.
+        let other = Histogram::new();
+        other.record_traced(600, 0xD);
+        let merged = s.merge(&other.snapshot());
+        assert_eq!(merged.exemplar_value, 600);
+        assert_eq!(merged.exemplar_trace, 0xD);
     }
 }

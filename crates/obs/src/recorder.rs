@@ -1,0 +1,338 @@
+//! Lock-free flight recorder: a fixed-capacity wrapping ring of the
+//! last N [`TraceSpan`] records, safe for many concurrent writers,
+//! dumped as a JSONL forensic bundle when a fault fires.
+//!
+//! Design (DESIGN.md §13): a single shared ring of `capacity` slots
+//! (rounded up to a power of two). A writer takes a global ticket with
+//! one `fetch_add` and owns slot `ticket & mask`. Each slot carries a
+//! seqlock word encoding the ticket that owns it:
+//!
+//! - `0` — never written
+//! - `2·t + 1` (odd) — ticket `t` is mid-write
+//! - `2·t + 2` (even) — ticket `t`'s record is stable
+//!
+//! A writer claims the slot by CAS only when the current word belongs
+//! to a *strictly older* ticket; if a newer ticket already owns the
+//! slot the write is dropped — the newer record supersedes it under
+//! last-N semantics, so nothing is lost that the ring was going to
+//! keep. Payload fields are plain `AtomicU64`s (no `unsafe`, no torn
+//! words at the language level); the seqlock ensures a reader never
+//! *accepts* a mixed-ticket record: it re-reads the seq word after the
+//! payload and discards the slot unless both reads agree on the same
+//! stable ticket.
+//!
+//! Memory bound: `capacity.next_power_of_two() × 8 AtomicU64` = 64
+//! bytes per slot — a 4096-slot recorder is 256 KiB, fixed at
+//! construction, no allocation on the record path.
+//!
+//! Recording never feeds back into control flow: the ring is
+//! write-only until a dump, and dumps only serialize — the §8
+//! observation-never-changes-bits rule holds with the recorder on or
+//! off.
+
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+
+use crate::json::JsonObj;
+use crate::sink::EventSink;
+use crate::trace::{hex_id, TraceContext, TraceSpan, TraceStage};
+
+/// One ring slot: the seqlock word plus seven payload words.
+#[derive(Default)]
+struct Slot {
+    seq: AtomicU64,
+    trace_id: AtomicU64,
+    span_id: AtomicU64,
+    parent_span_id: AtomicU64,
+    stage: AtomicU64,
+    at_us: AtomicU64,
+    dur_us: AtomicU64,
+    attr: AtomicU64,
+}
+
+/// A stable record read back out of the ring: the global ticket (write
+/// order) plus the span payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlightRecord {
+    /// Global write sequence number (0-based; total writes ever made is
+    /// [`FlightRecorder::recorded`], so the ring holds the records with
+    /// the highest tickets).
+    pub ticket: u64,
+    /// The recorded span.
+    pub span: TraceSpan,
+}
+
+impl FlightRecord {
+    /// Render as one `"flight_record"` JSONL line.
+    pub fn to_json(&self) -> String {
+        JsonObj::new()
+            .str("type", "flight_record")
+            .u64("ticket", self.ticket)
+            .str("trace_id", &hex_id(self.span.ctx.trace_id))
+            .str("span_id", &hex_id(self.span.ctx.span_id))
+            .str("parent_span_id", &hex_id(self.span.ctx.parent_span_id))
+            .str("stage", self.span.stage.as_str())
+            .u64("at_us", self.span.at_us)
+            .u64("dur_us", self.span.dur_us)
+            .u64("attr", self.span.attr)
+            .finish()
+    }
+}
+
+/// Fixed-capacity, wrapping, multi-writer ring of trace spans.
+pub struct FlightRecorder {
+    slots: Vec<Slot>,
+    mask: u64,
+    head: AtomicU64,
+}
+
+impl FlightRecorder {
+    /// Build a recorder holding the last `capacity` records (rounded up
+    /// to a power of two, minimum 8).
+    pub fn new(capacity: usize) -> FlightRecorder {
+        let cap = capacity.max(8).next_power_of_two();
+        let mut slots = Vec::with_capacity(cap);
+        slots.resize_with(cap, Slot::default);
+        FlightRecorder { slots, mask: (cap - 1) as u64, head: AtomicU64::new(0) }
+    }
+
+    /// Ring capacity in records (power of two).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total records ever written (including those since overwritten).
+    pub fn recorded(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// Record one span. Wait-free ticket draw; the slot claim CAS-spins
+    /// only against a same-slot writer mid-write (a window of eight
+    /// relaxed stores) and drops the write if a newer ticket already
+    /// owns the slot.
+    pub fn record(&self, span: &TraceSpan) {
+        let t = self.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(t & self.mask) as usize];
+        let writing = 2 * t + 1;
+        loop {
+            let cur = slot.seq.load(Ordering::Acquire);
+            if cur >= writing {
+                // A ticket >= ours (same slot => t + k·capacity) owns
+                // the slot; our older record would be overwritten
+                // anyway, so drop it.
+                return;
+            }
+            if cur & 1 == 1 {
+                // An older ticket is mid-write; it finishes within a
+                // few stores.
+                std::hint::spin_loop();
+                continue;
+            }
+            if slot
+                .seq
+                .compare_exchange_weak(cur, writing, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+            {
+                break;
+            }
+        }
+        slot.trace_id.store(span.ctx.trace_id, Ordering::Relaxed);
+        slot.span_id.store(span.ctx.span_id, Ordering::Relaxed);
+        slot.parent_span_id.store(span.ctx.parent_span_id, Ordering::Relaxed);
+        slot.stage.store(span.stage.code(), Ordering::Relaxed);
+        slot.at_us.store(span.at_us, Ordering::Relaxed);
+        slot.dur_us.store(span.dur_us, Ordering::Relaxed);
+        slot.attr.store(span.attr, Ordering::Relaxed);
+        slot.seq.store(writing + 1, Ordering::Release);
+    }
+
+    /// Read back every stable record, oldest ticket first. Slots that
+    /// are mid-write after a few retries are skipped rather than
+    /// returned torn — the seq word is re-checked after the payload
+    /// reads and the slot is discarded unless both reads agree on the
+    /// same stable ticket.
+    pub fn snapshot(&self) -> Vec<FlightRecord> {
+        let mut out = Vec::with_capacity(self.slots.len());
+        for slot in &self.slots {
+            for _ in 0..16 {
+                let s1 = slot.seq.load(Ordering::Acquire);
+                if s1 == 0 {
+                    break; // never written
+                }
+                if s1 & 1 == 1 {
+                    std::hint::spin_loop();
+                    continue; // mid-write; retry
+                }
+                let span = TraceSpan {
+                    ctx: TraceContext {
+                        trace_id: slot.trace_id.load(Ordering::Relaxed),
+                        span_id: slot.span_id.load(Ordering::Relaxed),
+                        parent_span_id: slot.parent_span_id.load(Ordering::Relaxed),
+                    },
+                    stage: TraceStage::from_code(slot.stage.load(Ordering::Relaxed))
+                        .unwrap_or(TraceStage::Admission),
+                    at_us: slot.at_us.load(Ordering::Relaxed),
+                    dur_us: slot.dur_us.load(Ordering::Relaxed),
+                    attr: slot.attr.load(Ordering::Relaxed),
+                };
+                fence(Ordering::Acquire);
+                let s2 = slot.seq.load(Ordering::Relaxed);
+                if s1 == s2 {
+                    out.push(FlightRecord { ticket: (s1 - 2) / 2, span });
+                    break;
+                }
+            }
+        }
+        out.sort_by_key(|r| r.ticket);
+        out
+    }
+
+    /// Dump the ring to `sink` as a JSONL forensic bundle: one
+    /// `"flight_dump"` header naming the fault that triggered it, then
+    /// one `"flight_record"` line per stable record, oldest first.
+    /// Returns the number of records dumped.
+    pub fn dump(&self, sink: &dyn EventSink, fault: &str, detail: &str) -> usize {
+        let records = self.snapshot();
+        let header = JsonObj::new()
+            .str("type", "flight_dump")
+            .str("fault", fault)
+            .str("detail", detail)
+            .u64("records", records.len() as u64)
+            .u64("capacity", self.capacity() as u64)
+            .u64("recorded_total", self.recorded())
+            .finish();
+        sink.emit(&header);
+        for r in &records {
+            sink.emit(&r.to_json());
+        }
+        sink.flush();
+        records.len()
+    }
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("capacity", &self.capacity())
+            .field("recorded", &self.recorded())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::MemorySink;
+
+    fn span(trace: u64, stage: TraceStage, attr: u64) -> TraceSpan {
+        TraceSpan {
+            ctx: TraceContext { trace_id: trace, span_id: trace, parent_span_id: 0 },
+            stage,
+            at_us: attr,
+            dur_us: 0,
+            attr,
+        }
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_power_of_two() {
+        assert_eq!(FlightRecorder::new(0).capacity(), 8);
+        assert_eq!(FlightRecorder::new(8).capacity(), 8);
+        assert_eq!(FlightRecorder::new(9).capacity(), 16);
+        assert_eq!(FlightRecorder::new(1000).capacity(), 1024);
+    }
+
+    #[test]
+    fn keeps_exactly_the_last_capacity_records() {
+        let rec = FlightRecorder::new(8);
+        for i in 0..20u64 {
+            rec.record(&span(i + 1, TraceStage::Compute, i));
+        }
+        let snap = rec.snapshot();
+        assert_eq!(snap.len(), 8);
+        let tickets: Vec<u64> = snap.iter().map(|r| r.ticket).collect();
+        assert_eq!(tickets, (12..20).collect::<Vec<u64>>());
+        for r in &snap {
+            assert_eq!(r.span.attr, r.ticket, "payload must match its ticket");
+        }
+        assert_eq!(rec.recorded(), 20);
+    }
+
+    #[test]
+    fn partial_fill_returns_only_written_slots_in_order() {
+        let rec = FlightRecorder::new(16);
+        for i in 0..5u64 {
+            rec.record(&span(i + 1, TraceStage::Pickup, i));
+        }
+        let snap = rec.snapshot();
+        assert_eq!(snap.len(), 5);
+        assert_eq!(snap.iter().map(|r| r.ticket).collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn dump_emits_header_plus_one_line_per_record() {
+        let rec = FlightRecorder::new(8);
+        for i in 0..3u64 {
+            rec.record(&span(0xA0 + i, TraceStage::Admission, i));
+        }
+        let sink = MemorySink::new();
+        let n = rec.dump(&sink, "worker_panic", "test dump");
+        assert_eq!(n, 3);
+        let lines = sink.lines();
+        assert_eq!(lines.len(), 4);
+        let header = crate::json::parse(&lines[0]).unwrap();
+        assert_eq!(header.get("type").unwrap().as_str(), Some("flight_dump"));
+        assert_eq!(header.get("fault").unwrap().as_str(), Some("worker_panic"));
+        assert_eq!(header.get("records").unwrap().as_u64(), Some(3));
+        for line in &lines[1..] {
+            let v = crate::json::parse(line).unwrap();
+            assert_eq!(v.get("type").unwrap().as_str(), Some("flight_record"));
+            assert_eq!(v.get("stage").unwrap().as_str(), Some("admission"));
+        }
+    }
+
+    #[test]
+    fn concurrent_writers_never_produce_torn_or_duplicate_records() {
+        use std::sync::Arc;
+        let rec = Arc::new(FlightRecorder::new(64));
+        let threads = 8;
+        let per_thread = 500u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|tid| {
+                let rec = Arc::clone(&rec);
+                std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        // Encode (thread, i) redundantly so a torn record
+                        // (fields from two writers) is detectable.
+                        let tag = ((tid as u64) << 32) | i;
+                        let s = TraceSpan {
+                            ctx: TraceContext {
+                                trace_id: tag,
+                                span_id: tag ^ 0x5555_5555_5555_5555,
+                                parent_span_id: tag.wrapping_mul(3),
+                            },
+                            stage: TraceStage::Compute,
+                            at_us: tag,
+                            dur_us: tag,
+                            attr: tag,
+                        };
+                        rec.record(&s);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(rec.recorded(), threads as u64 * per_thread);
+        let snap = rec.snapshot();
+        assert!(snap.len() <= 64);
+        let mut seen = std::collections::HashSet::new();
+        for r in &snap {
+            assert!(seen.insert(r.ticket), "duplicate ticket {}", r.ticket);
+            let tag = r.span.ctx.trace_id;
+            assert_eq!(r.span.ctx.span_id, tag ^ 0x5555_5555_5555_5555, "torn record");
+            assert_eq!(r.span.ctx.parent_span_id, tag.wrapping_mul(3), "torn record");
+            assert_eq!(r.span.attr, tag, "torn record");
+        }
+    }
+}

@@ -69,6 +69,15 @@ pub struct EngineConfig {
     /// checkpoint reload deterministically rebuilds it from the restored
     /// parameters. `VSAN_DISABLE_ANN=1` pins the process back to exact.
     pub retrieval: Retrieval,
+    /// Flight-recorder capacity in span records (rounded up to a power
+    /// of two, minimum 8); `0` disables tracing and the recorder
+    /// entirely. The recorder is a fixed ring of `8 × capacity × 8`
+    /// bytes of atomics — 1024 records ≈ 64 KiB.
+    pub recorder_capacity: usize,
+    /// Seed for deterministic trace-id derivation: trace ids are
+    /// `splitmix64(seed ^ admission_seq)`, so a fixed seed plus a fixed
+    /// request order reproduces the exact ids of a prior run.
+    pub trace_seed: u64,
 }
 
 impl Default for EngineConfig {
@@ -89,6 +98,8 @@ impl Default for EngineConfig {
             session_capacity: 1024,
             session_ttl: None,
             retrieval: Retrieval::Exact,
+            recorder_capacity: 1024,
+            trace_seed: 0x5641_5341_4e00_0001, // "VASAN" tag — any fixed value works
         }
     }
 }
@@ -191,6 +202,19 @@ impl EngineConfig {
         self.retrieval = retrieval;
         self
     }
+
+    /// Builder: set [`Self::recorder_capacity`] (`0` disables tracing
+    /// and the flight recorder).
+    pub fn with_flight_recorder(mut self, capacity: usize) -> Self {
+        self.recorder_capacity = capacity;
+        self
+    }
+
+    /// Builder: set [`Self::trace_seed`].
+    pub fn with_trace_seed(mut self, seed: u64) -> Self {
+        self.trace_seed = seed;
+        self
+    }
 }
 
 impl std::fmt::Debug for EngineConfig {
@@ -211,6 +235,8 @@ impl std::fmt::Debug for EngineConfig {
             .field("session_capacity", &self.session_capacity)
             .field("session_ttl", &self.session_ttl)
             .field("retrieval", &self.retrieval)
+            .field("recorder_capacity", &self.recorder_capacity)
+            .field("trace_seed", &self.trace_seed)
             .finish()
     }
 }
@@ -234,6 +260,7 @@ mod tests {
         assert!(cfg.session_capacity >= 1);
         assert!(cfg.session_ttl.is_none());
         assert_eq!(cfg.retrieval, Retrieval::Exact);
+        assert!(cfg.recorder_capacity >= 1);
     }
 
     #[test]
@@ -252,7 +279,9 @@ mod tests {
             .with_popularity(vec![0.0, 3.0, 1.0])
             .with_session_capacity(0)
             .with_session_ttl(Duration::from_secs(60))
-            .with_retrieval(Retrieval::Clustered(vsan_core::ClusteredConfig::default()));
+            .with_retrieval(Retrieval::Clustered(vsan_core::ClusteredConfig::default()))
+            .with_flight_recorder(0)
+            .with_trace_seed(42);
         assert_eq!(cfg.max_batch, 1);
         assert_eq!(cfg.workers, 1);
         assert_eq!(cfg.batch_deadline, Duration::from_micros(500));
@@ -267,5 +296,7 @@ mod tests {
         assert_eq!(cfg.session_capacity, 0);
         assert_eq!(cfg.session_ttl, Some(Duration::from_secs(60)));
         assert!(matches!(cfg.retrieval, Retrieval::Clustered(_)));
+        assert_eq!(cfg.recorder_capacity, 0);
+        assert_eq!(cfg.trace_seed, 42);
     }
 }

@@ -21,15 +21,17 @@
 
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{self, Receiver, Sender, TryRecvError};
 use vsan_core::Vsan;
-use vsan_obs::{EventSink, FaultEvent, FaultKind};
-use vsan_session::{EvictReason, SessionConfig, SessionOutcome, SessionRuntime};
+use vsan_obs::{
+    EventSink, FaultEvent, FaultKind, FlightRecorder, Registry, TraceContext, TraceSpan, TraceStage,
+};
+use vsan_session::{EvictReason, SessionConfig, SessionOutcome, SessionRuntime, SessionTrace};
 
 use crate::cache::SequenceCache;
 use crate::config::EngineConfig;
@@ -158,6 +160,11 @@ struct Request {
     /// Times this request has been requeued out of a poisoned batch.
     attempts: u32,
     reply: Sender<Reply>,
+    /// The request's trace context. Minted at admission; *extended* (not
+    /// replaced) at each propagation point — pickup and compute re-point
+    /// it at the freshly recorded child span, so later spans chain
+    /// causally: admission → pickup → compute → retrieval/complete.
+    trace: TraceContext,
 }
 
 /// Handle to an in-flight (or already answered) request.
@@ -249,6 +256,15 @@ struct Inner {
     /// request from then on takes the degraded path.
     degraded_mode: AtomicBool,
     fault_sink: Option<Arc<dyn EventSink>>,
+    /// Engine birth instant: the zero point for span timestamps, so one
+    /// run's spans share a single monotonic clock.
+    origin: Instant,
+    /// Last-N span ring for post-mortem dumps; `None` disables tracing.
+    recorder: Option<Arc<FlightRecorder>>,
+    trace_seed: u64,
+    /// Admission sequence number; with a fixed [`Self::trace_seed`] the
+    /// n-th admitted request always gets the same trace id.
+    trace_seq: AtomicU64,
     /// Incremental per-user session state behind [`Engine::append_event`].
     session: SessionRuntime,
     /// Workspaces for the caller-thread session path (the worker pool's
@@ -265,10 +281,51 @@ struct Inner {
 }
 
 impl Inner {
-    /// Emit one structured fault event, if a sink is configured.
+    /// Emit one structured fault event, if a sink is configured. The
+    /// severe kinds — a worker panic, the permanent degraded-mode flip,
+    /// a session eviction (storm detection happens downstream) — also
+    /// dump the flight recorder to the same sink: the last N spans
+    /// leading up to the fault, as a self-contained forensic bundle.
     fn fault(&self, kind: FaultKind, detail: &str) {
         if let Some(sink) = &self.fault_sink {
             FaultEvent::new(kind, detail).emit(sink.as_ref());
+            if matches!(
+                kind,
+                FaultKind::WorkerPanic | FaultKind::DegradedMode | FaultKind::SessionEvicted
+            ) {
+                if let Some(rec) = &self.recorder {
+                    rec.dump(sink.as_ref(), kind.as_str(), detail);
+                }
+            }
+        }
+    }
+
+    /// Mint a root trace context for a newly admitted request.
+    fn mint_trace(&self) -> TraceContext {
+        TraceContext::root(self.trace_seed, self.trace_seq.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Record one span into the flight recorder. Observation only: a
+    /// no-op when tracing is disabled, and never feeds control flow.
+    fn trace(&self, ctx: TraceContext, stage: TraceStage, dur_us: u64, attr: u64) {
+        if let Some(rec) = &self.recorder {
+            rec.record(&TraceSpan { ctx, stage, at_us: as_us(self.origin.elapsed()), dur_us, attr });
+        }
+    }
+
+    /// Record `stage` as a child span of `parent`.
+    fn span(&self, parent: TraceContext, stage: TraceStage, dur_us: u64, attr: u64) {
+        self.trace(parent.child(stage.code()), stage, dur_us, attr);
+    }
+
+    /// The trace id to attach as a histogram exemplar — `0` (no
+    /// exemplar) when tracing is disabled, so a tracing-off engine
+    /// exports bit-identical telemetry to the pre-tracing engine.
+    fn exemplar(&self, ctx: &TraceContext) -> u64 {
+        if self.recorder.is_some() {
+            ctx.trace_id
+        } else {
+            0
         }
     }
 
@@ -310,18 +367,22 @@ impl Inner {
         }
     }
 
-    /// Record end-to-end latency and deliver the reply. Every terminal
-    /// resolution funnels through here (a dropped ticket is fine — the
-    /// send just returns an error).
-    fn finish(&self, enqueued: Instant, reply_to: &Sender<Reply>, reply: Reply) {
-        self.metrics.latency_us.record(as_us(enqueued.elapsed()));
+    /// Record end-to-end latency, close the trace with a `complete`
+    /// span, and deliver the reply. Every terminal resolution of a
+    /// *queued* request funnels through here (a dropped ticket is fine —
+    /// the send just returns an error).
+    fn finish(&self, enqueued: Instant, trace: TraceContext, reply_to: &Sender<Reply>, reply: Reply) {
+        let elapsed = as_us(enqueued.elapsed());
+        self.metrics.latency_us.record_traced(elapsed, self.exemplar(&trace));
+        self.span(trace, TraceStage::Complete, elapsed, reply.is_ok() as u64);
         let _ = reply_to.send(reply);
     }
 
     /// Resolve a queued request through the degraded path.
     fn finish_degraded(&self, req: Request, cause: &str) {
         let reply = self.degraded(&req.history, req.k, cause);
-        self.finish(req.enqueued, &req.reply, reply);
+        self.span(req.trace, TraceStage::Degraded, 0, reply.is_ok() as u64);
+        self.finish(req.enqueued, req.trace, &req.reply, reply);
     }
 
     fn lock_inflight(&self) -> MutexGuard<'_, usize> {
@@ -413,6 +474,11 @@ impl Engine {
             max_batch_retries: cfg.max_batch_retries,
             degraded_mode: AtomicBool::new(false),
             fault_sink: cfg.fault_sink.clone(),
+            origin: Instant::now(),
+            recorder: (cfg.recorder_capacity > 0)
+                .then(|| Arc::new(FlightRecorder::new(cfg.recorder_capacity))),
+            trace_seed: cfg.trace_seed,
+            trace_seq: AtomicU64::new(0),
             session,
             session_ws: Mutex::new(Vec::new()),
             inflight: Mutex::new(0),
@@ -486,6 +552,10 @@ impl Engine {
         let metrics = &inner.metrics;
         metrics.requests.inc();
         let start = Instant::now();
+        // Every request roots a trace at admission, whatever its fate:
+        // the span tree tells shed from served from deadline-missed.
+        let trace = inner.mint_trace();
+        inner.trace(trace, TraceStage::Admission, 0, history.len() as u64);
 
         if inner.cache_enabled {
             let window = inner.model.fold_in_window(history);
@@ -496,8 +566,9 @@ impl Engine {
                 // A cache hit never queues: the whole latency is compute
                 // (lookup + rank), and queue-wait records nothing.
                 let elapsed = as_us(start.elapsed());
-                metrics.compute_us.record(elapsed);
-                metrics.latency_us.record(elapsed);
+                metrics.compute_us.record_traced(elapsed, inner.exemplar(&trace));
+                metrics.latency_us.record_traced(elapsed, inner.exemplar(&trace));
+                inner.span(trace, TraceStage::CacheHit, elapsed, k as u64);
                 return Ticket::ready(Ok(Response::new(recs, ResponseSource::Cache)));
             }
         }
@@ -505,7 +576,9 @@ impl Engine {
 
         if inner.degraded_mode.load(Ordering::Acquire) {
             let reply = inner.degraded(history, k, "workers_down");
-            metrics.latency_us.record(as_us(start.elapsed()));
+            let elapsed = as_us(start.elapsed());
+            metrics.latency_us.record_traced(elapsed, inner.exemplar(&trace));
+            inner.span(trace, TraceStage::Degraded, elapsed, reply.is_ok() as u64);
             return Ticket::ready(reply);
         }
 
@@ -514,7 +587,9 @@ impl Engine {
                 metrics.load_shed.inc();
                 inner.fault(FaultKind::LoadShed, "watermark");
                 let reply = inner.degraded(history, k, "watermark");
-                metrics.latency_us.record(as_us(start.elapsed()));
+                let elapsed = as_us(start.elapsed());
+                metrics.latency_us.record_traced(elapsed, inner.exemplar(&trace));
+                inner.span(trace, TraceStage::Shed, elapsed, watermark as u64);
                 return Ticket::ready(reply);
             }
         }
@@ -528,6 +603,7 @@ impl Engine {
             deadline: due,
             attempts: 0,
             reply: reply_tx,
+            trace,
         };
         match inner.queue.push(req, inner.policy, due) {
             PushOutcome::Queued => {
@@ -539,24 +615,27 @@ impl Engine {
                 // newcomer entered. The evictee resolves degraded.
                 metrics.shed_oldest.inc();
                 inner.fault(FaultKind::Shed, "shed_oldest");
+                inner.span(evicted.trace, TraceStage::Shed, 0, 0);
                 inner.finish_degraded(evicted, "shed_oldest");
                 Ticket(TicketState::Pending(reply_rx))
             }
             PushOutcome::Rejected { item } => {
                 metrics.rejected_newest.inc();
                 inner.fault(FaultKind::Rejected, "reject_newest");
+                inner.span(item.trace, TraceStage::Rejected, 0, 0);
                 let reply = inner.degraded(&item.history, item.k, "reject_newest");
-                inner.finish(item.enqueued, &item.reply, reply);
+                inner.finish(item.enqueued, item.trace, &item.reply, reply);
                 Ticket(TicketState::Pending(reply_rx))
             }
             PushOutcome::Expired { item } => {
                 metrics.deadline_miss_admission.inc();
                 inner.fault(FaultKind::DeadlineMiss, "admission");
-                inner.finish(item.enqueued, &item.reply, Err(ServeError::DeadlineExceeded));
+                inner.span(item.trace, TraceStage::DeadlineMiss, 0, 0);
+                inner.finish(item.enqueued, item.trace, &item.reply, Err(ServeError::DeadlineExceeded));
                 Ticket(TicketState::Pending(reply_rx))
             }
             PushOutcome::Closed { item } => {
-                inner.finish(item.enqueued, &item.reply, Err(ServeError::ShuttingDown));
+                inner.finish(item.enqueued, item.trace, &item.reply, Err(ServeError::ShuttingDown));
                 Ticket(TicketState::Pending(reply_rx))
             }
         }
@@ -610,6 +689,8 @@ impl Engine {
         let metrics = &inner.metrics;
         metrics.requests.inc();
         let start = Instant::now();
+        let trace = inner.mint_trace();
+        inner.trace(trace, TraceStage::Admission, 0, item as u64);
 
         let degraded_history = || {
             let mut h = hint.unwrap_or_default().to_vec();
@@ -618,12 +699,23 @@ impl Engine {
         };
         if inner.degraded_mode.load(Ordering::Acquire) {
             let reply = inner.degraded(&degraded_history(), k, "workers_down");
-            metrics.latency_us.record(as_us(start.elapsed()));
+            let elapsed = as_us(start.elapsed());
+            metrics.latency_us.record_traced(elapsed, inner.exemplar(&trace));
+            inner.span(trace, TraceStage::Degraded, elapsed, reply.is_ok() as u64);
             return reply;
         }
 
+        // The session runtime records its own sub-stage spans (resolve /
+        // prepare / apply / commit) as children of this `session` span.
+        let sctx = trace.child(TraceStage::Session.code());
+        inner.trace(sctx, TraceStage::Session, 0, user);
+        let strace = inner
+            .recorder
+            .as_deref()
+            .map(|recorder| SessionTrace { recorder, ctx: sctx, origin: inner.origin });
         let mut ws = inner.take_session_ws();
-        let result = inner.session.append_event(&inner.model, user, hint, item, &mut ws, start);
+        let result =
+            inner.session.append_event_traced(&inner.model, user, hint, item, &mut ws, start, strace);
         inner.put_session_ws(ws);
         match result {
             Ok(r) => {
@@ -658,8 +750,9 @@ impl Engine {
                     inner.lock_cache().insert(window, Arc::new(r.logits));
                 }
                 let elapsed = as_us(start.elapsed());
-                metrics.compute_us.record(elapsed);
-                metrics.latency_us.record(elapsed);
+                metrics.compute_us.record_traced(elapsed, inner.exemplar(&trace));
+                metrics.latency_us.record_traced(elapsed, inner.exemplar(&trace));
+                inner.span(trace, TraceStage::Complete, elapsed, 1);
                 Ok(Response::new(recs, ResponseSource::Session))
             }
             Err(err) => {
@@ -669,7 +762,9 @@ impl Engine {
                 metrics.model_errors.inc();
                 inner.fault(FaultKind::ModelError, &err);
                 let reply = inner.degraded(&degraded_history(), k, "model_error");
-                metrics.latency_us.record(as_us(start.elapsed()));
+                let elapsed = as_us(start.elapsed());
+                metrics.latency_us.record_traced(elapsed, inner.exemplar(&trace));
+                inner.span(trace, TraceStage::Degraded, elapsed, reply.is_ok() as u64);
                 reply
             }
         }
@@ -702,6 +797,32 @@ impl Engine {
     /// (`"type":"serve_metrics"`) to `sink`.
     pub fn export_metrics(&self, sink: &dyn EventSink) {
         self.inner.metrics.emit(sink, "serve_metrics");
+    }
+
+    /// The engine's live metric registry — hand it to
+    /// [`vsan_obs::ExpositionServer::bind`] to serve Prometheus text
+    /// exposition, or to [`vsan_obs::expo::render`] for a one-shot
+    /// scrape.
+    pub fn metrics_registry(&self) -> Arc<Registry> {
+        self.inner.metrics.registry()
+    }
+
+    /// The flight recorder holding the last N trace spans, or `None`
+    /// when tracing is disabled ([`EngineConfig::recorder_capacity`]
+    /// = 0).
+    pub fn flight_recorder(&self) -> Option<Arc<FlightRecorder>> {
+        self.inner.recorder.clone()
+    }
+
+    /// Dump the flight recorder's contents to `sink` as a JSONL
+    /// forensic bundle (the same shape a fault-triggered dump emits).
+    /// Returns the number of records written; `0` when tracing is
+    /// disabled.
+    pub fn dump_flight_recorder(&self, sink: &dyn EventSink) -> usize {
+        match &self.inner.recorder {
+            Some(rec) => rec.dump(sink, "manual", "operator-requested dump"),
+            None => 0,
+        }
     }
 
     /// The model being served.
@@ -766,12 +887,19 @@ impl std::fmt::Debug for Engine {
 /// deadline. Returns `None` (request already resolved
 /// `DeadlineExceeded`) for expired requests — they never reach a batch,
 /// so they never occupy compute.
-fn pickup(inner: &Inner, req: Request) -> Option<Request> {
+fn pickup(inner: &Inner, mut req: Request) -> Option<Request> {
     inner.metrics.queue_depth.add(-1);
+    // Extend the trace: the pickup span's duration is the queue wait so
+    // far, and downstream spans (compute, retrieval) chain off it.
+    let wait = as_us(req.enqueued.elapsed());
+    let pctx = req.trace.child(TraceStage::Pickup.code());
+    inner.trace(pctx, TraceStage::Pickup, wait, req.attempts as u64);
+    req.trace = pctx;
     if req.deadline.is_some_and(|d| Instant::now() >= d) {
         inner.metrics.deadline_miss_pickup.inc();
         inner.fault(FaultKind::DeadlineMiss, "pickup");
-        inner.finish(req.enqueued, &req.reply, Err(ServeError::DeadlineExceeded));
+        inner.span(req.trace, TraceStage::DeadlineMiss, 0, 0);
+        inner.finish(req.enqueued, req.trace, &req.reply, Err(ServeError::DeadlineExceeded));
         return None;
     }
     Some(req)
@@ -871,7 +999,7 @@ fn batcher_loop(
                 inner.metrics.dropped_batches.inc();
                 inner.fault(FaultKind::BatchDropped, "drop_batch failpoint");
                 for req in batch {
-                    inner.finish(req.enqueued, &req.reply, Err(ServeError::WorkerLost));
+                    inner.finish(req.enqueued, req.trace, &req.reply, Err(ServeError::WorkerLost));
                 }
                 if closed {
                     return;
@@ -960,9 +1088,10 @@ fn isolate_panic(id: usize, ctx: &WorkerCtx, slots: Vec<Option<Request>>) {
         req.attempts += 1;
         if req.attempts > inner.max_batch_retries {
             inner.metrics.retry_exhausted.inc();
-            inner.finish(req.enqueued, &req.reply, Err(ServeError::WorkerLost));
+            inner.finish(req.enqueued, req.trace, &req.reply, Err(ServeError::WorkerLost));
         } else {
             inner.metrics.requeued_requests.inc();
+            inner.span(req.trace, TraceStage::Requeued, 0, req.attempts as u64);
             requeue.push(req);
         }
     }
@@ -973,7 +1102,7 @@ fn isolate_panic(id: usize, ctx: &WorkerCtx, slots: Vec<Option<Request>>) {
             let crossbeam::channel::SendError(msg) = send_err;
             if let BatchMsg::Work(reqs) = msg {
                 for req in reqs {
-                    inner.finish(req.enqueued, &req.reply, Err(ServeError::WorkerLost));
+                    inner.finish(req.enqueued, req.trace, &req.reply, Err(ServeError::WorkerLost));
                 }
             }
         }
@@ -1029,7 +1158,7 @@ fn supervisor_loop(
         let _ = handle.join();
     }
     drain_batches(&ctx.batch_rx, |req| {
-        inner.finish(req.enqueued, &req.reply, Err(ServeError::ShuttingDown));
+        inner.finish(req.enqueued, req.trace, &req.reply, Err(ServeError::ShuttingDown));
     });
 }
 
@@ -1062,13 +1191,23 @@ fn process_batch(inner: &Inner, slots: &mut [Option<Request>], ws: &mut vsan_cor
     // later arrivals waited less for the same flush). Requeued requests
     // already recorded their wait at first pickup.
     let picked_up = Instant::now();
-    for req in slots.iter().flatten() {
+    let live = slots.iter().flatten().count() as u64;
+    for req in slots.iter_mut().flatten() {
         if req.attempts == 0 {
-            inner
-                .metrics
-                .queue_wait_us
-                .record(as_us(picked_up.saturating_duration_since(req.enqueued)));
+            inner.metrics.queue_wait_us.record_traced(
+                as_us(picked_up.saturating_duration_since(req.enqueued)),
+                inner.exemplar(&req.trace),
+            );
         }
+        // The compute span is recorded *on entry*, before the failpoints
+        // below can panic: a poisoned batch's flight-recorder dump must
+        // show the full admission → pickup → compute chain for every
+        // request it held. Retries salt the span id with the attempt so
+        // each pass through compute is a distinct span.
+        let salt = TraceStage::Compute.code() | (req.attempts as u64) << 8;
+        let cctx = req.trace.child(salt);
+        inner.trace(cctx, TraceStage::Compute, 0, live);
+        req.trace = cctx;
     }
 
     if let Some(action) = failpoint::fire("panic_in_worker") {
@@ -1124,14 +1263,33 @@ fn process_batch(inner: &Inner, slots: &mut [Option<Request>], ws: &mut vsan_cor
             if req.deadline.is_some_and(|dl| Instant::now() >= dl) {
                 inner.metrics.deadline_miss_completion.inc();
                 inner.fault(FaultKind::DeadlineMiss, "completion");
-                inner.finish(req.enqueued, &req.reply, Err(ServeError::DeadlineExceeded));
+                inner.span(req.trace, TraceStage::DeadlineMiss, 0, 0);
+                inner.finish(req.enqueued, req.trace, &req.reply, Err(ServeError::DeadlineExceeded));
                 continue;
             }
-            match inner.model.recommend_from_hidden(&hidden[idx * d..(idx + 1) * d], &req.history, req.k) {
-                Ok(recs) => {
-                    inner.metrics.compute_us.record(as_us(picked_up.elapsed()));
+            match inner
+                .model
+                .recommend_from_hidden_stats(&hidden[idx * d..(idx + 1) * d], &req.history, req.k)
+            {
+                Ok((recs, qs)) => {
+                    inner.metrics.retrieval_clustered.inc();
+                    inner.metrics.retrieval_probes.record(qs.probed_clusters as u64);
+                    inner.metrics.retrieval_survivors.record(qs.survivors as u64);
+                    // attr packs the probe stats: probed clusters in the
+                    // high half, re-rank survivors in the low half.
+                    inner.span(
+                        req.trace,
+                        TraceStage::Retrieval,
+                        0,
+                        (qs.probed_clusters as u64) << 32 | qs.survivors as u64,
+                    );
+                    inner
+                        .metrics
+                        .compute_us
+                        .record_traced(as_us(picked_up.elapsed()), inner.exemplar(&req.trace));
                     inner.finish(
                         req.enqueued,
+                        req.trace,
                         &req.reply,
                         Ok(Response::new(recs, ResponseSource::Batch)),
                     );
@@ -1176,12 +1334,14 @@ fn process_batch(inner: &Inner, slots: &mut [Option<Request>], ws: &mut vsan_cor
             // The logits are cached, so the work is not wasted.
             inner.metrics.deadline_miss_completion.inc();
             inner.fault(FaultKind::DeadlineMiss, "completion");
-            inner.finish(req.enqueued, &req.reply, Err(ServeError::DeadlineExceeded));
+            inner.span(req.trace, TraceStage::DeadlineMiss, 0, 0);
+            inner.finish(req.enqueued, req.trace, &req.reply, Err(ServeError::DeadlineExceeded));
             continue;
         }
         let recs = rank(&rows[idx], &req.history, req.k);
-        inner.metrics.compute_us.record(as_us(picked_up.elapsed()));
-        inner.finish(req.enqueued, &req.reply, Ok(Response::new(recs, ResponseSource::Batch)));
+        inner.metrics.retrieval_exact.inc();
+        inner.metrics.compute_us.record_traced(as_us(picked_up.elapsed()), inner.exemplar(&req.trace));
+        inner.finish(req.enqueued, req.trace, &req.reply, Ok(Response::new(recs, ResponseSource::Batch)));
     }
 }
 

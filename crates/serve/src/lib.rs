@@ -32,6 +32,16 @@
 //!   a full forward, bit-identical to it. Eviction (LRU capacity /
 //!   idle TTL) is transparent: the next event cold-starts through the
 //!   same API, tagged in the `session.*` metrics and fault events.
+//! * **Request-scoped tracing** — every request roots a deterministic
+//!   trace at admission and grows child spans at each stage it crosses
+//!   (queue pickup, compute, clustered retrieval, session sub-stages,
+//!   degraded/shed/deadline outcomes). Spans land in a lock-free
+//!   flight-recorder ring ([`Engine::flight_recorder`]); severe faults
+//!   dump its last N spans to the fault sink as a JSONL forensic
+//!   bundle, and [`Engine::metrics_registry`] feeds the Prometheus
+//!   text-exposition endpoint ([`vsan_obs::ExpositionServer`]).
+//!   Observation never changes bits: rankings are identical with
+//!   tracing on or off (DESIGN.md §13).
 //!
 //! Fault-free results are deterministic and bit-identical to
 //! [`vsan_core::Vsan::recommend`] for the same history, cache hit or

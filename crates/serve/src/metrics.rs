@@ -21,7 +21,7 @@ pub(crate) fn as_us(elapsed: Duration) -> u64 {
 /// request path never takes the registry lock.
 #[derive(Debug)]
 pub(crate) struct Metrics {
-    registry: Registry,
+    registry: Arc<Registry>,
     pub requests: Arc<Counter>,
     pub cache_hits: Arc<Counter>,
     pub cache_misses: Arc<Counter>,
@@ -96,6 +96,15 @@ pub(crate) struct Metrics {
     pub sessions_live: Arc<Gauge>,
     /// Resident bytes across all session states.
     pub session_bytes: Arc<Gauge>,
+    // --- retrieval-route telemetry (README § Clustered retrieval) ---
+    /// Requests scored by exact brute force over the full vocabulary.
+    pub retrieval_exact: Arc<Counter>,
+    /// Requests scored through the clustered MIPS index.
+    pub retrieval_clustered: Arc<Counter>,
+    /// Clusters probed per clustered query (coarse-stage width).
+    pub retrieval_probes: Arc<Histogram>,
+    /// Candidates surviving into the exact re-rank per clustered query.
+    pub retrieval_survivors: Arc<Histogram>,
 }
 
 impl Default for Metrics {
@@ -106,7 +115,7 @@ impl Default for Metrics {
 
 impl Metrics {
     pub fn new() -> Self {
-        let registry = Registry::new();
+        let registry = Arc::new(Registry::new());
         Metrics {
             requests: registry.counter("serve.requests"),
             cache_hits: registry.counter("serve.cache_hits"),
@@ -145,8 +154,18 @@ impl Metrics {
             session_evictions: registry.counter("session.evictions"),
             sessions_live: registry.gauge("session.live"),
             session_bytes: registry.gauge("session.bytes"),
+            retrieval_exact: registry.counter("serve.retrieval_exact"),
+            retrieval_clustered: registry.counter("serve.retrieval_clustered"),
+            retrieval_probes: registry.histogram("serve.retrieval_probes"),
+            retrieval_survivors: registry.histogram("serve.retrieval_survivors"),
             registry,
         }
+    }
+
+    /// Shared registry handle — what the Prometheus exposition endpoint
+    /// serves (`vsan_obs::expo`).
+    pub fn registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.registry)
     }
 
     /// The stable counter view.
@@ -182,6 +201,8 @@ impl Metrics {
             session_resumes: self.session_resumes.get(),
             session_resets: self.session_resets.get(),
             session_evictions: self.session_evictions.get(),
+            retrieval_exact: self.retrieval_exact.get(),
+            retrieval_clustered: self.retrieval_clustered.get(),
         }
     }
 
@@ -196,6 +217,8 @@ impl Metrics {
             batch_fill_pct: self.batch_fill_pct.snapshot(),
             sessions_live: self.sessions_live.get(),
             session_bytes: self.session_bytes.get(),
+            retrieval_probes: self.retrieval_probes.snapshot(),
+            retrieval_survivors: self.retrieval_survivors.snapshot(),
         }
     }
 
@@ -265,6 +288,10 @@ pub struct MetricsSnapshot {
     pub session_resets: u64,
     /// Sessions evicted by LRU capacity or idle TTL.
     pub session_evictions: u64,
+    /// Requests scored by exact brute force over the full vocabulary.
+    pub retrieval_exact: u64,
+    /// Requests scored through the clustered MIPS index.
+    pub retrieval_clustered: u64,
 }
 
 impl MetricsSnapshot {
@@ -341,6 +368,10 @@ pub struct ServeStats {
     pub sessions_live: i64,
     /// Resident session-state bytes (`session.bytes` gauge).
     pub session_bytes: i64,
+    /// Clusters probed per clustered query (empty when serving exact).
+    pub retrieval_probes: HistogramSnapshot,
+    /// Re-rank candidates per clustered query (empty when serving exact).
+    pub retrieval_survivors: HistogramSnapshot,
 }
 
 impl ServeStats {
@@ -382,10 +413,14 @@ impl ServeStats {
             .u64("session_evictions", self.snapshot.session_evictions)
             .i64("sessions_live", self.sessions_live)
             .i64("session_bytes", self.session_bytes)
+            .u64("retrieval_exact", self.snapshot.retrieval_exact)
+            .u64("retrieval_clustered", self.snapshot.retrieval_clustered)
             .f64("mean_batch_fill_pct", self.mean_batch_fill_pct())
             .raw("queue_wait_us", &self.queue_wait_us.summary_json())
             .raw("compute_us", &self.compute_us.summary_json())
             .raw("latency_us", &self.latency_us.summary_json())
+            .raw("retrieval_probes", &self.retrieval_probes.summary_json())
+            .raw("retrieval_survivors", &self.retrieval_survivors.summary_json())
             .finish()
     }
 }

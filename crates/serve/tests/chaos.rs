@@ -393,3 +393,76 @@ fn unarmed_failpoints_leave_the_engine_bit_identical() {
     assert_eq!(stats.latency_us.count, m.requests);
     assert_eq!(stats.compute_us.count, m.requests);
 }
+
+#[test]
+fn worker_panic_dump_reconstructs_the_poisoned_batch_chain() {
+    let _chaos = chaos();
+    failpoint::arm("panic_in_worker", Schedule::FirstN(1), FailAction::Panic);
+
+    let sink = vsan_obs::MemorySink::new();
+    let engine = Engine::start(
+        trained_model(),
+        EngineConfig::default()
+            .with_workers(1)
+            .with_max_batch(4)
+            .with_cache_capacity(0)
+            .with_fault_sink(std::sync::Arc::new(sink.clone())),
+    );
+    for history in histories(8) {
+        let _ = wait_within(engine.submit(&history, 5), Duration::from_secs(30));
+    }
+    assert!(failpoint::fired("panic_in_worker") > 0, "the panic must fire");
+    engine.shutdown();
+
+    // Every fault-sink line — events, dump header, dump records — must
+    // be a valid single-line JSON object.
+    let lines = sink.lines();
+    for line in &lines {
+        vsan_obs::parse(line).unwrap_or_else(|e| panic!("unparseable fault JSONL: {e}: {line}"));
+    }
+
+    // The worker panic dumps the flight recorder: locate the bundle and
+    // slice out exactly the records it declares.
+    let dump_at = lines
+        .iter()
+        .position(|l| {
+            let v = vsan_obs::parse(l).expect("parsed above");
+            v.get("type").and_then(vsan_obs::JsonValue::as_str) == Some("flight_dump")
+                && v.get("fault").and_then(vsan_obs::JsonValue::as_str) == Some("worker_panic")
+        })
+        .expect("a worker panic must dump the flight recorder");
+    let header = vsan_obs::parse(&lines[dump_at]).expect("parsed above");
+    let declared = header.get("records").and_then(vsan_obs::JsonValue::as_u64).expect("records");
+    assert!(declared > 0, "the dump must carry the spans leading up to the panic");
+
+    // (trace_id, span_id, parent_span_id, stage) per dumped record.
+    let records: Vec<(String, String, String, String)> = lines
+        [dump_at + 1..dump_at + 1 + declared as usize]
+        .iter()
+        .map(|l| {
+            let v = vsan_obs::parse(l).expect("parsed above");
+            assert_eq!(v.get("type").and_then(vsan_obs::JsonValue::as_str), Some("flight_record"));
+            let s = |k: &str| {
+                v.get(k).and_then(vsan_obs::JsonValue::as_str).expect("string field").to_string()
+            };
+            (s("trace_id"), s("span_id"), s("parent_span_id"), s("stage"))
+        })
+        .collect();
+
+    // The poisoned batch's compute spans were recorded *before* the
+    // failpoint fired, so each reconstructs its full causal chain —
+    // admission → pickup → compute — entirely from the dump.
+    let by_span: HashMap<&str, &(String, String, String, String)> =
+        records.iter().map(|r| (r.1.as_str(), r)).collect();
+    let computes: Vec<_> = records.iter().filter(|r| r.3 == "compute").collect();
+    assert!(!computes.is_empty(), "the poisoned batch must leave compute spans in the dump");
+    for c in computes {
+        let pickup = by_span.get(c.2.as_str()).expect("compute's parent span in dump");
+        assert_eq!(pickup.3, "pickup", "compute must chain to a pickup span");
+        assert_eq!(pickup.0, c.0, "trace id constant along the chain");
+        let admission = by_span.get(pickup.2.as_str()).expect("pickup's parent span in dump");
+        assert_eq!(admission.3, "admission", "pickup must chain to the admission root");
+        assert_eq!(admission.2, "0000000000000000", "admission is the root (no parent)");
+        assert_eq!(admission.0, c.0, "trace id constant along the chain");
+    }
+}

@@ -91,3 +91,54 @@ fn restart_on_restored_checkpoint_rebuilds_identically() {
     }
     engine_b.shutdown();
 }
+
+#[test]
+fn retrieval_path_counters_account_for_every_batch_answer() {
+    let model = trained_model();
+    let engine = Engine::start(
+        model,
+        EngineConfig::default()
+            .with_workers(1)
+            .with_cache_capacity(0)
+            .with_retrieval(Retrieval::Clustered(full_probe())),
+    );
+    let histories: [&[u32]; 4] = [&[1, 2, 3], &[4, 5], &[6], &[7, 8, 1, 2]];
+    for history in &histories {
+        engine.submit(history, 5).wait().expect("serve reply");
+    }
+    let stats = engine.shutdown_stats();
+    let m = stats.snapshot;
+
+    // Exactly one retrieval-path resolution per request, whichever path
+    // the env gates routed to.
+    assert_eq!(
+        m.retrieval_exact + m.retrieval_clustered,
+        histories.len() as u64,
+        "every batch answer must be attributed to exactly one retrieval path"
+    );
+    if vsan_core::ann_disabled() || vsan_core::fast_path_disabled() {
+        assert_eq!(m.retrieval_clustered, 0, "env gates pin the engine to the exact path");
+        assert_eq!(stats.retrieval_probes.count, 0);
+    } else {
+        assert_eq!(m.retrieval_clustered, histories.len() as u64);
+        assert_eq!(m.retrieval_exact, 0);
+        // One probe/survivor observation per clustered answer; at full
+        // probe every cluster is visited.
+        assert_eq!(stats.retrieval_probes.count, histories.len() as u64);
+        assert_eq!(stats.retrieval_survivors.count, histories.len() as u64);
+        assert_eq!(stats.retrieval_probes.max, 3, "full probe visits all 3 clusters");
+        assert!(stats.retrieval_survivors.max >= 5, "re-rank pool covers the requested k");
+    }
+
+    // An exact-retrieval engine counts on the other side.
+    let engine = Engine::start(
+        trained_model(),
+        EngineConfig::default().with_workers(1).with_cache_capacity(0),
+    );
+    for history in &histories {
+        engine.submit(history, 5).wait().expect("serve reply");
+    }
+    let m = engine.shutdown();
+    assert_eq!(m.retrieval_exact, histories.len() as u64);
+    assert_eq!(m.retrieval_clustered, 0);
+}

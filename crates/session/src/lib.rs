@@ -24,5 +24,5 @@
 pub mod runtime;
 pub mod store;
 
-pub use runtime::{AppendResult, SessionOutcome, SessionRuntime, SessionStats};
+pub use runtime::{AppendResult, SessionOutcome, SessionRuntime, SessionStats, SessionTrace};
 pub use store::{EvictReason, Eviction, PrefixHit, SessionConfig, SessionEntry, SessionStore};

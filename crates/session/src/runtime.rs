@@ -19,9 +19,11 @@
 //! both ways.
 
 use std::sync::{Mutex, MutexGuard};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use vsan_core::{fast_path_disabled, SessionState, Vsan, Workspace};
+use vsan_obs::recorder::FlightRecorder;
+use vsan_obs::trace::{TraceContext, TraceSpan, TraceStage};
 
 use crate::store::{Eviction, SessionConfig, SessionStore};
 
@@ -63,6 +65,49 @@ impl SessionOutcome {
             SessionOutcome::ColdStart => "cold_start",
             SessionOutcome::Reset => "reset",
         }
+    }
+
+    /// Stable numeric wire code, used as the trace-span attribute of
+    /// session stages.
+    pub fn code(&self) -> u64 {
+        match self {
+            SessionOutcome::Append => 0,
+            SessionOutcome::Resumed { .. } => 1,
+            SessionOutcome::ColdStart => 2,
+            SessionOutcome::Reset => 3,
+        }
+    }
+}
+
+/// Trace hookup for one traced append: where to record, the parent
+/// session span, and the engine's time origin. Purely observational —
+/// [`SessionRuntime::append_event_traced`] computes identical bits with
+/// or without it (the §8 telemetry rule).
+#[derive(Clone, Copy)]
+pub struct SessionTrace<'a> {
+    /// The engine's flight recorder.
+    pub recorder: &'a FlightRecorder,
+    /// The session-stage context sub-stages hang off.
+    pub ctx: TraceContext,
+    /// The engine's origin instant `at_us` is measured from.
+    pub origin: Instant,
+}
+
+fn us(d: Duration) -> u64 {
+    d.as_micros().min(u64::MAX as u128) as u64
+}
+
+impl SessionTrace<'_> {
+    /// Record one sub-stage as a child of the session span: `started`
+    /// is when the stage began (its elapsed time is the duration).
+    fn record(&self, stage: TraceStage, started: Instant, attr: u64) {
+        self.recorder.record(&TraceSpan {
+            ctx: self.ctx.child(stage.code()),
+            stage,
+            at_us: us(self.origin.elapsed()),
+            dur_us: us(started.elapsed()),
+            attr,
+        });
     }
 }
 
@@ -148,6 +193,26 @@ impl SessionRuntime {
         ws: &mut Workspace,
         now: Instant,
     ) -> Result<AppendResult, String> {
+        self.append_event_traced(model, user, hint, item, ws, now, None)
+    }
+
+    /// [`Self::append_event`] with optional per-stage trace recording:
+    /// resolve / prepare / apply / commit sub-spans hang off
+    /// `trace.ctx` in the engine's flight recorder. The trace hookup is
+    /// write-only — logits, history, outcome, and evictions are
+    /// bit-identical with `trace` present or `None`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn append_event_traced(
+        &self,
+        model: &Vsan,
+        user: u64,
+        hint: Option<&[u32]>,
+        item: u32,
+        ws: &mut Workspace,
+        now: Instant,
+        trace: Option<SessionTrace<'_>>,
+    ) -> Result<AppendResult, String> {
+        let stage_start = Instant::now();
         if self.stateless {
             let mut history = hint.unwrap_or_default().to_vec();
             history.push(item);
@@ -155,6 +220,9 @@ impl SessionRuntime {
                 .try_score_items_batch(&[model.fold_in_window(&history)])?
                 .pop()
                 .unwrap_or_default();
+            if let Some(t) = &trace {
+                t.record(TraceStage::SessionPrepare, stage_start, history.len() as u64);
+            }
             return Ok(AppendResult {
                 logits,
                 history,
@@ -215,9 +283,13 @@ impl SessionRuntime {
         } else {
             SessionOutcome::ColdStart
         };
+        if let Some(t) = &trace {
+            t.record(TraceStage::SessionResolve, stage_start, outcome.code());
+        }
 
         let logits = if fast_path_disabled() {
             // Graph-oracle mode: bypass the incremental path entirely.
+            let stage_start = Instant::now();
             entry.state.clear();
             let mut full = pre;
             full.push(item);
@@ -226,16 +298,24 @@ impl SessionRuntime {
                 .pop()
                 .unwrap_or_default();
             entry.history = full;
+            if let Some(t) = &trace {
+                t.record(TraceStage::SessionPrepare, stage_start, entry.history.len() as u64);
+            }
             row
         } else {
             if !prepared_for_pre {
+                let stage_start = Instant::now();
                 match sibling_state {
                     Some(state) => entry.state = state,
                     None => {
                         model.prepare_session_into(&pre, Some(&self.pad), &mut entry.state, ws)?
                     }
                 }
+                if let Some(t) = &trace {
+                    t.record(TraceStage::SessionPrepare, stage_start, pre.len() as u64);
+                }
             }
+            let stage_start = Instant::now();
             let row = model.append_session_logits(&entry.state, item, ws)?;
             entry.history = pre;
             entry.history.push(item);
@@ -244,6 +324,9 @@ impl SessionRuntime {
             // the state borrow don't alias through `Deref`.)
             let crate::store::SessionEntry { history, state } = &mut *entry;
             model.prepare_session_into(history, Some(&self.pad), state, ws)?;
+            if let Some(t) = &trace {
+                t.record(TraceStage::SessionApply, stage_start, entry.history.len() as u64);
+            }
             row
         };
 
@@ -254,7 +337,11 @@ impl SessionRuntime {
 
         // 4. Publish the snapshot; eviction may fire here (never at us —
         //    we are the freshest tick).
+        let stage_start = Instant::now();
         evictions.extend(lock(&self.store).commit(user, &entry_arc, history.clone(), prepared, bytes, now));
+        if let Some(t) = &trace {
+            t.record(TraceStage::SessionCommit, stage_start, evictions.len() as u64);
+        }
         Ok(AppendResult { logits, history, outcome, evictions })
     }
 }

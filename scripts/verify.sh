@@ -159,9 +159,55 @@ if ! awk -v s="${speedup}" 'BEGIN { exit !(s >= 5.0) }'; then
   exit 1
 fi
 
+# Tracing differential gate: the request-scoped tracing suite must
+# hold with the flight recorder on and with every inference rerouting
+# in play — the spans a stage records depend on which path served it,
+# and rankings must not depend on either.
+echo "==> tracing suite (default + VSAN_DISABLE_ANN=1 + VSAN_DISABLE_FAST_PATH=1)"
+cargo test -q --offline -p vsan-serve --test trace
+VSAN_DISABLE_ANN=1 cargo test -q --offline -p vsan-serve --test trace
+VSAN_DISABLE_FAST_PATH=1 cargo test -q --offline -p vsan-serve --test trace
+
+# The committed serving report must attest that tracing is effectively
+# free: p50/p99 latency with the flight recorder on regresses < 3%
+# against the same engine with tracing disabled, the traced and
+# untraced twins served identical bits, and at least one histogram
+# carries a real (nonzero) trace-id exemplar.
+echo "==> results/BENCH_serve.json trace_overhead < 3% attestation"
+if [ ! -f results/BENCH_serve.json ]; then
+  echo "results/BENCH_serve.json missing — run: cargo run --release -p vsan-bench --bin serve_bench" >&2
+  exit 1
+fi
+if ! grep -q '"trace_overhead"' results/BENCH_serve.json; then
+  echo "results/BENCH_serve.json lacks the trace_overhead phase — regenerate with serve_bench" >&2
+  exit 1
+fi
+for q in p50 p99; do
+  pct="$(sed -n "s/.*\"${q}_overhead_pct\": \(-\{0,1\}[0-9.]*\).*/\1/p" results/BENCH_serve.json | head -n1)"
+  if [ -z "${pct}" ]; then
+    echo "results/BENCH_serve.json lacks \"${q}_overhead_pct\" — regenerate with serve_bench" >&2
+    exit 1
+  fi
+  if ! awk -v p="${pct}" 'BEGIN { exit !(p < 3.0) }'; then
+    echo "${q} tracing overhead ${pct}% >= 3% — tracing is no longer effectively free" >&2
+    exit 1
+  fi
+done
+if ! grep -q '"results_match": true' results/BENCH_serve.json; then
+  echo "results/BENCH_serve.json lacks \"results_match\": true — tracing changed served bits" >&2
+  exit 1
+fi
+exemplar="$(sed -n 's/.*"exemplar_trace": *"\([0-9a-f]*\)".*/\1/p' results/BENCH_serve.json | head -n1)"
+if [ -z "${exemplar}" ] || [ "${exemplar}" = "0000000000000000" ]; then
+  echo "results/BENCH_serve.json lacks a nonzero \"exemplar_trace\" — regenerate with serve_bench" >&2
+  exit 1
+fi
+
 # Instrumented smoke pass: trains and serves with full telemetry
-# attached, then validates the JSONL streams (fails on zero events or
-# any record that does not parse).
+# attached, then validates the JSONL streams (fails on zero events,
+# any record that does not parse, a flight-recorder trace graph whose
+# spans do not all resolve to an admission root, or a live Prometheus
+# scrape whose body does not round-trip through the parser).
 echo "==> obs_smoke (instrumented train + serve telemetry)"
 cargo run --release --offline -q -p vsan-bench --bin obs_smoke
 
