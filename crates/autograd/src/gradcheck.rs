@@ -7,7 +7,7 @@
 //! VSAN loss) the same way.
 
 use crate::{Graph, Var};
-use vsan_tensor::Tensor;
+use vsan_tensor::{KernelTier, Tensor};
 
 /// Outcome of a single gradient check.
 #[derive(Debug)]
@@ -34,8 +34,23 @@ pub fn check_gradients(
     eps: f32,
     tol: f32,
 ) -> Result<GradCheckReport, String> {
+    check_gradients_tiered(params, build, eps, tol, KernelTier::Reference)
+}
+
+/// [`check_gradients`] with an explicit kernel tier for the analytic
+/// pass. The numeric (finite-difference) evaluations always run the
+/// reference tier, so checking the fast tier here validates its analytic
+/// gradients against an *independent* forward implementation — on top of
+/// the bitwise cross-tier check in [`check_tier_equivalence`].
+pub fn check_gradients_tiered(
+    params: &[Tensor],
+    build: impl Fn(&mut Graph, &[Var]) -> Var,
+    eps: f32,
+    tol: f32,
+    tier: KernelTier,
+) -> Result<GradCheckReport, String> {
     // Analytic pass.
-    let mut g = Graph::with_threads(1);
+    let mut g = Graph::with_threads_and_tier(1, tier);
     let vars: Vec<Var> = params.iter().enumerate().map(|(k, t)| g.param(t.clone(), k)).collect();
     let loss = build(&mut g, &vars);
     let grads = g.backward(loss).map_err(|e| format!("backward failed: {e}"))?;
@@ -89,6 +104,88 @@ pub fn check_default(
     check_gradients(params, build, 1e-2, 2e-2)
 }
 
+/// Outcome of a cross-tier bitwise equivalence check.
+#[derive(Debug)]
+pub struct TierCheckReport {
+    /// Total f32 elements compared (loss + every parameter gradient).
+    pub compared: usize,
+}
+
+/// Build the same loss on a reference-tier and a fast-tier graph and
+/// demand **bit-identical** results: the loss scalar and every parameter
+/// gradient must match `to_bits()`-exactly, not merely within a tolerance.
+///
+/// This is the differential oracle for the fast kernel tier (DESIGN.md
+/// §10): the reference graph runs the scalar tape kernels, the fast graph
+/// runs the tiled/fused kernels, and any divergence — a reordered fold,
+/// an FMA contraction, a dropped `+ 0.0` — shows up as a bit mismatch
+/// here long before it would show up as a loose tolerance failure.
+///
+/// `build` has the same contract as [`check_gradients`]: deterministic,
+/// params registered with keys `0..params.len()`.
+pub fn check_tier_equivalence(
+    params: &[Tensor],
+    build: impl Fn(&mut Graph, &[Var]) -> Var,
+) -> Result<TierCheckReport, String> {
+    let run = |tier: KernelTier| -> Result<(f32, Vec<Option<Tensor>>), String> {
+        let mut g = Graph::with_threads_and_tier(1, tier);
+        let vars: Vec<Var> =
+            params.iter().enumerate().map(|(k, t)| g.param(t.clone(), k)).collect();
+        let loss = build(&mut g, &vars);
+        let loss_val = g.value(loss).data()[0];
+        let grads = g
+            .backward(loss)
+            .map_err(|e| format!("backward failed on {} tier: {e}", tier.name()))?;
+        let per_param = (0..params.len()).map(|k| grads.param_grad(k).cloned()).collect();
+        Ok((loss_val, per_param))
+    };
+
+    let (loss_ref, grads_ref) = run(KernelTier::Reference)?;
+    let (loss_fast, grads_fast) = run(KernelTier::Fast)?;
+
+    if loss_ref.to_bits() != loss_fast.to_bits() {
+        return Err(format!(
+            "loss bits differ: reference {loss_ref:?} ({:08x}) vs fast {loss_fast:?} ({:08x})",
+            loss_ref.to_bits(),
+            loss_fast.to_bits()
+        ));
+    }
+    let mut compared = 1usize;
+    for (k, (gr, gf)) in grads_ref.iter().zip(&grads_fast).enumerate() {
+        match (gr, gf) {
+            (None, None) => {}
+            (Some(_), None) | (None, Some(_)) => {
+                return Err(format!(
+                    "param {k}: gradient present on one tier only (reference: {}, fast: {})",
+                    gr.is_some(),
+                    gf.is_some()
+                ));
+            }
+            (Some(gr), Some(gf)) => {
+                if gr.dims() != gf.dims() {
+                    return Err(format!(
+                        "param {k}: gradient shape differs across tiers: {:?} vs {:?}",
+                        gr.dims(),
+                        gf.dims()
+                    ));
+                }
+                for (e, (a, b)) in gr.data().iter().zip(gf.data()).enumerate() {
+                    if a.to_bits() != b.to_bits() {
+                        return Err(format!(
+                            "param {k} element {e}: gradient bits differ: \
+                             reference {a:?} ({:08x}) vs fast {b:?} ({:08x})",
+                            a.to_bits(),
+                            b.to_bits()
+                        ));
+                    }
+                    compared += 1;
+                }
+            }
+        }
+    }
+    Ok(TierCheckReport { compared })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -101,6 +198,37 @@ mod tests {
             g.sum_all(s)
         });
         assert!(ok.is_ok(), "{ok:?}");
+    }
+
+    #[test]
+    fn tier_equivalence_accepts_an_attention_loss() {
+        // q/k/v shapes off the register-tile grid (n=3, d=5) exercise the
+        // fused kernel's remainder paths through the public checker.
+        let mk = |seed: f32| {
+            let data: Vec<f32> = (0..15).map(|i| ((i as f32) * 0.37 + seed).sin()).collect();
+            Tensor::from_vec(data, &[3, 5]).unwrap()
+        };
+        let report = check_tier_equivalence(&[mk(0.1), mk(1.3), mk(2.7)], |g, vars| {
+            let attn = g.causal_attention(vars[0], vars[1], vars[2], 0.5).unwrap();
+            let sq = g.mul(attn, attn).unwrap();
+            g.sum_all(sq)
+        })
+        .expect("tiers must agree bitwise");
+        // loss + 3 × 15 gradient elements
+        assert_eq!(report.compared, 1 + 45);
+    }
+
+    #[test]
+    fn tier_equivalence_catches_a_divergent_build() {
+        // Sabotage: the build inspects the graph's tier and scales the loss
+        // on the fast tier only — the checker must reject the bit mismatch.
+        let p = Tensor::from_vec(vec![0.5, -0.3], &[1, 2]).unwrap();
+        let bad = check_tier_equivalence(&[p], |g, vars| {
+            let s = g.mul(vars[0], vars[0]).unwrap();
+            let s = if g.kernel_tier() == KernelTier::Fast { g.scale(s, 3.0) } else { s };
+            g.sum_all(s)
+        });
+        assert!(bad.is_err(), "{bad:?}");
     }
 
     #[test]

@@ -5,7 +5,7 @@ use crate::{GradError, Result};
 use std::collections::HashMap;
 use vsan_tensor::ops as tops;
 use vsan_tensor::ops::norm::LN_EPS;
-use vsan_tensor::{parallel, Shape, Tensor};
+use vsan_tensor::{parallel, KernelTier, Shape, Tensor};
 
 /// A handle to a node on a [`Graph`]'s tape.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -22,9 +22,20 @@ struct Node {
 /// A define-by-run tape. Build one per forward pass, call
 /// [`Graph::backward`] once, then read parameter gradients from the
 /// returned [`Gradients`].
+///
+/// A graph carries a [`KernelTier`] chosen at construction. The default
+/// ([`Graph::new`], [`Graph::with_threads`]) is
+/// [`KernelTier::Reference`] — the original scalar kernels — so every
+/// existing call site, including the inference graph *oracle* and the
+/// finite-difference gradcheck, keeps its independent implementation.
+/// Training drivers opt into [`KernelTier::Fast`] explicitly via
+/// [`Graph::with_threads_and_tier`]; both tiers produce bit-identical
+/// values and gradients (the fold-order contract in `vsan-tensor`'s
+/// `ops::matmul` header, enforced by the tier-differential test wall).
 pub struct Graph {
     nodes: Vec<Node>,
     threads: usize,
+    tier: KernelTier,
 }
 
 impl Default for Graph {
@@ -36,12 +47,22 @@ impl Default for Graph {
 impl Graph {
     /// Empty tape using the machine's default parallelism for large matmuls.
     pub fn new() -> Self {
-        Graph { nodes: Vec::with_capacity(256), threads: parallel::default_threads() }
+        Self::with_threads_and_tier(parallel::default_threads(), KernelTier::Reference)
     }
 
     /// Empty tape with an explicit worker-thread count.
     pub fn with_threads(threads: usize) -> Self {
-        Graph { nodes: Vec::with_capacity(256), threads: threads.max(1) }
+        Self::with_threads_and_tier(threads, KernelTier::Reference)
+    }
+
+    /// Empty tape with an explicit worker-thread count and kernel tier.
+    pub fn with_threads_and_tier(threads: usize, tier: KernelTier) -> Self {
+        Graph { nodes: Vec::with_capacity(256), threads: threads.max(1), tier }
+    }
+
+    /// The kernel tier this tape runs on.
+    pub fn kernel_tier(&self) -> KernelTier {
+        self.tier
     }
 
     /// Number of nodes currently on the tape.
@@ -71,6 +92,25 @@ impl Graph {
 
     fn needs(&self, ids: &[usize]) -> bool {
         ids.iter().any(|&i| self.nodes[i].needs_grad)
+    }
+
+    // ---- tier-dispatched kernels ----------------------------------------
+    //
+    // Both tiers share one per-element fold order (ops::matmul's module
+    // header in vsan-tensor), so these helpers change speed, never bits.
+
+    fn mm_a_bt(&self, a: &Tensor, b: &Tensor) -> vsan_tensor::Result<Tensor> {
+        match self.tier {
+            KernelTier::Reference => tops::matmul_a_bt(a, b),
+            KernelTier::Fast => tops::matmul_a_bt_fast(a, b),
+        }
+    }
+
+    fn mm_at_b(&self, a: &Tensor, b: &Tensor) -> vsan_tensor::Result<Tensor> {
+        match self.tier {
+            KernelTier::Reference => tops::matmul_at_b(a, b),
+            KernelTier::Fast => tops::matmul_at_b_fast(a, b),
+        }
     }
 
     // ---- inputs ---------------------------------------------------------
@@ -127,13 +167,14 @@ impl Graph {
 
     /// Dense matmul; automatically goes parallel for large problems.
     pub fn matmul(&mut self, a: Var, b: Var) -> Result<Var> {
-        let v = parallel::matmul_parallel(self.value(a), self.value(b), self.threads)?;
+        let v =
+            parallel::matmul_parallel_tiered(self.value(a), self.value(b), self.threads, self.tier)?;
         Ok(self.push(v, Op::MatMul(a.0, b.0), self.needs(&[a.0, b.0])))
     }
 
     /// `A · Bᵀ` without materializing the transpose (attention scores).
     pub fn matmul_a_bt(&mut self, a: Var, b: Var) -> Result<Var> {
-        let v = tops::matmul_a_bt(self.value(a), self.value(b))?;
+        let v = self.mm_a_bt(self.value(a), self.value(b))?;
         Ok(self.push(v, Op::MatMulABt(a.0, b.0), self.needs(&[a.0, b.0])))
     }
 
@@ -194,9 +235,58 @@ impl Graph {
     /// Causal-masked softmax of a square score matrix (future positions get
     /// exactly zero weight — the SASRec/VSAN attention constraint).
     pub fn softmax_causal(&mut self, x: Var) -> Result<Var> {
-        let v = tops::softmax_rows_masked(self.value(x))?;
+        let v = match self.tier {
+            KernelTier::Reference => tops::softmax_rows_masked(self.value(x))?,
+            KernelTier::Fast => tops::softmax_rows_masked_fast(self.value(x))?,
+        };
         let ng = self.nodes[x.0].needs_grad;
         Ok(self.push(v, Op::SoftmaxCausal(x.0), ng))
+    }
+
+    /// Causal attention `softmax_causal(q·kᵀ·scale)·v` for `(n, d)`
+    /// operands — the attention block's whole score→mix pipeline as one
+    /// builder.
+    ///
+    /// On [`KernelTier::Reference`] this composes the four tape ops the
+    /// attention layers have always recorded (`matmul_a_bt` → scale →
+    /// `softmax_causal` → `matmul`), so the oracle tape is unchanged op
+    /// for op. On [`KernelTier::Fast`] it runs the fused training
+    /// kernel: one forward pass that saves the `(n, n)` softmax matrix,
+    /// and a one-pass tiled backward for `dq`/`dk`/`dv` — bit-identical
+    /// values and gradients either way (the contract proven in
+    /// `vsan-tensor`'s fused-kernel tests and the tier-differential
+    /// suite).
+    pub fn causal_attention(&mut self, q: Var, k: Var, v: Var, scale: f32) -> Result<Var> {
+        if self.tier == KernelTier::Reference {
+            let scores = self.matmul_a_bt(q, k)?;
+            let scaled = self.scale(scores, scale);
+            let attn = self.softmax_causal(scaled)?;
+            return self.matmul(attn, v);
+        }
+        let (n, d) = self.value(q).shape().as_2d()?;
+        for operand in [k, v] {
+            if self.value(operand).dims() != [n, d] {
+                return Err(GradError::Tensor(vsan_tensor::TensorError::ShapeMismatch {
+                    lhs: vec![n, d],
+                    rhs: self.value(operand).dims().to_vec(),
+                    op: "causal_attention",
+                }));
+            }
+        }
+        let mut probs = vec![0.0f32; n * n];
+        let mut out = Tensor::zeros(&[n, d]);
+        tops::causal_attention_train_forward(
+            self.value(q).data(),
+            self.value(k).data(),
+            self.value(v).data(),
+            n,
+            d,
+            scale,
+            &mut probs,
+            out.data_mut(),
+        );
+        let ng = self.needs(&[q.0, k.0, v.0]);
+        Ok(self.push(out, Op::CausalAttention { q: q.0, k: k.0, v: v.0, scale, probs }, ng))
     }
 
     // ---- normalization ----------------------------------------------------
@@ -554,24 +644,63 @@ impl Graph {
             }
             Op::MatMul(a, b) => {
                 if self.nodes[*a].needs_grad {
-                    let da = tops::matmul_a_bt(g, &self.nodes[*b].value)?;
+                    let da = self.mm_a_bt(g, &self.nodes[*b].value)?;
                     Self::accum(grads, &self.nodes[*a], *a, da)?;
                 }
                 if self.nodes[*b].needs_grad {
-                    let db = tops::matmul_at_b(&self.nodes[*a].value, g)?;
+                    let db = self.mm_at_b(&self.nodes[*a].value, g)?;
                     Self::accum(grads, &self.nodes[*b], *b, db)?;
                 }
             }
             Op::MatMulABt(a, b) => {
                 // out = A·Bᵀ ⇒ dA = g·B, dB = gᵀ·A.
                 if self.nodes[*a].needs_grad {
-                    let da = parallel::matmul_parallel(g, &self.nodes[*b].value, self.threads)?;
+                    let da = parallel::matmul_parallel_tiered(
+                        g,
+                        &self.nodes[*b].value,
+                        self.threads,
+                        self.tier,
+                    )?;
                     Self::accum(grads, &self.nodes[*a], *a, da)?;
                 }
                 if self.nodes[*b].needs_grad {
-                    let db = tops::matmul_at_b(g, &self.nodes[*a].value)?;
+                    let db = self.mm_at_b(g, &self.nodes[*a].value)?;
                     Self::accum(grads, &self.nodes[*b], *b, db)?;
                 }
+            }
+            Op::CausalAttention { q, k, v, scale, probs } => {
+                // One tiled pass computes all three input gradients,
+                // bit-identical to the composed chain's reverse rules
+                // (vsan-tensor's causal_attention_train_backward doc).
+                let qv = &self.nodes[*q].value;
+                let kv = &self.nodes[*k].value;
+                let vv = &self.nodes[*v].value;
+                let (n, d) = qv.shape().as_2d()?;
+                let mut dq = Tensor::zeros(&[n, d]);
+                let mut dk = Tensor::zeros(&[n, d]);
+                let mut dv = Tensor::zeros(&[n, d]);
+                let mut dscores = vec![0.0f32; n * n];
+                tops::causal_attention_train_backward(
+                    qv.data(),
+                    kv.data(),
+                    vv.data(),
+                    probs,
+                    g.data(),
+                    n,
+                    d,
+                    *scale,
+                    dq.data_mut(),
+                    dk.data_mut(),
+                    dv.data_mut(),
+                    &mut dscores,
+                );
+                // Leaf order v → q → k mirrors the composed chain (the
+                // `matmul(attn, v)` node backprops before the
+                // `matmul_a_bt(q, k)` node), so even a shared q/k/v
+                // input accumulates in the same order, same bits.
+                Self::accum(grads, &self.nodes[*v], *v, dv)?;
+                Self::accum(grads, &self.nodes[*q], *q, dq)?;
+                Self::accum(grads, &self.nodes[*k], *k, dk)?;
             }
             Op::Relu(x) => {
                 let mut dx = g.clone();

@@ -47,6 +47,12 @@ pub enum Op {
     /// Causal-masked row softmax over a square score matrix (row `i`
     /// attends to columns `j ≤ i`).
     SoftmaxCausal(NodeId),
+    /// Fused causal attention `softmax_causal(q·kᵀ·scale)·v` — the fast
+    /// kernel tier's replacement for the `MatMulABt` → `Affine` →
+    /// `SoftmaxCausal` → `MatMul` composition (bit-identical to it).
+    /// Cached: the `(n, n)` softmax matrix, flattened row-major (the
+    /// saved activation the one-pass backward consumes).
+    CausalAttention { q: NodeId, k: NodeId, v: NodeId, scale: f32, probs: Vec<f32> },
     /// Fused LayerNorm with learned affine parameters.
     LayerNorm { x: NodeId, gamma: NodeId, beta: NodeId, stats: LayerNormStats },
     /// Row gather from a rank-2 table: `out.row(i) = x.row(idx[i])`.
@@ -104,6 +110,7 @@ impl Op {
             | Op::MeanAll(x) => vec![*x],
             Op::AddRowBroadcast { x, bias } => vec![*x, *bias],
             Op::LayerNorm { x, gamma, beta, .. } => vec![*x, *gamma, *beta],
+            Op::CausalAttention { q, k, v, .. } => vec![*q, *k, *v],
             Op::ConcatRows { parts, .. } | Op::ConcatCols { parts, .. } => parts.clone(),
             Op::CeOneHot { logits, .. } | Op::CeMultiHot { logits, .. } => vec![*logits],
             Op::KlStdNormal { mu, logvar, .. } => vec![*mu, *logvar],
@@ -128,6 +135,7 @@ impl Op {
             Op::Exp(..) => "exp",
             Op::SoftmaxRows(..) => "softmax_rows",
             Op::SoftmaxCausal(..) => "softmax_causal",
+            Op::CausalAttention { .. } => "causal_attention",
             Op::LayerNorm { .. } => "layer_norm",
             Op::GatherRows { .. } => "gather_rows",
             Op::ConcatRows { .. } => "concat_rows",
@@ -164,6 +172,10 @@ mod tests {
             vec![1, 2, 3]
         );
         assert_eq!(Op::ConcatRows { parts: vec![5, 9], rows: vec![2, 2] }.inputs(), vec![5, 9]);
+        assert_eq!(
+            Op::CausalAttention { q: 4, k: 6, v: 8, scale: 0.5, probs: vec![] }.inputs(),
+            vec![4, 6, 8]
+        );
     }
 
     #[test]

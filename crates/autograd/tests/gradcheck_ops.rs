@@ -1,8 +1,8 @@
 //! Finite-difference verification of every backward rule on the tape.
 
-use vsan_autograd::gradcheck::check_default;
+use vsan_autograd::gradcheck::{check_default, check_gradients_tiered};
 use vsan_autograd::Graph;
-use vsan_tensor::{init, Tensor};
+use vsan_tensor::{init, KernelTier, Tensor};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -352,6 +352,95 @@ fn grad_full_vsan_loss_end_to_end() {
         let kl_scaled = g.scale(kl, beta);
         g.add(ce, kl_scaled).unwrap()
     })
+    .unwrap();
+}
+
+#[test]
+fn grad_fused_causal_attention_on_both_tiers() {
+    // The tier-dispatched attention entry point: on the reference tier it
+    // composes the four tape ops; on the fast tier it records the fused
+    // `CausalAttention` node. Both analytic passes must agree with central
+    // finite differences (the bitwise cross-tier check lives in
+    // tier_differential.rs).
+    let q = randt(60, &[5, 3]);
+    let k = randt(61, &[5, 3]);
+    let v = randt(62, &[5, 3]);
+    for tier in [KernelTier::Reference, KernelTier::Fast] {
+        check_gradients_tiered(
+            &[q.clone(), k.clone(), v.clone()],
+            |g, vars| {
+                let attn = g.causal_attention(vars[0], vars[1], vars[2], 0.6).unwrap();
+                let sq = g.mul(attn, attn).unwrap();
+                g.sum_all(sq)
+            },
+            1e-2,
+            2e-2,
+            tier,
+        )
+        .unwrap_or_else(|e| panic!("tier {}: {e}", tier.name()));
+    }
+}
+
+#[test]
+fn grad_full_vsan_loss_end_to_end_fast_tier() {
+    // `grad_full_vsan_loss_end_to_end` rebuilt through the fused
+    // `causal_attention` entry point, with the analytic pass on the *fast*
+    // tier. The numeric side of the checker always runs the reference
+    // tier, so this validates the fused training kernels' gradients
+    // against an independent forward implementation.
+    let n = 4;
+    let d = 4;
+    let vocab = 6;
+    let x = randt(40, &[n, d]);
+    let wq = randt(41, &[d, d]);
+    let wk = randt(42, &[d, d]);
+    let wv = randt(43, &[d, d]);
+    let gamma = init::rand_uniform(&mut StdRng::seed_from_u64(44), &[d], 0.5, 1.5);
+    let beta_ln = randt(45, &[d]);
+    let w_mu = randt(46, &[d, d]);
+    let w_lv = randt(47, &[d, d]);
+    let gq = randt(48, &[d, d]);
+    let gk = randt(49, &[d, d]);
+    let gv = randt(50, &[d, d]);
+    let w_out = randt(51, &[d, vocab]);
+    let eps = randt(52, &[n, d]);
+    let targets = vec![vec![1usize, 4], vec![], vec![0, 2], vec![5]];
+    let kl_mask = vec![true, false, true, true];
+    let beta = 0.37f32;
+
+    let params = [x, wq, wk, wv, gamma, beta_ln, w_mu, w_lv, gq, gk, gv, w_out];
+    check_gradients_tiered(
+        &params,
+        |g, v| {
+            let scale = 1.0 / (d as f32).sqrt();
+            let q = g.matmul(v[0], v[1]).unwrap();
+            let k = g.matmul(v[0], v[2]).unwrap();
+            let val = g.matmul(v[0], v[3]).unwrap();
+            let ctx = g.causal_attention(q, k, val, scale).unwrap();
+            let res = g.add(ctx, v[0]).unwrap();
+            let h = g.layer_norm(res, v[4], v[5]).unwrap();
+            let mu = g.matmul(h, v[6]).unwrap();
+            let logvar = g.matmul(h, v[7]).unwrap();
+            let half_lv = g.scale(logvar, 0.5);
+            let sigma = g.exp(half_lv);
+            let e = g.constant(eps.clone());
+            let noise = g.mul(sigma, e).unwrap();
+            let z = g.add(mu, noise).unwrap();
+            let q2 = g.matmul(z, v[8]).unwrap();
+            let k2 = g.matmul(z, v[9]).unwrap();
+            let v2 = g.matmul(z, v[10]).unwrap();
+            let ctx2 = g.causal_attention(q2, k2, v2, scale).unwrap();
+            let gen = g.add(ctx2, z).unwrap();
+            let logits = g.matmul(gen, v[11]).unwrap();
+            let ce = g.ce_multi_hot(logits, &targets).unwrap();
+            let kl = g.kl_std_normal(mu, logvar, &kl_mask).unwrap();
+            let kl_scaled = g.scale(kl, beta);
+            g.add(ce, kl_scaled).unwrap()
+        },
+        1e-2,
+        2e-2,
+        KernelTier::Fast,
+    )
     .unwrap();
 }
 

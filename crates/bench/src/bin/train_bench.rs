@@ -1,7 +1,8 @@
 //! Training-scaling benchmark (`results/BENCH_train.json`).
 //!
-//! Trains the same VSAN once per thread count through the deterministic
-//! data-parallel executor, verifies the runs are bit-identical, and
+//! Trains the same VSAN once per kernel-tier × thread-count cell through
+//! the deterministic data-parallel executor, verifies the runs are
+//! bit-identical, runs the single-thread kernel-step microbench, and
 //! writes the timing report. Accepts `--epochs N`, `--users N`, and
 //! `--threads 1,2,4,8` to scale the sweep.
 
@@ -44,12 +45,22 @@ fn main() {
     println!("available_parallelism: {}", report.available_parallelism);
     for t in &report.timings {
         println!(
-            "threads {:>3}: {:>7.3}s/epoch  speedup {:>5.2}x",
-            t.threads, t.epoch_seconds, t.speedup_vs_serial
+            "tier {:>9} threads {:>3}: {:>7.3}s/epoch  speedup {:>5.2}x",
+            t.tier.name(),
+            t.threads,
+            t.epoch_seconds,
+            t.speedup_vs_serial
         );
     }
+    for k in &report.kernel_steps {
+        println!(
+            "kernel step n={:>3} d={:>3}: reference {:>9.6}s  fast {:>9.6}s  speedup {:>5.2}x",
+            k.n, k.d, k.reference_seconds, k.fast_seconds, k.speedup
+        );
+    }
+    println!("min_kernel_speedup: {:.3}", report.min_kernel_speedup);
     println!("bitwise_match: {}", report.bitwise_match);
-    assert!(report.bitwise_match, "thread counts produced diverging parameters");
+    assert!(report.bitwise_match, "tier/thread grid produced diverging parameters");
     match report.write_json("BENCH_train.json") {
         Ok(path) => eprintln!("wrote {}", path.display()),
         Err(e) => {

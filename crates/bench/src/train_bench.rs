@@ -1,13 +1,21 @@
 //! Training-throughput benchmark for the deterministic data-parallel
 //! executor (`results/BENCH_train.json`).
 //!
-//! Trains the same VSAN on the same synthetic dataset once per thread
-//! count and reports epoch wall-clock alongside the speedup over the
-//! serial (`threads = 1`) run. Because the executor's contract is
-//! bit-identical parameters for every thread count, the report also
-//! carries a `bitwise_match` gate computed from the full parameter set —
-//! a speedup from diverging numerics would be meaningless, exactly like
-//! `serve_bench`'s `results_match`.
+//! Trains the same VSAN on the same synthetic dataset once per
+//! **kernel tier × thread count** cell and reports epoch wall-clock
+//! alongside the speedup over the serial reference-tier run. Because the
+//! contract is bit-identical parameters for every cell of that grid, the
+//! report carries a `bitwise_match` gate computed from the full
+//! parameter set — a speedup from diverging numerics would be
+//! meaningless, exactly like `serve_bench`'s `results_match`.
+//!
+//! The report also carries a single-thread **kernel-step microbench**:
+//! forward + backward of a projected causal-attention step on each tier,
+//! timed at representative shapes. `min_kernel_speedup` (the worst
+//! fast-over-reference ratio across those shapes) is the number
+//! `scripts/verify.sh` gates at ≥ 2× — the tentpole claim that the tiled
+//! fused training kernels actually buy wall-clock, not just pass
+//! equivalence tests.
 //!
 //! The report records `available_parallelism` so readers can interpret
 //! the scaling column: with fewer physical cores than worker threads the
@@ -19,9 +27,11 @@ use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use vsan_autograd::Graph;
 use vsan_core::{Vsan, VsanConfig};
 use vsan_data::Dataset;
 use vsan_obs::{CollectingObserver, EpochRecord, ObserverHandle};
+use vsan_tensor::{KernelTier, Tensor};
 
 use crate::serve_bench::results_dir;
 
@@ -81,17 +91,35 @@ impl TrainBenchConfig {
     }
 }
 
-/// One thread-count's measurement within a [`TrainBenchReport`].
+/// One grid cell's measurement within a [`TrainBenchReport`].
 #[derive(Debug, Clone)]
 pub struct ThreadTiming {
     /// Worker threads used.
     pub threads: usize,
+    /// Kernel tier the run trained under.
+    pub tier: KernelTier,
     /// Wall-clock seconds for the whole training run.
     pub total_seconds: f64,
     /// `total_seconds / epochs`.
     pub epoch_seconds: f64,
-    /// Serial epoch time divided by this epoch time.
+    /// Serial reference-tier epoch time divided by this epoch time.
     pub speedup_vs_serial: f64,
+}
+
+/// One shape's single-thread kernel-step measurement: forward + backward
+/// of `x·Wq, x·Wk, x·Wv → causal_attention → ·Wo → Σ(out²)` on each tier.
+#[derive(Debug, Clone)]
+pub struct KernelStepTiming {
+    /// Sequence length `n` of the step.
+    pub n: usize,
+    /// Model width `d` of the step.
+    pub d: usize,
+    /// Seconds per step on the reference tier.
+    pub reference_seconds: f64,
+    /// Seconds per step on the fast tier.
+    pub fast_seconds: f64,
+    /// `reference_seconds / fast_seconds`.
+    pub speedup: f64,
 }
 
 /// Measured results of one benchmark run.
@@ -101,9 +129,14 @@ pub struct TrainBenchReport {
     pub config: TrainBenchConfig,
     /// Per-thread-count timings, in `config.thread_counts` order.
     pub timings: Vec<ThreadTiming>,
-    /// Whether every run produced bit-identical parameters and per-epoch
-    /// losses to the serial baseline.
+    /// Whether every grid cell (tier × threads) produced bit-identical
+    /// parameters and per-epoch losses to the serial reference baseline.
     pub bitwise_match: bool,
+    /// Single-thread kernel-step microbench, one row per shape.
+    pub kernel_steps: Vec<KernelStepTiming>,
+    /// Worst fast-over-reference kernel-step ratio across the shapes —
+    /// the number CI holds to ≥ 2.
+    pub min_kernel_speedup: f64,
     /// `std::thread::available_parallelism()` on the benchmarking host —
     /// the hardware ceiling for any honest speedup figure.
     pub available_parallelism: usize,
@@ -128,8 +161,71 @@ fn fingerprint(model: &Vsan) -> Fingerprint {
     (losses, params)
 }
 
-/// Train the same model once per thread count, timing each run and
-/// verifying the cross-thread bit-identity contract.
+/// Deterministic `(n, d)` operands for one kernel-step microbench shape.
+fn step_operands(n: usize, d: usize) -> (Tensor, Tensor, Tensor, Tensor, Tensor) {
+    let mk = |salt: usize, r: usize, c: usize| {
+        let data: Vec<f32> =
+            (0..r * c).map(|i| (((salt * 97 + i * 13) as f32) * 0.19).sin() * 0.5).collect();
+        Tensor::from_vec(data, &[r, c]).unwrap()
+    };
+    (mk(1, n, d), mk(2, d, d), mk(3, d, d), mk(4, d, d), mk(5, d, d))
+}
+
+/// Seconds per forward+backward of the projected-attention step on one
+/// tier, single-threaded (median-free mean over `iters` after warmup —
+/// the step is long enough that scheduler noise averages out).
+fn time_kernel_step(n: usize, d: usize, iters: usize, tier: KernelTier) -> f64 {
+    let (x, wq, wk, wv, wo) = step_operands(n, d);
+    let step = || {
+        let mut g = Graph::with_threads_and_tier(1, tier);
+        let xv = g.param(x.clone(), 0);
+        let wqv = g.param(wq.clone(), 1);
+        let wkv = g.param(wk.clone(), 2);
+        let wvv = g.param(wv.clone(), 3);
+        let wov = g.param(wo.clone(), 4);
+        let q = g.matmul(xv, wqv).unwrap();
+        let k = g.matmul(xv, wkv).unwrap();
+        let v = g.matmul(xv, wvv).unwrap();
+        let attn = g.causal_attention(q, k, v, 1.0 / (d as f32).sqrt()).unwrap();
+        let out = g.matmul(attn, wov).unwrap();
+        let sq = g.mul(out, out).unwrap();
+        let loss = g.sum_all(sq);
+        let grads = g.backward(loss).unwrap();
+        assert!(grads.param_grad(0).is_some());
+    };
+    for _ in 0..2 {
+        step();
+    }
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        step();
+    }
+    t0.elapsed().as_secs_f64() / iters as f64
+}
+
+/// Run the single-thread kernel-step microbench over representative
+/// shapes; returns the per-shape rows and the worst speedup.
+pub fn run_kernel_step_bench() -> (Vec<KernelStepTiming>, f64) {
+    // Shapes bracketing the training step from repro scale (d=48) up to
+    // the paper config's width (d=200), off tile multiples on purpose so
+    // the remainder paths are part of what is timed.
+    let shapes = [(48usize, 48usize), (96, 64), (50, 200), (128, 128)];
+    let mut rows = Vec::with_capacity(shapes.len());
+    let mut min_speedup = f64::INFINITY;
+    for (n, d) in shapes {
+        let iters = if n * d >= 96 * 64 { 20 } else { 40 };
+        let reference_seconds = time_kernel_step(n, d, iters, KernelTier::Reference);
+        let fast_seconds = time_kernel_step(n, d, iters, KernelTier::Fast);
+        let speedup = reference_seconds / fast_seconds.max(1e-12);
+        min_speedup = min_speedup.min(speedup);
+        rows.push(KernelStepTiming { n, d, reference_seconds, fast_seconds, speedup });
+    }
+    (rows, min_speedup)
+}
+
+/// Train the same model once per kernel-tier × thread-count cell, timing
+/// each run and verifying the grid-wide bit-identity contract, then run
+/// the single-thread kernel-step microbench.
 pub fn run_train_bench(cfg: TrainBenchConfig) -> TrainBenchReport {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let sequences: Vec<Vec<u32>> = (0..cfg.num_users)
@@ -153,42 +249,50 @@ pub fn run_train_bench(cfg: TrainBenchConfig) -> TrainBenchReport {
 
     let mut baseline: Option<(f64, Fingerprint)> = None;
     let mut bitwise_match = true;
-    let mut timings = Vec::with_capacity(cfg.thread_counts.len());
+    let mut timings = Vec::with_capacity(2 * cfg.thread_counts.len());
     let mut epoch_series = Vec::new();
-    for &threads in &cfg.thread_counts {
-        // Every timed run trains *with an observer attached*, so the
-        // bitwise gate below also verifies that observing a run does
-        // not change the trained bits (DESIGN.md §8).
-        let collector = Arc::new(CollectingObserver::new());
-        let run_cfg = model_cfg
-            .clone()
-            .with_threads(threads)
-            .with_observer(ObserverHandle::new(collector.clone()));
-        let t0 = Instant::now();
-        let model = Vsan::train(&ds, &train_users, &run_cfg).expect("bench training");
-        let total_seconds = t0.elapsed().as_secs_f64();
-        let epoch_seconds = total_seconds / cfg.epochs.max(1) as f64;
-        let fp = fingerprint(&model);
-        let (serial_epoch_seconds, serial_fp) =
-            baseline.get_or_insert_with(|| (epoch_seconds, fp.clone()));
-        if fp != *serial_fp {
-            bitwise_match = false;
+    for tier in [KernelTier::Reference, KernelTier::Fast] {
+        for &threads in &cfg.thread_counts {
+            // Every timed run trains *with an observer attached*, so the
+            // bitwise gate below also verifies that observing a run does
+            // not change the trained bits (DESIGN.md §8).
+            let collector = Arc::new(CollectingObserver::new());
+            let run_cfg = model_cfg
+                .clone()
+                .with_threads(threads)
+                .with_kernel_tier(tier)
+                .with_observer(ObserverHandle::new(collector.clone()));
+            let t0 = Instant::now();
+            let model = Vsan::train(&ds, &train_users, &run_cfg).expect("bench training");
+            let total_seconds = t0.elapsed().as_secs_f64();
+            let epoch_seconds = total_seconds / cfg.epochs.max(1) as f64;
+            let fp = fingerprint(&model);
+            let (serial_epoch_seconds, serial_fp) =
+                baseline.get_or_insert_with(|| (epoch_seconds, fp.clone()));
+            if fp != *serial_fp {
+                bitwise_match = false;
+            }
+            if epoch_series.is_empty() {
+                epoch_series = collector.records();
+            }
+            timings.push(ThreadTiming {
+                threads,
+                tier,
+                total_seconds,
+                epoch_seconds,
+                speedup_vs_serial: *serial_epoch_seconds / epoch_seconds.max(1e-12),
+            });
         }
-        if epoch_series.is_empty() {
-            epoch_series = collector.records();
-        }
-        timings.push(ThreadTiming {
-            threads,
-            total_seconds,
-            epoch_seconds,
-            speedup_vs_serial: *serial_epoch_seconds / epoch_seconds.max(1e-12),
-        });
     }
+
+    let (kernel_steps, min_kernel_speedup) = run_kernel_step_bench();
 
     TrainBenchReport {
         config: cfg,
         timings,
         bitwise_match,
+        kernel_steps,
+        min_kernel_speedup,
         available_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
         epoch_series,
     }
@@ -204,9 +308,20 @@ impl TrainBenchReport {
             .iter()
             .map(|t| {
                 format!(
-                    "    {{\"threads\": {}, \"total_seconds\": {:.6}, \
+                    "    {{\"threads\": {}, \"tier\": \"{}\", \"total_seconds\": {:.6}, \
                      \"epoch_seconds\": {:.6}, \"speedup_vs_serial\": {:.3}}}",
-                    t.threads, t.total_seconds, t.epoch_seconds, t.speedup_vs_serial
+                    t.threads, t.tier.name(), t.total_seconds, t.epoch_seconds, t.speedup_vs_serial
+                )
+            })
+            .collect();
+        let kernel_rows: Vec<String> = self
+            .kernel_steps
+            .iter()
+            .map(|k| {
+                format!(
+                    "    {{\"n\": {}, \"d\": {}, \"reference_seconds\": {:.6}, \
+                     \"fast_seconds\": {:.6}, \"speedup\": {:.3}}}",
+                    k.n, k.d, k.reference_seconds, k.fast_seconds, k.speedup
                 )
             })
             .collect();
@@ -218,7 +333,9 @@ impl TrainBenchReport {
                \"dim\": {},\n  \"max_seq_len\": {},\n  \"epochs\": {},\n  \
                \"batch_size\": {},\n  \"seed\": {},\n  \
                \"available_parallelism\": {},\n  \
-               \"bitwise_match\": {},\n  \"timings\": [\n{}\n  ],\n  \
+               \"bitwise_match\": {},\n  \
+               \"min_kernel_speedup\": {:.3},\n  \
+               \"kernel_steps\": [\n{}\n  ],\n  \"timings\": [\n{}\n  ],\n  \
                \"epoch_series\": [\n{}\n  ]\n}}\n",
             c.num_items,
             c.num_users,
@@ -230,6 +347,8 @@ impl TrainBenchReport {
             c.seed,
             self.available_parallelism,
             self.bitwise_match,
+            self.min_kernel_speedup,
+            kernel_rows.join(",\n"),
             rows.join(",\n"),
             epochs.join(",\n"),
         )
@@ -248,17 +367,31 @@ impl TrainBenchReport {
 mod tests {
     use super::*;
 
-    /// Smoke invocation of the full benchmark: every thread count must
-    /// reproduce the serial run bit-for-bit. No speedup floor is asserted
-    /// here — under a test harness the counts time-slice whatever cores
-    /// the host grants (often one), and the determinism contract is the
-    /// part that can regress silently.
+    /// Smoke invocation of the full benchmark: every tier × thread cell
+    /// must reproduce the serial reference run bit-for-bit. No speedup
+    /// floor is asserted here — under a test harness the counts
+    /// time-slice whatever cores the host grants (often one), and the
+    /// determinism contract is the part that can regress silently. (The
+    /// ≥ 2× kernel-step floor is a CI gate on the real benchmark run,
+    /// scripts/verify.sh.)
     #[test]
-    fn smoke_run_is_bitwise_identical_across_thread_counts() {
+    fn smoke_run_is_bitwise_identical_across_the_tier_thread_grid() {
         let report = run_train_bench(TrainBenchConfig::smoke());
-        assert!(report.bitwise_match, "thread counts diverged: {report:?}");
-        assert_eq!(report.timings.len(), 3);
+        assert!(report.bitwise_match, "grid cells diverged: {report:?}");
+        // 2 tiers × 3 thread counts.
+        assert_eq!(report.timings.len(), 6);
         assert!(report.timings.iter().all(|t| t.total_seconds > 0.0));
+        assert_eq!(
+            report.timings.iter().filter(|t| t.tier == KernelTier::Fast).count(),
+            3,
+            "the fast tier must be half of the grid"
+        );
+        // The microbench measured real, positive step times on both tiers.
+        assert!(!report.kernel_steps.is_empty());
+        for k in &report.kernel_steps {
+            assert!(k.reference_seconds > 0.0 && k.fast_seconds > 0.0);
+        }
+        assert!(report.min_kernel_speedup.is_finite() && report.min_kernel_speedup > 0.0);
         // The observed runs carried telemetry: one record per epoch,
         // with finite loss components.
         assert_eq!(report.epoch_series.len(), report.config.epochs);
@@ -271,5 +404,8 @@ mod tests {
         assert!(written.contains("\"bitwise_match\": true"));
         assert!(written.contains("\"available_parallelism\""));
         assert!(written.contains("\"epoch_series\""));
+        assert!(written.contains("\"min_kernel_speedup\""));
+        assert!(written.contains("\"kernel_steps\""));
+        assert!(written.contains("\"tier\": \"fast\""));
     }
 }

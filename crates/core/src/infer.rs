@@ -24,7 +24,6 @@
 //! testing oracle (`scripts/verify.sh` runs the suite both ways).
 
 use std::cell::RefCell;
-use std::sync::OnceLock;
 
 use vsan_data::sequence::pad_left;
 use vsan_nn::{Linear, ParamId, ParamStore, SelfAttentionBlock};
@@ -41,10 +40,13 @@ use vsan_tensor::parallel::matmul_into_parallel;
 /// the explicit `score_items_batch_graph` / `_fast_with` entry points).
 /// Public so the session layer (`vsan-session`) can honour the same
 /// toggle by falling back to full recompute.
+///
+/// Delegates to [`vsan_tensor::kernel::fast_path_disabled`] so the *one*
+/// pin governs every fast tier in the workspace: this inference path and
+/// the training kernel tier ([`vsan_tensor::kernel::default_train_tier`])
+/// read the same OnceLock and can never disagree about the environment.
 pub fn fast_path_disabled() -> bool {
-    static DISABLED: OnceLock<bool> = OnceLock::new();
-    *DISABLED
-        .get_or_init(|| std::env::var("VSAN_DISABLE_FAST_PATH").is_ok_and(|v| v == "1"))
+    vsan_tensor::kernel::fast_path_disabled()
 }
 
 /// One attention block's pre-resolved parameters.

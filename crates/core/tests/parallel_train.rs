@@ -6,14 +6,24 @@
 //! of the batch alone, so `threads` may only change wall-clock time, never
 //! a single bit of the parameters or the loss curve.
 //!
+//! Since PR 9 the contract is two-dimensional: the sweep runs the full
+//! **threads × kernel-tier grid** — the reference scalar tape and the
+//! fast tiled/fused tier (DESIGN.md §10) must train the same bits as the
+//! serial reference baseline in every cell.
+//!
 //! The thread matrix can be overridden from CI via `VSAN_THREADS_MATRIX`
 //! (comma-separated counts, e.g. `VSAN_THREADS_MATRIX=1,2,8`); the default
 //! covers serial, even, odd, and threads-greater-than-batch-size cases.
+//! CI additionally exports `VSAN_REQUIRE_AVX2=1` on AVX2-capable hosts so
+//! a fast tier that silently fell back to non-dispatched kernels (or a
+//! build that lost the `target_feature` twins) fails the suite instead of
+//! vacuously passing it.
 
 use vsan_core::{Vsan, VsanConfig};
 use vsan_data::Dataset;
 use vsan_models::NeuralConfig;
 use vsan_nn::BetaSchedule;
+use vsan_tensor::KernelTier;
 
 /// Thread counts to sweep: env override or the default matrix.
 fn thread_matrix() -> Vec<usize> {
@@ -40,12 +50,18 @@ fn chain_dataset(num_items: usize, users: usize, len: usize) -> Dataset {
 
 /// Fingerprint a trained VSAN: per-epoch losses plus every parameter
 /// tensor, all as raw bit patterns (no tolerance — the contract is exact).
-fn train_fingerprint(threads: usize, cfg: &VsanConfig) -> (Vec<u32>, Vec<(String, Vec<u32>)>) {
+fn train_fingerprint(
+    threads: usize,
+    tier: KernelTier,
+    cfg: &VsanConfig,
+) -> (Vec<u32>, Vec<(String, Vec<u32>)>) {
     // 22 users with batch 16 → one full batch + one partial per epoch;
     // shard size 8 → shards of 8, 8 and 6.
     let ds = chain_dataset(10, 22, 9);
     let users: Vec<usize> = (0..ds.sequences.len()).collect();
-    let model = Vsan::train(&ds, &users, &cfg.clone().with_threads(threads)).unwrap();
+    let model =
+        Vsan::train(&ds, &users, &cfg.clone().with_threads(threads).with_kernel_tier(tier))
+            .unwrap();
     let losses = model.train_losses.iter().map(|l| l.to_bits()).collect();
     let params = model
         .params()
@@ -56,36 +72,40 @@ fn train_fingerprint(threads: usize, cfg: &VsanConfig) -> (Vec<u32>, Vec<(String
 }
 
 fn assert_identical(
-    threads: usize,
+    label: &str,
     baseline: &(Vec<u32>, Vec<(String, Vec<u32>)>),
     got: &(Vec<u32>, Vec<(String, Vec<u32>)>),
 ) {
-    assert_eq!(got.0, baseline.0, "per-epoch losses diverged at threads={threads}");
-    assert_eq!(got.1.len(), baseline.1.len(), "parameter count differs at threads={threads}");
+    assert_eq!(got.0, baseline.0, "per-epoch losses diverged at {label}");
+    assert_eq!(got.1.len(), baseline.1.len(), "parameter count differs at {label}");
     for ((name_b, bits_b), (name_g, bits_g)) in baseline.1.iter().zip(&got.1) {
-        assert_eq!(name_b, name_g, "parameter order differs at threads={threads}");
-        assert_eq!(
-            bits_b, bits_g,
-            "parameter `{name_b}` is not bit-identical at threads={threads}"
-        );
+        assert_eq!(name_b, name_g, "parameter order differs at {label}");
+        assert_eq!(bits_b, bits_g, "parameter `{name_b}` is not bit-identical at {label}");
     }
 }
 
 #[test]
-fn vsan_training_is_bit_identical_across_thread_counts() {
+fn vsan_training_is_bit_identical_across_the_thread_tier_grid() {
     // Multi-epoch with the default smoke KL-annealing schedule
     // (LinearAnneal, warmup 20): β varies across the ~12 optimizer steps,
-    // so a thread-dependent step counter would show up immediately.
+    // so a thread-dependent step counter would show up immediately. The
+    // serial reference run is the baseline for *every* other grid cell —
+    // thread counts and kernel tiers alike may only change wall-clock.
     let mut cfg = VsanConfig::smoke();
     cfg.base = cfg.base.with_epochs(4);
     assert!(matches!(cfg.beta, BetaSchedule::LinearAnneal { .. }));
 
     let matrix = thread_matrix();
-    let baseline = train_fingerprint(1, &cfg);
+    let baseline = train_fingerprint(1, KernelTier::Reference, &cfg);
     assert_eq!(baseline.0.len(), 4, "expected one loss per epoch");
-    for &threads in matrix.iter().filter(|&&t| t != 1) {
-        let got = train_fingerprint(threads, &cfg);
-        assert_identical(threads, &baseline, &got);
+    for tier in [KernelTier::Reference, KernelTier::Fast] {
+        for &threads in &matrix {
+            if threads == 1 && tier == KernelTier::Reference {
+                continue; // the baseline itself
+            }
+            let got = train_fingerprint(threads, tier, &cfg);
+            assert_identical(&format!("threads={threads} tier={}", tier.name()), &baseline, &got);
+        }
     }
 }
 
@@ -96,10 +116,28 @@ fn equivalence_holds_with_dropout_and_fixed_beta() {
     let mut cfg = VsanConfig::smoke().with_beta(BetaSchedule::Fixed(0.1));
     cfg.base = cfg.base.with_epochs(2).with_dropout(0.5).with_seed(123);
 
-    let baseline = train_fingerprint(1, &cfg);
+    let baseline = train_fingerprint(1, KernelTier::Reference, &cfg);
     for threads in [2, 5] {
-        let got = train_fingerprint(threads, &cfg);
-        assert_identical(threads, &baseline, &got);
+        for tier in [KernelTier::Reference, KernelTier::Fast] {
+            let got = train_fingerprint(threads, tier, &cfg);
+            assert_identical(&format!("threads={threads} tier={}", tier.name()), &baseline, &got);
+        }
+    }
+}
+
+#[test]
+fn fast_tier_grid_runs_with_real_simd_dispatch_when_required() {
+    // `VSAN_REQUIRE_AVX2=1` (exported by scripts/verify.sh on hosts whose
+    // /proc/cpuinfo advertises avx2) turns "the fast tier happened to run
+    // scalar bodies" from a silent vacuous pass into a failure: the grid
+    // above only proves something about the SIMD twins if the dispatcher
+    // actually selected them.
+    if std::env::var("VSAN_REQUIRE_AVX2").is_ok_and(|v| v == "1") {
+        assert!(
+            vsan_tensor::kernel::avx2_supported(),
+            "VSAN_REQUIRE_AVX2=1 but AVX2 dispatch is unavailable — the \
+             tier grid just ran without exercising the SIMD kernels"
+        );
     }
 }
 

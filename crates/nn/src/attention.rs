@@ -158,11 +158,12 @@ impl SelfAttentionBlock {
             let q = g.gather_rows(q_flat, &idx)?;
             let k = g.gather_rows(k_flat, &idx)?;
             let v = g.gather_rows(v_flat, &idx)?;
+            // `causal_attention` is the tier-dispatched entry point: on a
+            // reference-tier graph it records the composed four-op chain;
+            // on a fast-tier graph it records the fused kernel node —
+            // bit-identical values and gradients either way.
             if self.heads == 1 {
-                let scores = g.matmul_a_bt(q, k)?;
-                let scaled = g.scale(scores, scale);
-                let attn = g.softmax_causal(scaled)?;
-                outs.push(g.matmul(attn, v)?);
+                outs.push(g.causal_attention(q, k, v, scale)?);
             } else {
                 let mut head_outs = Vec::with_capacity(self.heads);
                 for h in 0..self.heads {
@@ -170,10 +171,7 @@ impl SelfAttentionBlock {
                     let qh = g.slice_cols(q, lo, hi)?;
                     let kh = g.slice_cols(k, lo, hi)?;
                     let vh = g.slice_cols(v, lo, hi)?;
-                    let scores = g.matmul_a_bt(qh, kh)?;
-                    let scaled = g.scale(scores, scale);
-                    let attn = g.softmax_causal(scaled)?;
-                    head_outs.push(g.matmul(attn, vh)?);
+                    head_outs.push(g.causal_attention(qh, kh, vh, scale)?);
                 }
                 outs.push(g.concat_cols(&head_outs)?);
             }
@@ -355,6 +353,43 @@ mod tests {
         let (store_slim, block) = setup(false);
         assert!(!block.has_ffn());
         assert!(store_slim.len() < store_full.len());
+    }
+
+    #[test]
+    fn block_forward_and_grads_are_bit_equal_across_kernel_tiers() {
+        // The whole block (multi-head, with FFN) run on a reference-tier
+        // and a fast-tier graph: output values and every parameter
+        // gradient must match to the bit.
+        use vsan_tensor::KernelTier;
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(31);
+        let block = SelfAttentionBlock::new_multi_head(&mut store, &mut rng, "t", 8, 2, true);
+        let x0 = init::randn(&mut rng, &[2 * 3, 8], 0.0, 0.5);
+        let drop = Dropout::new(0.0);
+
+        let run = |tier: KernelTier| {
+            let mut g = Graph::with_threads_and_tier(1, tier);
+            let mut rng2 = StdRng::seed_from_u64(32);
+            let x = g.constant(x0.clone());
+            let y = block.forward(&mut g, &store, x, 2, 3, &drop, &mut rng2, false).unwrap();
+            let out = g.value(y).clone();
+            let sq = g.mul(y, y).unwrap();
+            let loss = g.sum_all(sq);
+            let grads = g.backward(loss).unwrap();
+            (out, grads)
+        };
+        let (out_ref, grads_ref) = run(KernelTier::Reference);
+        let (out_fast, grads_fast) = run(KernelTier::Fast);
+        for (a, b) in out_ref.data().iter().zip(out_fast.data()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "forward diverged across tiers");
+        }
+        for (id, name, _) in store.iter() {
+            let gr = grads_ref.param_grad(id).unwrap();
+            let gf = grads_fast.param_grad(id).unwrap();
+            for (a, b) in gr.data().iter().zip(gf.data()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "gradient diverged for {name}");
+            }
+        }
     }
 
     #[test]

@@ -26,6 +26,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use vsan_autograd::{Gradients, Graph, Var};
+use vsan_tensor::KernelTier;
 
 /// Number of examples per shard. Constant by design: sharding by a fixed
 /// size (rather than dividing the batch by the thread count) is what keeps
@@ -112,12 +113,19 @@ type ObservedShardResult = Result<(f32, ShardStats, Gradients), String>;
 pub struct DataParallel {
     threads: usize,
     shard_size: usize,
+    tier: KernelTier,
 }
 
 impl DataParallel {
     /// Executor running shards on up to `threads` workers (clamped to ≥ 1).
+    /// Shard graphs run the reference kernel tier unless
+    /// [`Self::with_kernel_tier`] opts into the fast tier.
     pub fn new(threads: usize) -> Self {
-        DataParallel { threads: threads.max(1), shard_size: DEFAULT_SHARD_SIZE }
+        DataParallel {
+            threads: threads.max(1),
+            shard_size: DEFAULT_SHARD_SIZE,
+            tier: KernelTier::Reference,
+        }
     }
 
     /// Override the shard size (tests only; changing it changes the
@@ -127,9 +135,24 @@ impl DataParallel {
         self
     }
 
+    /// Select the kernel tier for every shard graph. Both tiers produce
+    /// bit-identical losses and gradients (the tier contract, enforced by
+    /// the tier-differential suite); the fast tier runs the register-tiled
+    /// fused kernels of DESIGN.md §10. The shard schedule, RNG streams,
+    /// and reduction tree are tier-independent.
+    pub fn with_kernel_tier(mut self, tier: KernelTier) -> Self {
+        self.tier = tier;
+        self
+    }
+
     /// Configured worker-thread budget.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Configured kernel tier for shard graphs.
+    pub fn kernel_tier(&self) -> KernelTier {
+        self.tier
     }
 
     /// Run one batch: shard `items`, build and backprop a loss per shard,
@@ -170,7 +193,7 @@ impl DataParallel {
         let batch_len = items.len() as f32;
 
         let run_shard = |shard_id: usize, shard: &[T]| -> ObservedShardResult {
-            let mut g = Graph::with_threads(1);
+            let mut g = Graph::with_threads_and_tier(1, self.tier);
             let mut rng = StdRng::seed_from_u64(shard_seed(batch_seed, shard_id));
             let (loss, stats) = build(&mut g, shard, &mut rng)
                 .map_err(|e| format!("shard {shard_id}: loss build failed: {e}"))?;
@@ -293,6 +316,51 @@ mod tests {
                 .zip(&baseline.1)
                 .all(|(a, b)| a.to_bits() == b.to_bits());
             assert!(same, "grads diverged at threads={threads}");
+        }
+    }
+
+    #[test]
+    fn kernel_tiers_are_bit_identical_through_the_executor() {
+        // An attention-bearing loss (so the tier dispatch actually changes
+        // which kernels run) must reduce to the same bits on both tiers,
+        // across serial and threaded execution.
+        let items: Vec<f32> = (0..21).map(|i| (i as f32 * 0.41).cos()).collect();
+        let attn_loss = |g: &mut Graph,
+                         shard: &[f32],
+                         rng: &mut StdRng|
+         -> vsan_autograd::Result<Var> {
+            let q = g.param(init::randn(rng, &[5, 4], 0.0, 0.5), 0);
+            let k = g.param(init::randn(rng, &[5, 4], 0.0, 0.5), 1);
+            let v = g.param(init::randn(rng, &[5, 4], 0.0, 0.5), 2);
+            let attn = g.causal_attention(q, k, v, 0.5)?;
+            let sq = g.mul(attn, attn)?;
+            let s = g.sum_all(sq);
+            let bias: f32 = shard.iter().sum::<f32>() / shard.len() as f32;
+            Ok(g.affine(s, 1.0, bias))
+        };
+        let run = |threads: usize, tier: KernelTier| {
+            let dp = DataParallel::new(threads).with_shard_size(4).with_kernel_tier(tier);
+            let (loss, grads) = dp.run(&items, 17, attn_loss).unwrap();
+            (loss, grads)
+        };
+        let (base_loss, base_grads) = run(1, KernelTier::Reference);
+        for threads in [1, 4] {
+            for tier in [KernelTier::Reference, KernelTier::Fast] {
+                let (loss, grads) = run(threads, tier);
+                assert_eq!(
+                    loss.to_bits(),
+                    base_loss.to_bits(),
+                    "loss diverged: threads={threads} tier={}",
+                    tier.name()
+                );
+                for key in 0..3 {
+                    let a = base_grads.param_grad(key).unwrap();
+                    let b = grads.param_grad(key).unwrap();
+                    let same =
+                        a.data().iter().zip(b.data()).all(|(x, y)| x.to_bits() == y.to_bits());
+                    assert!(same, "grad {key} diverged: threads={threads} tier={}", tier.name());
+                }
+            }
         }
     }
 

@@ -36,12 +36,14 @@
 
 pub mod cluster;
 pub mod init;
+pub mod kernel;
 pub mod ops;
 pub mod parallel;
 pub mod serialize;
 pub mod shape;
 pub mod tensor;
 
+pub use kernel::KernelTier;
 pub use shape::Shape;
 pub use tensor::Tensor;
 

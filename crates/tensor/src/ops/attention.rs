@@ -419,6 +419,255 @@ fn causal_attention_into_body(
     }
 }
 
+/// Fused causal-attention *training* forward: `out =
+/// softmax_causal(q·kᵀ·scale)·v` over flat `(n, d)` buffers, saving the
+/// full `(n, n)` softmax matrix into `probs` for the backward pass.
+///
+/// This is the fast training tier's replacement for the tape's four-op
+/// composition (`matmul_a_bt` → affine → `softmax_causal` → `matmul`).
+/// Unlike [`causal_attention_into`], which streams one score row through
+/// scratch, training must keep the probabilities — they are the saved
+/// activation [`causal_attention_train_backward`] consumes — so `probs`
+/// is a persistent `(n, n)` buffer (row `i`: columns `..=i` hold the
+/// softmax row, columns `i+1..` are written to exact `0.0`, the same
+/// layout `softmax_rows_masked` produces).
+///
+/// Bit-compatibility with the composed ops: the score matrix is the
+/// tiled [`crate::ops::matmul::matmul_into`] over a transposed key
+/// buffer (`Q·(Kᵀ)` — same products `q[i][t]·k[j][t]`, same ascending-`t`
+/// fold per element as the reference dot, the transpose itself being
+/// pure data movement; see [`crate::ops::matmul::matmul_a_bt_fast`]),
+/// mapped through `scale * s + 0.0` (the tape's affine); the masked
+/// softmax is `softmax_rows_masked`'s per-row sequence verbatim (the
+/// above-diagonal scores this computes eagerly are overwritten with the
+/// mask's exact zeros before anything reads them); and the output is
+/// the tiled `matmul_into` over the full probability matrix — whose
+/// masked entries are exact zeros, and adding a zero product never
+/// changes an accumulator bit (see
+/// `ops::matmul::matmul_into_skip_zeros`, which is what the tape runs).
+#[allow(clippy::too_many_arguments)]
+pub fn causal_attention_train_forward(
+    q: &[f32],
+    k: &[f32],
+    v: &[f32],
+    n: usize,
+    d: usize,
+    scale: f32,
+    probs: &mut [f32],
+    out: &mut [f32],
+) {
+    #[cfg(target_arch = "x86_64")]
+    if crate::ops::matmul::avx2_available() {
+        // SAFETY: AVX2 support was just verified at runtime.
+        unsafe { return causal_attention_train_forward_avx2(q, k, v, n, d, scale, probs, out) };
+    }
+    causal_attention_train_forward_body(q, k, v, n, d, scale, probs, out)
+}
+
+/// [`causal_attention_train_forward`]'s body compiled with AVX2 codegen
+/// (same source, same bits — see `ops::matmul`'s module header).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn causal_attention_train_forward_avx2(
+    q: &[f32],
+    k: &[f32],
+    v: &[f32],
+    n: usize,
+    d: usize,
+    scale: f32,
+    probs: &mut [f32],
+    out: &mut [f32],
+) {
+    causal_attention_train_forward_body(q, k, v, n, d, scale, probs, out)
+}
+
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn causal_attention_train_forward_body(
+    q: &[f32],
+    k: &[f32],
+    v: &[f32],
+    n: usize,
+    d: usize,
+    scale: f32,
+    probs: &mut [f32],
+    out: &mut [f32],
+) {
+    use crate::ops::matmul::{matmul_into_body, transpose_into};
+    debug_assert_eq!(q.len(), n * d);
+    debug_assert_eq!(k.len(), n * d);
+    debug_assert_eq!(v.len(), n * d);
+    debug_assert_eq!(probs.len(), n * n);
+    debug_assert_eq!(out.len(), n * d);
+    // All n² scores in one tiled pass over a transposed key buffer
+    // (header: same products, same ascending-k folds as the reference
+    // dots). The above-diagonal half is computed eagerly but every one
+    // of those entries is overwritten with the mask's exact 0.0 below
+    // before anything reads it.
+    let mut kt = vec![0.0f32; n * d];
+    transpose_into(k, &mut kt, n, d);
+    probs.fill(0.0);
+    matmul_into_body(q, &kt, probs, n, d, n);
+    for i in 0..n {
+        let row = &mut probs[i * n..(i + 1) * n];
+        for s in row[..=i].iter_mut() {
+            *s = scale * *s + 0.0;
+        }
+        let max = row[..=i].iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
+        let mut sum = 0.0f32;
+        for s in row[..=i].iter_mut() {
+            let e = (*s - max).exp();
+            *s = e;
+            sum += e;
+        }
+        let inv = 1.0 / sum;
+        for s in row[..=i].iter_mut() {
+            *s *= inv;
+        }
+        // Future positions carry exactly zero weight, matching the
+        // softmax_rows_masked layout the backward pass relies on.
+        row[i + 1..].fill(0.0);
+    }
+    out.fill(0.0);
+    matmul_into_body(probs, v, out, n, n, d);
+}
+
+/// Fused causal-attention *training* backward: given the saved softmax
+/// matrix from [`causal_attention_train_forward`] and the upstream
+/// gradient `d_out`, computes `dq`/`dk`/`dv` in one tiled pass.
+/// `dscores` is caller-provided `(n, n)` scratch; `dq`/`dk`/`dv` are
+/// overwritten.
+///
+/// Bit-compatibility with the tape's composed backward chain
+/// (`Op::MatMul` → `Op::SoftmaxCausal` → `Op::Affine` → `Op::MatMulABt`
+/// in reverse):
+/// - `dV = probsᵀ · d_out` — [`crate::ops::matmul::matmul_at_b_into`]'s
+///   ascending-`kk` fold, identical to the reference `matmul_at_b` with
+///   its zero-skip (masked probabilities are exact zeros; zero products
+///   never change an accumulator bit);
+/// - `dP = d_out · vᵀ` over the *full* `(n, n)` matrix — the tiled
+///   [`crate::ops::matmul::matmul_into`] over a transposed value buffer
+///   (same products, same ascending-`t` folds as the reference dots;
+///   see [`crate::ops::matmul::matmul_a_bt_fast`]), exactly what the
+///   tape's `matmul_a_bt(g, v)` computes (including the masked columns:
+///   the softmax backward below multiplies them by an exact zero, just
+///   as the tape does);
+/// - softmax + affine backward per row: `dot = Σ_j y[j]·dp[j]` folded
+///   ascending over **all** `n` columns (the tape's fold; masked terms
+///   contribute exact-zero products), then `ds[j] = scale · (y[j] ·
+///   (dp[j] − dot))` — the same two multiplies, in the same order, as
+///   the tape's softmax-backward elementwise pass followed by its
+///   affine-backward `scale · x` pass;
+/// - `dQ = ds · k` (tiled [`crate::ops::matmul::matmul_into`]) and
+///   `dK = dsᵀ · q` ([`crate::ops::matmul::matmul_at_b_into`]) — same
+///   per-element folds as the tape's reference kernels; the masked `ds`
+///   entries are exact (±)zeros, which the reference kernels skip and
+///   these dense kernels add, a bitwise no-op either way.
+#[allow(clippy::too_many_arguments)]
+pub fn causal_attention_train_backward(
+    q: &[f32],
+    k: &[f32],
+    v: &[f32],
+    probs: &[f32],
+    d_out: &[f32],
+    n: usize,
+    d: usize,
+    scale: f32,
+    dq: &mut [f32],
+    dk: &mut [f32],
+    dv: &mut [f32],
+    dscores: &mut [f32],
+) {
+    #[cfg(target_arch = "x86_64")]
+    if crate::ops::matmul::avx2_available() {
+        // SAFETY: AVX2 support was just verified at runtime.
+        unsafe {
+            return causal_attention_train_backward_avx2(
+                q, k, v, probs, d_out, n, d, scale, dq, dk, dv, dscores,
+            );
+        };
+    }
+    causal_attention_train_backward_body(q, k, v, probs, d_out, n, d, scale, dq, dk, dv, dscores)
+}
+
+/// [`causal_attention_train_backward`]'s body compiled with AVX2
+/// codegen (same source, same bits — see `ops::matmul`'s module header).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn causal_attention_train_backward_avx2(
+    q: &[f32],
+    k: &[f32],
+    v: &[f32],
+    probs: &[f32],
+    d_out: &[f32],
+    n: usize,
+    d: usize,
+    scale: f32,
+    dq: &mut [f32],
+    dk: &mut [f32],
+    dv: &mut [f32],
+    dscores: &mut [f32],
+) {
+    causal_attention_train_backward_body(q, k, v, probs, d_out, n, d, scale, dq, dk, dv, dscores)
+}
+
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn causal_attention_train_backward_body(
+    q: &[f32],
+    k: &[f32],
+    v: &[f32],
+    probs: &[f32],
+    d_out: &[f32],
+    n: usize,
+    d: usize,
+    scale: f32,
+    dq: &mut [f32],
+    dk: &mut [f32],
+    dv: &mut [f32],
+    dscores: &mut [f32],
+) {
+    use crate::ops::matmul::{matmul_at_b_into_body, matmul_into_body, transpose_into};
+    debug_assert_eq!(q.len(), n * d);
+    debug_assert_eq!(k.len(), n * d);
+    debug_assert_eq!(v.len(), n * d);
+    debug_assert_eq!(probs.len(), n * n);
+    debug_assert_eq!(d_out.len(), n * d);
+    debug_assert_eq!(dq.len(), n * d);
+    debug_assert_eq!(dk.len(), n * d);
+    debug_assert_eq!(dv.len(), n * d);
+    debug_assert_eq!(dscores.len(), n * n);
+    // dV = probsᵀ · d_out.
+    dv.fill(0.0);
+    matmul_at_b_into_body(probs, d_out, dv, n, n, d);
+    // dP = d_out · vᵀ (full n×n, masked columns included — they meet an
+    // exact-zero y below, exactly as on the tape), via the tiled kernel
+    // over a transposed value buffer (header: same folds, same bits).
+    let mut vt = vec![0.0f32; n * d];
+    transpose_into(v, &mut vt, n, d);
+    dscores.fill(0.0);
+    matmul_into_body(d_out, &vt, dscores, n, d, n);
+    // Softmax backward + affine backward, in place: dscores becomes dS.
+    for i in 0..n {
+        let y_row = &probs[i * n..(i + 1) * n];
+        let ds_row = &mut dscores[i * n..(i + 1) * n];
+        let mut dot = 0.0f32;
+        for (&yv, &dp) in y_row.iter().zip(ds_row.iter()) {
+            dot += yv * dp;
+        }
+        for (dsv, &yv) in ds_row.iter_mut().zip(y_row) {
+            *dsv = scale * (yv * (*dsv - dot));
+        }
+    }
+    // dQ = dS · k, dK = dSᵀ · q.
+    dq.fill(0.0);
+    matmul_into_body(dscores, k, dq, n, n, d);
+    dk.fill(0.0);
+    matmul_at_b_into_body(dscores, q, dk, n, n, d);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -542,6 +791,107 @@ mod tests {
             );
             for (idx, (w, g)) in full[start * d..].iter().zip(&got).enumerate() {
                 assert_eq!(w.to_bits(), g.to_bits(), "(m={m}, d={d}, start={start}) element {idx}");
+            }
+        }
+    }
+
+    #[test]
+    fn train_forward_matches_composed_ops_bit_for_bit() {
+        let mut rng = StdRng::seed_from_u64(311);
+        for (n, d) in [(1, 1), (1, 4), (3, 5), (5, 8), (16, 12), (17, 16), (50, 20)] {
+            let q = init::randn(&mut rng, &[n, d], 0.0, 1.0);
+            let k = init::randn(&mut rng, &[n, d], 0.0, 1.0);
+            let v = init::randn(&mut rng, &[n, d], 0.0, 1.0);
+            let scale = 1.0 / (d as f32).sqrt();
+            let scores = matmul_a_bt(&q, &k).unwrap();
+            let scaled = scores.map(|x| scale * x + 0.0);
+            let want_probs = softmax_rows_masked(&scaled).unwrap();
+            let want_out = matmul(&want_probs, &v).unwrap();
+            let mut probs = vec![f32::NAN; n * n];
+            let mut out = vec![f32::NAN; n * d];
+            causal_attention_train_forward(q.data(), k.data(), v.data(), n, d, scale, &mut probs, &mut out);
+            for (idx, (w, g)) in want_probs.data().iter().zip(&probs).enumerate() {
+                assert_eq!(w.to_bits(), g.to_bits(), "(n={n}, d={d}) probs element {idx}");
+            }
+            for (idx, (w, g)) in want_out.data().iter().zip(&out).enumerate() {
+                assert_eq!(w.to_bits(), g.to_bits(), "(n={n}, d={d}) out element {idx}");
+            }
+        }
+    }
+
+    /// The tape's composed backward chain, run on the reference kernels:
+    /// exactly what `Graph::backward` does for `matmul_a_bt` → affine →
+    /// `softmax_causal` → `matmul`, in reverse.
+    fn composed_backward(
+        q: &Tensor,
+        k: &Tensor,
+        v: &Tensor,
+        probs: &Tensor,
+        g_out: &Tensor,
+        scale: f32,
+    ) -> (Tensor, Tensor, Tensor) {
+        use crate::ops::matmul_at_b;
+        // out = matmul(probs, v): dProbs = g·vᵀ, dV = probsᵀ·g.
+        let d_probs = matmul_a_bt(g_out, v).unwrap();
+        let dv = matmul_at_b(probs, g_out).unwrap();
+        // softmax backward (over all columns, as the tape does).
+        let n = probs.dims()[0];
+        let mut d_scaled = Tensor::zeros(&[n, n]);
+        for i in 0..n {
+            let y_row = &probs.data()[i * n..(i + 1) * n];
+            let g_row = &d_probs.data()[i * n..(i + 1) * n];
+            let dot: f32 = y_row.iter().zip(g_row).map(|(&a, &b)| a * b).sum();
+            let d_row = &mut d_scaled.data_mut()[i * n..(i + 1) * n];
+            for j in 0..n {
+                d_row[j] = y_row[j] * (g_row[j] - dot);
+            }
+        }
+        // affine backward: d_scores = scale · d_scaled.
+        let d_scores = d_scaled.map(|x| scale * x);
+        // scores = matmul_a_bt(q, k): dQ = dS·k, dK = dSᵀ·q.
+        let dq = matmul(&d_scores, k).unwrap();
+        let dk = matmul_at_b(&d_scores, q).unwrap();
+        (dq, dk, dv)
+    }
+
+    #[test]
+    fn train_backward_matches_composed_chain_bit_for_bit() {
+        let mut rng = StdRng::seed_from_u64(409);
+        for (n, d) in [(1, 1), (1, 4), (3, 5), (5, 8), (16, 12), (17, 16), (50, 20)] {
+            let q = init::randn(&mut rng, &[n, d], 0.0, 1.0);
+            let k = init::randn(&mut rng, &[n, d], 0.0, 1.0);
+            let v = init::randn(&mut rng, &[n, d], 0.0, 1.0);
+            let g_out = init::randn(&mut rng, &[n, d], 0.0, 1.0);
+            let scale = 1.0 / (d as f32).sqrt();
+            let mut probs = vec![0.0f32; n * n];
+            let mut out = vec![0.0f32; n * d];
+            causal_attention_train_forward(q.data(), k.data(), v.data(), n, d, scale, &mut probs, &mut out);
+            let probs_t = Tensor::from_vec(probs.clone(), &[n, n]).unwrap();
+            let (want_dq, want_dk, want_dv) = composed_backward(&q, &k, &v, &probs_t, &g_out, scale);
+            let mut dq = vec![f32::NAN; n * d];
+            let mut dk = vec![f32::NAN; n * d];
+            let mut dv = vec![f32::NAN; n * d];
+            let mut dscores = vec![0.0f32; n * n];
+            causal_attention_train_backward(
+                q.data(),
+                k.data(),
+                v.data(),
+                &probs,
+                g_out.data(),
+                n,
+                d,
+                scale,
+                &mut dq,
+                &mut dk,
+                &mut dv,
+                &mut dscores,
+            );
+            for (name, want, got) in
+                [("dq", &want_dq, &dq), ("dk", &want_dk, &dk), ("dv", &want_dv, &dv)]
+            {
+                for (idx, (w, g)) in want.data().iter().zip(got.iter()).enumerate() {
+                    assert_eq!(w.to_bits(), g.to_bits(), "(n={n}, d={d}) {name} element {idx}");
+                }
             }
         }
     }

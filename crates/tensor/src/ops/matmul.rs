@@ -65,6 +65,24 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     Ok(out)
 }
 
+/// Fast-tier twin of [`matmul`]: same shapes, same bits, but the
+/// register-tiled [`matmul_into`] kernel. The tape dispatches here when
+/// its graph was built on [`crate::kernel::KernelTier::Fast`].
+pub fn matmul_fast(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, k) = a.shape().as_2d()?;
+    let (kb, n) = b.shape().as_2d()?;
+    if k != kb {
+        return Err(TensorError::ShapeMismatch {
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+            op: "matmul",
+        });
+    }
+    let mut out = Tensor::zeros(&[m, n]);
+    matmul_into(a.data(), b.data(), out.data_mut(), m, k, n);
+    Ok(out)
+}
+
 /// Rows of `A` per register tile: four output rows share each streamed
 /// `B` vector, quartering `B` bandwidth.
 const MR: usize = 4;
@@ -104,7 +122,7 @@ unsafe fn matmul_into_avx2(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usi
 }
 
 #[inline(always)]
-fn matmul_into_body(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+pub(crate) fn matmul_into_body(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(c.len(), m * n);
@@ -237,6 +255,23 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     Ok(out)
 }
 
+/// Fast-tier twin of [`matmul_at_b`]: same shapes, same bits, but the
+/// register-tiled [`matmul_at_b_into`] kernel.
+pub fn matmul_at_b_fast(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (k, m) = a.shape().as_2d()?;
+    let (kb, n) = b.shape().as_2d()?;
+    if k != kb {
+        return Err(TensorError::ShapeMismatch {
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+            op: "matmul_at_b",
+        });
+    }
+    let mut out = Tensor::zeros(&[m, n]);
+    matmul_at_b_into(a.data(), b.data(), out.data_mut(), m, k, n);
+    Ok(out)
+}
+
 /// `C = A · Bᵀ` for `(m, k) × (n, k) → (m, n)` without materializing `Bᵀ`.
 ///
 /// This is the attention-score shape (`Q · Kᵀ`) and the gradient-of-input
@@ -270,6 +305,54 @@ pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     Ok(out)
 }
 
+/// Fast-tier twin of [`matmul_a_bt`]: same shapes, same bits, but
+/// computed as **transpose-then-tiled-matmul** instead of per-element
+/// dots.
+///
+/// `A·Bᵀ` is the one dense shape a SIMD twin cannot accelerate in
+/// place: each output is a single dot fold over `k`, and lanes within
+/// one fold would reassociate the sum. Materializing `Bᵀ` first (pure
+/// data movement — no arithmetic, no bits at risk) turns the product
+/// into the plain `A·(Bᵀ)` shape, which [`matmul_into`] tiles and
+/// vectorizes along `j`. Each `c[i][j]` is still one scalar accumulator
+/// folded over the *same* products `a[i][t]·b[j][t]` in the *same*
+/// ascending-`t` order as the reference dot, so the result is
+/// bit-identical (enforced by `blocked_kernel_is_bit_identical_to_naive_fold`).
+/// This shape is the `dX = dY·Wᵀ` half of every matmul backward, so the
+/// transpose (one `(n, k)` copy) is paid once per op against an `m·k·n`
+/// fold.
+pub fn matmul_a_bt_fast(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, k) = a.shape().as_2d()?;
+    let (n, kb) = b.shape().as_2d()?;
+    if k != kb {
+        return Err(TensorError::ShapeMismatch {
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+            op: "matmul_a_bt",
+        });
+    }
+    let mut bt = vec![0.0f32; k * n];
+    transpose_into(b.data(), &mut bt, n, k);
+    let mut out = Tensor::zeros(&[m, n]);
+    matmul_into(a.data(), &bt, out.data_mut(), m, k, n);
+    Ok(out)
+}
+
+/// Scratch transpose `(r, c) → (c, r)` over flat row-major buffers —
+/// the data-movement half of the fast tier's `A·Bᵀ` kernels. Pure
+/// copies: it cannot change any result bit, so the twins that call it
+/// under AVX2 codegen stay bit-identical by construction.
+#[inline(always)]
+pub(crate) fn transpose_into(src: &[f32], dst: &mut [f32], r: usize, c: usize) {
+    debug_assert_eq!(src.len(), r * c);
+    debug_assert_eq!(dst.len(), r * c);
+    for i in 0..r {
+        for (j, &v) in src[i * c..(i + 1) * c].iter().enumerate() {
+            dst[j * r + i] = v;
+        }
+    }
+}
+
 /// Raw kernel behind [`matmul_a_bt`]: `c = a · bᵀ` over flat buffers,
 /// `(m, k) × (n, k) → (m, n)`. Overwrites `c` (no accumulation).
 ///
@@ -295,7 +378,7 @@ unsafe fn matmul_a_bt_into_avx2(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k
 }
 
 #[inline(always)]
-fn matmul_a_bt_into_body(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+pub(crate) fn matmul_a_bt_into_body(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), n * k);
     debug_assert_eq!(c.len(), m * n);
@@ -329,6 +412,99 @@ fn matmul_a_bt_into_body(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize
                 acc += av * bv;
             }
             *ov = acc;
+        }
+    }
+}
+
+/// Raw kernel twin of [`matmul_at_b`]: `c += aᵀ · b` over flat buffers,
+/// `(k, m) × (k, n) → (m, n)`, without materializing `aᵀ`. `c` must be
+/// zeroed (or hold a partial sum to accumulate into).
+///
+/// This is the gradient-of-weights shape the fast training tier hits
+/// every step (`dW = Xᵀ · dY`, plus `dK`/`dV` in the fused attention
+/// backward). Register-tiled `MR × NR` exactly like [`matmul_into`] —
+/// only the `a` indexing differs (`a[kk * m + i]` instead of
+/// `a[i * k + kk]`) — so each `c[i][j]` is one scalar accumulator folded
+/// over `kk` in ascending order, the same per-element fold as the
+/// reference loop in [`matmul_at_b`]. The reference's zero-skip branch
+/// is dropped here, which is bitwise-equivalent: skipped products are
+/// exact (±)zeros, and an accumulator that starts at `+0.0` is never
+/// changed by adding one (see [`matmul_into_skip_zeros`]).
+pub fn matmul_at_b_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    #[cfg(target_arch = "x86_64")]
+    if avx2_available() {
+        // SAFETY: AVX2 support was just verified at runtime.
+        unsafe { return matmul_at_b_into_avx2(a, b, c, m, k, n) };
+    }
+    matmul_at_b_into_body(a, b, c, m, k, n)
+}
+
+/// [`matmul_at_b_into`]'s body compiled with AVX2 codegen (module
+/// header: same source, same bits).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn matmul_at_b_into_avx2(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    matmul_at_b_into_body(a, b, c, m, k, n)
+}
+
+#[inline(always)]
+pub(crate) fn matmul_at_b_into_body(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), k * m);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    let itiles = m / MR;
+    let jtiles = n / NR;
+    for it in 0..itiles {
+        let i = it * MR;
+        for jt in 0..jtiles {
+            let j = jt * NR;
+            let mut acc = [[0.0f32; NR]; MR];
+            for (r, acc_row) in acc.iter_mut().enumerate() {
+                acc_row.copy_from_slice(&c[(i + r) * n + j..(i + r) * n + j + NR]);
+            }
+            for kk in 0..k {
+                let b_vec = &b[kk * n + j..kk * n + j + NR];
+                for (r, acc_row) in acc.iter_mut().enumerate() {
+                    let ar = a[kk * m + i + r];
+                    for (av, &bv) in acc_row.iter_mut().zip(b_vec) {
+                        *av += ar * bv;
+                    }
+                }
+            }
+            for (r, acc_row) in acc.iter().enumerate() {
+                c[(i + r) * n + j..(i + r) * n + j + NR].copy_from_slice(acc_row);
+            }
+        }
+        for jj in jtiles * NR..n {
+            for r in 0..MR {
+                let mut acc = c[(i + r) * n + jj];
+                for kk in 0..k {
+                    acc += a[kk * m + i + r] * b[kk * n + jj];
+                }
+                c[(i + r) * n + jj] = acc;
+            }
+        }
+    }
+    for i in itiles * MR..m {
+        for jt in 0..jtiles {
+            let j = jt * NR;
+            let mut acc = [0.0f32; NR];
+            acc.copy_from_slice(&c[i * n + j..i * n + j + NR]);
+            for kk in 0..k {
+                let av = a[kk * m + i];
+                let b_vec = &b[kk * n + j..kk * n + j + NR];
+                for (accv, &bv) in acc.iter_mut().zip(b_vec) {
+                    *accv += av * bv;
+                }
+            }
+            c[i * n + j..i * n + j + NR].copy_from_slice(&acc);
+        }
+        for jj in jtiles * NR..n {
+            let mut acc = c[i * n + jj];
+            for kk in 0..k {
+                acc += a[kk * m + i] * b[kk * n + jj];
+            }
+            c[i * n + jj] = acc;
         }
     }
 }
@@ -545,6 +721,36 @@ mod tests {
             matmul_a_bt_into(a.data(), bt.data(), &mut got_bt, m_, k_, n_);
             for (w, g) in want_bt.iter().zip(&got_bt) {
                 assert_eq!(w.to_bits(), g.to_bits(), "a_bt ({m_},{k_},{n_})");
+            }
+
+            // Aᵀ·B against the reference kernel's ascending-kk fold,
+            // with zero entries exercising the skip-vs-dense equivalence
+            // (a is (k_, m_) here: the shared dim leads).
+            let mut at = init::randn(&mut rng, &[k_, m_], 0.0, 1.0);
+            for v in at.data_mut().iter_mut().step_by(3) {
+                *v = 0.0;
+            }
+            let b2 = init::randn(&mut rng, &[k_, n_], 0.0, 1.0);
+            let want_at = matmul_at_b(&at, &b2).unwrap();
+            let mut got_at = vec![0.0f32; m_ * n_];
+            matmul_at_b_into(at.data(), b2.data(), &mut got_at, m_, k_, n_);
+            for (w, g) in want_at.data().iter().zip(&got_at) {
+                assert_eq!(w.to_bits(), g.to_bits(), "at_b ({m_},{k_},{n_})");
+            }
+
+            // The tensor-level fast twins run the tiled kernels through
+            // the same shape checks as the tape ops: same bits.
+            let fast = matmul_fast(&a, &b).unwrap();
+            for (w, g) in want.iter().zip(fast.data()) {
+                assert_eq!(w.to_bits(), g.to_bits(), "matmul_fast ({m_},{k_},{n_})");
+            }
+            let fast = matmul_a_bt_fast(&a, &bt).unwrap();
+            for (w, g) in want_bt.iter().zip(fast.data()) {
+                assert_eq!(w.to_bits(), g.to_bits(), "a_bt_fast ({m_},{k_},{n_})");
+            }
+            let fast = matmul_at_b_fast(&at, &b2).unwrap();
+            for (w, g) in want_at.data().iter().zip(fast.data()) {
+                assert_eq!(w.to_bits(), g.to_bits(), "at_b_fast ({m_},{k_},{n_})");
             }
         }
     }

@@ -13,10 +13,13 @@ pub mod softmax;
 
 pub use attention::{
     causal_attention_append_into, causal_attention_into, causal_attention_last_row_into,
-    causal_attention_resume_into,
+    causal_attention_resume_into, causal_attention_train_backward, causal_attention_train_forward,
 };
 pub use elementwise::{add, add_scaled_into, axpy, hadamard, scale, sub};
-pub use matmul::{matmul, matmul_at_b, matmul_a_bt, matmul_a_bt_into, matmul3};
+pub use matmul::{
+    matmul, matmul_at_b, matmul_at_b_fast, matmul_at_b_into, matmul_a_bt, matmul_a_bt_fast,
+    matmul_a_bt_into, matmul_fast, matmul3,
+};
 pub use norm::{layer_norm_rows, layer_norm_rows_into, LayerNormStats};
 pub use reduce::{mean_all, sum_all, sum_axis0, sum_rows};
-pub use softmax::{log_softmax_rows, softmax_rows, softmax_rows_masked};
+pub use softmax::{log_softmax_rows, softmax_rows, softmax_rows_masked, softmax_rows_masked_fast};

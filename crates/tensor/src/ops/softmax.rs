@@ -60,11 +60,50 @@ pub fn softmax_rows_masked(scores: &Tensor) -> Result<Tensor> {
         });
     }
     let mut out = Tensor::zeros(&[r, c]);
+    softmax_rows_masked_body(scores.data(), out.data_mut(), r);
+    Ok(out)
+}
+
+/// Fast-tier twin of [`softmax_rows_masked`]: the same per-row sequence
+/// compiled with AVX2 codegen when the CPU supports it (same source,
+/// same bits — see `ops::matmul`'s module header). The fused attention
+/// kernel bypasses this op entirely on the fast tier; this twin covers
+/// graphs that build `softmax_causal` directly.
+pub fn softmax_rows_masked_fast(scores: &Tensor) -> Result<Tensor> {
+    let (r, c) = scores.shape().as_2d()?;
+    if r != c {
+        return Err(TensorError::ShapeMismatch {
+            lhs: scores.dims().to_vec(),
+            rhs: scores.dims().to_vec(),
+            op: "softmax_rows_masked (square required)",
+        });
+    }
+    let mut out = Tensor::zeros(&[r, c]);
+    #[cfg(target_arch = "x86_64")]
+    if crate::ops::matmul::avx2_available() {
+        // SAFETY: AVX2 support was just verified at runtime.
+        unsafe { softmax_rows_masked_avx2(scores.data(), out.data_mut(), r) };
+        return Ok(out);
+    }
+    softmax_rows_masked_body(scores.data(), out.data_mut(), r);
+    Ok(out)
+}
+
+/// [`softmax_rows_masked_fast`]'s body compiled with AVX2 codegen.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn softmax_rows_masked_avx2(scores: &[f32], out: &mut [f32], r: usize) {
+    softmax_rows_masked_body(scores, out, r)
+}
+
+#[inline(always)]
+fn softmax_rows_masked_body(scores: &[f32], out: &mut [f32], r: usize) {
+    let c = r;
     for i in 0..r {
-        let src = &scores.data()[i * c..i * c + i + 1];
+        let src = &scores[i * c..i * c + i + 1];
         let max = src.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
         let mut sum = 0.0f32;
-        let dst = &mut out.data_mut()[i * c..(i + 1) * c];
+        let dst = &mut out[i * c..(i + 1) * c];
         for j in 0..=i {
             let e = (src[j] - max).exp();
             dst[j] = e;
@@ -76,7 +115,6 @@ pub fn softmax_rows_masked(scores: &Tensor) -> Result<Tensor> {
         }
         // dst[i+1..] stays zero: future positions carry no weight.
     }
-    Ok(out)
 }
 
 #[cfg(test)]
@@ -136,6 +174,23 @@ mod tests {
     fn causal_mask_requires_square() {
         let a = Tensor::zeros(&[2, 3]);
         assert!(softmax_rows_masked(&a).is_err());
+        assert!(softmax_rows_masked_fast(&a).is_err());
+    }
+
+    #[test]
+    fn fast_masked_softmax_is_bit_identical() {
+        use crate::init;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(5);
+        for n in [1, 2, 7, 16, 33] {
+            let a = init::randn(&mut rng, &[n, n], 0.0, 2.0);
+            let want = softmax_rows_masked(&a).unwrap();
+            let got = softmax_rows_masked_fast(&a).unwrap();
+            for (w, g) in want.data().iter().zip(got.data()) {
+                assert_eq!(w.to_bits(), g.to_bits(), "n={n}");
+            }
+        }
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! embarrassingly parallel and gives near-linear speedups (measured in
 //! `vsan-bench`'s `matmul_parallel` bench).
 
+use crate::kernel::KernelTier;
 use crate::ops::matmul::{matmul_into, matmul_into_skip_zeros};
 use crate::{Result, Tensor, TensorError};
 
@@ -56,6 +57,42 @@ pub fn matmul_parallel(a: &Tensor, b: &Tensor, threads: usize) -> Result<Tensor>
         })
         .expect("worker thread panicked in matmul_parallel");
     }
+    Ok(out)
+}
+
+/// Tier-dispatched parallel `C = A · B`: the tape's front-end once the
+/// graph carries a [`KernelTier`]. [`KernelTier::Reference`] runs
+/// [`matmul_parallel`] unchanged (the oracle path); [`KernelTier::Fast`]
+/// keeps the identical row-chunking and serial-fallback threshold but
+/// runs the register-tiled [`matmul_into`] in each chunk. Chunking never
+/// splits a row's `k` fold and the tiled kernel is bit-identical to the
+/// reference fold, so both tiers produce the same bits at every thread
+/// count.
+pub fn matmul_parallel_tiered(
+    a: &Tensor,
+    b: &Tensor,
+    threads: usize,
+    tier: KernelTier,
+) -> Result<Tensor> {
+    if tier == KernelTier::Reference {
+        return matmul_parallel(a, b, threads);
+    }
+    let (m, k) = a.shape().as_2d()?;
+    let (kb, n) = b.shape().as_2d()?;
+    if k != kb {
+        return Err(TensorError::ShapeMismatch {
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+            op: "matmul_parallel",
+        });
+    }
+    let mut out = Tensor::zeros(&[m, n]);
+    let threads = threads.max(1).min(m.max(1));
+    if threads == 1 || m * k * n < 1_000_000 {
+        matmul_into(a.data(), b.data(), out.data_mut(), m, k, n);
+        return Ok(out);
+    }
+    matmul_into_parallel(a.data(), b.data(), out.data_mut(), m, k, n, threads);
     Ok(out)
 }
 
@@ -166,6 +203,24 @@ mod tests {
         let a = Tensor::zeros(&[2, 3]);
         let b = Tensor::zeros(&[4, 2]);
         assert!(matmul_parallel(&a, &b, 2).is_err());
+        assert!(matmul_parallel_tiered(&a, &b, 2, KernelTier::Fast).is_err());
+    }
+
+    #[test]
+    fn tiered_front_end_is_bit_identical_across_tiers_and_threads() {
+        let mut rng = StdRng::seed_from_u64(3);
+        // Big enough to cross the serial-fallback threshold at 4 threads.
+        let a = init::randn(&mut rng, &[128, 64], 0.0, 0.5);
+        let b = init::randn(&mut rng, &[64, 160], 0.0, 0.5);
+        let want = crate::ops::matmul(&a, &b).unwrap();
+        for threads in [1, 2, 4] {
+            for tier in [KernelTier::Reference, KernelTier::Fast] {
+                let got = matmul_parallel_tiered(&a, &b, threads, tier).unwrap();
+                for (w, g) in want.data().iter().zip(got.data()) {
+                    assert_eq!(w.to_bits(), g.to_bits(), "threads={threads} tier={}", tier.name());
+                }
+            }
+        }
     }
 
     #[test]

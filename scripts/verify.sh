@@ -12,6 +12,15 @@ cd "$(dirname "$0")/.."
 PROPTEST_CASES="${PROPTEST_CASES:-64}"
 export PROPTEST_CASES
 
+# On AVX2-capable hosts the kernel-tier suites must run against the real
+# SIMD dispatch: VSAN_REQUIRE_AVX2=1 turns "the fast tier silently fell
+# back to scalar bodies" from a vacuous pass into a test failure
+# (crates/core/tests/parallel_train.rs).
+if grep -q avx2 /proc/cpuinfo 2>/dev/null; then
+  export VSAN_REQUIRE_AVX2=1
+  echo "==> AVX2 host: exporting VSAN_REQUIRE_AVX2=1"
+fi
+
 echo "==> cargo build --release --offline"
 cargo build --workspace --release --offline
 
@@ -71,6 +80,48 @@ cargo test -q --offline -p vsan-core --test fast_path
 cargo test -q --offline --test golden_logits
 VSAN_DISABLE_FAST_PATH=1 cargo test -q --offline -p vsan-core --test fast_path
 VSAN_DISABLE_FAST_PATH=1 cargo test -q --offline --test golden_logits
+
+# Training kernel-tier differential gate (DESIGN.md §10, PR 9): the
+# fused/tiled fast training tier must stay bit-identical to the scalar
+# reference tape. The proptest differential suite, the tiered gradcheck
+# suite, the golden 3-step training fixture, and the threads × tier
+# training grid all run twice — with the environment pin unset (fast
+# tier is the default) and with VSAN_DISABLE_FAST_PATH=1 (reference
+# tier is the default) — covering every env × entry-point routing the
+# pin controls. In-config tier pins override the env, so each single
+# run still exercises both tiers' kernels; the double run proves the
+# *routing* under both process-level env states.
+echo "==> kernel-tier differential suite (VSAN_DISABLE_FAST_PATH unset + =1)"
+cargo test -q --offline -p vsan-autograd --test tier_differential
+cargo test -q --offline -p vsan-autograd --test gradcheck_ops
+cargo test -q --offline -p vsan-core --test golden_train
+VSAN_DISABLE_FAST_PATH=1 cargo test -q --offline -p vsan-autograd --test tier_differential
+VSAN_DISABLE_FAST_PATH=1 cargo test -q --offline -p vsan-autograd --test gradcheck_ops
+VSAN_DISABLE_FAST_PATH=1 cargo test -q --offline -p vsan-core --test golden_train
+VSAN_DISABLE_FAST_PATH=1 cargo test -q --offline -p vsan-core --test parallel_train
+
+# The committed training benchmark must attest both halves of the
+# fast-tier claim: every tier × thread cell trained bit-identical
+# parameters, and the single-thread fused/tiled training step is at
+# least 2x the reference tape at every benchmarked shape.
+echo "==> results/BENCH_train.json bitwise_match + min_kernel_speedup >= 2 attestations"
+if [ ! -f results/BENCH_train.json ]; then
+  echo "results/BENCH_train.json missing — run: cargo run --release -p vsan-bench --bin train_bench" >&2
+  exit 1
+fi
+if ! grep -q '"bitwise_match": true' results/BENCH_train.json; then
+  echo "results/BENCH_train.json lacks \"bitwise_match\": true" >&2
+  exit 1
+fi
+speedup="$(sed -n 's/.*"min_kernel_speedup": \([0-9.]*\).*/\1/p' results/BENCH_train.json | head -n1)"
+if [ -z "${speedup}" ]; then
+  echo "results/BENCH_train.json lacks \"min_kernel_speedup\" — regenerate with train_bench" >&2
+  exit 1
+fi
+if ! awk -v s="${speedup}" 'BEGIN { exit !(s >= 2.0) }'; then
+  echo "min_kernel_speedup ${speedup} < 2.0 — the fast training tier no longer pays for itself" >&2
+  exit 1
+fi
 
 # Session differential gate: the incremental append path (prepare +
 # one-row fold-in, DESIGN.md §11) must equal a full recompute for any
