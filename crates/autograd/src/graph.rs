@@ -2,10 +2,14 @@
 
 use crate::op::Op;
 use crate::{GradError, Result};
+use std::cell::RefCell;
 use std::collections::HashMap;
 use vsan_tensor::ops as tops;
 use vsan_tensor::ops::norm::LN_EPS;
-use vsan_tensor::{parallel, KernelTier, Shape, Tensor};
+use vsan_tensor::{
+    parallel, ArenaStats, BufferPolicy, KernelTier, Shape, SharedBufferPool, Tensor, TensorArena,
+    TensorError,
+};
 
 /// A handle to a node on a [`Graph`]'s tape.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -32,10 +36,25 @@ struct Node {
 /// [`Graph::with_threads_and_tier`]; both tiers produce bit-identical
 /// values and gradients (the fold-order contract in `vsan-tensor`'s
 /// `ops::matmul` header, enforced by the tier-differential test wall).
+///
+/// Orthogonally, a graph carries a [`BufferPolicy`] governing where
+/// tensor buffers come from. The default, [`BufferPolicy::Fresh`],
+/// allocates every buffer from the global allocator — the original
+/// behavior, byte for byte. [`BufferPolicy::Arena`] (opt-in via
+/// [`Graph::with_buffer_policy`]) recycles buffers through a
+/// [`TensorArena`]: call [`Graph::reset`] between steps and forward
+/// activations, saved softmax/probability matrices, and backward
+/// gradient buffers are reused instead of reallocated. Every arena
+/// buffer is handed out zeroed (bit-identical to `vec![0.0; n]`), so
+/// the policy can never change a result bit — see DESIGN.md §14 and
+/// the arena-reuse suite in `tests/tier_differential.rs`.
 pub struct Graph {
     nodes: Vec<Node>,
     threads: usize,
     tier: KernelTier,
+    arena: RefCell<TensorArena>,
+    /// High-water mark of tape length across [`Graph::reset`] cycles.
+    peak_nodes: usize,
 }
 
 impl Default for Graph {
@@ -57,12 +76,78 @@ impl Graph {
 
     /// Empty tape with an explicit worker-thread count and kernel tier.
     pub fn with_threads_and_tier(threads: usize, tier: KernelTier) -> Self {
-        Graph { nodes: Vec::with_capacity(256), threads: threads.max(1), tier }
+        Graph {
+            nodes: Vec::with_capacity(256),
+            threads: threads.max(1),
+            tier,
+            arena: RefCell::new(TensorArena::new(BufferPolicy::Fresh)),
+            peak_nodes: 0,
+        }
+    }
+
+    /// Select the buffer policy (builder style). [`BufferPolicy::Fresh`]
+    /// is the default; [`BufferPolicy::Arena`] turns on step-scoped
+    /// buffer recycling through [`Graph::reset`].
+    pub fn with_buffer_policy(self, policy: BufferPolicy) -> Self {
+        self.arena.borrow_mut().set_policy(policy);
+        self
+    }
+
+    /// Attach a cross-graph [`SharedBufferPool`] the arena falls back to
+    /// before fresh allocation (builder style). Lets escaped buffers —
+    /// e.g. parameter gradients recycled after the optimizer step — flow
+    /// back to whichever shard graph needs one next.
+    pub fn with_shared_pool(self, pool: SharedBufferPool) -> Self {
+        self.arena.borrow_mut().set_pool(pool);
+        self
     }
 
     /// The kernel tier this tape runs on.
     pub fn kernel_tier(&self) -> KernelTier {
         self.tier
+    }
+
+    /// The buffer policy this tape allocates under.
+    pub fn buffer_policy(&self) -> BufferPolicy {
+        self.arena.borrow().policy()
+    }
+
+    /// Snapshot of the arena's allocation counters.
+    pub fn arena_stats(&self) -> ArenaStats {
+        self.arena.borrow().stats()
+    }
+
+    /// High-water mark of tape length across [`Graph::reset`] cycles
+    /// (including the current tape).
+    pub fn peak_nodes(&self) -> usize {
+        self.peak_nodes.max(self.nodes.len())
+    }
+
+    /// Clear the tape for the next step, recycling every node's buffers.
+    ///
+    /// The node `Vec` keeps its capacity, and each node's value buffer —
+    /// plus op byproducts (saved softmax/probability matrices, dropout
+    /// masks, layer-norm statistics) — is released to the arena for
+    /// reuse. Under [`BufferPolicy::Fresh`] the arena drops them, which
+    /// is exactly the old drop-the-graph behavior.
+    pub fn reset(&mut self) {
+        self.peak_nodes = self.peak_nodes.max(self.nodes.len());
+        let Graph { nodes, arena, .. } = self;
+        let arena = arena.get_mut();
+        for node in nodes.drain(..) {
+            arena.release(node.value.into_vec());
+            match node.op {
+                Op::CausalAttention { probs, .. } => arena.release(probs),
+                Op::CeOneHot { probs, .. } => arena.release(probs),
+                Op::CeMultiHot { probs, .. } => arena.release(probs),
+                Op::Dropout { mask, .. } => arena.release(mask),
+                Op::LayerNorm { stats, .. } => {
+                    arena.release(stats.mean);
+                    arena.release(stats.inv_std);
+                }
+                _ => {}
+            }
+        }
     }
 
     /// Number of nodes currently on the tape.
@@ -94,23 +179,215 @@ impl Graph {
         ids.iter().any(|&i| self.nodes[i].needs_grad)
     }
 
+    // ---- arena plumbing --------------------------------------------------
+    //
+    // Every tensor the tape creates goes through these helpers, so one
+    // policy switch moves the whole graph between fresh allocation and
+    // arena recycling. All arena buffers arrive zeroed — bit-identical
+    // to `vec![0.0; n]` — so the policy can never change a result.
+
+    /// A zeroed tensor of the given shape from the arena.
+    fn alloc_zeroed(&self, dims: &[usize]) -> Tensor {
+        let len: usize = dims.iter().product();
+        let buf = self.arena.borrow_mut().take(len);
+        Tensor::from_vec(buf, dims).expect("arena buffer sized to dims")
+    }
+
+    /// An arena-backed copy of `src`.
+    fn alloc_clone(&self, src: &Tensor) -> Tensor {
+        let mut buf = self.arena.borrow_mut().take_empty(src.numel());
+        buf.extend_from_slice(src.data());
+        Tensor::from_vec(buf, src.dims()).expect("arena buffer sized to source")
+    }
+
+    /// A constant-filled tensor from the arena (same fill as `vec![v; n]`).
+    fn alloc_full(&self, dims: &[usize], v: f32) -> Tensor {
+        let len: usize = dims.iter().product();
+        let mut buf = self.arena.borrow_mut().take_empty(len);
+        buf.resize(len, v);
+        Tensor::from_vec(buf, dims).expect("arena buffer sized to dims")
+    }
+
+    /// A rank-0 scalar from the arena (same layout as [`Tensor::scalar`]).
+    fn alloc_scalar(&self, v: f32) -> Tensor {
+        let mut buf = self.arena.borrow_mut().take_empty(1);
+        buf.push(v);
+        Tensor::from_vec(buf, &[]).expect("scalar buffer")
+    }
+
+    /// Return a tensor's buffer to the arena.
+    fn release(&self, t: Tensor) {
+        self.arena.borrow_mut().release(t.into_vec());
+    }
+
+    /// An empty `Vec<f32>` with the given capacity from the arena —
+    /// for callers that build tape inputs incrementally (dropout masks).
+    pub fn take_buffer(&self, capacity: usize) -> Vec<f32> {
+        self.arena.borrow_mut().take_empty(capacity)
+    }
+
+    /// Hand a buffer back to the arena for reuse.
+    pub fn release_buffer(&self, buf: Vec<f32>) {
+        self.arena.borrow_mut().release(buf);
+    }
+
+    /// Recycle a consumed [`Gradients`] (e.g. after the optimizer step)
+    /// so parameter-gradient buffers re-enter the reuse cycle.
+    pub fn recycle_gradients(&self, grads: Gradients) {
+        let mut arena = self.arena.borrow_mut();
+        for (_, t) in grads.params {
+            arena.release(t.into_vec());
+        }
+    }
+
     // ---- tier-dispatched kernels ----------------------------------------
     //
     // Both tiers share one per-element fold order (ops::matmul's module
     // header in vsan-tensor), so these helpers change speed, never bits.
 
-    fn mm_a_bt(&self, a: &Tensor, b: &Tensor) -> vsan_tensor::Result<Tensor> {
+    /// Pick the tier's unary flat kernel.
+    fn k1(
+        &self,
+        reference: fn(&[f32], &mut [f32]),
+        fast: fn(&[f32], &mut [f32]),
+    ) -> fn(&[f32], &mut [f32]) {
         match self.tier {
-            KernelTier::Reference => tops::matmul_a_bt(a, b),
-            KernelTier::Fast => tops::matmul_a_bt_fast(a, b),
+            KernelTier::Reference => reference,
+            KernelTier::Fast => fast,
         }
     }
 
-    fn mm_at_b(&self, a: &Tensor, b: &Tensor) -> vsan_tensor::Result<Tensor> {
+    /// Pick the tier's binary flat kernel.
+    fn k2(
+        &self,
+        reference: fn(&[f32], &[f32], &mut [f32]),
+        fast: fn(&[f32], &[f32], &mut [f32]),
+    ) -> fn(&[f32], &[f32], &mut [f32]) {
         match self.tier {
-            KernelTier::Reference => tops::matmul_at_b(a, b),
-            KernelTier::Fast => tops::matmul_at_b_fast(a, b),
+            KernelTier::Reference => reference,
+            KernelTier::Fast => fast,
         }
+    }
+
+    fn check_same(&self, a: Var, b: Var, op: &'static str) -> Result<()> {
+        let (av, bv) = (self.value(a), self.value(b));
+        if !av.shape().same_as(bv.shape()) {
+            return Err(GradError::Tensor(TensorError::ShapeMismatch {
+                lhs: av.dims().to_vec(),
+                rhs: bv.dims().to_vec(),
+                op,
+            }));
+        }
+        Ok(())
+    }
+
+    /// Arena-allocating `a · b` with the parallel tiered front-end.
+    fn mm_alloc(&self, a: &Tensor, b: &Tensor) -> Result<Tensor> {
+        let (m, k) = a.shape().as_2d()?;
+        let (kb, n) = b.shape().as_2d()?;
+        if k != kb {
+            return Err(GradError::Tensor(TensorError::ShapeMismatch {
+                lhs: a.dims().to_vec(),
+                rhs: b.dims().to_vec(),
+                op: "matmul_parallel",
+            }));
+        }
+        let mut out = self.alloc_zeroed(&[m, n]);
+        parallel::matmul_parallel_tiered_into(
+            a.data(),
+            b.data(),
+            out.data_mut(),
+            m,
+            k,
+            n,
+            self.threads,
+            self.tier,
+        );
+        Ok(out)
+    }
+
+    /// Arena-allocating `a · bᵀ` for `(m, k) × (n, k)` operands.
+    fn mm_a_bt_alloc(&self, a: &Tensor, b: &Tensor) -> Result<Tensor> {
+        let (m, k) = a.shape().as_2d()?;
+        let (n, kb) = b.shape().as_2d()?;
+        if k != kb {
+            return Err(GradError::Tensor(TensorError::ShapeMismatch {
+                lhs: a.dims().to_vec(),
+                rhs: b.dims().to_vec(),
+                op: "matmul_a_bt",
+            }));
+        }
+        let mut out = self.alloc_zeroed(&[m, n]);
+        match self.tier {
+            KernelTier::Reference => {
+                tops::matmul_a_bt_ref_into(a.data(), b.data(), out.data_mut(), m, k, n);
+            }
+            KernelTier::Fast => {
+                let mut scratch = self.arena.borrow_mut().take(k * n);
+                tops::matmul_a_bt_fast_into(
+                    a.data(),
+                    b.data(),
+                    out.data_mut(),
+                    &mut scratch,
+                    m,
+                    k,
+                    n,
+                );
+                self.arena.borrow_mut().release(scratch);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Arena-allocating `aᵀ · b` for `(k, m) × (k, n)` operands.
+    fn mm_at_b_alloc(&self, a: &Tensor, b: &Tensor) -> Result<Tensor> {
+        let (k, m) = a.shape().as_2d()?;
+        let (kb, n) = b.shape().as_2d()?;
+        if k != kb {
+            return Err(GradError::Tensor(TensorError::ShapeMismatch {
+                lhs: a.dims().to_vec(),
+                rhs: b.dims().to_vec(),
+                op: "matmul_at_b",
+            }));
+        }
+        let mut out = self.alloc_zeroed(&[m, n]);
+        match self.tier {
+            KernelTier::Reference => {
+                tops::matmul_at_b_ref_into(a.data(), b.data(), out.data_mut(), m, k, n);
+            }
+            KernelTier::Fast => {
+                tops::matmul_at_b_into(a.data(), b.data(), out.data_mut(), m, k, n);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Arena-allocating `s · g` (tier-dispatched, same bits either way).
+    fn scale_alloc(&self, g: &Tensor, s: f32) -> Tensor {
+        let mut out = self.alloc_zeroed(g.dims());
+        match self.tier {
+            KernelTier::Reference => tops::scale_into(g.data(), s, out.data_mut()),
+            KernelTier::Fast => tops::scale_into_fast(g.data(), s, out.data_mut()),
+        }
+        out
+    }
+
+    /// Arena-allocating elementwise product.
+    fn hadamard_alloc(&self, a: &Tensor, b: &Tensor) -> Result<Tensor> {
+        if !a.shape().same_as(b.shape()) {
+            return Err(GradError::Tensor(TensorError::ShapeMismatch {
+                lhs: a.dims().to_vec(),
+                rhs: b.dims().to_vec(),
+                op: "hadamard",
+            }));
+        }
+        let mut out = self.alloc_zeroed(a.dims());
+        (self.k2(tops::hadamard_into, tops::hadamard_into_fast))(
+            a.data(),
+            b.data(),
+            out.data_mut(),
+        );
+        Ok(out)
     }
 
     // ---- inputs ---------------------------------------------------------
@@ -125,29 +402,64 @@ impl Graph {
         self.push(t, Op::Leaf { param_key: Some(key) }, true)
     }
 
+    /// Insert a trainable parameter by reference, copying its tensor into
+    /// an arena buffer — bit-identical to `param(t.clone(), key)`, but the
+    /// copy is recycled by [`Graph::reset`] instead of reallocated every
+    /// step. This is how training drivers bind parameters each step.
+    pub fn param_ref(&mut self, t: &Tensor, key: usize) -> Var {
+        let v = self.alloc_clone(t);
+        self.push(v, Op::Leaf { param_key: Some(key) }, true)
+    }
+
     // ---- elementwise ----------------------------------------------------
 
     /// Elementwise sum.
     pub fn add(&mut self, a: Var, b: Var) -> Result<Var> {
-        let v = tops::add(self.value(a), self.value(b))?;
+        self.check_same(a, b, "add")?;
+        let mut v = self.alloc_zeroed(self.value(a).dims());
+        (self.k2(tops::add_into, tops::add_into_fast))(
+            self.value(a).data(),
+            self.value(b).data(),
+            v.data_mut(),
+        );
         Ok(self.push(v, Op::Add(a.0, b.0), self.needs(&[a.0, b.0])))
     }
 
     /// Elementwise difference.
     pub fn sub(&mut self, a: Var, b: Var) -> Result<Var> {
-        let v = tops::sub(self.value(a), self.value(b))?;
+        self.check_same(a, b, "sub")?;
+        let mut v = self.alloc_zeroed(self.value(a).dims());
+        (self.k2(tops::sub_into, tops::sub_into_fast))(
+            self.value(a).data(),
+            self.value(b).data(),
+            v.data_mut(),
+        );
         Ok(self.push(v, Op::Sub(a.0, b.0), self.needs(&[a.0, b.0])))
     }
 
     /// Elementwise product.
     pub fn mul(&mut self, a: Var, b: Var) -> Result<Var> {
-        let v = tops::hadamard(self.value(a), self.value(b))?;
+        self.check_same(a, b, "hadamard")?;
+        let mut v = self.alloc_zeroed(self.value(a).dims());
+        (self.k2(tops::hadamard_into, tops::hadamard_into_fast))(
+            self.value(a).data(),
+            self.value(b).data(),
+            v.data_mut(),
+        );
         Ok(self.push(v, Op::Mul(a.0, b.0), self.needs(&[a.0, b.0])))
     }
 
     /// Elementwise affine map `scale·x + shift`.
     pub fn affine(&mut self, x: Var, scale: f32, shift: f32) -> Var {
-        let v = self.value(x).map(|e| scale * e + shift);
+        let mut v = self.alloc_zeroed(self.value(x).dims());
+        match self.tier {
+            KernelTier::Reference => {
+                tops::affine_into(self.value(x).data(), scale, shift, v.data_mut());
+            }
+            KernelTier::Fast => {
+                tops::affine_into_fast(self.value(x).data(), scale, shift, v.data_mut());
+            }
+        }
         let ng = self.nodes[x.0].needs_grad;
         self.push(v, Op::Affine { x: x.0, scale, shift }, ng)
     }
@@ -159,7 +471,31 @@ impl Graph {
 
     /// Broadcast-add a `(cols,)` bias to every row of a rank-2 input.
     pub fn add_row_broadcast(&mut self, x: Var, bias: Var) -> Result<Var> {
-        let v = tops::elementwise::add_row_broadcast(self.value(x), self.value(bias))?;
+        let (rows, cols) = self.value(x).shape().as_2d()?;
+        if self.value(bias).dims() != [cols] {
+            return Err(GradError::Tensor(TensorError::ShapeMismatch {
+                lhs: self.value(x).dims().to_vec(),
+                rhs: self.value(bias).dims().to_vec(),
+                op: "add_row_broadcast",
+            }));
+        }
+        let mut v = self.alloc_zeroed(&[rows, cols]);
+        match self.tier {
+            KernelTier::Reference => tops::add_row_broadcast_into(
+                self.value(x).data(),
+                self.value(bias).data(),
+                v.data_mut(),
+                rows,
+                cols,
+            ),
+            KernelTier::Fast => tops::add_row_broadcast_into_fast(
+                self.value(x).data(),
+                self.value(bias).data(),
+                v.data_mut(),
+                rows,
+                cols,
+            ),
+        }
         Ok(self.push(v, Op::AddRowBroadcast { x: x.0, bias: bias.0 }, self.needs(&[x.0, bias.0])))
     }
 
@@ -167,20 +503,21 @@ impl Graph {
 
     /// Dense matmul; automatically goes parallel for large problems.
     pub fn matmul(&mut self, a: Var, b: Var) -> Result<Var> {
-        let v =
-            parallel::matmul_parallel_tiered(self.value(a), self.value(b), self.threads, self.tier)?;
+        let v = self.mm_alloc(self.value(a), self.value(b))?;
         Ok(self.push(v, Op::MatMul(a.0, b.0), self.needs(&[a.0, b.0])))
     }
 
     /// `A · Bᵀ` without materializing the transpose (attention scores).
     pub fn matmul_a_bt(&mut self, a: Var, b: Var) -> Result<Var> {
-        let v = self.mm_a_bt(self.value(a), self.value(b))?;
+        let v = self.mm_a_bt_alloc(self.value(a), self.value(b))?;
         Ok(self.push(v, Op::MatMulABt(a.0, b.0), self.needs(&[a.0, b.0])))
     }
 
     /// Rank-2 transpose.
     pub fn transpose(&mut self, x: Var) -> Result<Var> {
-        let v = self.value(x).transpose2()?;
+        let (r, c) = self.value(x).shape().as_2d()?;
+        let mut v = self.alloc_zeroed(&[c, r]);
+        tops::transpose_into(self.value(x).data(), v.data_mut(), r, c);
         let ng = self.nodes[x.0].needs_grad;
         Ok(self.push(v, Op::Transpose(x.0), ng))
     }
@@ -188,7 +525,9 @@ impl Graph {
     /// Shape reinterpretation.
     pub fn reshape(&mut self, x: Var, dims: &[usize]) -> Result<Var> {
         let old_dims = self.value(x).dims().to_vec();
-        let v = self.value(x).reshape(dims)?;
+        let mut buf = self.take_buffer(self.value(x).numel());
+        buf.extend_from_slice(self.value(x).data());
+        let v = Tensor::from_vec(buf, dims)?;
         let ng = self.nodes[x.0].needs_grad;
         Ok(self.push(v, Op::Reshape { x: x.0, old_dims }, ng))
     }
@@ -197,28 +536,32 @@ impl Graph {
 
     /// ReLU.
     pub fn relu(&mut self, x: Var) -> Var {
-        let v = tops::elementwise::relu(self.value(x));
+        let mut v = self.alloc_zeroed(self.value(x).dims());
+        (self.k1(tops::relu_into, tops::relu_into_fast))(self.value(x).data(), v.data_mut());
         let ng = self.nodes[x.0].needs_grad;
         self.push(v, Op::Relu(x.0), ng)
     }
 
     /// Sigmoid.
     pub fn sigmoid(&mut self, x: Var) -> Var {
-        let v = tops::elementwise::sigmoid(self.value(x));
+        let mut v = self.alloc_zeroed(self.value(x).dims());
+        (self.k1(tops::sigmoid_into, tops::sigmoid_into_fast))(self.value(x).data(), v.data_mut());
         let ng = self.nodes[x.0].needs_grad;
         self.push(v, Op::Sigmoid(x.0), ng)
     }
 
     /// Tanh.
     pub fn tanh(&mut self, x: Var) -> Var {
-        let v = tops::elementwise::tanh(self.value(x));
+        let mut v = self.alloc_zeroed(self.value(x).dims());
+        (self.k1(tops::tanh_into, tops::tanh_into_fast))(self.value(x).data(), v.data_mut());
         let ng = self.nodes[x.0].needs_grad;
         self.push(v, Op::Tanh(x.0), ng)
     }
 
     /// Elementwise exponential.
     pub fn exp(&mut self, x: Var) -> Var {
-        let v = tops::elementwise::exp(self.value(x));
+        let mut v = self.alloc_zeroed(self.value(x).dims());
+        (self.k1(tops::exp_into, tops::exp_into_fast))(self.value(x).data(), v.data_mut());
         let ng = self.nodes[x.0].needs_grad;
         self.push(v, Op::Exp(x.0), ng)
     }
@@ -227,7 +570,16 @@ impl Graph {
 
     /// Row-wise softmax of a rank-2 input.
     pub fn softmax_rows(&mut self, x: Var) -> Result<Var> {
-        let v = tops::softmax_rows(self.value(x))?;
+        let (r, c) = self.value(x).shape().as_2d()?;
+        let mut v = self.alloc_zeroed(&[r, c]);
+        match self.tier {
+            KernelTier::Reference => {
+                tops::softmax_rows_into(self.value(x).data(), v.data_mut(), r, c);
+            }
+            KernelTier::Fast => {
+                tops::softmax_rows_into_fast(self.value(x).data(), v.data_mut(), r, c);
+            }
+        }
         let ng = self.nodes[x.0].needs_grad;
         Ok(self.push(v, Op::SoftmaxRows(x.0), ng))
     }
@@ -235,10 +587,25 @@ impl Graph {
     /// Causal-masked softmax of a square score matrix (future positions get
     /// exactly zero weight — the SASRec/VSAN attention constraint).
     pub fn softmax_causal(&mut self, x: Var) -> Result<Var> {
-        let v = match self.tier {
-            KernelTier::Reference => tops::softmax_rows_masked(self.value(x))?,
-            KernelTier::Fast => tops::softmax_rows_masked_fast(self.value(x))?,
-        };
+        let (r, c) = self.value(x).shape().as_2d()?;
+        if r != c {
+            return Err(GradError::Tensor(TensorError::ShapeMismatch {
+                lhs: vec![r, r],
+                rhs: vec![r, c],
+                op: "softmax_rows_masked",
+            }));
+        }
+        // The masked upper triangle must read exactly 0.0 — arena buffers
+        // arrive zeroed, so this holds under both policies.
+        let mut v = self.alloc_zeroed(&[r, c]);
+        match self.tier {
+            KernelTier::Reference => {
+                tops::softmax_rows_masked_into(self.value(x).data(), v.data_mut(), r);
+            }
+            KernelTier::Fast => {
+                tops::softmax_rows_masked_into_fast(self.value(x).data(), v.data_mut(), r);
+            }
+        }
         let ng = self.nodes[x.0].needs_grad;
         Ok(self.push(v, Op::SoftmaxCausal(x.0), ng))
     }
@@ -266,15 +633,16 @@ impl Graph {
         let (n, d) = self.value(q).shape().as_2d()?;
         for operand in [k, v] {
             if self.value(operand).dims() != [n, d] {
-                return Err(GradError::Tensor(vsan_tensor::TensorError::ShapeMismatch {
+                return Err(GradError::Tensor(TensorError::ShapeMismatch {
                     lhs: vec![n, d],
                     rhs: self.value(operand).dims().to_vec(),
                     op: "causal_attention",
                 }));
             }
         }
-        let mut probs = vec![0.0f32; n * n];
-        let mut out = Tensor::zeros(&[n, d]);
+        // Saved probs must start all-zero (masked upper triangle).
+        let mut probs = self.arena.borrow_mut().take(n * n);
+        let mut out = self.alloc_zeroed(&[n, d]);
         tops::causal_attention_train_forward(
             self.value(q).data(),
             self.value(k).data(),
@@ -293,14 +661,24 @@ impl Graph {
 
     /// Fused LayerNorm over rows with learned `gamma`/`beta` (shape `(cols,)`).
     pub fn layer_norm(&mut self, x: Var, gamma: Var, beta: Var) -> Result<Var> {
-        let (v, stats) = tops::layer_norm_rows(
-            self.value(x),
+        let (r, c) = self.value(x).shape().as_2d()?;
+        let mut out = self.alloc_zeroed(&[r, c]);
+        let mut mean = self.take_buffer(r);
+        let mut inv_std = self.take_buffer(r);
+        tops::layer_norm_rows_stats_into(
+            self.value(x).data(),
             self.value(gamma).data(),
             self.value(beta).data(),
             LN_EPS,
-        )?;
+            r,
+            c,
+            out.data_mut(),
+            &mut mean,
+            &mut inv_std,
+        );
+        let stats = tops::LayerNormStats { mean, inv_std };
         let ng = self.needs(&[x.0, gamma.0, beta.0]);
-        Ok(self.push(v, Op::LayerNorm { x: x.0, gamma: gamma.0, beta: beta.0, stats }, ng))
+        Ok(self.push(out, Op::LayerNorm { x: x.0, gamma: gamma.0, beta: beta.0, stats }, ng))
     }
 
     // ---- structure --------------------------------------------------------
@@ -308,7 +686,20 @@ impl Graph {
     /// Gather rows from a rank-2 input; backward scatter-adds (this is the
     /// embedding-lookup op when `x` is an embedding table parameter).
     pub fn gather_rows(&mut self, x: Var, idx: &[usize]) -> Result<Var> {
-        let v = self.value(x).gather_rows(idx)?;
+        let (r, c) = self.value(x).shape().as_2d()?;
+        for &i in idx {
+            if i >= r {
+                return Err(GradError::Tensor(TensorError::OutOfBounds {
+                    index: vec![i],
+                    shape: self.value(x).dims().to_vec(),
+                }));
+            }
+        }
+        let mut buf = self.take_buffer(idx.len() * c);
+        for &i in idx {
+            buf.extend_from_slice(&self.value(x).data()[i * c..(i + 1) * c]);
+        }
+        let v = Tensor::from_vec(buf, &[idx.len(), c])?;
         let ng = self.nodes[x.0].needs_grad;
         Ok(self.push(v, Op::GatherRows { x: x.0, idx: idx.to_vec() }, ng))
     }
@@ -319,21 +710,23 @@ impl Graph {
             return Err(GradError::BadTargets("concat_rows of zero parts"));
         }
         let cols = self.value(parts[0]).shape().as_2d()?.1;
-        let mut data = Vec::new();
         let mut rows = Vec::with_capacity(parts.len());
         for &p in parts {
             let (r, c) = self.value(p).shape().as_2d()?;
             if c != cols {
-                return Err(GradError::Tensor(vsan_tensor::TensorError::ShapeMismatch {
+                return Err(GradError::Tensor(TensorError::ShapeMismatch {
                     lhs: vec![cols],
                     rhs: vec![c],
                     op: "concat_rows",
                 }));
             }
-            data.extend_from_slice(self.value(p).data());
             rows.push(r);
         }
         let total: usize = rows.iter().sum();
+        let mut data = self.take_buffer(total * cols);
+        for &p in parts {
+            data.extend_from_slice(self.value(p).data());
+        }
         let v = Tensor::from_vec(data, &[total, cols])?;
         let ids: Vec<usize> = parts.iter().map(|p| p.0).collect();
         let ng = self.needs(&ids);
@@ -350,7 +743,7 @@ impl Graph {
         for &p in parts {
             let (r, c) = self.value(p).shape().as_2d()?;
             if r != rows {
-                return Err(GradError::Tensor(vsan_tensor::TensorError::ShapeMismatch {
+                return Err(GradError::Tensor(TensorError::ShapeMismatch {
                     lhs: vec![rows],
                     rhs: vec![r],
                     op: "concat_cols",
@@ -359,7 +752,7 @@ impl Graph {
             cols.push(c);
         }
         let total: usize = cols.iter().sum();
-        let mut out = Tensor::zeros(&[rows, total]);
+        let mut out = self.alloc_zeroed(&[rows, total]);
         let mut col0 = 0usize;
         for (&p, &c) in parts.iter().zip(cols.iter()) {
             for r in 0..rows {
@@ -391,15 +784,18 @@ impl Graph {
 
     /// Inverted dropout with a caller-supplied mask whose entries are `0.0`
     /// (dropped) or `1/(1-p)` (kept). Pass an all-`1/(1-p)`-free identity
-    /// mask — or skip the op — at evaluation time.
+    /// mask — or skip the op — at evaluation time. Build the mask in a
+    /// [`Graph::take_buffer`] vector to keep it in the reuse cycle.
     pub fn dropout(&mut self, x: Var, mask: Vec<f32>) -> Result<Var> {
         if mask.len() != self.value(x).numel() {
             return Err(GradError::BadTargets("dropout mask length mismatch"));
         }
-        let mut v = self.value(x).clone();
-        for (o, &m) in v.data_mut().iter_mut().zip(&mask) {
-            *o *= m;
-        }
+        let mut v = self.alloc_zeroed(self.value(x).dims());
+        (self.k2(tops::hadamard_into, tops::hadamard_into_fast))(
+            self.value(x).data(),
+            &mask,
+            v.data_mut(),
+        );
         let ng = self.nodes[x.0].needs_grad;
         Ok(self.push(v, Op::Dropout { x: x.0, mask }, ng))
     }
@@ -410,7 +806,7 @@ impl Graph {
         if r == 0 {
             return Err(GradError::BadTargets("max_axis0 over zero rows"));
         }
-        let mut out = Tensor::zeros(&[c]);
+        let mut out = self.alloc_zeroed(&[c]);
         let mut argmax = vec![0usize; c];
         for (j, am) in argmax.iter_mut().enumerate() {
             let mut best = f32::NEG_INFINITY;
@@ -431,14 +827,14 @@ impl Graph {
 
     /// Sum of all elements → scalar.
     pub fn sum_all(&mut self, x: Var) -> Var {
-        let v = Tensor::scalar(tops::sum_all(self.value(x)));
+        let v = self.alloc_scalar(tops::sum_all(self.value(x)));
         let ng = self.nodes[x.0].needs_grad;
         self.push(v, Op::SumAll(x.0), ng)
     }
 
     /// Mean of all elements → scalar.
     pub fn mean_all(&mut self, x: Var) -> Var {
-        let v = Tensor::scalar(tops::mean_all(self.value(x)));
+        let v = self.alloc_scalar(tops::mean_all(self.value(x)));
         let ng = self.nodes[x.0].needs_grad;
         self.push(v, Op::MeanAll(x.0), ng)
     }
@@ -452,18 +848,22 @@ impl Graph {
         if targets.len() != r {
             return Err(GradError::BadTargets("one target per logits row required"));
         }
+        for &t in targets {
+            if t != usize::MAX && t >= c {
+                return Err(GradError::BadTargets("target index out of vocabulary"));
+            }
+        }
         let active = targets.iter().filter(|&&t| t != usize::MAX).count();
         let norm = active.max(1) as f32;
-        let mut probs = vec![0.0f32; r * c];
+        // Masked rows must keep exactly-zero probabilities; arena `take`
+        // hands out zeroed buffers, same as `vec![0.0; r * c]`.
+        let mut probs = self.arena.borrow_mut().take(r * c);
         let mut loss = 0.0f64;
         for i in 0..r {
             let row = &self.value(logits).data()[i * c..(i + 1) * c];
             let t = targets[i];
             if t == usize::MAX {
                 continue;
-            }
-            if t >= c {
-                return Err(GradError::BadTargets("target index out of vocabulary"));
             }
             let max = row.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
             let mut sum = 0.0f32;
@@ -476,7 +876,7 @@ impl Graph {
             p_row.iter_mut().for_each(|p| *p *= inv);
             loss -= (p_row[t].max(1e-30) as f64).ln();
         }
-        let v = Tensor::scalar((loss / norm as f64) as f32);
+        let v = self.alloc_scalar((loss / norm as f64) as f32);
         let ng = self.nodes[logits.0].needs_grad;
         Ok(self.push(v, Op::CeOneHot { logits: logits.0, targets: targets.to_vec(), probs, norm }, ng))
     }
@@ -489,9 +889,16 @@ impl Graph {
         if targets.len() != r {
             return Err(GradError::BadTargets("one target set per logits row required"));
         }
+        for row in targets {
+            for &t in row {
+                if t >= c {
+                    return Err(GradError::BadTargets("multi-hot target out of vocabulary"));
+                }
+            }
+        }
         let active = targets.iter().filter(|t| !t.is_empty()).count();
         let norm = active.max(1) as f32;
-        let mut probs = vec![0.0f32; r * c];
+        let mut probs = self.arena.borrow_mut().take(r * c);
         let mut loss = 0.0f64;
         for i in 0..r {
             if targets[i].is_empty() {
@@ -508,13 +915,10 @@ impl Graph {
             let inv = 1.0 / sum;
             p_row.iter_mut().for_each(|p| *p *= inv);
             for &t in &targets[i] {
-                if t >= c {
-                    return Err(GradError::BadTargets("multi-hot target out of vocabulary"));
-                }
                 loss -= (p_row[t].max(1e-30) as f64).ln();
             }
         }
-        let v = Tensor::scalar((loss / norm as f64) as f32);
+        let v = self.alloc_scalar((loss / norm as f64) as f32);
         let ng = self.nodes[logits.0].needs_grad;
         Ok(self.push(
             v,
@@ -545,7 +949,7 @@ impl Graph {
                 loss += 0.5 * (lv.exp() + m * m - 1.0 - lv) as f64;
             }
         }
-        let v = Tensor::scalar((loss / norm as f64) as f32);
+        let v = self.alloc_scalar((loss / norm as f64) as f32);
         let ng = self.needs(&[mu.0, logvar.0]);
         Ok(self.push(
             v,
@@ -557,6 +961,11 @@ impl Graph {
     // ---- backward ----------------------------------------------------------
 
     /// Reverse pass from a scalar loss. Returns per-parameter gradients.
+    ///
+    /// Every tape-internal gradient buffer (including the seed) is
+    /// released back to the arena before returning; only the per-parameter
+    /// gradients escape. Recycle those with [`Graph::recycle_gradients`]
+    /// after the optimizer consumes them to close the reuse loop.
     pub fn backward(&self, loss: Var) -> Result<Gradients> {
         if loss.0 >= self.nodes.len() {
             return Err(GradError::UnknownVar(loss.0));
@@ -566,8 +975,9 @@ impl Graph {
             return Err(GradError::NonScalarLoss { shape: loss_node.value.dims().to_vec() });
         }
         let mut grads: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
-        grads[loss.0] = Some(Tensor::from_vec(vec![1.0], loss_node.value.dims())
-            .unwrap_or_else(|_| Tensor::scalar(1.0)));
+        let mut seed = self.alloc_zeroed(loss_node.value.dims());
+        seed.data_mut()[0] = 1.0;
+        grads[loss.0] = Some(seed);
 
         for i in (0..=loss.0).rev() {
             if !self.nodes[i].needs_grad {
@@ -578,7 +988,7 @@ impl Graph {
                 None => continue,
             };
             self.backprop_node(i, &g, &mut grads)?;
-            // Re-store the gradient so callers can inspect intermediate grads.
+            // Re-store the gradient so later fan-in nodes can still add to it.
             grads[i] = Some(g);
         }
 
@@ -587,24 +997,38 @@ impl Graph {
             if let Op::Leaf { param_key: Some(key) } = node.op {
                 if let Some(g) = grads[i].take() {
                     // Accumulate if the same key was inserted multiple times.
-                    params
-                        .entry(key)
-                        .and_modify(|acc: &mut Tensor| {
-                            tops::add_scaled_into(acc, &g, 1.0).expect("same-shape param grads");
-                        })
-                        .or_insert(g);
+                    match params.entry(key) {
+                        std::collections::hash_map::Entry::Occupied(mut e) => {
+                            tops::add_scaled_into(e.get_mut(), &g, 1.0)
+                                .expect("same-shape param grads");
+                            self.release(g);
+                        }
+                        std::collections::hash_map::Entry::Vacant(v) => {
+                            v.insert(g);
+                        }
+                    }
                 }
+            }
+        }
+        // Recycle every non-parameter gradient (seed included).
+        for slot in grads.iter_mut() {
+            if let Some(t) = slot.take() {
+                self.release(t);
             }
         }
         Ok(Gradients { params })
     }
 
-    fn accum(grads: &mut [Option<Tensor>], node: &Node, id: usize, delta: Tensor) -> Result<()> {
-        if !node.needs_grad {
+    fn accum(&self, grads: &mut [Option<Tensor>], id: usize, delta: Tensor) -> Result<()> {
+        if !self.nodes[id].needs_grad {
+            self.release(delta);
             return Ok(());
         }
         match &mut grads[id] {
-            Some(acc) => tops::add_scaled_into(acc, &delta, 1.0)?,
+            Some(acc) => {
+                tops::add_scaled_into(acc, &delta, 1.0)?;
+                self.release(delta);
+            }
             slot @ None => *slot = Some(delta),
         }
         Ok(())
@@ -616,56 +1040,67 @@ impl Graph {
         match &node.op {
             Op::Leaf { .. } => {}
             Op::Add(a, b) => {
-                Self::accum(grads, &self.nodes[*a], *a, g.clone())?;
-                Self::accum(grads, &self.nodes[*b], *b, g.clone())?;
+                let da = self.alloc_clone(g);
+                self.accum(grads, *a, da)?;
+                let db = self.alloc_clone(g);
+                self.accum(grads, *b, db)?;
             }
             Op::Sub(a, b) => {
-                Self::accum(grads, &self.nodes[*a], *a, g.clone())?;
-                Self::accum(grads, &self.nodes[*b], *b, tops::scale(g, -1.0))?;
+                let da = self.alloc_clone(g);
+                self.accum(grads, *a, da)?;
+                let db = self.scale_alloc(g, -1.0);
+                self.accum(grads, *b, db)?;
             }
             Op::Mul(a, b) => {
                 if self.nodes[*a].needs_grad {
-                    let da = tops::hadamard(g, &self.nodes[*b].value)?;
-                    Self::accum(grads, &self.nodes[*a], *a, da)?;
+                    let da = self.hadamard_alloc(g, &self.nodes[*b].value)?;
+                    self.accum(grads, *a, da)?;
                 }
                 if self.nodes[*b].needs_grad {
-                    let db = tops::hadamard(g, &self.nodes[*a].value)?;
-                    Self::accum(grads, &self.nodes[*b], *b, db)?;
+                    let db = self.hadamard_alloc(g, &self.nodes[*a].value)?;
+                    self.accum(grads, *b, db)?;
                 }
             }
             Op::Affine { x, scale, .. } => {
-                Self::accum(grads, &self.nodes[*x], *x, tops::scale(g, *scale))?;
+                let dx = self.scale_alloc(g, *scale);
+                self.accum(grads, *x, dx)?;
             }
             Op::AddRowBroadcast { x, bias } => {
-                Self::accum(grads, &self.nodes[*x], *x, g.clone())?;
+                let dx = self.alloc_clone(g);
+                self.accum(grads, *x, dx)?;
                 if self.nodes[*bias].needs_grad {
-                    Self::accum(grads, &self.nodes[*bias], *bias, tops::sum_axis0(g)?)?;
+                    // db = Σ_rows g — the sum_axis0 fold, row-major order.
+                    let (r, c) = g.shape().as_2d()?;
+                    let mut db = self.alloc_zeroed(&[c]);
+                    let od = db.data_mut();
+                    for row in 0..r {
+                        let g_row = &g.data()[row * c..(row + 1) * c];
+                        for (o, &x_) in od.iter_mut().zip(g_row) {
+                            *o += x_;
+                        }
+                    }
+                    self.accum(grads, *bias, db)?;
                 }
             }
             Op::MatMul(a, b) => {
                 if self.nodes[*a].needs_grad {
-                    let da = self.mm_a_bt(g, &self.nodes[*b].value)?;
-                    Self::accum(grads, &self.nodes[*a], *a, da)?;
+                    let da = self.mm_a_bt_alloc(g, &self.nodes[*b].value)?;
+                    self.accum(grads, *a, da)?;
                 }
                 if self.nodes[*b].needs_grad {
-                    let db = self.mm_at_b(&self.nodes[*a].value, g)?;
-                    Self::accum(grads, &self.nodes[*b], *b, db)?;
+                    let db = self.mm_at_b_alloc(&self.nodes[*a].value, g)?;
+                    self.accum(grads, *b, db)?;
                 }
             }
             Op::MatMulABt(a, b) => {
                 // out = A·Bᵀ ⇒ dA = g·B, dB = gᵀ·A.
                 if self.nodes[*a].needs_grad {
-                    let da = parallel::matmul_parallel_tiered(
-                        g,
-                        &self.nodes[*b].value,
-                        self.threads,
-                        self.tier,
-                    )?;
-                    Self::accum(grads, &self.nodes[*a], *a, da)?;
+                    let da = self.mm_alloc(g, &self.nodes[*b].value)?;
+                    self.accum(grads, *a, da)?;
                 }
                 if self.nodes[*b].needs_grad {
-                    let db = self.mm_at_b(g, &self.nodes[*a].value)?;
-                    Self::accum(grads, &self.nodes[*b], *b, db)?;
+                    let db = self.mm_at_b_alloc(g, &self.nodes[*a].value)?;
+                    self.accum(grads, *b, db)?;
                 }
             }
             Op::CausalAttention { q, k, v, scale, probs } => {
@@ -676,10 +1111,10 @@ impl Graph {
                 let kv = &self.nodes[*k].value;
                 let vv = &self.nodes[*v].value;
                 let (n, d) = qv.shape().as_2d()?;
-                let mut dq = Tensor::zeros(&[n, d]);
-                let mut dk = Tensor::zeros(&[n, d]);
-                let mut dv = Tensor::zeros(&[n, d]);
-                let mut dscores = vec![0.0f32; n * n];
+                let mut dq = self.alloc_zeroed(&[n, d]);
+                let mut dk = self.alloc_zeroed(&[n, d]);
+                let mut dv = self.alloc_zeroed(&[n, d]);
+                let mut dscores = self.arena.borrow_mut().take(n * n);
                 tops::causal_attention_train_backward(
                     qv.data(),
                     kv.data(),
@@ -694,65 +1129,69 @@ impl Graph {
                     dv.data_mut(),
                     &mut dscores,
                 );
+                self.release_buffer(dscores);
                 // Leaf order v → q → k mirrors the composed chain (the
                 // `matmul(attn, v)` node backprops before the
                 // `matmul_a_bt(q, k)` node), so even a shared q/k/v
                 // input accumulates in the same order, same bits.
-                Self::accum(grads, &self.nodes[*v], *v, dv)?;
-                Self::accum(grads, &self.nodes[*q], *q, dq)?;
-                Self::accum(grads, &self.nodes[*k], *k, dk)?;
+                self.accum(grads, *v, dv)?;
+                self.accum(grads, *q, dq)?;
+                self.accum(grads, *k, dk)?;
             }
             Op::Relu(x) => {
-                let mut dx = g.clone();
-                for (d, &inp) in dx.data_mut().iter_mut().zip(self.nodes[*x].value.data()) {
-                    if inp <= 0.0 {
-                        *d = 0.0;
-                    }
-                }
-                Self::accum(grads, &self.nodes[*x], *x, dx)?;
+                let mut dx = self.alloc_zeroed(g.dims());
+                (self.k2(tops::relu_grad_into, tops::relu_grad_into_fast))(
+                    g.data(),
+                    self.nodes[*x].value.data(),
+                    dx.data_mut(),
+                );
+                self.accum(grads, *x, dx)?;
             }
             Op::Sigmoid(x) => {
-                let mut dx = g.clone();
-                for (d, &y) in dx.data_mut().iter_mut().zip(node.value.data()) {
-                    *d *= y * (1.0 - y);
-                }
-                Self::accum(grads, &self.nodes[*x], *x, dx)?;
+                let mut dx = self.alloc_zeroed(g.dims());
+                (self.k2(tops::sigmoid_grad_into, tops::sigmoid_grad_into_fast))(
+                    g.data(),
+                    node.value.data(),
+                    dx.data_mut(),
+                );
+                self.accum(grads, *x, dx)?;
             }
             Op::Tanh(x) => {
-                let mut dx = g.clone();
-                for (d, &y) in dx.data_mut().iter_mut().zip(node.value.data()) {
-                    *d *= 1.0 - y * y;
-                }
-                Self::accum(grads, &self.nodes[*x], *x, dx)?;
+                let mut dx = self.alloc_zeroed(g.dims());
+                (self.k2(tops::tanh_grad_into, tops::tanh_grad_into_fast))(
+                    g.data(),
+                    node.value.data(),
+                    dx.data_mut(),
+                );
+                self.accum(grads, *x, dx)?;
             }
             Op::Exp(x) => {
-                let dx = tops::hadamard(g, &node.value)?;
-                Self::accum(grads, &self.nodes[*x], *x, dx)?;
+                let dx = self.hadamard_alloc(g, &node.value)?;
+                self.accum(grads, *x, dx)?;
             }
             Op::SoftmaxRows(x) | Op::SoftmaxCausal(x) => {
                 // dx_row = y ⊙ (g − ⟨g, y⟩); masked entries have y = 0.
                 let y = &node.value;
                 let (r, c) = y.shape().as_2d()?;
-                let mut dx = Tensor::zeros(&[r, c]);
-                for row in 0..r {
-                    let y_row = &y.data()[row * c..(row + 1) * c];
-                    let g_row = &g.data()[row * c..(row + 1) * c];
-                    let dot: f32 = y_row.iter().zip(g_row).map(|(&a, &b)| a * b).sum();
-                    let d_row = &mut dx.data_mut()[row * c..(row + 1) * c];
-                    for j in 0..c {
-                        d_row[j] = y_row[j] * (g_row[j] - dot);
+                let mut dx = self.alloc_zeroed(&[r, c]);
+                match self.tier {
+                    KernelTier::Reference => {
+                        tops::softmax_grad_into(y.data(), g.data(), dx.data_mut(), r, c);
+                    }
+                    KernelTier::Fast => {
+                        tops::softmax_grad_into_fast(y.data(), g.data(), dx.data_mut(), r, c);
                     }
                 }
-                Self::accum(grads, &self.nodes[*x], *x, dx)?;
+                self.accum(grads, *x, dx)?;
             }
             Op::LayerNorm { x, gamma, beta, stats } => {
                 let xv = &self.nodes[*x].value;
                 let (r, c) = xv.shape().as_2d()?;
                 let gam = self.nodes[*gamma].value.data();
                 let cf = c as f32;
-                let mut dx = Tensor::zeros(&[r, c]);
-                let mut dgamma = Tensor::zeros(&[c]);
-                let mut dbeta = Tensor::zeros(&[c]);
+                let mut dx = self.alloc_zeroed(&[r, c]);
+                let mut dgamma = self.alloc_zeroed(&[c]);
+                let mut dbeta = self.alloc_zeroed(&[c]);
                 for row in 0..r {
                     let m = stats.mean[row];
                     let is = stats.inv_std[row];
@@ -776,15 +1215,15 @@ impl Graph {
                         d_row[j] = (is / cf) * (cf * dxhat - sum_dxhat - xhat * sum_dxhat_xhat);
                     }
                 }
-                Self::accum(grads, &self.nodes[*x], *x, dx)?;
-                Self::accum(grads, &self.nodes[*gamma], *gamma, dgamma)?;
-                Self::accum(grads, &self.nodes[*beta], *beta, dbeta)?;
+                self.accum(grads, *x, dx)?;
+                self.accum(grads, *gamma, dgamma)?;
+                self.accum(grads, *beta, dbeta)?;
             }
             Op::GatherRows { x, idx } => {
                 if self.nodes[*x].needs_grad {
                     let src = &self.nodes[*x].value;
                     let (_, c) = src.shape().as_2d()?;
-                    let mut dx = Tensor::zeros_like(src);
+                    let mut dx = self.alloc_zeroed(src.dims());
                     for (out_row, &src_row) in idx.iter().enumerate() {
                         let g_row = &g.data()[out_row * c..(out_row + 1) * c];
                         let d_row = &mut dx.data_mut()[src_row * c..(src_row + 1) * c];
@@ -792,7 +1231,7 @@ impl Graph {
                             *d += gv;
                         }
                     }
-                    Self::accum(grads, &self.nodes[*x], *x, dx)?;
+                    self.accum(grads, *x, dx)?;
                 }
             }
             Op::ConcatRows { parts, rows } => {
@@ -800,11 +1239,10 @@ impl Graph {
                 let mut row0 = 0usize;
                 for (&p, &r) in parts.iter().zip(rows.iter()) {
                     if self.nodes[p].needs_grad {
-                        let slice = Tensor::from_vec(
-                            g.data()[row0 * c..(row0 + r) * c].to_vec(),
-                            &[r, c],
-                        )?;
-                        Self::accum(grads, &self.nodes[p], p, slice)?;
+                        let mut buf = self.take_buffer(r * c);
+                        buf.extend_from_slice(&g.data()[row0 * c..(row0 + r) * c]);
+                        let slice = Tensor::from_vec(buf, &[r, c])?;
+                        self.accum(grads, p, slice)?;
                     }
                     row0 += r;
                 }
@@ -814,56 +1252,63 @@ impl Graph {
                 let mut col0 = 0usize;
                 for (&p, &c) in parts.iter().zip(cols.iter()) {
                     if self.nodes[p].needs_grad {
-                        let mut dp = Tensor::zeros(&[r, c]);
+                        let mut dp = self.alloc_zeroed(&[r, c]);
                         for row in 0..r {
                             let src = &g.data()[row * total + col0..row * total + col0 + c];
                             dp.data_mut()[row * c..(row + 1) * c].copy_from_slice(src);
                         }
-                        Self::accum(grads, &self.nodes[p], p, dp)?;
+                        self.accum(grads, p, dp)?;
                     }
                     col0 += c;
                 }
             }
             Op::Reshape { x, old_dims } => {
-                let dx = g.reshape(old_dims)?;
-                Self::accum(grads, &self.nodes[*x], *x, dx)?;
+                let mut buf = self.take_buffer(g.numel());
+                buf.extend_from_slice(g.data());
+                let dx = Tensor::from_vec(buf, old_dims)?;
+                self.accum(grads, *x, dx)?;
             }
             Op::Transpose(x) => {
-                Self::accum(grads, &self.nodes[*x], *x, g.transpose2()?)?;
+                let (r, c) = g.shape().as_2d()?;
+                let mut dx = self.alloc_zeroed(&[c, r]);
+                tops::transpose_into(g.data(), dx.data_mut(), r, c);
+                self.accum(grads, *x, dx)?;
             }
             Op::Dropout { x, mask } => {
-                let mut dx = g.clone();
-                for (d, &m) in dx.data_mut().iter_mut().zip(mask) {
-                    *d *= m;
-                }
-                Self::accum(grads, &self.nodes[*x], *x, dx)?;
+                let mut dx = self.alloc_zeroed(g.dims());
+                (self.k2(tops::hadamard_into, tops::hadamard_into_fast))(
+                    g.data(),
+                    mask,
+                    dx.data_mut(),
+                );
+                self.accum(grads, *x, dx)?;
             }
             Op::MaxAxis0 { x, argmax } => {
                 let src = &self.nodes[*x].value;
-                let mut dx = Tensor::zeros_like(src);
+                let mut dx = self.alloc_zeroed(src.dims());
                 let (_, c) = src.shape().as_2d()?;
                 for (j, &row) in argmax.iter().enumerate() {
                     dx.data_mut()[row * c + j] += g.data()[j];
                 }
-                Self::accum(grads, &self.nodes[*x], *x, dx)?;
+                self.accum(grads, *x, dx)?;
             }
             Op::SumAll(x) => {
                 let gs = g.data()[0];
-                let dx = Tensor::full(self.nodes[*x].value.dims(), gs);
-                Self::accum(grads, &self.nodes[*x], *x, dx)?;
+                let dx = self.alloc_full(self.nodes[*x].value.dims(), gs);
+                self.accum(grads, *x, dx)?;
             }
             Op::MeanAll(x) => {
                 let n = self.nodes[*x].value.numel() as f32;
                 let gs = g.data()[0] / n;
-                let dx = Tensor::full(self.nodes[*x].value.dims(), gs);
-                Self::accum(grads, &self.nodes[*x], *x, dx)?;
+                let dx = self.alloc_full(self.nodes[*x].value.dims(), gs);
+                self.accum(grads, *x, dx)?;
             }
             Op::CeOneHot { logits, targets, probs, norm } => {
                 if self.nodes[*logits].needs_grad {
                     let lv = &self.nodes[*logits].value;
                     let (r, c) = lv.shape().as_2d()?;
                     let gs = g.data()[0] / norm;
-                    let mut dx = Tensor::zeros(&[r, c]);
+                    let mut dx = self.alloc_zeroed(&[r, c]);
                     for row in 0..r {
                         let t = targets[row];
                         if t == usize::MAX {
@@ -876,7 +1321,7 @@ impl Graph {
                         }
                         d_row[t] -= gs;
                     }
-                    Self::accum(grads, &self.nodes[*logits], *logits, dx)?;
+                    self.accum(grads, *logits, dx)?;
                 }
             }
             Op::CeMultiHot { logits, targets, probs, norm } => {
@@ -884,7 +1329,7 @@ impl Graph {
                     let lv = &self.nodes[*logits].value;
                     let (r, c) = lv.shape().as_2d()?;
                     let gs = g.data()[0] / norm;
-                    let mut dx = Tensor::zeros(&[r, c]);
+                    let mut dx = self.alloc_zeroed(&[r, c]);
                     for row in 0..r {
                         if targets[row].is_empty() {
                             continue;
@@ -899,14 +1344,14 @@ impl Graph {
                             d_row[t] -= gs;
                         }
                     }
-                    Self::accum(grads, &self.nodes[*logits], *logits, dx)?;
+                    self.accum(grads, *logits, dx)?;
                 }
             }
             Op::KlStdNormal { mu, logvar, row_mask, norm } => {
                 let gs = g.data()[0] / norm;
                 let (r, c) = self.nodes[*mu].value.shape().as_2d()?;
                 if self.nodes[*mu].needs_grad {
-                    let mut dmu = Tensor::zeros(&[r, c]);
+                    let mut dmu = self.alloc_zeroed(&[r, c]);
                     for (row, &keep) in row_mask.iter().enumerate().take(r) {
                         if !keep {
                             continue;
@@ -917,10 +1362,10 @@ impl Graph {
                             *d = gs * m;
                         }
                     }
-                    Self::accum(grads, &self.nodes[*mu], *mu, dmu)?;
+                    self.accum(grads, *mu, dmu)?;
                 }
                 if self.nodes[*logvar].needs_grad {
-                    let mut dlv = Tensor::zeros(&[r, c]);
+                    let mut dlv = self.alloc_zeroed(&[r, c]);
                     for (row, &keep) in row_mask.iter().enumerate().take(r) {
                         if !keep {
                             continue;
@@ -931,7 +1376,7 @@ impl Graph {
                             *d = gs * 0.5 * (lv.exp() - 1.0);
                         }
                     }
-                    Self::accum(grads, &self.nodes[*logvar], *logvar, dlv)?;
+                    self.accum(grads, *logvar, dlv)?;
                 }
             }
         }
@@ -957,11 +1402,20 @@ impl Gradients {
     /// are moved in. Elementwise addition makes the result independent of
     /// map iteration order, so the merge is deterministic.
     pub fn merge_sum(&mut self, other: Gradients) {
+        self.merge_sum_with(other, &mut |_| {});
+    }
+
+    /// [`Gradients::merge_sum`] with a callback receiving each tensor
+    /// whose buffer is no longer needed (the summed-away right-hand
+    /// sides) — the hook the data-parallel reducer uses to return
+    /// buffers to a shared pool instead of dropping them.
+    pub fn merge_sum_with(&mut self, other: Gradients, release: &mut dyn FnMut(Tensor)) {
         for (k, t) in other.params {
             match self.params.entry(k) {
                 std::collections::hash_map::Entry::Occupied(mut e) => {
                     tops::add_scaled_into(e.get_mut(), &t, 1.0)
                         .expect("merged gradients must share parameter shapes");
+                    release(t);
                 }
                 std::collections::hash_map::Entry::Vacant(v) => {
                     v.insert(t);
@@ -977,13 +1431,22 @@ impl Gradients {
     /// never on how many worker threads produced the parts. This is the
     /// reduction step of the deterministic data-parallel trainer.
     pub fn tree_reduce(parts: Vec<Gradients>) -> Gradients {
+        Self::tree_reduce_with(parts, &mut |_| {})
+    }
+
+    /// [`Gradients::tree_reduce`] with a release callback (see
+    /// [`Gradients::merge_sum_with`]). The summation tree is identical.
+    pub fn tree_reduce_with(
+        parts: Vec<Gradients>,
+        release: &mut dyn FnMut(Tensor),
+    ) -> Gradients {
         let mut level: Vec<Gradients> = parts;
         while level.len() > 1 {
             let mut next = Vec::with_capacity(level.len().div_ceil(2));
             let mut it = level.into_iter();
             while let Some(mut left) = it.next() {
                 if let Some(right) = it.next() {
-                    left.merge_sum(right);
+                    left.merge_sum_with(right, release);
                 }
                 next.push(left);
             }
@@ -1000,6 +1463,11 @@ impl Gradients {
     /// Take ownership of a parameter gradient.
     pub fn take(&mut self, key: usize) -> Option<Tensor> {
         self.params.remove(&key)
+    }
+
+    /// Consume the set, yielding the raw key → gradient map.
+    pub fn into_params(self) -> HashMap<usize, Tensor> {
+        self.params
     }
 
     /// Iterate over `(key, grad)` pairs.

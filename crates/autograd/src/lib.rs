@@ -50,6 +50,7 @@ pub mod graph;
 pub mod op;
 
 pub use graph::{Gradients, Graph, Var};
+pub use vsan_tensor::{ArenaStats, BufferPolicy, SharedBufferPool};
 
 /// Errors surfaced by graph construction or the backward pass.
 #[derive(Debug, Clone, PartialEq)]

@@ -207,9 +207,58 @@ fn bench_zero_skip(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_elementwise_tier(c: &mut Criterion) {
+    // Scalar reference vs runtime-dispatched AVX2 for the vectorized
+    // elementwise/softmax tier (DESIGN.md §14): the `_fast` entry points
+    // the arena tape calls, at paper activation shapes — n = 50 (Beauty)
+    // to 200 (ML-1M) rows and beyond, d = 64–128 columns. The
+    // transcendentals stay scalar libm inside both variants (bit-identity
+    // contract), so their speedup comes from the vectorized surrounding
+    // arithmetic; add is the pure-SIMD ceiling.
+    let mut group = c.benchmark_group("elementwise_tier");
+    let mut rng = StdRng::seed_from_u64(7);
+    for (n, d) in [(50usize, 64usize), (200, 100), (768, 128)] {
+        let x = init::randn(&mut rng, &[n, d], 0.0, 0.8);
+        let y = init::randn(&mut rng, &[n, d], 0.0, 0.8);
+        let mut out = vec![0.0f32; n * d];
+        let id = format!("n{n}_d{d}");
+        type Unary = (&'static str, fn(&[f32], &mut [f32]), fn(&[f32], &mut [f32]));
+        let unary: [Unary; 3] = [
+            ("sigmoid", ops::sigmoid_into, ops::sigmoid_into_fast),
+            ("tanh", ops::tanh_into, ops::tanh_into_fast),
+            ("exp", ops::exp_into, ops::exp_into_fast),
+        ];
+        for (name, scalar, fast) in unary {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{name}_scalar"), &id),
+                &(),
+                |bench, ()| bench.iter(|| scalar(x.data(), &mut out)),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("{name}_fast"), &id),
+                &(),
+                |bench, ()| bench.iter(|| fast(x.data(), &mut out)),
+            );
+        }
+        group.bench_with_input(BenchmarkId::new("add_scalar", &id), &(), |bench, ()| {
+            bench.iter(|| ops::add_into(x.data(), y.data(), &mut out));
+        });
+        group.bench_with_input(BenchmarkId::new("add_fast", &id), &(), |bench, ()| {
+            bench.iter(|| ops::add_into_fast(x.data(), y.data(), &mut out));
+        });
+        group.bench_with_input(BenchmarkId::new("softmax_scalar", &id), &(), |bench, ()| {
+            bench.iter(|| ops::softmax_rows_into(x.data(), &mut out, n, d));
+        });
+        group.bench_with_input(BenchmarkId::new("softmax_fast", &id), &(), |bench, ()| {
+            bench.iter(|| ops::softmax_rows_into_fast(x.data(), &mut out, n, d));
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_matmul_parallel, bench_fused_ce, bench_causal_mask, bench_tape_overhead, bench_fused_attention, bench_zero_skip
+    targets = bench_matmul_parallel, bench_fused_ce, bench_causal_mask, bench_tape_overhead, bench_fused_attention, bench_zero_skip, bench_elementwise_tier
 }
 criterion_main!(benches);

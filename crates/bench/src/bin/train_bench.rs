@@ -45,7 +45,8 @@ fn main() {
     println!("available_parallelism: {}", report.available_parallelism);
     for t in &report.timings {
         println!(
-            "tier {:>9} threads {:>3}: {:>7.3}s/epoch  speedup {:>5.2}x",
+            "policy {:>5} tier {:>9} threads {:>3}: {:>7.3}s/epoch  speedup {:>5.2}x",
+            t.policy.name(),
             t.tier.name(),
             t.threads,
             t.epoch_seconds,
@@ -59,8 +60,9 @@ fn main() {
         );
     }
     println!("min_kernel_speedup: {:.3}", report.min_kernel_speedup);
+    println!("tensor_allocs_per_step_steady: {:.3}", report.tensor_allocs_per_step_steady);
     println!("bitwise_match: {}", report.bitwise_match);
-    assert!(report.bitwise_match, "tier/thread grid produced diverging parameters");
+    assert!(report.bitwise_match, "policy/tier/thread grid produced diverging parameters");
     match report.write_json("BENCH_train.json") {
         Ok(path) => eprintln!("wrote {}", path.display()),
         Err(e) => {

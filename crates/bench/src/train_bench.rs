@@ -31,7 +31,7 @@ use vsan_autograd::Graph;
 use vsan_core::{Vsan, VsanConfig};
 use vsan_data::Dataset;
 use vsan_obs::{CollectingObserver, EpochRecord, ObserverHandle};
-use vsan_tensor::{KernelTier, Tensor};
+use vsan_tensor::{BufferPolicy, KernelTier, Tensor};
 
 use crate::serve_bench::results_dir;
 
@@ -83,7 +83,9 @@ impl TrainBenchConfig {
             seq_len: 12,
             dim: 16,
             max_seq_len: 8,
-            epochs: 1,
+            // Two epochs so the steady-state allocation counter has a
+            // post-warm-up interval to measure.
+            epochs: 2,
             batch_size: 16,
             thread_counts: vec![1, 2, 4],
             ..Self::default()
@@ -98,6 +100,8 @@ pub struct ThreadTiming {
     pub threads: usize,
     /// Kernel tier the run trained under.
     pub tier: KernelTier,
+    /// Buffer policy the run trained under.
+    pub policy: BufferPolicy,
     /// Wall-clock seconds for the whole training run.
     pub total_seconds: f64,
     /// `total_seconds / epochs`.
@@ -129,9 +133,15 @@ pub struct TrainBenchReport {
     pub config: TrainBenchConfig,
     /// Per-thread-count timings, in `config.thread_counts` order.
     pub timings: Vec<ThreadTiming>,
-    /// Whether every grid cell (tier × threads) produced bit-identical
-    /// parameters and per-epoch losses to the serial reference baseline.
+    /// Whether every grid cell (policy × tier × threads) produced
+    /// bit-identical parameters and per-epoch losses to the serial
+    /// fresh-allocation reference baseline.
     pub bitwise_match: bool,
+    /// Tensor buffers pulled from the global allocator *per optimizer
+    /// step* after the first epoch's warm-up, measured on the serial
+    /// fast-tier arena run. The allocation-free-training claim is that
+    /// this is exactly 0 (`scripts/verify.sh` gates it).
+    pub tensor_allocs_per_step_steady: f64,
     /// Single-thread kernel-step microbench, one row per shape.
     pub kernel_steps: Vec<KernelStepTiming>,
     /// Worst fast-over-reference kernel-step ratio across the shapes —
@@ -249,39 +259,51 @@ pub fn run_train_bench(cfg: TrainBenchConfig) -> TrainBenchReport {
 
     let mut baseline: Option<(f64, Fingerprint)> = None;
     let mut bitwise_match = true;
-    let mut timings = Vec::with_capacity(2 * cfg.thread_counts.len());
+    let mut timings = Vec::with_capacity(4 * cfg.thread_counts.len());
     let mut epoch_series = Vec::new();
-    for tier in [KernelTier::Reference, KernelTier::Fast] {
-        for &threads in &cfg.thread_counts {
-            // Every timed run trains *with an observer attached*, so the
-            // bitwise gate below also verifies that observing a run does
-            // not change the trained bits (DESIGN.md §8).
-            let collector = Arc::new(CollectingObserver::new());
-            let run_cfg = model_cfg
-                .clone()
-                .with_threads(threads)
-                .with_kernel_tier(tier)
-                .with_observer(ObserverHandle::new(collector.clone()));
-            let t0 = Instant::now();
-            let model = Vsan::train(&ds, &train_users, &run_cfg).expect("bench training");
-            let total_seconds = t0.elapsed().as_secs_f64();
-            let epoch_seconds = total_seconds / cfg.epochs.max(1) as f64;
-            let fp = fingerprint(&model);
-            let (serial_epoch_seconds, serial_fp) =
-                baseline.get_or_insert_with(|| (epoch_seconds, fp.clone()));
-            if fp != *serial_fp {
-                bitwise_match = false;
+    let mut arena_series: Vec<EpochRecord> = Vec::new();
+    for policy in [BufferPolicy::Fresh, BufferPolicy::Arena] {
+        for tier in [KernelTier::Reference, KernelTier::Fast] {
+            for &threads in &cfg.thread_counts {
+                // Every timed run trains *with an observer attached*, so
+                // the bitwise gate below also verifies that observing a
+                // run does not change the trained bits (DESIGN.md §8).
+                let collector = Arc::new(CollectingObserver::new());
+                let run_cfg = model_cfg
+                    .clone()
+                    .with_threads(threads)
+                    .with_kernel_tier(tier)
+                    .with_buffer_policy(policy)
+                    .with_observer(ObserverHandle::new(collector.clone()));
+                let t0 = Instant::now();
+                let model = Vsan::train(&ds, &train_users, &run_cfg).expect("bench training");
+                let total_seconds = t0.elapsed().as_secs_f64();
+                let epoch_seconds = total_seconds / cfg.epochs.max(1) as f64;
+                let fp = fingerprint(&model);
+                let (serial_epoch_seconds, serial_fp) =
+                    baseline.get_or_insert_with(|| (epoch_seconds, fp.clone()));
+                if fp != *serial_fp {
+                    bitwise_match = false;
+                }
+                if epoch_series.is_empty() {
+                    epoch_series = collector.records();
+                }
+                if arena_series.is_empty()
+                    && policy == BufferPolicy::Arena
+                    && tier == KernelTier::Fast
+                    && threads == cfg.thread_counts[0]
+                {
+                    arena_series = collector.records();
+                }
+                timings.push(ThreadTiming {
+                    threads,
+                    tier,
+                    policy,
+                    total_seconds,
+                    epoch_seconds,
+                    speedup_vs_serial: *serial_epoch_seconds / epoch_seconds.max(1e-12),
+                });
             }
-            if epoch_series.is_empty() {
-                epoch_series = collector.records();
-            }
-            timings.push(ThreadTiming {
-                threads,
-                tier,
-                total_seconds,
-                epoch_seconds,
-                speedup_vs_serial: *serial_epoch_seconds / epoch_seconds.max(1e-12),
-            });
         }
     }
 
@@ -291,11 +313,27 @@ pub fn run_train_bench(cfg: TrainBenchConfig) -> TrainBenchReport {
         config: cfg,
         timings,
         bitwise_match,
+        tensor_allocs_per_step_steady: steady_allocs_per_step(&arena_series),
         kernel_steps,
         min_kernel_speedup,
         available_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
         epoch_series,
     }
+}
+
+/// Tensor buffers freshly allocated per optimizer step after the first
+/// epoch, from an arena run's cumulative per-epoch counters. Epoch 0
+/// absorbs the warm-up (the arena's free lists fill); every later epoch
+/// must be served entirely from reuse.
+fn steady_allocs_per_step(arena_series: &[EpochRecord]) -> f64 {
+    let (Some(first), Some(last)) = (arena_series.first(), arena_series.last()) else {
+        return f64::NAN;
+    };
+    let steps = last.steps.saturating_sub(first.steps);
+    if steps == 0 {
+        return f64::NAN;
+    }
+    last.arena_fresh_allocs.saturating_sub(first.arena_fresh_allocs) as f64 / steps as f64
 }
 
 impl TrainBenchReport {
@@ -308,9 +346,15 @@ impl TrainBenchReport {
             .iter()
             .map(|t| {
                 format!(
-                    "    {{\"threads\": {}, \"tier\": \"{}\", \"total_seconds\": {:.6}, \
+                    "    {{\"threads\": {}, \"tier\": \"{}\", \"policy\": \"{}\", \
+                     \"total_seconds\": {:.6}, \
                      \"epoch_seconds\": {:.6}, \"speedup_vs_serial\": {:.3}}}",
-                    t.threads, t.tier.name(), t.total_seconds, t.epoch_seconds, t.speedup_vs_serial
+                    t.threads,
+                    t.tier.name(),
+                    t.policy.name(),
+                    t.total_seconds,
+                    t.epoch_seconds,
+                    t.speedup_vs_serial
                 )
             })
             .collect();
@@ -334,6 +378,7 @@ impl TrainBenchReport {
                \"batch_size\": {},\n  \"seed\": {},\n  \
                \"available_parallelism\": {},\n  \
                \"bitwise_match\": {},\n  \
+               \"tensor_allocs_per_step_steady\": {:.3},\n  \
                \"min_kernel_speedup\": {:.3},\n  \
                \"kernel_steps\": [\n{}\n  ],\n  \"timings\": [\n{}\n  ],\n  \
                \"epoch_series\": [\n{}\n  ]\n}}\n",
@@ -347,6 +392,7 @@ impl TrainBenchReport {
             c.seed,
             self.available_parallelism,
             self.bitwise_match,
+            self.tensor_allocs_per_step_steady,
             self.min_kernel_speedup,
             kernel_rows.join(",\n"),
             rows.join(",\n"),
@@ -378,13 +424,24 @@ mod tests {
     fn smoke_run_is_bitwise_identical_across_the_tier_thread_grid() {
         let report = run_train_bench(TrainBenchConfig::smoke());
         assert!(report.bitwise_match, "grid cells diverged: {report:?}");
-        // 2 tiers × 3 thread counts.
-        assert_eq!(report.timings.len(), 6);
+        // 2 policies × 2 tiers × 3 thread counts.
+        assert_eq!(report.timings.len(), 12);
         assert!(report.timings.iter().all(|t| t.total_seconds > 0.0));
         assert_eq!(
             report.timings.iter().filter(|t| t.tier == KernelTier::Fast).count(),
-            3,
+            6,
             "the fast tier must be half of the grid"
+        );
+        assert_eq!(
+            report.timings.iter().filter(|t| t.policy == BufferPolicy::Arena).count(),
+            6,
+            "arena reuse must be half of the grid"
+        );
+        // The allocation-free-training claim: after epoch 0's warm-up the
+        // arena run pulls zero tensor buffers from the global allocator.
+        assert_eq!(
+            report.tensor_allocs_per_step_steady, 0.0,
+            "steady-state steps still allocate tensor buffers"
         );
         // The microbench measured real, positive step times on both tiers.
         assert!(!report.kernel_steps.is_empty());
@@ -402,6 +459,8 @@ mod tests {
         let path = report.write_json("BENCH_train_smoke.json").expect("write report");
         let written = std::fs::read_to_string(path).unwrap();
         assert!(written.contains("\"bitwise_match\": true"));
+        assert!(written.contains("\"tensor_allocs_per_step_steady\": 0.000"));
+        assert!(written.contains("\"policy\": \"arena\""));
         assert!(written.contains("\"available_parallelism\""));
         assert!(written.contains("\"epoch_series\""));
         assert!(written.contains("\"min_kernel_speedup\""));

@@ -56,8 +56,8 @@ pub use expo::ExpositionServer;
 pub use json::{parse, JsonObj, JsonValue};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry};
 pub use observer::{
-    CollectingObserver, EpochRecord, JsonlTrainObserver, ObserverHandle, TrainObserver,
-    TrainRunInfo,
+    CollectingObserver, EpochRecord, JsonlTrainObserver, MetricsTrainObserver, ObserverHandle,
+    TrainObserver, TrainRunInfo,
 };
 pub use recorder::{FlightRecord, FlightRecorder};
 pub use sink::{EventSink, FileSink, MemorySink, StderrSink};

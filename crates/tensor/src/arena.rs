@@ -1,0 +1,379 @@
+//! Step-scoped tensor arena: size-bucketed free lists over `f32` buffers.
+//!
+//! Training rebuilds the autograd tape every step (define-by-run), and
+//! before this module every node value, saved softmax matrix, and backward
+//! gradient buffer round-tripped the global allocator. The arena recycles
+//! those buffers across steps: a buffer released after step `t` is handed
+//! back out at step `t+1` for the same-shaped tensor, so a steady-state
+//! training step performs **zero** tensor-buffer allocations.
+//!
+//! ## Why reuse cannot change bits
+//!
+//! The arena only changes *where* a buffer's memory comes from, never what
+//! is written into it. [`TensorArena::take`] returns a buffer of exactly
+//! the requested length with every element set to `0.0` — bit-identical to
+//! a fresh `vec![0.0; len]` — and [`TensorArena::take_empty`] returns a
+//! cleared buffer that callers fill before use. Kernels then write the
+//! same values in the same order as before. The policy is therefore
+//! orthogonal to the kernel tier, and [`BufferPolicy::Fresh`] (which
+//! simply allocates) remains the independent oracle: the differential
+//! suites bit-compare losses and every parameter gradient across
+//! {fresh, arena} × {Reference, Fast}.
+//!
+//! ## Lifecycle
+//!
+//! Each shard-worker [`Graph`](../../vsan_autograd/struct.Graph.html) owns
+//! one `TensorArena`. Buffers that escape the graph (parameter gradients
+//! travelling to the optimizer) are returned through a [`SharedBufferPool`]
+//! — the executor releases merged duplicates during the gradient tree
+//! reduction and the training loop recycles the final gradients after the
+//! optimizer step, so supply meets demand and the steady state allocates
+//! nothing.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Where tensor buffers come from during training.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BufferPolicy {
+    /// Allocate every buffer fresh from the global allocator (the
+    /// reference oracle; pre-arena behavior).
+    Fresh,
+    /// Recycle buffers through a step-scoped [`TensorArena`].
+    Arena,
+}
+
+impl BufferPolicy {
+    /// Stable lowercase name (for logs / JSON).
+    pub fn name(&self) -> &'static str {
+        match self {
+            BufferPolicy::Fresh => "fresh",
+            BufferPolicy::Arena => "arena",
+        }
+    }
+}
+
+/// Policy used when a config does not pin one explicitly.
+///
+/// Mirrors [`crate::kernel::default_train_tier`]: `VSAN_DISABLE_FAST_PATH=1`
+/// pins the whole process to the fresh-allocation reference tape so one
+/// environment switch yields the full independent oracle (scalar kernels
+/// *and* fresh buffers).
+pub fn default_buffer_policy() -> BufferPolicy {
+    if crate::kernel::fast_path_disabled() {
+        BufferPolicy::Fresh
+    } else {
+        BufferPolicy::Arena
+    }
+}
+
+/// Monotone counters + current inventory for one arena.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Buffers that had to come from the global allocator.
+    pub fresh_allocs: u64,
+    /// Bytes of those fresh allocations (f32 payload only).
+    pub fresh_bytes: u64,
+    /// Buffers served from the arena's own free lists.
+    pub reuses: u64,
+    /// Buffers served from the attached [`SharedBufferPool`].
+    pub pool_takes: u64,
+    /// Bytes currently held in the arena's free lists.
+    pub held_bytes: u64,
+}
+
+impl ArenaStats {
+    /// Element-wise sum (for aggregating per-shard arenas).
+    pub fn merged(self, other: ArenaStats) -> ArenaStats {
+        ArenaStats {
+            fresh_allocs: self.fresh_allocs + other.fresh_allocs,
+            fresh_bytes: self.fresh_bytes + other.fresh_bytes,
+            reuses: self.reuses + other.reuses,
+            pool_takes: self.pool_takes + other.pool_takes,
+            held_bytes: self.held_bytes + other.held_bytes,
+        }
+    }
+}
+
+/// A size-bucketed free list of `f32` buffers owned by one graph/worker.
+///
+/// Buckets are keyed by buffer *capacity*; every buffer the arena hands
+/// out has capacity exactly equal to the requested length, so the keys
+/// stay aligned across take/release cycles.
+#[derive(Debug)]
+pub struct TensorArena {
+    policy: BufferPolicy,
+    buckets: HashMap<usize, Vec<Vec<f32>>>,
+    pool: Option<SharedBufferPool>,
+    stats: ArenaStats,
+}
+
+impl TensorArena {
+    /// New arena with the given policy and no shared pool.
+    pub fn new(policy: BufferPolicy) -> Self {
+        TensorArena { policy, buckets: HashMap::new(), pool: None, stats: ArenaStats::default() }
+    }
+
+    /// Attach a shared pool used as a fallback before fresh allocation.
+    pub fn with_pool(mut self, pool: SharedBufferPool) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// The arena's buffer policy.
+    pub fn policy(&self) -> BufferPolicy {
+        self.policy
+    }
+
+    /// Switch the buffer policy in place (keeps any attached pool).
+    pub fn set_policy(&mut self, policy: BufferPolicy) {
+        self.policy = policy;
+    }
+
+    /// Attach (or replace) the shared fallback pool in place.
+    pub fn set_pool(&mut self, pool: SharedBufferPool) {
+        self.pool = Some(pool);
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ArenaStats {
+        self.stats
+    }
+
+    /// A cleared buffer with capacity ≥ `n` (free list → pool → fresh).
+    fn obtain(&mut self, n: usize) -> Vec<f32> {
+        if self.policy == BufferPolicy::Fresh {
+            self.stats.fresh_allocs += 1;
+            self.stats.fresh_bytes += 4 * n as u64;
+            return Vec::with_capacity(n);
+        }
+        if let Some(list) = self.buckets.get_mut(&n) {
+            if let Some(mut buf) = list.pop() {
+                self.stats.held_bytes -= 4 * buf.capacity() as u64;
+                self.stats.reuses += 1;
+                buf.clear();
+                return buf;
+            }
+        }
+        if let Some(pool) = &self.pool {
+            if let Some(mut buf) = pool.take(n) {
+                self.stats.pool_takes += 1;
+                buf.clear();
+                return buf;
+            }
+        }
+        self.stats.fresh_allocs += 1;
+        self.stats.fresh_bytes += 4 * n as u64;
+        Vec::with_capacity(n)
+    }
+
+    /// A zeroed buffer of exactly `len` elements — bit-identical to
+    /// `vec![0.0f32; len]`.
+    pub fn take(&mut self, len: usize) -> Vec<f32> {
+        let mut buf = self.obtain(len);
+        buf.resize(len, 0.0);
+        buf
+    }
+
+    /// An empty (length 0) buffer with capacity ≥ `capacity`, for callers
+    /// that build contents by `extend`/`push` (e.g. dropout masks).
+    pub fn take_empty(&mut self, capacity: usize) -> Vec<f32> {
+        self.obtain(capacity)
+    }
+
+    /// Return a buffer to the free lists (dropped under `Fresh`).
+    ///
+    /// Each capacity class keeps at most [`MAX_BUFFERS_PER_BUCKET`]
+    /// buffers; overflow is dropped. This bounds inventory growth from
+    /// buffers that *enter* the cycle from outside the arena (e.g.
+    /// model-built constants released by a tape reset) without ever
+    /// starving per-step reuse — one step's demand per shape class is far
+    /// below the cap.
+    pub fn release(&mut self, mut buf: Vec<f32>) {
+        if self.policy == BufferPolicy::Fresh {
+            return;
+        }
+        let cap = buf.capacity();
+        if cap == 0 {
+            return;
+        }
+        let list = self.buckets.entry(cap).or_default();
+        if list.len() >= MAX_BUFFERS_PER_BUCKET {
+            return;
+        }
+        buf.clear();
+        self.stats.held_bytes += 4 * cap as u64;
+        list.push(buf);
+    }
+}
+
+/// Free-list depth bound per capacity class (arena and shared pool).
+const MAX_BUFFERS_PER_BUCKET: usize = 256;
+
+/// A thread-safe buffer pool shared across shard workers.
+///
+/// Closes the loop for buffers that escape a shard graph: parameter
+/// gradients leave with the [`Gradients`](../../vsan_autograd/struct.Gradients.html)
+/// result, get merged (duplicates released here) and, after the optimizer
+/// step, recycled here — so the next step's arenas find them again.
+#[derive(Debug, Clone, Default)]
+pub struct SharedBufferPool {
+    inner: Arc<Mutex<PoolInner>>,
+}
+
+#[derive(Debug, Default)]
+struct PoolInner {
+    buckets: HashMap<usize, Vec<Vec<f32>>>,
+    held_bytes: u64,
+}
+
+impl SharedBufferPool {
+    /// New empty pool.
+    pub fn new() -> Self {
+        SharedBufferPool::default()
+    }
+
+    /// Pop a buffer with capacity exactly `len`, if one is pooled.
+    pub fn take(&self, len: usize) -> Option<Vec<f32>> {
+        let mut inner = self.inner.lock().expect("buffer pool poisoned");
+        let buf = inner.buckets.get_mut(&len)?.pop()?;
+        inner.held_bytes -= 4 * buf.capacity() as u64;
+        Some(buf)
+    }
+
+    /// Return a buffer to the pool (bounded per capacity class like
+    /// [`TensorArena::release`]).
+    pub fn release(&self, mut buf: Vec<f32>) {
+        let cap = buf.capacity();
+        if cap == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("buffer pool poisoned");
+        let list = inner.buckets.entry(cap).or_default();
+        if list.len() >= MAX_BUFFERS_PER_BUCKET {
+            return;
+        }
+        buf.clear();
+        list.push(buf);
+        inner.held_bytes += 4 * cap as u64;
+    }
+
+    /// Bytes currently held in the pool.
+    pub fn held_bytes(&self) -> u64 {
+        self.inner.lock().expect("buffer pool poisoned").held_bytes
+    }
+
+    /// Number of pooled buffers.
+    pub fn pooled(&self) -> usize {
+        let inner = self.inner.lock().expect("buffer pool poisoned");
+        inner.buckets.values().map(|v| v.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_is_bit_identical_to_fresh_zeros() {
+        let mut arena = TensorArena::new(BufferPolicy::Arena);
+        let buf = arena.take(16);
+        assert_eq!(buf, vec![0.0f32; 16]);
+        assert!(buf.iter().all(|v| v.to_bits() == 0));
+        // Dirty it, release, take again: still all-zero bits.
+        let mut buf = buf;
+        buf.iter_mut().for_each(|v| *v = f32::NAN);
+        arena.release(buf);
+        let again = arena.take(16);
+        assert!(again.iter().all(|v| v.to_bits() == 0));
+        assert_eq!(arena.stats().reuses, 1);
+        assert_eq!(arena.stats().fresh_allocs, 1);
+    }
+
+    #[test]
+    fn release_then_take_reuses_exact_capacity() {
+        let mut arena = TensorArena::new(BufferPolicy::Arena);
+        let a = arena.take(8);
+        let b = arena.take(4);
+        arena.release(a);
+        arena.release(b);
+        assert_eq!(arena.stats().held_bytes, 4 * 12);
+        let _a2 = arena.take(8);
+        let _b2 = arena.take(4);
+        let s = arena.stats();
+        assert_eq!(s.fresh_allocs, 2);
+        assert_eq!(s.reuses, 2);
+        assert_eq!(s.held_bytes, 0);
+    }
+
+    #[test]
+    fn fresh_policy_never_pools() {
+        let mut arena = TensorArena::new(BufferPolicy::Fresh);
+        let a = arena.take(8);
+        arena.release(a);
+        let _b = arena.take(8);
+        let s = arena.stats();
+        assert_eq!(s.fresh_allocs, 2);
+        assert_eq!(s.reuses, 0);
+        assert_eq!(s.held_bytes, 0);
+    }
+
+    #[test]
+    fn take_empty_has_capacity_and_zero_len() {
+        let mut arena = TensorArena::new(BufferPolicy::Arena);
+        let buf = arena.take_empty(32);
+        assert_eq!(buf.len(), 0);
+        assert!(buf.capacity() >= 32);
+    }
+
+    #[test]
+    fn shared_pool_round_trips_buffers() {
+        let pool = SharedBufferPool::new();
+        pool.release(vec![1.0f32; 10]);
+        assert_eq!(pool.pooled(), 1);
+        assert_eq!(pool.held_bytes(), 40);
+        let got = pool.take(10).expect("pooled buffer");
+        assert_eq!(got.len(), 0);
+        assert!(got.capacity() >= 10);
+        assert!(pool.take(10).is_none());
+        assert_eq!(pool.held_bytes(), 0);
+    }
+
+    #[test]
+    fn arena_falls_back_to_shared_pool_before_allocating() {
+        let pool = SharedBufferPool::new();
+        pool.release(vec![0.0f32; 6]);
+        let mut arena = TensorArena::new(BufferPolicy::Arena).with_pool(pool.clone());
+        let buf = arena.take(6);
+        assert_eq!(buf, vec![0.0f32; 6]);
+        let s = arena.stats();
+        assert_eq!(s.pool_takes, 1);
+        assert_eq!(s.fresh_allocs, 0);
+        assert_eq!(pool.pooled(), 0);
+    }
+
+    #[test]
+    fn default_policy_tracks_the_fast_path_pin() {
+        // Process-wide env pin is read once (OnceLock); just assert the
+        // resolver agrees with the kernel-tier resolver's view of it.
+        let expect = if crate::kernel::fast_path_disabled() {
+            BufferPolicy::Fresh
+        } else {
+            BufferPolicy::Arena
+        };
+        assert_eq!(default_buffer_policy(), expect);
+        assert_eq!(expect.name(), default_buffer_policy().name());
+    }
+
+    #[test]
+    fn stats_merge_is_elementwise() {
+        let a = ArenaStats { fresh_allocs: 1, fresh_bytes: 4, reuses: 2, pool_takes: 3, held_bytes: 8 };
+        let b = ArenaStats { fresh_allocs: 10, fresh_bytes: 40, reuses: 20, pool_takes: 30, held_bytes: 80 };
+        let m = a.merged(b);
+        assert_eq!(m.fresh_allocs, 11);
+        assert_eq!(m.fresh_bytes, 44);
+        assert_eq!(m.reuses, 22);
+        assert_eq!(m.pool_takes, 33);
+        assert_eq!(m.held_bytes, 88);
+    }
+}

@@ -236,23 +236,33 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Result<Tensor> {
         });
     }
     let mut out = Tensor::zeros(&[m, n]);
-    let (ad, bd) = (a.data(), b.data());
-    let od = out.data_mut();
+    matmul_at_b_ref_into(a.data(), b.data(), out.data_mut(), m, k, n);
+    Ok(out)
+}
+
+/// Raw reference kernel behind [`matmul_at_b`]: `c += aᵀ · b` over flat
+/// buffers, `(k, m) × (k, n) → (m, n)`, zero-skip on `a`. `c` must be
+/// zeroed (or hold a partial sum). The exact loop [`matmul_at_b`] has
+/// always run, factored out so arena buffers can be filled without the
+/// output allocation.
+pub fn matmul_at_b_ref_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), k * m);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
     // Outer loop over the shared dim keeps both reads sequential.
     for kk in 0..k {
-        let a_row = &ad[kk * m..(kk + 1) * m];
-        let b_row = &bd[kk * n..(kk + 1) * n];
+        let a_row = &a[kk * m..(kk + 1) * m];
+        let b_row = &b[kk * n..(kk + 1) * n];
         for (i, &av) in a_row.iter().enumerate() {
             if av == 0.0 {
                 continue;
             }
-            let o_row = &mut od[i * n..(i + 1) * n];
+            let o_row = &mut c[i * n..(i + 1) * n];
             for (ov, &bv) in o_row.iter_mut().zip(b_row) {
                 *ov += av * bv;
             }
         }
     }
-    Ok(out)
 }
 
 /// Fast-tier twin of [`matmul_at_b`]: same shapes, same bits, but the
@@ -289,20 +299,30 @@ pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
         });
     }
     let mut out = Tensor::zeros(&[m, n]);
-    let (ad, bd) = (a.data(), b.data());
-    let od = out.data_mut();
+    matmul_a_bt_ref_into(a.data(), b.data(), out.data_mut(), m, k, n);
+    Ok(out)
+}
+
+/// Raw reference kernel behind [`matmul_a_bt`]: `c = a · bᵀ` over flat
+/// buffers, `(m, k) × (n, k) → (m, n)`, per-element ascending-`k` dots.
+/// Overwrites `c`. The exact loop [`matmul_a_bt`] has always run,
+/// factored out so arena buffers can be filled without the output
+/// allocation.
+pub fn matmul_a_bt_ref_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(c.len(), m * n);
     for i in 0..m {
-        let a_row = &ad[i * k..(i + 1) * k];
+        let a_row = &a[i * k..(i + 1) * k];
         for j in 0..n {
-            let b_row = &bd[j * k..(j + 1) * k];
+            let b_row = &b[j * k..(j + 1) * k];
             let mut acc = 0.0f32;
             for (&av, &bv) in a_row.iter().zip(b_row) {
                 acc += av * bv;
             }
-            od[i * n + j] = acc;
+            c[i * n + j] = acc;
         }
     }
-    Ok(out)
 }
 
 /// Fast-tier twin of [`matmul_a_bt`]: same shapes, same bits, but
@@ -338,12 +358,31 @@ pub fn matmul_a_bt_fast(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     Ok(out)
 }
 
+/// Scratch-threaded twin of [`matmul_a_bt_fast`] over flat buffers:
+/// `c = a · bᵀ` via transpose-then-tiled, with the `Bᵀ` scratch supplied
+/// by the caller (arena-recycled on the training tape). `c` must be
+/// zeroed ([`matmul_into`] accumulates); `bt_scratch` is fully
+/// overwritten. Same fold, same bits as [`matmul_a_bt_fast`].
+pub fn matmul_a_bt_fast_into(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    bt_scratch: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    debug_assert_eq!(bt_scratch.len(), k * n);
+    transpose_into(b, bt_scratch, n, k);
+    matmul_into(a, bt_scratch, c, m, k, n);
+}
+
 /// Scratch transpose `(r, c) → (c, r)` over flat row-major buffers —
 /// the data-movement half of the fast tier's `A·Bᵀ` kernels. Pure
 /// copies: it cannot change any result bit, so the twins that call it
 /// under AVX2 codegen stay bit-identical by construction.
 #[inline(always)]
-pub(crate) fn transpose_into(src: &[f32], dst: &mut [f32], r: usize, c: usize) {
+pub fn transpose_into(src: &[f32], dst: &mut [f32], r: usize, c: usize) {
     debug_assert_eq!(src.len(), r * c);
     debug_assert_eq!(dst.len(), r * c);
     for i in 0..r {

@@ -70,6 +70,36 @@ pub fn layer_norm_rows_into(
     }
 }
 
+/// Like [`layer_norm_rows_into`], but also captures the per-row statistics
+/// into caller-provided vectors (pushed in row order) so the autograd tape
+/// can run the backward pass from arena-owned buffers. Shares
+/// [`layer_norm_row`] with both other entry points, so all three are
+/// bit-identical by construction.
+#[allow(clippy::too_many_arguments)]
+pub fn layer_norm_rows_stats_into(
+    x: &[f32],
+    gamma: &[f32],
+    beta: &[f32],
+    eps: f32,
+    rows: usize,
+    c: usize,
+    out: &mut [f32],
+    mean: &mut Vec<f32>,
+    inv_std: &mut Vec<f32>,
+) {
+    assert_eq!(gamma.len(), c, "gamma length must match row width");
+    assert_eq!(beta.len(), c, "beta length must match row width");
+    debug_assert_eq!(x.len(), rows * c);
+    debug_assert_eq!(out.len(), rows * c);
+    for i in 0..rows {
+        let row = &x[i * c..(i + 1) * c];
+        let o_row = &mut out[i * c..(i + 1) * c];
+        let (m, is) = layer_norm_row(row, gamma, beta, eps, o_row);
+        mean.push(m);
+        inv_std.push(is);
+    }
+}
+
 /// Normalize one row; returns `(mean, inv_std)`. The single definition
 /// both entry points use — the fixed accumulation order here is part of
 /// the workspace-wide bitwise-determinism contract.

@@ -15,6 +15,7 @@ pub fn softmax_rows(a: &Tensor) -> Result<Tensor> {
 }
 
 /// Stable softmax of a mutable slice in place.
+#[inline(always)]
 pub fn softmax_slice(row: &mut [f32]) {
     let max = row.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
     if !max.is_finite() {
@@ -117,6 +118,123 @@ fn softmax_rows_masked_body(scores: &[f32], out: &mut [f32], r: usize) {
     }
 }
 
+// ---------------------------------------------------------------------------
+// `_into` kernel tier: arena-friendly variants writing caller buffers.
+// Same three-piece idiom as `ops/elementwise.rs`: scalar reference, AVX2
+// dispatcher, and a feature-gated twin sharing one `#[inline(always)]`
+// body — bit-identical by construction. The max/exp/sum folds inside stay
+// strictly sequential (never reassociated); only the copy and normalize
+// loops are legal for LLVM to vectorize.
+// ---------------------------------------------------------------------------
+
+/// Row softmax over flat row-major buffers: copies each `src` row into
+/// `out` and applies [`softmax_slice`] — the exact sequence of
+/// [`softmax_rows`] without the output allocation.
+pub fn softmax_rows_into(src: &[f32], out: &mut [f32], rows: usize, c: usize) {
+    softmax_rows_into_body(src, out, rows, c)
+}
+
+/// AVX2-dispatched twin of [`softmax_rows_into`] (shared body, identical
+/// bits).
+pub fn softmax_rows_into_fast(src: &[f32], out: &mut [f32], rows: usize, c: usize) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if crate::ops::matmul::avx2_available() {
+            // SAFETY: AVX2 presence checked at runtime.
+            unsafe { softmax_rows_into_avx2(src, out, rows, c) };
+            return;
+        }
+    }
+    softmax_rows_into_body(src, out, rows, c)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn softmax_rows_into_avx2(src: &[f32], out: &mut [f32], rows: usize, c: usize) {
+    softmax_rows_into_body(src, out, rows, c)
+}
+
+#[inline(always)]
+fn softmax_rows_into_body(src: &[f32], out: &mut [f32], rows: usize, c: usize) {
+    debug_assert_eq!(src.len(), rows * c);
+    debug_assert_eq!(out.len(), rows * c);
+    for i in 0..rows {
+        let dst = &mut out[i * c..(i + 1) * c];
+        dst.copy_from_slice(&src[i * c..(i + 1) * c]);
+        softmax_slice(dst);
+    }
+}
+
+/// Causal-masked softmax writing a caller buffer. `out` must be zeroed
+/// (masked entries `j > i` are left untouched and must read exactly 0.0),
+/// which arena buffers guarantee.
+pub fn softmax_rows_masked_into(scores: &[f32], out: &mut [f32], r: usize) {
+    debug_assert_eq!(scores.len(), r * r);
+    debug_assert_eq!(out.len(), r * r);
+    softmax_rows_masked_body(scores, out, r)
+}
+
+/// AVX2-dispatched twin of [`softmax_rows_masked_into`] (shared body,
+/// identical bits).
+pub fn softmax_rows_masked_into_fast(scores: &[f32], out: &mut [f32], r: usize) {
+    debug_assert_eq!(scores.len(), r * r);
+    debug_assert_eq!(out.len(), r * r);
+    #[cfg(target_arch = "x86_64")]
+    {
+        if crate::ops::matmul::avx2_available() {
+            // SAFETY: AVX2 presence checked at runtime.
+            unsafe { softmax_rows_masked_avx2(scores, out, r) };
+            return;
+        }
+    }
+    softmax_rows_masked_body(scores, out, r)
+}
+
+/// Softmax backward over flat buffers: for each row,
+/// `dot = Σ_j y[j]·g[j]` (strictly sequential fold) then
+/// `out[j] = y[j] * (g[j] - dot)` — the exact per-row sequence of the
+/// tape's softmax backward. Covers both the plain and causal-masked
+/// variants (masked positions have `y = 0`, contributing nothing).
+pub fn softmax_grad_into(y: &[f32], g: &[f32], out: &mut [f32], rows: usize, c: usize) {
+    softmax_grad_into_body(y, g, out, rows, c)
+}
+
+/// AVX2-dispatched twin of [`softmax_grad_into`] (shared body, identical
+/// bits — the dot fold stays sequential in both tiers).
+pub fn softmax_grad_into_fast(y: &[f32], g: &[f32], out: &mut [f32], rows: usize, c: usize) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if crate::ops::matmul::avx2_available() {
+            // SAFETY: AVX2 presence checked at runtime.
+            unsafe { softmax_grad_into_avx2(y, g, out, rows, c) };
+            return;
+        }
+    }
+    softmax_grad_into_body(y, g, out, rows, c)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn softmax_grad_into_avx2(y: &[f32], g: &[f32], out: &mut [f32], rows: usize, c: usize) {
+    softmax_grad_into_body(y, g, out, rows, c)
+}
+
+#[inline(always)]
+fn softmax_grad_into_body(y: &[f32], g: &[f32], out: &mut [f32], rows: usize, c: usize) {
+    debug_assert_eq!(y.len(), rows * c);
+    debug_assert_eq!(g.len(), rows * c);
+    debug_assert_eq!(out.len(), rows * c);
+    for i in 0..rows {
+        let y_row = &y[i * c..(i + 1) * c];
+        let g_row = &g[i * c..(i + 1) * c];
+        let dot: f32 = y_row.iter().zip(g_row).map(|(a, b)| a * b).sum();
+        let o_row = &mut out[i * c..(i + 1) * c];
+        for j in 0..c {
+            o_row[j] = y_row[j] * (g_row[j] - dot);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -199,6 +317,55 @@ mod tests {
         softmax_slice(&mut row);
         for v in row {
             assert!((v - 0.25).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn into_kernels_are_bit_identical_across_tiers_and_to_the_reference() {
+        use crate::init;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(9);
+        for (r, c) in [(1usize, 1usize), (3, 5), (16, 16), (50, 64), (7, 200)] {
+            let a = init::randn(&mut rng, &[r, c], 0.0, 3.0);
+            let want = softmax_rows(&a).unwrap();
+            let mut ref_out = vec![0.0f32; r * c];
+            let mut fast_out = vec![0.0f32; r * c];
+            softmax_rows_into(a.data(), &mut ref_out, r, c);
+            softmax_rows_into_fast(a.data(), &mut fast_out, r, c);
+            for j in 0..r * c {
+                assert_eq!(want.data()[j].to_bits(), ref_out[j].to_bits(), "ref {r}x{c}");
+                assert_eq!(ref_out[j].to_bits(), fast_out[j].to_bits(), "fast {r}x{c}");
+            }
+            // Backward: dot-then-scale sequence, both tiers.
+            let g = init::randn(&mut rng, &[r, c], 0.0, 1.0);
+            let mut dref = vec![0.0f32; r * c];
+            let mut dfast = vec![0.0f32; r * c];
+            softmax_grad_into(ref_out.as_slice(), g.data(), &mut dref, r, c);
+            softmax_grad_into_fast(ref_out.as_slice(), g.data(), &mut dfast, r, c);
+            for j in 0..r * c {
+                assert_eq!(dref[j].to_bits(), dfast[j].to_bits(), "grad {r}x{c}");
+            }
+        }
+    }
+
+    #[test]
+    fn masked_into_matches_the_tensor_entry_points() {
+        use crate::init;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(11);
+        for n in [1usize, 4, 17, 33] {
+            let a = init::randn(&mut rng, &[n, n], 0.0, 2.0);
+            let want = softmax_rows_masked(&a).unwrap();
+            let mut ref_out = vec![0.0f32; n * n];
+            let mut fast_out = vec![0.0f32; n * n];
+            softmax_rows_masked_into(a.data(), &mut ref_out, n);
+            softmax_rows_masked_into_fast(a.data(), &mut fast_out, n);
+            for j in 0..n * n {
+                assert_eq!(want.data()[j].to_bits(), ref_out[j].to_bits(), "n={n}");
+                assert_eq!(ref_out[j].to_bits(), fast_out[j].to_bits(), "n={n}");
+            }
         }
     }
 }

@@ -96,6 +96,49 @@ pub fn matmul_parallel_tiered(
     Ok(out)
 }
 
+/// Flat-buffer twin of [`matmul_parallel_tiered`] writing a caller
+/// (arena) buffer: `c` must be zeroed. [`KernelTier::Reference`] runs
+/// the reference `i-k-j` zero-skip kernel with [`matmul_parallel`]'s
+/// exact row-chunking and serial-fallback threshold; [`KernelTier::Fast`]
+/// runs [`matmul_into_parallel`] (identical chunking, tiled kernel).
+/// Same folds per output element in every case — same bits as the
+/// allocating front-end at every thread count.
+#[allow(clippy::too_many_arguments)]
+pub fn matmul_parallel_tiered_into(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    threads: usize,
+    tier: KernelTier,
+) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    if tier == KernelTier::Fast {
+        return matmul_into_parallel(a, b, c, m, k, n, threads);
+    }
+    let threads = threads.max(1).min(m.max(1));
+    if threads == 1 || m * k * n < 1_000_000 {
+        return matmul_into_skip_zeros(a, b, c, m, k, n);
+    }
+    let chunk_rows = m.div_ceil(threads);
+    let mut chunks: Vec<&mut [f32]> = c.chunks_mut(chunk_rows * n).collect();
+    crossbeam::thread::scope(|s| {
+        for (ci, c_chunk) in chunks.iter_mut().enumerate() {
+            let row0 = ci * chunk_rows;
+            let rows = c_chunk.len() / n;
+            let a_chunk = &a[row0 * k..(row0 + rows) * k];
+            s.spawn(move |_| {
+                matmul_into_skip_zeros(a_chunk, b, c_chunk, rows, k, n);
+            });
+        }
+    })
+    .expect("worker thread panicked in matmul_parallel_tiered_into");
+}
+
 /// Parallel flat-buffer `c += a · b` (the inference fast path's front
 /// end): same row-chunking and serial-fallback threshold as
 /// [`matmul_parallel`], but writing into a caller-owned workspace slice
@@ -218,6 +261,34 @@ mod tests {
                 let got = matmul_parallel_tiered(&a, &b, threads, tier).unwrap();
                 for (w, g) in want.data().iter().zip(got.data()) {
                     assert_eq!(w.to_bits(), g.to_bits(), "threads={threads} tier={}", tier.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn into_front_end_matches_the_allocating_front_end_bitwise() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for (m, k, n) in [(5usize, 7usize, 9usize), (128, 64, 160)] {
+            let mut a = init::randn(&mut rng, &[m, k], 0.0, 0.5);
+            // Exact zeros exercise the reference tier's skip branch.
+            for v in a.data_mut().iter_mut().step_by(5) {
+                *v = 0.0;
+            }
+            let b = init::randn(&mut rng, &[k, n], 0.0, 0.5);
+            for threads in [1usize, 4] {
+                for tier in [KernelTier::Reference, KernelTier::Fast] {
+                    let want = matmul_parallel_tiered(&a, &b, threads, tier).unwrap();
+                    let mut got = vec![0.0f32; m * n];
+                    matmul_parallel_tiered_into(a.data(), b.data(), &mut got, m, k, n, threads, tier);
+                    for (w, g) in want.data().iter().zip(&got) {
+                        assert_eq!(
+                            w.to_bits(),
+                            g.to_bits(),
+                            "({m},{k},{n}) threads={threads} tier={}",
+                            tier.name()
+                        );
+                    }
                 }
             }
         }
